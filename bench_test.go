@@ -1,0 +1,384 @@
+// Benchmarks: one target per paper table/figure (the workload each figure
+// times or sweeps), plus the ablation benches called out in DESIGN.md.
+// Regenerate the actual figure rows with:  go run ./cmd/experiments all
+package hitsndiffs
+
+import (
+	"fmt"
+	"testing"
+
+	"hitsndiffs/internal/core"
+	"hitsndiffs/internal/dataset"
+	"hitsndiffs/internal/eigen"
+	"hitsndiffs/internal/grmest"
+	"hitsndiffs/internal/irt"
+	"hitsndiffs/internal/mat"
+	"hitsndiffs/internal/response"
+	"hitsndiffs/internal/truth"
+)
+
+// genOrDie generates a default-shaped dataset for a model.
+func genOrDie(b *testing.B, model irt.ModelKind, mutate func(*irt.Config)) *irt.Dataset {
+	b.Helper()
+	cfg := irt.DefaultConfig(model)
+	cfg.Seed = 7
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	d, err := irt.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// benchMethods runs each ranker as a sub-benchmark on the same matrix.
+func benchMethods(b *testing.B, m *response.Matrix, methods []core.Ranker) {
+	b.Helper()
+	for _, r := range methods {
+		r := r
+		b.Run(r.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Rank(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func figure4Methods(correct []int) []core.Ranker {
+	return []core.Ranker{
+		core.HNDPower{},
+		core.ABHPower{},
+		truth.HITS{},
+		truth.TruthFinder{},
+		truth.Investment{},
+		truth.PooledInvestment{},
+		truth.TrueAnswer{Correct: correct},
+	}
+}
+
+// BenchmarkFig4aVaryQuestionsGRM times the Figure 4a point (GRM, default
+// m=n=100) for every competitor.
+func BenchmarkFig4aVaryQuestionsGRM(b *testing.B) {
+	d := genOrDie(b, irt.ModelGRM, nil)
+	benchMethods(b, d.Responses, figure4Methods(d.Correct))
+}
+
+// BenchmarkFig4bVaryQuestionsBock times the Figure 4b point (Bock).
+func BenchmarkFig4bVaryQuestionsBock(b *testing.B) {
+	d := genOrDie(b, irt.ModelBock, nil)
+	benchMethods(b, d.Responses, figure4Methods(d.Correct))
+}
+
+// BenchmarkFig4cVaryQuestionsSamejima times the Figure 4c point (Samejima).
+func BenchmarkFig4cVaryQuestionsSamejima(b *testing.B) {
+	d := genOrDie(b, irt.ModelSamejima, nil)
+	benchMethods(b, d.Responses, figure4Methods(d.Correct))
+}
+
+// BenchmarkFig4dVaryUsers times the Figure 4d workload at its largest
+// swept size that stays benchmark-friendly (m=800).
+func BenchmarkFig4dVaryUsers(b *testing.B) {
+	d := genOrDie(b, irt.ModelSamejima, func(c *irt.Config) { c.Users = 800 })
+	benchMethods(b, d.Responses, figure4Methods(d.Correct))
+}
+
+// BenchmarkFig4eVaryOptions times the Figure 4e workload at k=6.
+func BenchmarkFig4eVaryOptions(b *testing.B) {
+	d := genOrDie(b, irt.ModelSamejima, func(c *irt.Config) { c.Options = 6 })
+	benchMethods(b, d.Responses, figure4Methods(d.Correct))
+}
+
+// BenchmarkFig4fVaryDifficulty times the hardest difficulty window of
+// Figure 4f.
+func BenchmarkFig4fVaryDifficulty(b *testing.B) {
+	d := genOrDie(b, irt.ModelSamejima, func(c *irt.Config) {
+		c.DifficultyLow, c.DifficultyHigh = 0.5, 1.5
+	})
+	benchMethods(b, d.Responses, figure4Methods(d.Correct))
+}
+
+// BenchmarkFig4gVaryAnswerProb times the sparsest Figure 4g workload
+// (p=0.6).
+func BenchmarkFig4gVaryAnswerProb(b *testing.B) {
+	d := genOrDie(b, irt.ModelSamejima, func(c *irt.Config) { c.AnswerProb = 0.6 })
+	benchMethods(b, d.Responses, figure4Methods(d.Correct))
+}
+
+// BenchmarkFig4hC1P times the consistent-data workload of Figure 4h for
+// the three methods that can solve it exactly.
+func BenchmarkFig4hC1P(b *testing.B) {
+	cfg := irt.DefaultConfig(irt.ModelGRM)
+	cfg.Seed = 7
+	d, err := irt.GenerateC1P(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchMethods(b, d.Responses, []core.Ranker{
+		core.HNDPower{},
+		core.ABHPower{},
+		BL(),
+	})
+}
+
+// BenchmarkFig5aScaleUsers times the Figure 5a scaling workloads: the
+// power implementations across growing user counts (n fixed at 100).
+func BenchmarkFig5aScaleUsers(b *testing.B) {
+	for _, m := range []int{100, 1000, 5000} {
+		d := genOrDie(b, irt.ModelSamejima, func(c *irt.Config) { c.Users = m })
+		for _, r := range []core.Ranker{core.HNDPower{}, core.HNDDeflation{}, core.ABHPower{}} {
+			r := r
+			b.Run(fmt.Sprintf("%s/m=%d", r.Name(), m), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := r.Rank(d.Responses); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig5bScaleQuestions times the Figure 5b scaling workloads
+// (m fixed at 100, n growing).
+func BenchmarkFig5bScaleQuestions(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		d := genOrDie(b, irt.ModelSamejima, func(c *irt.Config) { c.Items = n })
+		for _, r := range []core.Ranker{core.HNDPower{}, core.ABHPower{}} {
+			r := r
+			b.Run(fmt.Sprintf("%s/n=%d", r.Name(), n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := r.Rank(d.Responses); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig5GRMEstimator times the GRM-estimator curve of Figure 5 at a
+// small size (it is orders of magnitude slower than the spectral methods).
+func BenchmarkFig5GRMEstimator(b *testing.B) {
+	d := genOrDie(b, irt.ModelGRM, func(c *irt.Config) { c.Users, c.Items = 50, 50 })
+	est := grmest.Estimator{Opts: grmest.Options{EMIterations: 10}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Rank(d.Responses); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6Stability times one stability measurement of Figure 6: the
+// two difference eigenvectors on the Section IV-D workload.
+func BenchmarkFig6Stability(b *testing.B) {
+	d := genOrDie(b, irt.ModelGRM, nil)
+	b.Run("HnD-diffvec", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.DiffEigenvector(d.Responses, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ABH-diffvec", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.ABHDiffEigenvector(d.Responses, core.Options{}, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig7RealWorld times HND on each simulated real-world dataset of
+// Figures 7/11.
+func BenchmarkFig7RealWorld(b *testing.B) {
+	for _, spec := range dataset.RealWorldSpecs {
+		d, err := dataset.SimulatedRealWorld(spec, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(spec.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (core.HNDPower{}).Rank(d.Responses); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig9Discrimination times the extreme discrimination workloads
+// of Figures 9i–9k.
+func BenchmarkFig9Discrimination(b *testing.B) {
+	for _, amax := range []float64{2.5, 40} {
+		d := genOrDie(b, irt.ModelSamejima, func(c *irt.Config) { c.DiscriminationMax = amax })
+		b.Run(fmt.Sprintf("amax=%g", amax), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (core.HNDPower{}).Rank(d.Responses); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig12AmericanExperience times the simulated DeMars workload of
+// Figure 12 (class-sized cohort).
+func BenchmarkFig12AmericanExperience(b *testing.B) {
+	d := dataset.AmericanExperience(100, 3)
+	benchMethods(b, d.Responses, []core.Ranker{
+		core.HNDPower{},
+		core.ABHPower{},
+		truth.HITS{},
+		truth.PooledInvestment{},
+	})
+}
+
+// BenchmarkFig13HalfMoon times the half-moon workload of Figure 13.
+func BenchmarkFig13HalfMoon(b *testing.B) {
+	d, _ := dataset.HalfMoon(100, 100, 5)
+	benchMethods(b, d.Responses, []core.Ranker{
+		core.HNDPower{},
+		core.ABHPower{},
+		truth.HITS{},
+	})
+}
+
+// BenchmarkFig14aBeta times ABH-power across the β multipliers of Figure
+// 14a — iterations (and hence time) grow with β.
+func BenchmarkFig14aBeta(b *testing.B) {
+	d := genOrDie(b, irt.ModelSamejima, nil)
+	base := core.NewUpdate(d.Responses).DiagCCT().NormInf()
+	for _, mult := range []float64{1, 4, 10} {
+		mult := mult
+		b.Run(fmt.Sprintf("beta=%gx", mult), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (core.ABHPower{Beta: base * mult}).Rank(d.Responses); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig14bIterations times the three power-style implementations of
+// Figure 14b head-to-head on one workload.
+func BenchmarkFig14bIterations(b *testing.B) {
+	d := genOrDie(b, irt.ModelSamejima, func(c *irt.Config) { c.Items = 1000 })
+	benchMethods(b, d.Responses, []core.Ranker{
+		core.ABHPower{},
+		core.HNDDeflation{},
+		core.HNDPower{},
+	})
+}
+
+// BenchmarkAblationHNDImpl compares the three HND implementations — the
+// design choice analyzed in Section III-F.
+func BenchmarkAblationHNDImpl(b *testing.B) {
+	d := genOrDie(b, irt.ModelSamejima, func(c *irt.Config) { c.Users = 400 })
+	benchMethods(b, d.Responses, []core.Ranker{
+		core.HNDPower{},
+		core.HNDDeflation{},
+		core.HNDDirect{},
+	})
+}
+
+// BenchmarkAblationSymmetry isolates the cost of the decile entropy
+// symmetry-breaking heuristic.
+func BenchmarkAblationSymmetry(b *testing.B) {
+	d := genOrDie(b, irt.ModelSamejima, nil)
+	b.Run("with-orientation", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (core.HNDPower{}).Rank(d.Responses); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("raw-spectral", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (core.HNDPower{Opts: core.Options{SkipOrientation: true}}).Rank(d.Responses); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationSparse compares the sparse (CSR, matrix-free) update
+// against materializing U densely and multiplying — the paper's
+// O(mnt) vs O(m²n) argument in microcosm.
+func BenchmarkAblationSparse(b *testing.B) {
+	d := genOrDie(b, irt.ModelSamejima, func(c *irt.Config) { c.Users = 400 })
+	u := core.NewUpdate(d.Responses)
+	x := mat.Ones(u.Users())
+	y := mat.NewVector(u.Users())
+	b.Run("csr-matfree-apply", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			u.ApplyU(y, x)
+		}
+	})
+	b.Run("dense-materialize-and-apply", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			um := u.UMatrix()
+			um.MulVec(y, x)
+		}
+	})
+	um := u.UMatrix()
+	b.Run("dense-apply-only", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			um.MulVec(y, x)
+		}
+	})
+}
+
+// BenchmarkAblationEigensolvers compares the eigensolver backends on the
+// same symmetric matrix.
+func BenchmarkAblationEigensolvers(b *testing.B) {
+	d := genOrDie(b, irt.ModelSamejima, func(c *irt.Config) { c.Users = 200 })
+	u := core.NewUpdate(d.Responses)
+	l := u.LaplacianMatrix()
+	b.Run("dense-tred2-tql2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eigen.SymmetricEigen(l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lanczos-full-reorth", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eigen.Lanczos(eigen.DenseOp{M: l}, eigen.LanczosOptions{MaxSteps: 60}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("power-iteration", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eigen.PowerIteration(eigen.DenseOp{M: l}, eigen.PowerOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPQTreeReduce times Booth–Lueker reduction on consistent data —
+// the paper's "fastest method when it works" claim.
+func BenchmarkPQTreeReduce(b *testing.B) {
+	cfg := irt.DefaultConfig(irt.ModelGRM)
+	cfg.Users, cfg.Items, cfg.Seed = 200, 200, 7
+	d, err := irt.GenerateC1P(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BL().Rank(d.Responses); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Command datagen writes synthetic ability-discovery datasets as CSV.
+//
+// Usage:
+//
+//	datagen [-model samejima] [-users 100] [-items 100] [-options 3]
+//	        [-amax 10] [-p 1.0] [-c1p] [-seed 1] [-truth truth.csv] out.csv
+//
+// The main output is a response-matrix CSV readable by cmd/hnd. With
+// -truth, the hidden user abilities are written to a second file so that
+// rankings can be scored.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hitsndiffs"
+)
+
+func main() {
+	model := flag.String("model", "samejima", "generative model: grm | bock | samejima")
+	users := flag.Int("users", 100, "number of users")
+	items := flag.Int("items", 100, "number of items")
+	options := flag.Int("options", 3, "options per item")
+	amax := flag.Float64("amax", 10, "discrimination upper bound")
+	p := flag.Float64("p", 1, "probability each question is answered")
+	c1pFlag := flag.Bool("c1p", false, "generate ideal consistent (C1P) responses")
+	seed := flag.Int64("seed", 1, "random seed")
+	truthPath := flag.String("truth", "", "also write the true abilities CSV here")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: datagen [flags] out.csv (see -h)")
+		os.Exit(2)
+	}
+
+	var kind hitsndiffs.ModelKind
+	switch *model {
+	case "grm":
+		kind = hitsndiffs.ModelGRM
+	case "bock":
+		kind = hitsndiffs.ModelBock
+	case "samejima":
+		kind = hitsndiffs.ModelSamejima
+	default:
+		fatal(fmt.Errorf("unknown model %q", *model))
+	}
+
+	cfg := hitsndiffs.DefaultGeneratorConfig(kind)
+	cfg.Users = *users
+	cfg.Items = *items
+	cfg.Options = *options
+	cfg.DiscriminationMax = *amax
+	cfg.AnswerProb = *p
+	cfg.Seed = *seed
+
+	var d *hitsndiffs.Dataset
+	var err error
+	if *c1pFlag {
+		d, err = hitsndiffs.GenerateConsistent(cfg)
+	} else {
+		d, err = hitsndiffs.Generate(cfg)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	out, err := os.Create(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer out.Close()
+	if err := d.Responses.WriteCSV(out); err != nil {
+		fatal(err)
+	}
+	if *truthPath != "" {
+		tf, err := os.Create(*truthPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer tf.Close()
+		fmt.Fprintln(tf, "user,ability")
+		for u, theta := range d.Abilities {
+			fmt.Fprintf(tf, "%d,%g\n", u, theta)
+		}
+	}
+	fmt.Printf("wrote %s: %d users × %d items (%s%s)\n",
+		flag.Arg(0), *users, *items, *model, map[bool]string{true: ", C1P", false: ""}[*c1pFlag])
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

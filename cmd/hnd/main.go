@@ -1,0 +1,109 @@
+// Command hnd ranks the users of a response-matrix CSV file by ability.
+//
+// Usage:
+//
+//	hnd [-method HnD-power] [-scores] [-tol 1e-5] [-maxiter 20000] file.csv
+//
+// The input format is the one produced by datagen and
+// (*ResponseMatrix).WriteCSV: a header row with each item's option count,
+// then one row per user holding the chosen option index per item (empty
+// cell = unanswered). Output is one line per user, best first.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"hitsndiffs"
+)
+
+func main() {
+	method := flag.String("method", "HnD-power", "ranking method (see -list)")
+	list := flag.Bool("list", false, "list available methods and exit")
+	scores := flag.Bool("scores", false, "print raw scores alongside ranks")
+	infer := flag.Bool("infer", false, "also infer each item's most likely correct option by score-weighted voting")
+	tol := flag.Float64("tol", 1e-5, "convergence tolerance for iterative methods")
+	maxIter := flag.Int("maxiter", 20000, "iteration budget for iterative methods")
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0)
+		for name := range hitsndiffs.Methods() {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Println(strings.Join(names, "\n"))
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hnd [flags] file.csv (see -h)")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	m, err := hitsndiffs.ReadCSV(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	ranker, err := selectMethod(*method, hitsndiffs.Options{Tol: *tol, MaxIter: *maxIter})
+	if err != nil {
+		fatal(err)
+	}
+	res, err := ranker.Rank(m)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# method=%s users=%d items=%d iterations=%d converged=%v\n",
+		ranker.Name(), m.Users(), m.Items(), res.Iterations, res.Converged)
+	for pos, u := range res.Order() {
+		if *scores {
+			fmt.Printf("%4d  user=%d  score=%.6g\n", pos+1, u, res.Scores[u])
+		} else {
+			fmt.Printf("%4d  user=%d\n", pos+1, u)
+		}
+	}
+	if *infer {
+		labels, err := hitsndiffs.InferLabels(m, res.Scores)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("# inferred correct option per item (score-weighted vote):")
+		for i, l := range labels {
+			fmt.Printf("item=%d option=%d\n", i, l)
+		}
+	}
+}
+
+// selectMethod resolves a method name, wiring tolerance options into the
+// spectral methods that accept them.
+func selectMethod(name string, opts hitsndiffs.Options) (hitsndiffs.Ranker, error) {
+	switch name {
+	case "HnD-power":
+		return hitsndiffs.HND(opts), nil
+	case "HnD-direct":
+		return hitsndiffs.HNDDirect(opts), nil
+	case "HnD-deflation":
+		return hitsndiffs.HNDDeflation(opts), nil
+	case "ABH-power":
+		return hitsndiffs.ABH(opts), nil
+	case "ABH-direct":
+		return hitsndiffs.ABHDirect(opts), nil
+	}
+	if r, ok := hitsndiffs.Methods()[name]; ok {
+		return r, nil
+	}
+	return nil, fmt.Errorf("unknown method %q (use -list)", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hnd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"testing"
+
+	"hitsndiffs"
+)
+
+func TestSelectMethodKnownNames(t *testing.T) {
+	opts := hitsndiffs.Options{Tol: 1e-4, MaxIter: 100}
+	for _, name := range []string{
+		"HnD-power", "HnD-direct", "HnD-deflation", "ABH-power", "ABH-direct",
+		"ABH-lanczos", "BL", "HITS", "TruthFinder", "Invest", "PooledInv",
+		"MajorityVote", "Dawid-Skene", "Ghosh-spectral", "Dalvi-spectral", "GLAD",
+	} {
+		r, err := selectMethod(name, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.Name() != name {
+			t.Fatalf("selectMethod(%q).Name() = %q", name, r.Name())
+		}
+	}
+}
+
+func TestSelectMethodUnknown(t *testing.T) {
+	if _, err := selectMethod("nope", hitsndiffs.Options{}); err == nil {
+		t.Fatal("expected error for unknown method")
+	}
+}
+
+func TestSelectMethodAppliesOptions(t *testing.T) {
+	r, err := selectMethod("HnD-power", hitsndiffs.Options{MaxIter: 2, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := hitsndiffs.FromChoices([][]int{
+		{0, 0}, {0, 1}, {1, 1},
+	}, 2)
+	res, err := r.Rank(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 2 {
+		t.Fatalf("MaxIter not plumbed: %d iterations", res.Iterations)
+	}
+}

@@ -1,0 +1,62 @@
+// C1P reconstruction: the seriation view of ability discovery. Consistent
+// responses form a pre-P-matrix; this example generates one, shuffles the
+// users, and shows that HND, ABH and the Booth–Lueker PQ-tree all recover a
+// consecutive-ones ordering — and what happens to BL the moment a single
+// inconsistent answer is introduced.
+//
+// Run with: go run ./examples/c1preconstruct
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hitsndiffs"
+)
+
+func main() {
+	cfg := hitsndiffs.DefaultGeneratorConfig(hitsndiffs.ModelGRM)
+	cfg.Users = 30
+	cfg.Items = 50
+	cfg.Seed = 42
+	d, err := hitsndiffs.GenerateConsistent(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := d.Responses
+	fmt.Println("generated consistent responses; pre-P-matrix?", hitsndiffs.IsConsistent(m))
+
+	for _, method := range []hitsndiffs.Ranker{
+		hitsndiffs.HND(),
+		hitsndiffs.ABH(),
+		hitsndiffs.BL(),
+	} {
+		res, err := method.Rank(m)
+		if err != nil {
+			log.Fatalf("%s: %v", method.Name(), err)
+		}
+		fmt.Printf("%-10s recovers the ability order with ρ = %.3f\n",
+			method.Name(), hitsndiffs.Spearman(res.Scores, d.Abilities))
+	}
+
+	// Now corrupt answers of the best user (worst option instead of their
+	// consistent choice) until consistency breaks.
+	best := hitsndiffs.OrderFromScores(d.Abilities)[0]
+	corrupted := 0
+	for i := 0; i < m.Items() && hitsndiffs.IsConsistent(m); i++ {
+		m.SetAnswer(best, i, m.OptionCount(i)-1)
+		corrupted++
+	}
+	fmt.Printf("\nafter corrupting %d answer(s); pre-P-matrix? %v\n",
+		corrupted, hitsndiffs.IsConsistent(m))
+
+	if _, err := hitsndiffs.BL().Rank(m); err != nil {
+		fmt.Println("BL:", err)
+	}
+	res, err := hitsndiffs.HND().Rank(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HnD-power still ranks: ρ = %.3f (graceful degradation)\n",
+		hitsndiffs.Spearman(res.Scores, d.Abilities))
+}

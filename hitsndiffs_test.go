@@ -1,0 +1,203 @@
+package hitsndiffs
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// figure1 builds the paper's running example through the public API.
+func figure1() *ResponseMatrix {
+	return FromChoices([][]int{
+		{0, 0, 0},
+		{0, 0, 2},
+		{0, 1, 2},
+		{1, 2, 2},
+	}, 3)
+}
+
+func TestPublicQuickstart(t *testing.T) {
+	m := figure1()
+	res, err := HND().Rank(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := res.Order()
+	// Either the paper order or its reverse is a valid spectral answer; the
+	// entropy heuristic resolves the direction, and on this tiny example
+	// either orientation is acceptable as long as the chain is right.
+	forward := [4]int{0, 1, 2, 3}
+	backward := [4]int{3, 2, 1, 0}
+	var got [4]int
+	copy(got[:], order)
+	if got != forward && got != backward {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestPublicMethodsRegistry(t *testing.T) {
+	ms := Methods()
+	for _, name := range []string{
+		"HnD-power", "HnD-direct", "HnD-deflation", "ABH-power", "ABH-direct", "ABH-lanczos",
+		"BL", "HITS", "TruthFinder", "Invest", "PooledInv", "MajorityVote", "Dawid-Skene",
+		"Ghosh-spectral", "Dalvi-spectral", "GLAD",
+	} {
+		r, ok := ms[name]
+		if !ok {
+			t.Fatalf("method %q missing from registry", name)
+		}
+		if r.Name() != name {
+			t.Fatalf("registry key %q maps to %q", name, r.Name())
+		}
+	}
+}
+
+func TestPublicGenerateAndRank(t *testing.T) {
+	cfg := DefaultGeneratorConfig(ModelSamejima)
+	cfg.Users, cfg.Items, cfg.Seed = 50, 80, 5
+	cfg.DiscriminationMax = 40
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := HND().Rank(d.Responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho := Spearman(res.Scores, d.Abilities); rho < 0.8 {
+		t.Fatalf("quickstart accuracy ρ = %v", rho)
+	}
+}
+
+func TestPublicConsistency(t *testing.T) {
+	cfg := DefaultGeneratorConfig(ModelGRM)
+	cfg.Users, cfg.Items, cfg.Seed = 20, 30, 7
+	d, err := GenerateConsistent(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsConsistent(d.Responses) {
+		t.Fatal("consistent data not recognized")
+	}
+	noisy, err := Generate(DefaultGeneratorConfig(ModelSamejima))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsConsistent(noisy.Responses) {
+		t.Fatal("noisy data recognized as consistent")
+	}
+}
+
+func TestPublicCheatingBaselines(t *testing.T) {
+	cfg := DefaultGeneratorConfig(ModelGRM)
+	cfg.Users, cfg.Items, cfg.Seed = 40, 40, 9
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, err := TrueAnswer(d.Correct).Rank(d.Responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ge, err := GRMEstimator().Rank(d.Responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho := Spearman(ta.Scores, ge.Scores); math.IsNaN(rho) {
+		t.Fatal("cheating baselines returned degenerate scores")
+	}
+}
+
+func TestPublicCSVRoundTrip(t *testing.T) {
+	m := figure1()
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Users() != 4 || back.Items() != 3 {
+		t.Fatal("round trip lost shape")
+	}
+}
+
+func TestPublicOptionsPlumbing(t *testing.T) {
+	m := figure1()
+	res, err := HND(Options{MaxIter: 3, Tol: 1e-12}).Rank(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 3 {
+		t.Fatalf("MaxIter ignored: %d iterations", res.Iterations)
+	}
+}
+
+func TestKendallAndOrderFromScores(t *testing.T) {
+	if got := Kendall([]float64{1, 2, 3}, []float64{3, 2, 1}); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("Kendall = %v", got)
+	}
+	order := OrderFromScores([]float64{0.2, 0.9})
+	if order[0] != 1 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestPublicRankPerComponent(t *testing.T) {
+	// Users 0,1 share an option of item 0; users 2,3 share one of item 1;
+	// the two pairs are disconnected from each other.
+	m := NewResponseMatrix(4, 2, 2)
+	m.SetAnswer(0, 0, 0)
+	m.SetAnswer(1, 0, 0)
+	m.SetAnswer(2, 1, 1)
+	m.SetAnswer(3, 1, 1)
+	scores, comps, err := RankPerComponent(HND(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 4 || len(comps) != 2 {
+		t.Fatalf("scores %d comps %d", len(scores), len(comps))
+	}
+}
+
+func TestPublicInferLabels(t *testing.T) {
+	cfg := DefaultGeneratorConfig(ModelSamejima)
+	cfg.Users, cfg.Items, cfg.Seed = 60, 50, 13
+	cfg.DiscriminationMax = 40
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := HND().Rank(d.Responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := InferLabels(d.Responses, res.Scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, l := range labels {
+		if l == d.Correct[i] {
+			correct++
+		}
+	}
+	if correct < 45 {
+		t.Fatalf("HND-weighted truth inference got %d/50 labels", correct)
+	}
+}
+
+func TestPublicBinaryBaselines(t *testing.T) {
+	m := NewResponseMatrix(6, 5, 2)
+	for u := 0; u < 6; u++ {
+		for i := 0; i < 5; i++ {
+			m.SetAnswer(u, i, (u+i)%2)
+		}
+	}
+	for _, r := range []Ranker{GhoshSpectral(), DalviSpectral(), GLAD()} {
+		if _, err := r.Rank(m); err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package c1p
+
+import (
+	"fmt"
+
+	"hitsndiffs/internal/core"
+	"hitsndiffs/internal/response"
+)
+
+// BL is the Booth–Lueker baseline as a core.Ranker: it builds the PQ-tree,
+// reads one admissible order off the frontier, and orients it with the same
+// decile entropy heuristic the spectral methods use. Unlike HND and ABH it
+// FAILS (returns ErrNotC1P) whenever the responses are not perfectly
+// consistent, which is why the paper excludes it from the general
+// experiments.
+type BL struct {
+	// SkipOrientation leaves the raw frontier orientation.
+	SkipOrientation bool
+}
+
+// Name implements core.Ranker.
+func (BL) Name() string { return "BL" }
+
+// Rank implements core.Ranker.
+func (b BL) Rank(m *response.Matrix) (core.Result, error) {
+	tree, err := Build(m)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("c1p: BL cannot rank: %w", err)
+	}
+	order := tree.Frontier()
+	scores := make([]float64, m.Users())
+	for pos, u := range order {
+		scores[u] = float64(m.Users() - pos)
+	}
+	res := core.Result{Scores: scores, Converged: true}
+	if !b.SkipOrientation {
+		oriented, flipped := core.OrientByDecileEntropy(res.Scores, m)
+		res.Scores = oriented
+		res.Flipped = flipped
+	}
+	return res, nil
+}

@@ -1,0 +1,205 @@
+package c1p
+
+import (
+	"hitsndiffs/internal/mat"
+	"hitsndiffs/internal/response"
+)
+
+// Frontier returns one row order represented by the tree (its left-to-right
+// leaf sequence).
+func (t *Tree) Frontier() []int {
+	out := make([]int, 0, t.m)
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.kind == leafNode {
+			out = append(out, n.row)
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// CountOrders returns the number of distinct row orders the tree
+// represents: the product of c! over P-nodes with c children and 2 over
+// Q-nodes (capped at +Inf for very large trees).
+func (t *Tree) CountOrders() float64 {
+	var count func(n *node) float64
+	count = func(n *node) float64 {
+		if n.kind == leafNode {
+			return 1
+		}
+		prod := 1.0
+		for _, c := range n.children {
+			prod *= count(c)
+		}
+		switch n.kind {
+		case pNode:
+			for i := 2; i <= len(n.children); i++ {
+				prod *= float64(i)
+			}
+		case qNode:
+			prod *= 2
+		}
+		return prod
+	}
+	return count(t.root)
+}
+
+// AllOrders enumerates every row order the tree represents. Exponential in
+// general — intended for tests and small trees; it panics if the count
+// exceeds limit (pass 0 for a default of 100000).
+func (t *Tree) AllOrders(limit int) [][]int {
+	if limit <= 0 {
+		limit = 100000
+	}
+	if c := t.CountOrders(); c > float64(limit) {
+		panic("c1p: AllOrders would enumerate too many orders")
+	}
+	var expand func(n *node) [][]int
+	expand = func(n *node) [][]int {
+		if n.kind == leafNode {
+			return [][]int{{n.row}}
+		}
+		childSeqs := make([][][]int, len(n.children))
+		for i, c := range n.children {
+			childSeqs[i] = expand(c)
+		}
+		var arrangements [][]int // index sequences of children
+		switch n.kind {
+		case pNode:
+			arrangements = permutations(len(n.children))
+		case qNode:
+			fwd := make([]int, len(n.children))
+			rev := make([]int, len(n.children))
+			for i := range fwd {
+				fwd[i] = i
+				rev[i] = len(n.children) - 1 - i
+			}
+			arrangements = [][]int{fwd}
+			if len(n.children) > 1 {
+				arrangements = append(arrangements, rev)
+			}
+		}
+		var out [][]int
+		for _, arr := range arrangements {
+			partial := [][]int{{}}
+			for _, ci := range arr {
+				var next [][]int
+				for _, prefix := range partial {
+					for _, seq := range childSeqs[ci] {
+						combined := append(append([]int{}, prefix...), seq...)
+						next = append(next, combined)
+					}
+				}
+				partial = next
+			}
+			out = append(out, partial...)
+		}
+		return out
+	}
+	return dedupeOrders(expand(t.root))
+}
+
+func permutations(n int) [][]int {
+	base := make([]int, n)
+	for i := range base {
+		base[i] = i
+	}
+	var out [][]int
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int{}, base...))
+			return
+		}
+		for i := k; i < n; i++ {
+			base[k], base[i] = base[i], base[k]
+			rec(k + 1)
+			base[k], base[i] = base[i], base[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+func dedupeOrders(orders [][]int) [][]int {
+	seen := make(map[string]bool, len(orders))
+	out := orders[:0]
+	for _, o := range orders {
+		key := make([]byte, 0, len(o)*2)
+		for _, r := range o {
+			key = append(key, byte(r), byte(r>>8))
+		}
+		if !seen[string(key)] {
+			seen[string(key)] = true
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Columns extracts, for each column of the one-hot response encoding, the
+// set of users choosing that option — the consecutive-ones constraints of
+// the ability discovery problem. Columns with fewer than two users impose
+// no constraint and are omitted.
+func Columns(m *response.Matrix) [][]int {
+	byColumn := make([][]int, m.TotalOptions())
+	for u := 0; u < m.Users(); u++ {
+		for i := 0; i < m.Items(); i++ {
+			if h := m.Answer(u, i); h != response.Unanswered {
+				col := m.Column(i, h)
+				byColumn[col] = append(byColumn[col], u)
+			}
+		}
+	}
+	out := make([][]int, 0, len(byColumn))
+	for _, rows := range byColumn {
+		if len(rows) >= 2 {
+			out = append(out, rows)
+		}
+	}
+	return out
+}
+
+// Build reduces a universal tree by every column constraint of m. It
+// returns ErrNotC1P if the responses are not consistent.
+func Build(m *response.Matrix) (*Tree, error) {
+	t := NewUniversal(m.Users())
+	for _, rows := range Columns(m) {
+		if err := t.Reduce(rows); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// IsPreP reports whether the response matrix admits a consecutive ones row
+// ordering.
+func IsPreP(m *response.Matrix) bool {
+	_, err := Build(m)
+	return err == nil
+}
+
+// IsPMatrix reports whether the one-hot encoding of m already has
+// consecutive ones in every column (no permutation applied).
+func IsPMatrix(c *mat.CSR) bool {
+	for j := 0; j < c.Cols(); j++ {
+		state := 0
+		for i := 0; i < c.Rows(); i++ {
+			one := c.At(i, j) != 0
+			switch {
+			case one && state == 0:
+				state = 1
+			case !one && state == 1:
+				state = 2
+			case one && state == 2:
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,64 @@
+package c1p
+
+import (
+	"testing"
+)
+
+// FuzzReduce decodes the fuzz input as a sequence of row-set constraints
+// over a small universe and asserts that the PQ-tree never panics, and that
+// when every reduction succeeds the frontier satisfies every constraint.
+func FuzzReduce(f *testing.F) {
+	f.Add([]byte{5, 0b00011, 0b00110, 0b01100})
+	f.Add([]byte{4, 0b1010, 0b0101})
+	f.Add([]byte{6, 0b111000, 0b000111, 0b100001})
+	f.Add([]byte{3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		m := int(data[0]%7) + 2 // 2..8 rows
+		tr := NewUniversal(m)
+		var applied [][]int
+		for _, b := range data[1:] {
+			var rows []int
+			for r := 0; r < m; r++ {
+				if b&(1<<uint(r)) != 0 {
+					rows = append(rows, r)
+				}
+			}
+			if err := tr.Reduce(rows); err != nil {
+				return // legitimately not C1P
+			}
+			if len(rows) >= 2 {
+				applied = append(applied, rows)
+			}
+		}
+		frontier := tr.Frontier()
+		if len(frontier) != m {
+			t.Fatalf("frontier has %d rows, want %d", len(frontier), m)
+		}
+		pos := make([]int, m)
+		seen := make([]bool, m)
+		for i, r := range frontier {
+			if r < 0 || r >= m || seen[r] {
+				t.Fatalf("frontier not a permutation: %v", frontier)
+			}
+			seen[r] = true
+			pos[r] = i
+		}
+		for _, c := range applied {
+			lo, hi := m, -1
+			for _, r := range c {
+				if pos[r] < lo {
+					lo = pos[r]
+				}
+				if pos[r] > hi {
+					hi = pos[r]
+				}
+			}
+			if hi-lo+1 != len(c) {
+				t.Fatalf("frontier %v violates accepted constraint %v", frontier, c)
+			}
+		}
+	})
+}

@@ -1,0 +1,384 @@
+// Package c1p implements the combinatorial side of the Consecutive Ones
+// Property: a PQ-tree in the style of Booth and Lueker (1976) that decides
+// whether a binary matrix is a pre-P-matrix (its rows can be permuted so
+// that every column's ones are consecutive), produces a witnessing row
+// order, and represents the set of ALL valid orders. This is the "BL"
+// baseline of the paper: exact and fast on consistent inputs, but unable to
+// rank users when no C1P order exists.
+//
+// The implementation favors clarity over the original's amortized-linear
+// bookkeeping: each column reduction walks the pertinent subtree
+// recursively, giving O(m) work per column and O(mn) overall for the
+// response-matrix shapes used here.
+package c1p
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotC1P is returned when the matrix admits no consecutive-ones row
+// ordering.
+var ErrNotC1P = errors.New("c1p: matrix has no consecutive ones ordering")
+
+type nodeKind int
+
+const (
+	leafNode nodeKind = iota
+	pNode
+	qNode
+)
+
+type node struct {
+	kind     nodeKind
+	row      int // leaf only
+	children []*node
+}
+
+func leaf(row int) *node { return &node{kind: leafNode, row: row} }
+
+func newP(children ...*node) *node {
+	return &node{kind: pNode, children: children}
+}
+
+func newQ(children ...*node) *node {
+	return &node{kind: qNode, children: children}
+}
+
+// collapse simplifies a node: P/Q nodes with a single child become that
+// child. A Q-node child of a Q-node is deliberately NOT flattened — it
+// keeps its own orientation freedom; templates splice partial children
+// inline explicitly exactly when the reduction pins their orientation.
+func collapse(n *node) *node {
+	if n.kind == leafNode {
+		return n
+	}
+	if len(n.children) == 1 {
+		return n.children[0]
+	}
+	return n
+}
+
+// reverse reverses a child slice in place and returns it.
+func reverse(ns []*node) []*node {
+	for i, j := 0, len(ns)-1; i < j; i, j = i+1, j-1 {
+		ns[i], ns[j] = ns[j], ns[i]
+	}
+	return ns
+}
+
+// Tree is a PQ-tree over rows 0..m−1. The zero value is not usable; build
+// trees with NewUniversal followed by Reduce calls, or with Build.
+type Tree struct {
+	root *node
+	m    int
+}
+
+// NewUniversal returns the PQ-tree representing all m! orders of m rows.
+func NewUniversal(m int) *Tree {
+	if m < 1 {
+		panic(fmt.Sprintf("c1p: NewUniversal(%d)", m))
+	}
+	if m == 1 {
+		return &Tree{root: leaf(0), m: 1}
+	}
+	children := make([]*node, m)
+	for i := range children {
+		children[i] = leaf(i)
+	}
+	return &Tree{root: newP(children...), m: m}
+}
+
+// Reduce restricts the tree to orders in which the given rows appear
+// consecutively. It returns ErrNotC1P (leaving the tree in an undefined
+// state) if no represented order satisfies the constraint.
+func (t *Tree) Reduce(rows []int) error {
+	if len(rows) <= 1 {
+		return nil // no constraint
+	}
+	inS := make(map[int]bool, len(rows))
+	for _, r := range rows {
+		if r < 0 || r >= t.m {
+			return fmt.Errorf("c1p: row %d outside universe of %d rows", r, t.m)
+		}
+		inS[r] = true
+	}
+	if len(inS) == t.m {
+		return nil // the full universe is trivially consecutive
+	}
+	root, err := reduceAt(t.root, inS, len(inS))
+	if err != nil {
+		return err
+	}
+	t.root = root
+	return nil
+}
+
+// pertinentCount returns the number of S-leaves under n.
+func pertinentCount(n *node, inS map[int]bool) int {
+	if n.kind == leafNode {
+		if inS[n.row] {
+			return 1
+		}
+		return 0
+	}
+	c := 0
+	for _, ch := range n.children {
+		c += pertinentCount(ch, inS)
+	}
+	return c
+}
+
+// reduceAt descends to the pertinent root (deepest node covering all of S)
+// and applies the template transformation there.
+func reduceAt(n *node, inS map[int]bool, total int) (*node, error) {
+	if n.kind != leafNode {
+		for i, ch := range n.children {
+			if pertinentCount(ch, inS) == total {
+				sub, err := reduceAt(ch, inS, total)
+				if err != nil {
+					return nil, err
+				}
+				n.children[i] = sub
+				return collapse(n), nil
+			}
+		}
+	}
+	_, rep, err := transform(n, inS, true)
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+type label int
+
+const (
+	empty label = iota
+	full
+	partial
+)
+
+// transform rebuilds the pertinent subtree rooted at n. For non-root nodes
+// the result must be EMPTY, FULL, or PARTIAL — a Q-node whose frontier reads
+// empty…full left to right. At the pertinent root (isRoot) the S-leaves only
+// need to be consecutive somewhere in the frontier.
+func transform(n *node, inS map[int]bool, isRoot bool) (label, *node, error) {
+	switch n.kind {
+	case leafNode:
+		if inS[n.row] {
+			return full, n, nil
+		}
+		return empty, n, nil
+	case pNode:
+		return transformP(n, inS, isRoot)
+	case qNode:
+		return transformQ(n, inS, isRoot)
+	default:
+		panic("c1p: unknown node kind")
+	}
+}
+
+// group wraps nodes under a new P-node unless the set is empty or a single
+// node.
+func group(ns []*node) *node {
+	switch len(ns) {
+	case 0:
+		return nil
+	case 1:
+		return ns[0]
+	default:
+		return newP(ns...)
+	}
+}
+
+func transformP(n *node, inS map[int]bool, isRoot bool) (label, *node, error) {
+	var empties, fulls []*node
+	var partials []*node // each a Q-node ordered empty→full
+	for _, ch := range n.children {
+		lbl, rep, err := transform(ch, inS, false)
+		if err != nil {
+			return 0, nil, err
+		}
+		switch lbl {
+		case empty:
+			empties = append(empties, rep)
+		case full:
+			fulls = append(fulls, rep)
+		case partial:
+			partials = append(partials, rep)
+		}
+	}
+	switch {
+	case len(partials) == 0 && len(fulls) == 0:
+		return empty, collapse(n), nil // template P1 (empty side)
+	case len(partials) == 0 && len(empties) == 0:
+		n.children = fulls
+		return full, collapse(n), nil // template P1 (full side)
+	case len(partials) == 0:
+		if isRoot {
+			// Template P2: group the full children under one P child.
+			n.children = append(append([]*node{}, empties...), group(fulls))
+			return full, collapse(n), nil
+		}
+		// Template P3: become a partial Q [empties | fulls].
+		q := newQ(group(empties), group(fulls))
+		return partial, collapse(q), nil
+	case len(partials) == 1:
+		part := partials[0]
+		if isRoot {
+			// Template P4: attach grouped fulls at the partial's full end.
+			qChildren := append([]*node{}, part.children...)
+			if g := group(fulls); g != nil {
+				qChildren = append(qChildren, g)
+			}
+			q := collapse(newQ(qChildren...))
+			if len(empties) == 0 {
+				return full, q, nil
+			}
+			n.children = append(append([]*node{}, empties...), q)
+			return full, collapse(n), nil
+		}
+		// Template P5: [grouped empties | partial’s children | grouped fulls].
+		var qChildren []*node
+		if g := group(empties); g != nil {
+			qChildren = append(qChildren, g)
+		}
+		qChildren = append(qChildren, part.children...)
+		if g := group(fulls); g != nil {
+			qChildren = append(qChildren, g)
+		}
+		return partial, collapse(newQ(qChildren...)), nil
+	case len(partials) == 2 && isRoot:
+		// Template P6: join the two partials around the grouped fulls.
+		var qChildren []*node
+		qChildren = append(qChildren, partials[0].children...)
+		if g := group(fulls); g != nil {
+			qChildren = append(qChildren, g)
+		}
+		qChildren = append(qChildren, reverse(append([]*node{}, partials[1].children...))...)
+		q := collapse(newQ(qChildren...))
+		if len(empties) == 0 {
+			return full, q, nil
+		}
+		n.children = append(append([]*node{}, empties...), q)
+		return full, collapse(n), nil
+	default:
+		return 0, nil, ErrNotC1P
+	}
+}
+
+func transformQ(n *node, inS map[int]bool, isRoot bool) (label, *node, error) {
+	kids := n.children
+	labels := make([]label, len(kids))
+	reps := make([]*node, len(kids))
+	for i, ch := range kids {
+		lbl, rep, err := transform(ch, inS, false)
+		if err != nil {
+			return 0, nil, err
+		}
+		labels[i] = lbl
+		reps[i] = rep
+	}
+	// Normalize orientation: make the first non-empty run start as late as
+	// possible — i.e. prefer the form E…E [P] F…F [P] E…E.
+	// First locate the full/partial span.
+	first, last := -1, -1
+	for i, l := range labels {
+		if l != empty {
+			if first == -1 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first == -1 {
+		n.children = reps
+		return empty, collapse(n), nil
+	}
+	// Everything strictly between first and last must be full.
+	for i := first + 1; i < last; i++ {
+		if labels[i] != full {
+			return 0, nil, ErrNotC1P
+		}
+	}
+	leadingEmpties := first
+	trailingEmpties := len(kids) - 1 - last
+	fullSpanIsWholeTree := leadingEmpties == 0 && trailingEmpties == 0
+
+	// Count partials (only possible at the span ends).
+	numPartials := 0
+	if labels[first] == partial {
+		numPartials++
+	}
+	if last != first && labels[last] == partial {
+		numPartials++
+	}
+
+	buildSeq := func() []*node {
+		// Frontier sequence with partial ends flattened so full parts face
+		// inward.
+		var seq []*node
+		seq = append(seq, reps[:first]...)
+		if labels[first] == partial {
+			seq = append(seq, reps[first].children...) // empty→full, fine on the left
+		} else {
+			seq = append(seq, reps[first])
+		}
+		for i := first + 1; i < last; i++ {
+			seq = append(seq, reps[i])
+		}
+		if last != first {
+			if labels[last] == partial {
+				seq = append(seq, reverse(append([]*node{}, reps[last].children...))...)
+			} else {
+				seq = append(seq, reps[last])
+			}
+		}
+		seq = append(seq, reps[last+1:]...)
+		return seq
+	}
+
+	if isRoot {
+		// Root templates Q2/Q3: E* [P] F* [P] E* with ≤ 2 partials.
+		if numPartials > 2 {
+			return 0, nil, ErrNotC1P
+		}
+		return full, collapse(newQ(buildSeq()...)), nil
+	}
+	// Non-root: must reduce to EMPTY / FULL / singly-partial. A singly
+	// partial node's frontier must read empty...full after a possible flip.
+	if fullSpanIsWholeTree && numPartials == 0 {
+		n.children = reps
+		return full, collapse(n), nil
+	}
+	if numPartials > 1 {
+		return 0, nil, ErrNotC1P
+	}
+	if leadingEmpties > 0 && trailingEmpties > 0 {
+		return 0, nil, ErrNotC1P
+	}
+	singleSpan := first == last
+	partialAtFirst := labels[first] == partial
+	partialAtLast := !singleSpan && labels[last] == partial
+	switch {
+	case partialAtFirst && !singleSpan && trailingEmpties > 0:
+		// The partial's empty part faces left while empty children sit on
+		// the right: empties on both sides.
+		return 0, nil, ErrNotC1P
+	case partialAtLast && leadingEmpties > 0:
+		return 0, nil, ErrNotC1P
+	}
+	if singleSpan && partialAtFirst && trailingEmpties > 0 {
+		// Flip the lone partial so its empty part faces the trailing
+		// empties before flattening.
+		reverse(reps[first].children)
+	}
+	seq := buildSeq()
+	// Normalize to the canonical empty->full orientation.
+	emptiesRight := trailingEmpties > 0 || (partialAtLast && leadingEmpties == 0)
+	if emptiesRight {
+		reverse(seq)
+	}
+	return partial, collapse(newQ(seq...)), nil
+}

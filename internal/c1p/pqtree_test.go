@@ -1,0 +1,394 @@
+package c1p
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hitsndiffs/internal/irt"
+	"hitsndiffs/internal/rank"
+	"hitsndiffs/internal/response"
+)
+
+// bruteForceOrders enumerates all row permutations (m ≤ 8) under which every
+// constraint set appears consecutively.
+func bruteForceOrders(m int, constraints [][]int) [][]int {
+	var out [][]int
+	perm := make([]int, m)
+	for i := range perm {
+		perm[i] = i
+	}
+	pos := make([]int, m)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == m {
+			for i, r := range perm {
+				pos[r] = i
+			}
+			for _, c := range constraints {
+				lo, hi := m, -1
+				for _, r := range c {
+					if pos[r] < lo {
+						lo = pos[r]
+					}
+					if pos[r] > hi {
+						hi = pos[r]
+					}
+				}
+				if hi-lo+1 != len(c) {
+					return
+				}
+			}
+			out = append(out, append([]int{}, perm...))
+			return
+		}
+		for i := k; i < m; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+func orderSet(orders [][]int) map[string]bool {
+	s := make(map[string]bool, len(orders))
+	for _, o := range orders {
+		key := ""
+		for _, r := range o {
+			key += string(rune('A' + r))
+		}
+		s[key] = true
+	}
+	return s
+}
+
+func sameOrderSets(a, b [][]int) bool {
+	sa, sb := orderSet(a), orderSet(b)
+	if len(sa) != len(sb) {
+		return false
+	}
+	for k := range sa {
+		if !sb[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestUniversalTreeRepresentsAllOrders(t *testing.T) {
+	tr := NewUniversal(4)
+	got := tr.AllOrders(0)
+	if len(got) != 24 {
+		t.Fatalf("universal tree has %d orders, want 24", len(got))
+	}
+	if c := tr.CountOrders(); c != 24 {
+		t.Fatalf("CountOrders = %v", c)
+	}
+}
+
+func TestReduceSingleConstraint(t *testing.T) {
+	tr := NewUniversal(4)
+	if err := tr.Reduce([]int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	want := bruteForceOrders(4, [][]int{{1, 2}})
+	got := tr.AllOrders(0)
+	if !sameOrderSets(got, want) {
+		t.Fatalf("orders mismatch: got %d, want %d", len(got), len(want))
+	}
+}
+
+func TestReduceChainYieldsTwoOrders(t *testing.T) {
+	// Constraints {0,1},{1,2},{2,3} force the path order and its reverse.
+	tr := NewUniversal(4)
+	for _, c := range [][]int{{0, 1}, {1, 2}, {2, 3}} {
+		if err := tr.Reduce(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := tr.AllOrders(0)
+	want := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}}
+	if !sameOrderSets(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestReduceDetectsNonC1P(t *testing.T) {
+	// The classic forbidden pattern: three sets pairwise overlapping but
+	// with no common element cannot be consecutive simultaneously.
+	tr := NewUniversal(6)
+	constraints := [][]int{{0, 1, 2}, {2, 3, 4}, {4, 5, 0}}
+	var err error
+	for _, c := range constraints {
+		if err = tr.Reduce(c); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("expected ErrNotC1P")
+	}
+	// Cross-check with brute force.
+	if len(bruteForceOrders(6, constraints)) != 0 {
+		t.Fatal("brute force disagrees: constraints are satisfiable")
+	}
+}
+
+// TestPropertyRandomConstraintsMatchBruteForce is the heavyweight
+// correctness test: random constraint systems on small universes, exact
+// comparison of the full admissible-order sets against brute force.
+func TestPropertyRandomConstraintsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 400; trial++ {
+		m := 3 + rng.Intn(6) // 3..8 rows
+		numConstraints := 1 + rng.Intn(5)
+		var constraints [][]int
+		for c := 0; c < numConstraints; c++ {
+			size := 2 + rng.Intn(m-1)
+			pick := rng.Perm(m)[:size]
+			sort.Ints(pick)
+			constraints = append(constraints, pick)
+		}
+		want := bruteForceOrders(m, constraints)
+
+		tr := NewUniversal(m)
+		var err error
+		for _, c := range constraints {
+			if err = tr.Reduce(c); err != nil {
+				break
+			}
+		}
+		if err != nil {
+			if len(want) != 0 {
+				t.Fatalf("trial %d: tree rejected satisfiable constraints %v (brute force found %d orders)", trial, constraints, len(want))
+			}
+			continue
+		}
+		got := tr.AllOrders(0)
+		if len(want) == 0 {
+			t.Fatalf("trial %d: tree accepted unsatisfiable constraints %v, frontier %v", trial, constraints, tr.Frontier())
+		}
+		if !sameOrderSets(got, want) {
+			t.Fatalf("trial %d: constraints %v: got %d orders, want %d\ngot: %v\nwant: %v",
+				trial, constraints, len(got), len(want), got, want)
+		}
+	}
+}
+
+func TestFrontierIsValidOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		m := 5 + rng.Intn(6)
+		var constraints [][]int
+		// Nested intervals are always satisfiable.
+		for s := 2; s <= m; s++ {
+			constraints = append(constraints, seq(0, s))
+		}
+		tr := NewUniversal(m)
+		for _, c := range constraints {
+			if err := tr.Reduce(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f := tr.Frontier()
+		pos := make([]int, m)
+		for i, r := range f {
+			pos[r] = i
+		}
+		for _, c := range constraints {
+			lo, hi := m, -1
+			for _, r := range c {
+				if pos[r] < lo {
+					lo = pos[r]
+				}
+				if pos[r] > hi {
+					hi = pos[r]
+				}
+			}
+			if hi-lo+1 != len(c) {
+				t.Fatalf("frontier %v violates constraint %v", f, c)
+			}
+		}
+	}
+}
+
+func seq(lo, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}
+
+func TestReduceRowOutOfRange(t *testing.T) {
+	tr := NewUniversal(3)
+	if err := tr.Reduce([]int{0, 7}); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestReduceTrivialConstraints(t *testing.T) {
+	tr := NewUniversal(3)
+	if err := tr.Reduce(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Reduce([]int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Reduce([]int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.CountOrders(); got != 6 {
+		t.Fatalf("trivial constraints changed the tree: %v orders", got)
+	}
+}
+
+func TestBuildOnConsistentResponses(t *testing.T) {
+	cfg := irt.DefaultConfig(irt.ModelGRM)
+	cfg.Users, cfg.Items, cfg.Seed = 30, 40, 3
+	d, err := irt.GenerateC1P(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Build(d.Responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := tree.Frontier()
+	if !IsPMatrix(d.Responses.PermuteUsers(order).Binary()) {
+		t.Fatal("frontier order does not give a P-matrix")
+	}
+	if !IsPreP(d.Responses) {
+		t.Fatal("IsPreP false on consistent data")
+	}
+}
+
+func TestBuildRejectsNoisyResponses(t *testing.T) {
+	cfg := irt.DefaultConfig(irt.ModelSamejima)
+	cfg.Users, cfg.Items, cfg.Seed = 40, 60, 5
+	d, err := irt.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsPreP(d.Responses) {
+		t.Fatal("noisy IRT data should essentially never be pre-P")
+	}
+}
+
+func TestBLRankerOnC1PData(t *testing.T) {
+	cfg := irt.DefaultConfig(irt.ModelGRM)
+	cfg.Users, cfg.Items, cfg.Seed = 40, 60, 11
+	d, err := irt.GenerateC1P(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (BL{}).Rank(d.Responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rank.Spearman(res.Scores, d.Abilities); got < 0.98 {
+		t.Fatalf("BL ρ = %v", got)
+	}
+}
+
+func TestBLRankerFailsOnNoisyData(t *testing.T) {
+	cfg := irt.DefaultConfig(irt.ModelSamejima)
+	cfg.Users, cfg.Items, cfg.Seed = 30, 40, 13
+	d, err := irt.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (BL{}).Rank(d.Responses); err == nil {
+		t.Fatal("BL must fail on inconsistent data")
+	}
+}
+
+func TestIsPMatrixDirect(t *testing.T) {
+	m := response.New(3, 1, 2)
+	m.SetAnswer(0, 0, 0)
+	m.SetAnswer(1, 0, 1)
+	m.SetAnswer(2, 0, 0)
+	// Column for option 0 has rows {0,2}: not consecutive.
+	if IsPMatrix(m.Binary()) {
+		t.Fatal("non-consecutive column accepted")
+	}
+	perm := m.PermuteUsers([]int{0, 2, 1})
+	if !IsPMatrix(perm.Binary()) {
+		t.Fatal("consecutive arrangement rejected")
+	}
+}
+
+func TestCountOrdersChainVsStar(t *testing.T) {
+	// A chain of constraints leaves exactly 2 orders; check count.
+	tr := NewUniversal(5)
+	for i := 0; i+1 < 5; i++ {
+		if err := tr.Reduce([]int{i, i + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tr.CountOrders(); got != 2 {
+		t.Fatalf("chain CountOrders = %v, want 2", got)
+	}
+}
+
+func TestC1PConsistencyWithSpectralMethods(t *testing.T) {
+	// The PQ-tree and the spectral methods must agree on C1P-ness for
+	// datasets straddling the boundary.
+	cfg := irt.DefaultConfig(irt.ModelGRM)
+	cfg.Users, cfg.Items, cfg.Seed = 20, 30, 17
+	clean, err := irt.GenerateC1P(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsPreP(clean.Responses) {
+		t.Fatal("clean data must be pre-P")
+	}
+	// Corrupt one answer of the best user to the worst option: almost
+	// surely breaks C1P.
+	dirty := clean.Responses.Clone()
+	best := 0
+	for u := 1; u < 20; u++ {
+		if clean.Abilities[u] > clean.Abilities[best] {
+			best = u
+		}
+	}
+	dirty.SetAnswer(best, 0, dirty.OptionCount(0)-1)
+	if IsPreP(dirty) {
+		t.Skip("corruption happened to preserve C1P; acceptable")
+	}
+}
+
+func TestAllOrdersLimitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewUniversal(10).AllOrders(10) // 10! >> 10
+}
+
+func TestPaperFigure1Example(t *testing.T) {
+	// The paper's Figure 1 matrix admits exactly the identity order and its
+	// reverse.
+	m := response.New(4, 3, 3)
+	answers := [][]int{{0, 0, 0}, {0, 0, 2}, {0, 1, 2}, {1, 2, 2}}
+	for u, row := range answers {
+		for i, h := range row {
+			m.SetAnswer(u, i, h)
+		}
+	}
+	tree, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tree.AllOrders(0)
+	want := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}}
+	if !sameOrderSets(got, want) {
+		t.Fatalf("orders = %v, want identity and reverse only", got)
+	}
+	if math.Abs(tree.CountOrders()-2) > 0 {
+		t.Fatalf("CountOrders = %v", tree.CountOrders())
+	}
+}

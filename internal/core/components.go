@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"hitsndiffs/internal/mat"
+	"hitsndiffs/internal/response"
+)
+
+// ComponentResult is the outcome of RankPerComponent.
+type ComponentResult struct {
+	// Scores holds one score per user. Scores are min-max normalized to
+	// [0, 1] inside each component; comparisons ACROSS components are not
+	// meaningful (the paper's footnote 6: spectral methods cannot relate
+	// users from different connected components), but the combined vector
+	// still induces a usable total order for downstream consumers.
+	Scores mat.Vector
+	// Components lists the user groups that were ranked independently;
+	// singletons are users who answered nothing.
+	Components [][]int
+}
+
+// RankPerComponent handles disconnected response graphs: it splits the
+// users into connected components of the user-option graph, ranks each
+// component independently with the supplied method, and normalizes each
+// component's scores to [0, 1]. Components too small to rank (fewer than
+// two answering users) receive constant scores.
+func RankPerComponent(r Ranker, m *response.Matrix) (ComponentResult, error) {
+	comps := m.Components()
+	out := ComponentResult{
+		Scores:     mat.NewVector(m.Users()),
+		Components: comps,
+	}
+	for _, comp := range comps {
+		if len(comp) < 2 {
+			continue // silent or isolated users keep score 0
+		}
+		sub := m.Subset(comp)
+		res, err := r.Rank(sub)
+		if err != nil {
+			return ComponentResult{}, fmt.Errorf("core: component of %d users: %w", len(comp), err)
+		}
+		lo, hi := res.Scores[0], res.Scores[0]
+		for _, s := range res.Scores {
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		}
+		span := hi - lo
+		for idx, u := range comp {
+			if span > 0 {
+				out.Scores[u] = (res.Scores[idx] - lo) / span
+			} else {
+				out.Scores[u] = 0.5
+			}
+		}
+	}
+	return out, nil
+}

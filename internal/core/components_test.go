@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hitsndiffs/internal/irt"
+	"hitsndiffs/internal/rank"
+	"hitsndiffs/internal/response"
+)
+
+func TestRankPerComponentTwoIslands(t *testing.T) {
+	cfgA := irt.DefaultConfig(irt.ModelGRM)
+	cfgA.Users, cfgA.Items, cfgA.Seed = 12, 20, 61
+	a, err := irt.GenerateC1P(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgB := cfgA
+	cfgB.Seed = 67
+	b, err := irt.GenerateC1P(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Island A = users 0..11 on items 0..19; island B = users 12..23 on
+	// items 20..39; user 24 silent.
+	m := response.New(25, 40, 3)
+	for u := 0; u < 12; u++ {
+		for i := 0; i < 20; i++ {
+			m.SetAnswer(u, i, a.Responses.Answer(u, i))
+			m.SetAnswer(12+u, 20+i, b.Responses.Answer(u, i))
+		}
+	}
+	res, err := RankPerComponent(HNDPower{}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Components) != 3 {
+		t.Fatalf("components %d, want 2 islands + 1 silent", len(res.Components))
+	}
+	// Scores normalized to [0, 1].
+	for u, s := range res.Scores {
+		if s < 0 || s > 1 || math.IsNaN(s) {
+			t.Fatalf("user %d score %v outside [0,1]", u, s)
+		}
+	}
+	// Within each island the ranking matches the island's ground truth.
+	islandA := res.Scores[:12]
+	if got := rank.Spearman(islandA, a.Abilities[:12]); got < 0.95 {
+		t.Fatalf("island A ρ = %v", got)
+	}
+	islandB := res.Scores[12:24]
+	if got := rank.Spearman(islandB, b.Abilities[:12]); got < 0.95 {
+		t.Fatalf("island B ρ = %v", got)
+	}
+	// The silent user keeps score 0.
+	if res.Scores[24] != 0 {
+		t.Fatalf("silent user score %v", res.Scores[24])
+	}
+}
+
+func TestRankPerComponentConnectedMatchesDirect(t *testing.T) {
+	cfg := irt.DefaultConfig(irt.ModelSamejima)
+	cfg.Users, cfg.Items, cfg.Seed = 30, 40, 71
+	cfg.DiscriminationMax = 30
+	d, err := irt.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := (HNDPower{}).Rank(d.Responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, err := RankPerComponent(HNDPower{}, d.Responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(per.Components) != 1 {
+		t.Fatalf("connected matrix split into %d components", len(per.Components))
+	}
+	if got := rank.AbsSpearman(per.Scores, direct.Scores); got < 0.999 {
+		t.Fatalf("per-component ranking diverges on connected input: |ρ| = %v", got)
+	}
+}
+
+func TestRankPerComponentTinyComponents(t *testing.T) {
+	// Two-user island plus a singleton: no crash, constant or valid scores.
+	m := response.New(3, 2, 2)
+	m.SetAnswer(0, 0, 0)
+	m.SetAnswer(1, 0, 1)
+	m.SetAnswer(2, 1, 0)
+	res, err := RankPerComponent(HNDPower{}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Scores {
+		if math.IsNaN(s) {
+			t.Fatal("NaN score")
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math/rand"
+
+	"hitsndiffs/internal/mat"
+	"hitsndiffs/internal/response"
+)
+
+// DiffEigenvector runs the HND-power iteration and returns the converged
+// difference vector s_diff — the dominant eigenvector estimate of
+// U_diff = S·U·T. Exposed for the stability analysis of Section III-E /
+// IV-D, which compares the variance of this vector against ABH's.
+func DiffEigenvector(m *response.Matrix, opts Options) (mat.Vector, int, error) {
+	if err := validateInput(m); err != nil {
+		return nil, 0, err
+	}
+	opts.defaults()
+	u := NewUpdate(m)
+	users := u.Users()
+	if users < 3 {
+		return mat.Ones(users - 1), 0, nil
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 101))
+	sdiff := mat.NewVector(users - 1)
+	for i := range sdiff {
+		sdiff[i] = rng.NormFloat64()
+	}
+	sdiff.Normalize()
+	s := mat.NewVector(users)
+	us := mat.NewVector(users)
+	next := mat.NewVector(users - 1)
+	iters := 0
+	for it := 1; it <= opts.MaxIter; it++ {
+		mat.CumSumShift(s, sdiff)
+		u.ApplyU(us, s)
+		mat.Diff(next, us)
+		if next.Normalize() == 0 {
+			return sdiff, it, nil
+		}
+		gap := convergenceGap(next, sdiff)
+		copy(sdiff, next)
+		iters = it
+		if gap < opts.Tol {
+			break
+		}
+	}
+	return sdiff, iters, nil
+}
+
+// ABHDiffEigenvector runs the ABH-power iteration and returns the converged
+// difference vector: the dominant eigenvector estimate of β·I − M with
+// M = S·L·T. A non-positive beta selects the default max_i D_ii.
+func ABHDiffEigenvector(m *response.Matrix, opts Options, beta float64) (mat.Vector, int, error) {
+	if err := validateInput(m); err != nil {
+		return nil, 0, err
+	}
+	opts.defaults()
+	u := NewUpdate(m)
+	users := u.Users()
+	if users < 3 {
+		return mat.Ones(users - 1), 0, nil
+	}
+	d := u.DiagCCT()
+	if beta <= 0 {
+		beta = d.NormInf()
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 211))
+	sdiff := mat.NewVector(users - 1)
+	for i := range sdiff {
+		sdiff[i] = rng.NormFloat64()
+	}
+	sdiff.Normalize()
+	s := mat.NewVector(users)
+	ls := mat.NewVector(users)
+	next := mat.NewVector(users - 1)
+	iters := 0
+	for it := 1; it <= opts.MaxIter; it++ {
+		mat.CumSumShift(s, sdiff)
+		u.ApplyL(ls, s, d)
+		mat.Diff(next, ls)
+		for i := range next {
+			next[i] = beta*sdiff[i] - next[i]
+		}
+		if next.Normalize() == 0 {
+			return sdiff, it, nil
+		}
+		gap := convergenceGap(next, sdiff)
+		copy(sdiff, next)
+		iters = it
+		if gap < opts.Tol {
+			break
+		}
+	}
+	return sdiff, iters, nil
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"hitsndiffs/internal/eigen"
+	"hitsndiffs/internal/mat"
+	"hitsndiffs/internal/response"
+)
+
+// Update bundles the normalized response matrices of the AVGHITS machinery
+// (Section III-B): C_row, C_col and matrix-free application of the update
+// matrix U = C_row·(C_col)ᵀ and of the ABH quantities derived from
+// L = D − C·Cᵀ. Building an Update costs O(nnz); every Apply costs O(nnz).
+type Update struct {
+	// C is the binary one-hot response matrix (m × Σkᵢ).
+	C *mat.CSR
+	// Crow and Ccol are the row- and column-normalized forms of C.
+	Crow, Ccol *mat.CSR
+	// scratch holds an option-weight work vector (length Σkᵢ).
+	scratch mat.Vector
+}
+
+// NewUpdate precomputes the normalized matrices for m.
+func NewUpdate(m *response.Matrix) *Update {
+	c := m.Binary()
+	return &Update{
+		C:       c,
+		Crow:    c.RowNormalized(),
+		Ccol:    c.ColNormalized(),
+		scratch: mat.NewVector(c.Cols()),
+	}
+}
+
+// Users returns the number of users (the dimension of U).
+func (u *Update) Users() int { return u.C.Rows() }
+
+// ApplyU computes dst = U·s = C_row·(C_col)ᵀ·s using two sparse mat-vec
+// products. dst must not alias s.
+func (u *Update) ApplyU(dst, s mat.Vector) {
+	u.Ccol.MulVecT(u.scratch, s)
+	u.Crow.MulVec(dst, u.scratch)
+}
+
+// ApplyUT computes dst = Uᵀ·s.
+func (u *Update) ApplyUT(dst, s mat.Vector) {
+	u.Crow.MulVecT(u.scratch, s)
+	u.Ccol.MulVec(dst, u.scratch)
+}
+
+// UOp exposes U as an eigen.TransposableOp without materializing it.
+type UOp struct{ U *Update }
+
+// Dim implements eigen.Op.
+func (o UOp) Dim() int { return o.U.Users() }
+
+// Apply implements eigen.Op.
+func (o UOp) Apply(dst, x mat.Vector) { o.U.ApplyU(dst, x) }
+
+// ApplyT implements eigen.TransposableOp.
+func (o UOp) ApplyT(dst, x mat.Vector) { o.U.ApplyUT(dst, x) }
+
+// UMatrix materializes the dense (m × m) update matrix U. O(m²n) — used by
+// the "direct" method variants and by tests of the R-matrix lemmas.
+func (u *Update) UMatrix() *mat.Dense { return u.Crow.MulCSRT(u.Ccol) }
+
+// UDiffMatrix materializes U_diff = S·U·T, the (m−1)×(m−1) difference
+// update matrix of HND.
+func (u *Update) UDiffMatrix() *mat.Dense {
+	um := u.UMatrix()
+	m := um.Rows()
+	out := mat.NewDense(m-1, m-1)
+	// (S·U)[r][c] = U[r+1][c] − U[r][c]; (S·U·T)[r][j] = Σ_{c>j} (S·U)[r][c].
+	for r := 0; r < m-1; r++ {
+		// Suffix sums of row differences.
+		suffix := 0.0
+		for j := m - 2; j >= 0; j-- {
+			suffix += um.At(r+1, j+1) - um.At(r, j+1)
+			out.Set(r, j, suffix)
+		}
+	}
+	return out
+}
+
+// DiagCCT returns the diagonal D of ABH's Laplacian: D_ii = (C·Cᵀ·e)_i,
+// computed in O(nnz) as C·(Cᵀ·e).
+func (u *Update) DiagCCT() mat.Vector {
+	colSums := u.C.ColSums()
+	d := mat.NewVector(u.Users())
+	u.C.MulVec(d, colSums)
+	return d
+}
+
+// ApplyL computes dst = L·s = D·s − C·(Cᵀ·s) matrix-free. d must be the
+// vector returned by DiagCCT.
+func (u *Update) ApplyL(dst, s, d mat.Vector) {
+	u.C.MulVecT(u.scratch, s)
+	u.C.MulVec(dst, u.scratch)
+	for i := range dst {
+		dst[i] = d[i]*s[i] - dst[i]
+	}
+}
+
+// LaplacianMatrix materializes the dense Laplacian L = D − C·Cᵀ (O(m²n)),
+// used by ABH-direct.
+func (u *Update) LaplacianMatrix() *mat.Dense { return u.C.Laplacian() }
+
+// SecondLargestEigenvectorDense computes the 2nd largest eigenvector of the
+// materialized U using Arnoldi + Hessenberg QR. Exposed for the HND-direct
+// variant and for tests.
+func SecondLargestEigenvectorDense(um *mat.Dense, seed int64) (mat.Vector, error) {
+	pairs, err := eigen.TopRealEigenpairs(eigen.DenseOp{M: um}, 2, eigen.ArnoldiOptions{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	if len(pairs) < 2 {
+		// A single distinct eigenvalue: scores carry no ranking signal.
+		return mat.NewVector(um.Rows()), nil
+	}
+	return pairs[1].Vector, nil
+}

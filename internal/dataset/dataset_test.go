@@ -1,0 +1,158 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"hitsndiffs/internal/irt"
+)
+
+func TestRealWorldSpecsMatchFigure10(t *testing.T) {
+	if len(RealWorldSpecs) != 6 {
+		t.Fatalf("have %d specs, want 6", len(RealWorldSpecs))
+	}
+	want := map[string][3]int{
+		"Chinese":  {50, 24, 5},
+		"English":  {63, 30, 5},
+		"IT":       {36, 25, 4},
+		"Medicine": {45, 36, 4},
+		"Pokemon":  {55, 20, 6},
+		"Science":  {111, 20, 5},
+	}
+	for _, spec := range RealWorldSpecs {
+		w, ok := want[spec.Name]
+		if !ok {
+			t.Fatalf("unexpected dataset %q", spec.Name)
+		}
+		if spec.Users != w[0] || spec.Questions != w[1] || spec.Options != w[2] {
+			t.Fatalf("%s: %d/%d/%d, want %v", spec.Name, spec.Users, spec.Questions, spec.Options, w)
+		}
+	}
+}
+
+func TestSimulatedRealWorldShapes(t *testing.T) {
+	for _, spec := range RealWorldSpecs {
+		d, err := SimulatedRealWorld(spec, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if d.Responses.Users() != spec.Users || d.Responses.Items() != spec.Questions {
+			t.Fatalf("%s: generated %dx%d", spec.Name, d.Responses.Users(), d.Responses.Items())
+		}
+		if d.Responses.MaxOptions() != spec.Options {
+			t.Fatalf("%s: %d options", spec.Name, d.Responses.MaxOptions())
+		}
+	}
+}
+
+func TestDeMarsItemsFixedAndValid(t *testing.T) {
+	m := DeMarsItems()
+	if m.Items() != 40 {
+		t.Fatalf("DeMars has %d items, want 40", m.Items())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic: two calls identical.
+	m2 := DeMarsItems()
+	for i := 0; i < 40; i++ {
+		if m.A[i] != m2.A[i] || m.B[i] != m2.B[i] || m.C[i] != m2.C[i] {
+			t.Fatal("DeMarsItems not deterministic")
+		}
+	}
+	// Regime checks: a around 1, b within ±2.5, c in [0.1, 0.3].
+	var meanA float64
+	for i := 0; i < 40; i++ {
+		meanA += m.A[i]
+		if m.B[i] < -2.5 || m.B[i] > 2.5 {
+			t.Fatalf("difficulty %v outside the book's regime", m.B[i])
+		}
+		if m.C[i] < 0.1 || m.C[i] > 0.3 {
+			t.Fatalf("guessing %v outside [0.1,0.3]", m.C[i])
+		}
+	}
+	meanA /= 40
+	if meanA < 0.7 || meanA > 1.4 {
+		t.Fatalf("mean discrimination %v implausible", meanA)
+	}
+}
+
+func TestAmericanExperienceShapes(t *testing.T) {
+	d := AmericanExperience(100, 3)
+	if d.Responses.Users() != 100 || d.Responses.Items() != 40 {
+		t.Fatalf("shape %dx%d", d.Responses.Users(), d.Responses.Items())
+	}
+	// Binary items.
+	for i := 0; i < 40; i++ {
+		if d.Responses.OptionCount(i) != 2 {
+			t.Fatal("American Experience items must be binary")
+		}
+	}
+}
+
+func TestHalfMoonShapeProperty(t *testing.T) {
+	_, pts := HalfMoonItems(2000, 5)
+	// The defining property: among high-discrimination items, difficulties
+	// are bimodal (spread to the extremes), so the variance of b among the
+	// top-|log a| third is larger than among the bottom third.
+	byLogA := append([]HalfMoonItem(nil), pts...)
+	// Simple selection: compute thresholds.
+	var hi, lo []HalfMoonItem
+	for _, p := range byLogA {
+		if p.LogA > 0.35 {
+			hi = append(hi, p)
+		} else if p.LogA < -0.35 {
+			lo = append(lo, p)
+		}
+	}
+	if len(hi) < 50 || len(lo) < 50 {
+		t.Fatalf("unexpected split %d/%d", len(hi), len(lo))
+	}
+	varB := func(ps []HalfMoonItem) float64 {
+		var mean float64
+		for _, p := range ps {
+			mean += p.B
+		}
+		mean /= float64(len(ps))
+		var v float64
+		for _, p := range ps {
+			v += (p.B - mean) * (p.B - mean)
+		}
+		return v / float64(len(ps))
+	}
+	if varB(hi) <= varB(lo) {
+		t.Fatalf("half-moon property violated: var(b | high a) = %v <= var(b | low a) = %v", varB(hi), varB(lo))
+	}
+}
+
+func TestHalfMoonGuessingRange(t *testing.T) {
+	model, pts := HalfMoonItems(500, 9)
+	for i, p := range pts {
+		if p.C < 0 || p.C > 0.5 {
+			t.Fatalf("guessing %v outside [0,0.5]", p.C)
+		}
+		if math.Abs(model.A[i]-math.Exp(p.LogA)) > 1e-12 {
+			t.Fatal("model and points disagree")
+		}
+	}
+}
+
+func TestHalfMoonDataset(t *testing.T) {
+	d, pts := HalfMoon(100, 100, 7)
+	if d.Responses.Users() != 100 || d.Responses.Items() != 100 || len(pts) != 100 {
+		t.Fatal("HalfMoon shape wrong")
+	}
+	var _ *irt.Dataset = d
+}
+
+func TestHalfMoonDeterministic(t *testing.T) {
+	d1, _ := HalfMoon(30, 30, 11)
+	d2, _ := HalfMoon(30, 30, 11)
+	for u := 0; u < 30; u++ {
+		for i := 0; i < 30; i++ {
+			if d1.Responses.Answer(u, i) != d2.Responses.Answer(u, i) {
+				t.Fatal("HalfMoon not deterministic")
+			}
+		}
+	}
+}

@@ -1,0 +1,440 @@
+package eigen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"hitsndiffs/internal/mat"
+)
+
+// ArnoldiResult is an Arnoldi decomposition A·V ≈ V·H with V orthonormal and
+// H upper Hessenberg.
+type ArnoldiResult struct {
+	// Basis is the orthonormal Krylov basis (Steps vectors of length n).
+	Basis []mat.Vector
+	// H is the Steps×Steps upper Hessenberg projection of the operator.
+	H *mat.Dense
+	// Steps is the realized Krylov dimension.
+	Steps int
+}
+
+// ArnoldiOptions configures the Arnoldi iteration.
+type ArnoldiOptions struct {
+	// MaxSteps bounds the Krylov dimension; 0 means the operator dimension.
+	MaxSteps int
+	// Seed seeds the random start vector.
+	Seed int64
+}
+
+// Arnoldi builds an orthonormal Krylov basis for the (possibly asymmetric)
+// operator a using modified Gram-Schmidt with one reorthogonalization pass.
+func Arnoldi(a Op, opts ArnoldiOptions) ArnoldiResult {
+	n := a.Dim()
+	steps := opts.MaxSteps
+	if steps <= 0 || steps > n {
+		steps = n
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 29))
+
+	basis := make([]mat.Vector, 0, steps)
+	// h[i][j] entries collected densely afterwards; store columns as we go.
+	hcols := make([][]float64, 0, steps)
+
+	v := mat.NewVector(n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	v.Normalize()
+	w := mat.NewVector(n)
+
+	for j := 0; j < steps; j++ {
+		basis = append(basis, v.Clone())
+		a.Apply(w, v)
+		col := make([]float64, j+2)
+		for i := 0; i <= j; i++ {
+			hij := w.Dot(basis[i])
+			col[i] = hij
+			w.AddScaled(-hij, basis[i])
+		}
+		// Reorthogonalization pass for robustness.
+		for i := 0; i <= j; i++ {
+			c := w.Dot(basis[i])
+			col[i] += c
+			w.AddScaled(-c, basis[i])
+		}
+		hj1 := w.Norm2()
+		col[j+1] = hj1
+		hcols = append(hcols, col)
+		if hj1 < 1e-13 {
+			// Invariant subspace: restart with a fresh orthogonal vector.
+			if j+1 >= steps {
+				break
+			}
+			restart := mat.NewVector(n)
+			for i := range restart {
+				restart[i] = rng.NormFloat64()
+			}
+			orthogonalize(restart, basis)
+			if restart.Normalize() == 0 {
+				break
+			}
+			copy(v, restart)
+			continue
+		}
+		w.Scale(1 / hj1)
+		copy(v, w)
+	}
+
+	k := len(basis)
+	h := mat.NewDense(k, k)
+	for j := 0; j < k; j++ {
+		col := hcols[j]
+		for i := 0; i < len(col) && i < k; i++ {
+			h.Set(i, j, col[i])
+		}
+	}
+	return ArnoldiResult{Basis: basis, H: h, Steps: k}
+}
+
+// HessenbergEigenvalues computes all eigenvalues of the upper Hessenberg
+// matrix h using the Francis shifted QR algorithm (EISPACK hqr). It returns
+// the real and imaginary parts.
+func HessenbergEigenvalues(h *mat.Dense) (wr, wi mat.Vector, err error) {
+	n := h.Rows()
+	if h.Cols() != n {
+		return nil, nil, fmt.Errorf("eigen: HessenbergEigenvalues wants square matrix, got %dx%d", n, h.Cols())
+	}
+	// 1-based working copy to match the classical formulation.
+	a := make([][]float64, n+1)
+	for i := 1; i <= n; i++ {
+		a[i] = make([]float64, n+1)
+		for j := 1; j <= n; j++ {
+			a[i][j] = h.At(i-1, j-1)
+		}
+	}
+	wr1 := make([]float64, n+1)
+	wi1 := make([]float64, n+1)
+	if err := hqr(a, n, wr1, wi1); err != nil {
+		return nil, nil, err
+	}
+	wr = mat.NewVector(n)
+	wi = mat.NewVector(n)
+	copy(wr, wr1[1:])
+	copy(wi, wi1[1:])
+	return wr, wi, nil
+}
+
+func sign(a, b float64) float64 {
+	if b >= 0 {
+		return math.Abs(a)
+	}
+	return -math.Abs(a)
+}
+
+// hqr is the EISPACK/Numerical-Recipes Francis double-shift QR eigenvalue
+// algorithm for a real upper Hessenberg matrix, 1-based indexing, eigenvalues
+// only. The matrix a is destroyed.
+func hqr(a [][]float64, n int, wr, wi []float64) error {
+	var m, l, k, mmin int
+	var z, y, x, w, v, u, t, s, r, q, p, anorm float64
+
+	for i := 1; i <= n; i++ {
+		lo := i - 1
+		if lo < 1 {
+			lo = 1
+		}
+		for j := lo; j <= n; j++ {
+			anorm += math.Abs(a[i][j])
+		}
+	}
+	nn := n
+	t = 0
+	for nn >= 1 {
+		its := 0
+		for {
+			for l = nn; l >= 2; l-- {
+				s = math.Abs(a[l-1][l-1]) + math.Abs(a[l][l])
+				if s == 0 {
+					s = anorm
+				}
+				if math.Abs(a[l][l-1])+s == s {
+					a[l][l-1] = 0
+					break
+				}
+			}
+			x = a[nn][nn]
+			if l == nn {
+				wr[nn] = x + t
+				wi[nn] = 0
+				nn--
+				break
+			}
+			y = a[nn-1][nn-1]
+			w = a[nn][nn-1] * a[nn-1][nn]
+			if l == nn-1 {
+				p = 0.5 * (y - x)
+				q = p*p + w
+				z = math.Sqrt(math.Abs(q))
+				x += t
+				if q >= 0 {
+					z = p + sign(z, p)
+					wr[nn-1] = x + z
+					wr[nn] = wr[nn-1]
+					if z != 0 {
+						wr[nn] = x - w/z
+					}
+					wi[nn-1] = 0
+					wi[nn] = 0
+				} else {
+					wr[nn-1] = x + p
+					wr[nn] = x + p
+					wi[nn] = z
+					wi[nn-1] = -z
+				}
+				nn -= 2
+				break
+			}
+			if its == 60 {
+				return fmt.Errorf("eigen: hqr: %w", ErrNoConvergence)
+			}
+			if its == 10 || its == 20 || its == 30 || its == 40 || its == 50 {
+				t += x
+				for i := 1; i <= nn; i++ {
+					a[i][i] -= x
+				}
+				s = math.Abs(a[nn][nn-1]) + math.Abs(a[nn-1][nn-2])
+				x = 0.75 * s
+				y = x
+				w = -0.4375 * s * s
+			}
+			its++
+			for m = nn - 2; m >= l; m-- {
+				z = a[m][m]
+				r = x - z
+				s = y - z
+				p = (r*s-w)/a[m+1][m] + a[m][m+1]
+				q = a[m+1][m+1] - z - r - s
+				r = a[m+2][m+1]
+				s = math.Abs(p) + math.Abs(q) + math.Abs(r)
+				p /= s
+				q /= s
+				r /= s
+				if m == l {
+					break
+				}
+				u = math.Abs(a[m][m-1]) * (math.Abs(q) + math.Abs(r))
+				v = math.Abs(p) * (math.Abs(a[m-1][m-1]) + math.Abs(z) + math.Abs(a[m+1][m+1]))
+				if u+v == v {
+					break
+				}
+			}
+			for i := m + 2; i <= nn; i++ {
+				a[i][i-2] = 0
+				if i != m+2 {
+					a[i][i-3] = 0
+				}
+			}
+			for k = m; k <= nn-1; k++ {
+				if k != m {
+					p = a[k][k-1]
+					q = a[k+1][k-1]
+					r = 0
+					if k != nn-1 {
+						r = a[k+2][k-1]
+					}
+					x = math.Abs(p) + math.Abs(q) + math.Abs(r)
+					if x != 0 {
+						p /= x
+						q /= x
+						r /= x
+					}
+				}
+				s = sign(math.Sqrt(p*p+q*q+r*r), p)
+				if s == 0 {
+					continue
+				}
+				if k == m {
+					if l != m {
+						a[k][k-1] = -a[k][k-1]
+					}
+				} else {
+					a[k][k-1] = -s * x
+				}
+				p += s
+				x = p / s
+				y = q / s
+				z = r / s
+				q /= p
+				r /= p
+				for j := k; j <= nn; j++ {
+					p = a[k][j] + q*a[k+1][j]
+					if k != nn-1 {
+						p += r * a[k+2][j]
+						a[k+2][j] -= p * z
+					}
+					a[k+1][j] -= p * y
+					a[k][j] -= p * x
+				}
+				mmin = nn
+				if k+3 < nn {
+					mmin = k + 3
+				}
+				for i := l; i <= mmin; i++ {
+					p = x*a[i][k] + y*a[i][k+1]
+					if k != nn-1 {
+						p += z * a[i][k+2]
+						a[i][k+2] -= p * r
+					}
+					a[i][k+1] -= p * q
+					a[i][k] -= p
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// HessenbergEigenvector computes a unit eigenvector of the upper Hessenberg
+// matrix h for the (approximately real) eigenvalue lambda using inverse
+// iteration with Hessenberg LU solves.
+func HessenbergEigenvector(h *mat.Dense, lambda float64) (mat.Vector, error) {
+	n := h.Rows()
+	// Perturb the shift slightly so H − λI is invertible even when λ is an
+	// exact eigenvalue; inverse iteration then converges in one or two steps.
+	scale := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if v := math.Abs(h.At(i, j)); v > scale {
+				scale = v
+			}
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	eps := 1e-10 * scale
+	y := mat.Ones(n)
+	y.Normalize()
+	var err error
+	for it := 0; it < 5; it++ {
+		y, err = hessenbergSolve(h, lambda+eps, y)
+		if err != nil {
+			eps *= 10
+			y = mat.Ones(n)
+			y.Normalize()
+			continue
+		}
+		if y.Normalize() == 0 {
+			return nil, fmt.Errorf("eigen: inverse iteration collapsed")
+		}
+		// Converged when the residual is tiny relative to scale.
+		if Residual(DenseOp{M: h}, lambda, y) < 1e-8*scale {
+			return y, nil
+		}
+	}
+	return y, nil
+}
+
+// hessenbergSolve solves (h − σI)·x = b via Gaussian elimination with
+// partial pivoting specialized for Hessenberg structure (O(n²)).
+func hessenbergSolve(h *mat.Dense, sigma float64, b mat.Vector) (mat.Vector, error) {
+	n := h.Rows()
+	// Working copy in banded-ish dense form.
+	a := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := h.At(i, j)
+			if i == j {
+				v -= sigma
+			}
+			a.Set(i, j, v)
+		}
+	}
+	x := b.Clone()
+	for k := 0; k < n-1; k++ {
+		// Only row k+1 has a subdiagonal entry in column k.
+		if math.Abs(a.At(k+1, k)) > math.Abs(a.At(k, k)) {
+			for j := k; j < n; j++ {
+				tmp := a.At(k, j)
+				a.Set(k, j, a.At(k+1, j))
+				a.Set(k+1, j, tmp)
+			}
+			x[k], x[k+1] = x[k+1], x[k]
+		}
+		piv := a.At(k, k)
+		if piv == 0 {
+			return nil, fmt.Errorf("eigen: singular Hessenberg solve at %d", k)
+		}
+		f := a.At(k+1, k) / piv
+		if f != 0 {
+			for j := k; j < n; j++ {
+				a.Set(k+1, j, a.At(k+1, j)-f*a.At(k, j))
+			}
+			x[k+1] -= f * x[k]
+		}
+	}
+	if a.At(n-1, n-1) == 0 {
+		return nil, fmt.Errorf("eigen: singular Hessenberg solve at %d", n-1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= a.At(i, j) * x[j]
+		}
+		x[i] = s / a.At(i, i)
+	}
+	return x, nil
+}
+
+// RealEigenpair is a real eigenvalue with its eigenvector.
+type RealEigenpair struct {
+	Value  float64
+	Vector mat.Vector
+}
+
+// TopRealEigenpairs computes the k eigenpairs of a with the largest real
+// eigenvalues via Arnoldi projection, Hessenberg QR for the Ritz values and
+// inverse iteration for the Ritz vectors. Eigenvalues with significant
+// imaginary part are skipped.
+func TopRealEigenpairs(a Op, k int, opts ArnoldiOptions) ([]RealEigenpair, error) {
+	dec := Arnoldi(a, opts)
+	wr, wi, err := HessenbergEigenvalues(dec.H.Clone())
+	if err != nil {
+		return nil, err
+	}
+	type cand struct{ val float64 }
+	idx := make([]int, 0, len(wr))
+	var maxAbs float64
+	for _, v := range wr {
+		if m := math.Abs(v); m > maxAbs {
+			maxAbs = m
+		}
+	}
+	imagTol := 1e-8 * math.Max(maxAbs, 1)
+	for i := range wr {
+		if math.Abs(wi[i]) <= imagTol {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(i, j int) bool { return wr[idx[i]] > wr[idx[j]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := make([]RealEigenpair, 0, k)
+	for _, i := range idx[:k] {
+		yv, err := HessenbergEigenvector(dec.H, wr[i])
+		if err != nil {
+			return nil, err
+		}
+		// Map back: v = V·y.
+		v := mat.NewVector(a.Dim())
+		for j, basisVec := range dec.Basis {
+			v.AddScaled(yv[j], basisVec)
+		}
+		v.Normalize()
+		out = append(out, RealEigenpair{Value: wr[i], Vector: v})
+	}
+	return out, nil
+}

@@ -1,0 +1,423 @@
+package eigen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hitsndiffs/internal/mat"
+)
+
+func randSymmetric(rng *rand.Rand, n int) *mat.Dense {
+	m := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+// diagMatrix builds a symmetric matrix Q·diag(vals)·Qᵀ with a random
+// orthogonal Q obtained by Gram-Schmidt so the spectrum is known exactly.
+func matrixWithSpectrum(rng *rand.Rand, vals []float64) *mat.Dense {
+	n := len(vals)
+	// Random orthonormal basis.
+	q := make([]mat.Vector, n)
+	for i := range q {
+		v := mat.NewVector(n)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		for k := 0; k < i; k++ {
+			v.AddScaled(-v.Dot(q[k]), q[k])
+		}
+		v.Normalize()
+		q[i] = v
+	}
+	m := mat.NewDense(n, n)
+	for k, lam := range vals {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m.Add(i, j, lam*q[k][i]*q[k][j])
+			}
+		}
+	}
+	return m
+}
+
+func TestSymmetricEigenKnownSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	want := []float64{-3, -1, 0, 2, 5, 8}
+	m := matrixWithSpectrum(rng, want)
+	dec, err := SymmetricEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		if math.Abs(dec.Values[i]-w) > 1e-9 {
+			t.Errorf("eigenvalue %d = %v, want %v", i, dec.Values[i], w)
+		}
+		if r := Residual(DenseOp{M: m}, dec.Values[i], dec.Vectors[i]); r > 1e-8 {
+			t.Errorf("eigenpair %d residual %v", i, r)
+		}
+	}
+}
+
+func TestSymmetricEigenDiagonal(t *testing.T) {
+	m := mat.NewDense(3, 3)
+	m.Set(0, 0, 3)
+	m.Set(1, 1, 1)
+	m.Set(2, 2, 2)
+	dec, err := SymmetricEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Values.Equal(mat.Vector{1, 2, 3}, 1e-12) {
+		t.Fatalf("Values = %v", dec.Values)
+	}
+}
+
+func TestSymmetricEigenNonSquare(t *testing.T) {
+	if _, err := SymmetricEigen(mat.NewDense(2, 3)); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+}
+
+func TestSymmetricEigenOrthonormalVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randSymmetric(rng, 12)
+	dec, err := SymmetricEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dec.Vectors {
+		for j := i; j < len(dec.Vectors); j++ {
+			d := dec.Vectors[i].Dot(dec.Vectors[j])
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(d-want) > 1e-8 {
+				t.Fatalf("inner product (%d,%d) = %v", i, j, d)
+			}
+		}
+	}
+}
+
+func TestPowerIterationDominantPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := matrixWithSpectrum(rng, []float64{1, 2, 3, 10})
+	res, err := PowerIteration(DenseOp{M: m}, PowerOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-10) > 1e-6 {
+		t.Fatalf("dominant eigenvalue %v, want 10", res.Value)
+	}
+	if r := Residual(DenseOp{M: m}, res.Value, res.Vector); r > 1e-5 {
+		t.Fatalf("residual %v", r)
+	}
+}
+
+func TestPowerIterationNegativeDominant(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := matrixWithSpectrum(rng, []float64{-10, 1, 2})
+	res, err := PowerIteration(DenseOp{M: m}, PowerOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value+10) > 1e-6 {
+		t.Fatalf("dominant eigenvalue %v, want -10", res.Value)
+	}
+}
+
+func TestPowerIterationDeflated(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := matrixWithSpectrum(rng, []float64{1, 2, 3, 10})
+	// First find the dominant, then deflate it away.
+	r1, err := PowerIteration(DenseOp{M: m}, PowerOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := PowerIteration(DenseOp{M: m}, PowerOptions{
+		Tol:                  1e-12,
+		OrthogonalizeAgainst: []mat.Vector{r1.Vector},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r2.Value-3) > 1e-6 {
+		t.Fatalf("second eigenvalue %v, want 3", r2.Value)
+	}
+}
+
+func TestPowerIterationIterationBudget(t *testing.T) {
+	// Eigenvalues 10 and 9.999 converge extremely slowly.
+	rng := rand.New(rand.NewSource(6))
+	m := matrixWithSpectrum(rng, []float64{9.999, 10})
+	_, err := PowerIteration(DenseOp{M: m}, PowerOptions{Tol: 1e-14, MaxIter: 3})
+	if err == nil {
+		t.Fatal("expected ErrNoConvergence")
+	}
+}
+
+func TestLanczosMatchesDenseSolver(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randSymmetric(rng, 25)
+	dec, err := SymmetricEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lan, err := Lanczos(DenseOp{M: m}, LanczosOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lan.Values) != 25 {
+		t.Fatalf("Lanczos returned %d Ritz values", len(lan.Values))
+	}
+	for i := range dec.Values {
+		if math.Abs(dec.Values[i]-lan.Values[i]) > 1e-6 {
+			t.Fatalf("Ritz value %d = %v, dense %v", i, lan.Values[i], dec.Values[i])
+		}
+	}
+	// Fiedler-style second smallest vector residual.
+	if r := Residual(DenseOp{M: m}, lan.Values[1], lan.Vectors[1]); r > 1e-5 {
+		t.Fatalf("Lanczos vector residual %v", r)
+	}
+}
+
+func TestLanczosPartial(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := matrixWithSpectrum(rng, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 100})
+	lan, err := Lanczos(DenseOp{M: m}, LanczosOptions{MaxSteps: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := lan.Values[len(lan.Values)-1]
+	if math.Abs(top-100) > 1e-6 {
+		t.Fatalf("extreme Ritz value %v, want ~100", top)
+	}
+}
+
+func TestFiedlerVectorPathGraph(t *testing.T) {
+	// Laplacian of the path graph 0-1-2-3: Fiedler vector must be monotone,
+	// giving back the path order.
+	n := 5
+	l := mat.NewDense(n, n)
+	for i := 0; i < n-1; i++ {
+		l.Add(i, i, 1)
+		l.Add(i+1, i+1, 1)
+		l.Add(i, i+1, -1)
+		l.Add(i+1, i, -1)
+	}
+	val, vec, err := FiedlerVector(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val < 1e-9 {
+		t.Fatalf("Fiedler value %v suspiciously small", val)
+	}
+	// Monotone check (either direction).
+	inc, dec := true, true
+	for i := 1; i < n; i++ {
+		if vec[i] < vec[i-1] {
+			inc = false
+		}
+		if vec[i] > vec[i-1] {
+			dec = false
+		}
+	}
+	if !inc && !dec {
+		t.Fatalf("Fiedler vector of a path not monotone: %v", vec)
+	}
+}
+
+func TestHessenbergEigenvaluesUpperTriangular(t *testing.T) {
+	h := mat.NewDense(4, 4)
+	diag := []float64{4, -2, 7, 1}
+	for i, d := range diag {
+		h.Set(i, i, d)
+		for j := i + 1; j < 4; j++ {
+			h.Set(i, j, 0.5)
+		}
+	}
+	wr, wi, err := HessenbergEigenvalues(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := wr.Clone()
+	p := got.ArgSort()
+	sorted := []float64{got[p[0]], got[p[1]], got[p[2]], got[p[3]]}
+	want := []float64{-2, 1, 4, 7}
+	for i := range want {
+		if math.Abs(sorted[i]-want[i]) > 1e-8 {
+			t.Fatalf("eigenvalues %v, want %v", sorted, want)
+		}
+		if math.Abs(wi[i]) > 1e-10 {
+			t.Fatalf("unexpected imaginary part %v", wi[i])
+		}
+	}
+}
+
+func TestHessenbergEigenvaluesComplexPair(t *testing.T) {
+	// Rotation-like block has eigenvalues ±i.
+	h := mat.DenseFromRows([][]float64{
+		{0, -1},
+		{1, 0},
+	})
+	wr, wi, err := HessenbergEigenvalues(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(wr[0]) > 1e-10 || math.Abs(wr[1]) > 1e-10 {
+		t.Fatalf("real parts %v", wr)
+	}
+	if math.Abs(math.Abs(wi[0])-1) > 1e-10 || math.Abs(math.Abs(wi[1])-1) > 1e-10 {
+		t.Fatalf("imag parts %v", wi)
+	}
+}
+
+func TestArnoldiReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 15
+	m := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	dec := Arnoldi(DenseOp{M: m}, ArnoldiOptions{})
+	// Basis orthonormal.
+	for i := range dec.Basis {
+		for j := i; j < len(dec.Basis); j++ {
+			d := dec.Basis[i].Dot(dec.Basis[j])
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(d-want) > 1e-8 {
+				t.Fatalf("basis not orthonormal at (%d,%d): %v", i, j, d)
+			}
+		}
+	}
+	// H = Vᵀ A V for the full decomposition.
+	tmp := mat.NewVector(n)
+	for j := 0; j < dec.Steps; j++ {
+		DenseOp{M: m}.Apply(tmp, dec.Basis[j])
+		for i := 0; i < dec.Steps; i++ {
+			hij := tmp.Dot(dec.Basis[i])
+			if math.Abs(hij-dec.H.At(i, j)) > 1e-8 {
+				t.Fatalf("H(%d,%d) = %v, want %v", i, j, dec.H.At(i, j), hij)
+			}
+		}
+	}
+}
+
+func TestTopRealEigenpairsAsymmetric(t *testing.T) {
+	// Build an asymmetric matrix with known real spectrum via similarity:
+	// A = P·D·P⁻¹ with P lower triangular ones.
+	n := 6
+	d := []float64{9, 7, 5, 3, 2, 1}
+	a := mat.NewDense(n, n)
+	// P = I + N where N has ones below diagonal (first subdiagonal).
+	// A = P D P^{-1}; P^{-1} has -1 on first subdiagonal, +1 on second, ...
+	p := mat.Identity(n)
+	for i := 1; i < n; i++ {
+		p.Set(i, i-1, 1)
+	}
+	pinv := mat.Identity(n)
+	for i := 0; i < n; i++ {
+		s := -1.0
+		for j := i - 1; j >= 0; j-- {
+			pinv.Set(i, j, s)
+			s = -s
+		}
+	}
+	dm := mat.NewDense(n, n)
+	for i, v := range d {
+		dm.Set(i, i, v)
+	}
+	a = p.Mul(dm).Mul(pinv)
+
+	pairs, err := TopRealEigenpairs(DenseOp{M: a}, 2, ArnoldiOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 2 {
+		t.Fatalf("got %d pairs", len(pairs))
+	}
+	if math.Abs(pairs[0].Value-9) > 1e-6 || math.Abs(pairs[1].Value-7) > 1e-6 {
+		t.Fatalf("top values %v, %v; want 9, 7", pairs[0].Value, pairs[1].Value)
+	}
+	for _, pr := range pairs {
+		if r := Residual(DenseOp{M: a}, pr.Value, pr.Vector); r > 1e-5 {
+			t.Fatalf("residual %v for value %v", r, pr.Value)
+		}
+	}
+}
+
+func TestHotellingSecondEigenpair(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m := matrixWithSpectrum(rng, []float64{1, 2, 3, 6, 10})
+	res, err := SecondEigenvectorHotelling(DenseOp{M: m}, HotellingOptions{
+		Power: PowerOptions{Tol: 1e-11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-6) > 1e-5 {
+		t.Fatalf("second eigenvalue %v, want 6", res.Value)
+	}
+	if r := Residual(DenseOp{M: m}, res.Value, res.Vector); r > 1e-4 {
+		t.Fatalf("residual %v", r)
+	}
+}
+
+func TestHotellingWithKnownRight(t *testing.T) {
+	// Row-stochastic matrix: dominant pair is (1, e).
+	u := mat.DenseFromRows([][]float64{
+		{0.6, 0.3, 0.1},
+		{0.3, 0.4, 0.3},
+		{0.1, 0.3, 0.6},
+	})
+	res, err := SecondEigenvectorHotelling(DenseOp{M: u}, HotellingOptions{
+		Power:      PowerOptions{Tol: 1e-12},
+		KnownRight: mat.Ones(3),
+		KnownValue: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second eigenvalue of this symmetric stochastic matrix: compute dense.
+	dec, _ := SymmetricEigen(u)
+	want := dec.Values[1] // ascending: second largest is index 1 of 3
+	if math.Abs(res.Value-want) > 1e-6 {
+		t.Fatalf("second eigenvalue %v, want %v", res.Value, want)
+	}
+}
+
+func TestShiftedOp(t *testing.T) {
+	m := mat.Identity(3)
+	op := ShiftedOp{Beta: 5, A: DenseOp{M: m}}
+	dst := mat.NewVector(3)
+	op.Apply(dst, mat.Vector{1, 2, 3})
+	if !dst.Equal(mat.Vector{4, 8, 12}, 1e-12) {
+		t.Fatalf("ShiftedOp result %v", dst)
+	}
+}
+
+func TestRayleighQuotient(t *testing.T) {
+	m := mat.NewDense(2, 2)
+	m.Set(0, 0, 2)
+	m.Set(1, 1, 4)
+	v := mat.Vector{1, 0}
+	if got := RayleighQuotient(DenseOp{M: m}, v); got != 2 {
+		t.Fatalf("RayleighQuotient = %v", got)
+	}
+	if got := RayleighQuotient(DenseOp{M: m}, mat.Vector{0, 0}); !math.IsNaN(got) {
+		t.Fatalf("RayleighQuotient on zero vector = %v, want NaN", got)
+	}
+}

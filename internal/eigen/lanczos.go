@@ -1,0 +1,159 @@
+package eigen
+
+import (
+	"math"
+	"math/rand"
+
+	"hitsndiffs/internal/mat"
+)
+
+// LanczosOptions configures the symmetric Lanczos solver.
+type LanczosOptions struct {
+	// MaxSteps bounds the Krylov dimension; 0 means the operator dimension.
+	MaxSteps int
+	// Tol is the residual tolerance used for Ritz-pair convergence checks.
+	// Default 1e-8.
+	Tol float64
+	// Seed seeds the random start vector.
+	Seed int64
+}
+
+// LanczosResult is the tridiagonal (Ritz) decomposition produced by Lanczos.
+type LanczosResult struct {
+	// Values are all Ritz values, ascending.
+	Values mat.Vector
+	// Vectors are the Ritz vectors corresponding to Values, each unit norm.
+	Vectors []mat.Vector
+	// Steps is the realized Krylov dimension.
+	Steps int
+}
+
+// Lanczos runs the symmetric Lanczos iteration with full
+// reorthogonalization on operator a (which must be symmetric for the result
+// to be meaningful) and returns all Ritz pairs of the realized Krylov space.
+// With MaxSteps equal to the operator dimension, the Ritz pairs are the full
+// eigendecomposition up to round-off.
+func Lanczos(a Op, opts LanczosOptions) (LanczosResult, error) {
+	n := a.Dim()
+	steps := opts.MaxSteps
+	if steps <= 0 || steps > n {
+		steps = n
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-8
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 11))
+
+	basis := make([]mat.Vector, 0, steps)
+	alpha := make([]float64, 0, steps)
+	beta := make([]float64, 0, steps) // beta[i] couples basis[i] and basis[i+1]
+
+	v := mat.NewVector(n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	v.Normalize()
+	w := mat.NewVector(n)
+
+	for j := 0; j < steps; j++ {
+		basis = append(basis, v.Clone())
+		a.Apply(w, v)
+		aj := w.Dot(v)
+		alpha = append(alpha, aj)
+		// w ← w − αj·vj − βj−1·vj−1, then full reorthogonalization.
+		w.AddScaled(-aj, v)
+		if j > 0 {
+			w.AddScaled(-beta[j-1], basis[j-1])
+		}
+		orthogonalize(w, basis)
+		bj := w.Norm2()
+		if bj < 1e-14 {
+			// Invariant subspace found: restart with a random vector
+			// orthogonal to the current basis, or stop if space exhausted.
+			if j+1 >= steps {
+				break
+			}
+			restart := mat.NewVector(n)
+			for i := range restart {
+				restart[i] = rng.NormFloat64()
+			}
+			orthogonalize(restart, basis)
+			if restart.Normalize() == 0 {
+				break
+			}
+			beta = append(beta, 0)
+			copy(v, restart)
+			continue
+		}
+		beta = append(beta, bj)
+		w.Scale(1 / bj)
+		copy(v, w)
+	}
+
+	k := len(alpha)
+	// Solve the k×k tridiagonal eigenproblem with tql2.
+	d := append([]float64(nil), alpha...)
+	e := make([]float64, k)
+	for i := 1; i < k; i++ {
+		e[i] = beta[i-1]
+	}
+	z := make([][]float64, k)
+	for i := range z {
+		z[i] = make([]float64, k)
+		z[i][i] = 1
+	}
+	if err := tql2(z, d, e); err != nil {
+		return LanczosResult{}, err
+	}
+	res := LanczosResult{Values: mat.Vector(d), Steps: k, Vectors: make([]mat.Vector, k)}
+	for idx := 0; idx < k; idx++ {
+		rv := mat.NewVector(n)
+		for j := 0; j < k; j++ {
+			rv.AddScaled(z[j][idx], basis[j])
+		}
+		rv.Normalize()
+		res.Vectors[idx] = rv
+	}
+	return res, nil
+}
+
+// FiedlerVector computes the eigenvector corresponding to the second
+// smallest eigenvalue of the symmetric matrix l (typically a graph
+// Laplacian), the quantity the ABH method of Atkins et al. sorts by. It uses
+// the dense symmetric solver for small matrices and Lanczos above the
+// crossover dimension.
+func FiedlerVector(l *mat.Dense) (value float64, vector mat.Vector, err error) {
+	const denseCrossover = 400
+	n := l.Rows()
+	if n <= denseCrossover {
+		dec, err := SymmetricEigen(l)
+		if err != nil {
+			return 0, nil, err
+		}
+		return dec.Values[1], dec.Vectors[1], nil
+	}
+	res, err := Lanczos(DenseOp{M: l}, LanczosOptions{})
+	if err != nil {
+		return 0, nil, err
+	}
+	return res.Values[1], res.Vectors[1], nil
+}
+
+// Residual returns ‖A·v − λ·v‖₂, a quality measure for an eigenpair.
+func Residual(a Op, lambda float64, v mat.Vector) float64 {
+	tmp := mat.NewVector(a.Dim())
+	a.Apply(tmp, v)
+	tmp.AddScaled(-lambda, v)
+	return tmp.Norm2()
+}
+
+// RayleighQuotient returns vᵀAv / vᵀv.
+func RayleighQuotient(a Op, v mat.Vector) float64 {
+	tmp := mat.NewVector(a.Dim())
+	a.Apply(tmp, v)
+	den := v.Dot(v)
+	if den == 0 {
+		return math.NaN()
+	}
+	return tmp.Dot(v) / den
+}

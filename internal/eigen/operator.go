@@ -1,0 +1,83 @@
+// Package eigen implements the eigensolvers needed by the spectral ability
+// discovery methods: power iteration, Hotelling deflation, symmetric
+// Lanczos with full reorthogonalization, a dense symmetric eigendecomposition
+// (Householder tridiagonalization + implicit QL), and an Arnoldi/Hessenberg-QR
+// solver for asymmetric matrices.
+//
+// All solvers operate on the Op interface so that matrix-free operators (like
+// the AvgHITS update matrix U = C_row·(C_col)ᵀ, which is never materialized
+// by the fast method variants) can be plugged in directly.
+package eigen
+
+import "hitsndiffs/internal/mat"
+
+// Op is a square linear operator y = A·x.
+type Op interface {
+	// Dim returns the dimension n of the square operator.
+	Dim() int
+	// Apply computes dst = A·x. dst and x have length Dim() and must not
+	// alias.
+	Apply(dst, x mat.Vector)
+}
+
+// TransposableOp is an operator that can also apply its transpose, needed by
+// two-sided methods such as Hotelling deflation on asymmetric matrices.
+type TransposableOp interface {
+	Op
+	// ApplyT computes dst = Aᵀ·x.
+	ApplyT(dst, x mat.Vector)
+}
+
+// DenseOp adapts a square dense matrix to the Op interface.
+type DenseOp struct{ M *mat.Dense }
+
+// Dim implements Op.
+func (o DenseOp) Dim() int { return o.M.Rows() }
+
+// Apply implements Op.
+func (o DenseOp) Apply(dst, x mat.Vector) { o.M.MulVec(dst, x) }
+
+// ApplyT implements TransposableOp.
+func (o DenseOp) ApplyT(dst, x mat.Vector) { o.M.MulVecT(dst, x) }
+
+// CSROp adapts a square CSR matrix to the Op interface.
+type CSROp struct{ M *mat.CSR }
+
+// Dim implements Op.
+func (o CSROp) Dim() int { return o.M.Rows() }
+
+// Apply implements Op.
+func (o CSROp) Apply(dst, x mat.Vector) { o.M.MulVec(dst, x) }
+
+// ApplyT implements TransposableOp.
+func (o CSROp) ApplyT(dst, x mat.Vector) { o.M.MulVecT(dst, x) }
+
+// ShiftedOp represents β·I − A, the spectral shift used by ABH-power to turn
+// the smallest eigenvector of M into the largest of β·I − M.
+type ShiftedOp struct {
+	Beta float64
+	A    Op
+}
+
+// Dim implements Op.
+func (o ShiftedOp) Dim() int { return o.A.Dim() }
+
+// Apply implements Op.
+func (o ShiftedOp) Apply(dst, x mat.Vector) {
+	o.A.Apply(dst, x)
+	for i := range dst {
+		dst[i] = o.Beta*x[i] - dst[i]
+	}
+}
+
+// FuncOp wraps a closure as an Op, for matrix-free operators.
+type FuncOp struct {
+	N int
+	F func(dst, x mat.Vector)
+}
+
+// Dim implements Op.
+func (o FuncOp) Dim() int { return o.N }
+
+// Apply implements Op.
+func (o FuncOp) Apply(dst, x mat.Vector) { o.F(dst, x) }

@@ -1,0 +1,133 @@
+package eigen
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"hitsndiffs/internal/mat"
+)
+
+// ErrNoConvergence is returned when an iterative solver exhausts its
+// iteration budget before reaching the requested tolerance. The best
+// available estimate is still returned alongside it.
+var ErrNoConvergence = errors.New("eigen: iteration limit reached before convergence")
+
+// PowerOptions configures PowerIteration.
+type PowerOptions struct {
+	// Tol is the L2 convergence threshold on the change of the normalized
+	// iterate between iterations. The paper uses 1e-5; that is the default.
+	Tol float64
+	// MaxIter bounds the number of iterations. Default 10_000.
+	MaxIter int
+	// Start is an optional starting vector; a deterministic pseudo-random
+	// vector seeded by Seed is used when nil.
+	Start mat.Vector
+	// Seed seeds the default start vector.
+	Seed int64
+	// OrthogonalizeAgainst lists unit vectors that every iterate is
+	// re-orthogonalized against (deflation by projection). Useful when some
+	// eigenvectors are known a priori, such as the all-ones dominant
+	// eigenvector of a row-stochastic matrix.
+	OrthogonalizeAgainst []mat.Vector
+}
+
+func (o *PowerOptions) defaults() {
+	if o.Tol <= 0 {
+		o.Tol = 1e-5
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 10000
+	}
+}
+
+// PowerResult carries the outcome of a power iteration.
+type PowerResult struct {
+	// Value is the Rayleigh-quotient estimate of the dominant eigenvalue.
+	Value float64
+	// Vector is the unit-norm eigenvector estimate.
+	Vector mat.Vector
+	// Iterations is the number of operator applications performed.
+	Iterations int
+	// Converged reports whether Tol was met within MaxIter.
+	Converged bool
+}
+
+// PowerIteration computes the dominant eigenpair of a by repeated
+// application and normalization. With OrthogonalizeAgainst set it computes
+// the dominant eigenpair within the orthogonal complement of the given
+// vectors. It returns ErrNoConvergence (with the best estimate) if the
+// iteration budget is exhausted.
+func PowerIteration(a Op, opts PowerOptions) (PowerResult, error) {
+	opts.defaults()
+	n := a.Dim()
+	v := opts.Start
+	if v == nil {
+		rng := rand.New(rand.NewSource(opts.Seed + 1))
+		v = mat.NewVector(n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+	} else {
+		v = v.Clone()
+	}
+	orthogonalize(v, opts.OrthogonalizeAgainst)
+	if v.Normalize() == 0 {
+		// Degenerate start: fall back to a deterministic basis-ish vector.
+		v.Fill(0)
+		v[0] = 1
+		orthogonalize(v, opts.OrthogonalizeAgainst)
+		v.Normalize()
+	}
+
+	next := mat.NewVector(n)
+	res := PowerResult{Vector: v}
+	for it := 1; it <= opts.MaxIter; it++ {
+		a.Apply(next, v)
+		orthogonalize(next, opts.OrthogonalizeAgainst)
+		lambda := next.Dot(v) // Rayleigh quotient given ‖v‖=1
+		if next.Normalize() == 0 {
+			// v is (numerically) in the null space of the deflated operator.
+			res.Value, res.Iterations, res.Converged = 0, it, true
+			return res, nil
+		}
+		// Measure the change allowing for a sign flip (negative dominant
+		// eigenvalues alternate sign each iteration).
+		diff := math.Min(dist(next, v), distNeg(next, v))
+		copy(v, next)
+		res.Value = lambda
+		res.Iterations = it
+		if diff < opts.Tol {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, ErrNoConvergence
+}
+
+func orthogonalize(v mat.Vector, basis []mat.Vector) {
+	// Two passes of modified Gram-Schmidt for numerical robustness.
+	for pass := 0; pass < 2 && len(basis) > 0; pass++ {
+		for _, b := range basis {
+			v.AddScaled(-v.Dot(b), b)
+		}
+	}
+}
+
+func dist(a, b mat.Vector) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func distNeg(a, b mat.Vector) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] + b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

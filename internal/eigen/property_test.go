@@ -1,0 +1,236 @@
+package eigen
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"hitsndiffs/internal/mat"
+)
+
+// hessenbergize reduces a dense matrix to upper Hessenberg form with
+// Householder reflections (similarity transform), for feeding hqr in tests.
+func hessenbergize(a *mat.Dense) *mat.Dense {
+	n := a.Rows()
+	h := a.Clone()
+	for k := 0; k < n-2; k++ {
+		// Householder vector for column k below the subdiagonal.
+		var norm float64
+		for i := k + 1; i < n; i++ {
+			norm += h.At(i, k) * h.At(i, k)
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue
+		}
+		alpha := -norm
+		if h.At(k+1, k) < 0 {
+			alpha = norm
+		}
+		v := mat.NewVector(n)
+		v[k+1] = h.At(k+1, k) - alpha
+		for i := k + 2; i < n; i++ {
+			v[i] = h.At(i, k)
+		}
+		vnorm := v.Norm2()
+		if vnorm == 0 {
+			continue
+		}
+		v.Scale(1 / vnorm)
+		// H ← (I − 2vvᵀ) H (I − 2vvᵀ)
+		// Left multiply.
+		for j := 0; j < n; j++ {
+			var dot float64
+			for i := 0; i < n; i++ {
+				dot += v[i] * h.At(i, j)
+			}
+			for i := 0; i < n; i++ {
+				h.Set(i, j, h.At(i, j)-2*v[i]*dot)
+			}
+		}
+		// Right multiply.
+		for i := 0; i < n; i++ {
+			var dot float64
+			for j := 0; j < n; j++ {
+				dot += h.At(i, j) * v[j]
+			}
+			for j := 0; j < n; j++ {
+				h.Set(i, j, h.At(i, j)-2*dot*v[j])
+			}
+		}
+	}
+	// Zero the (numerically tiny) entries below the subdiagonal.
+	for i := 0; i < n; i++ {
+		for j := 0; j+1 < i; j++ {
+			h.Set(i, j, 0)
+		}
+	}
+	return h
+}
+
+// TestPropertyHQRTraceAndFrobenius checks, on random matrices, that the hqr
+// eigenvalues satisfy Σλ = trace(A) and Σ|λ|² = ‖A‖²_F for normal-like
+// accumulations (we use the weaker exact invariants: trace and, via the
+// characteristic polynomial at 0, the determinant).
+func TestPropertyHQRTraceAndFrobenius(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(7)
+		a := mat.NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		h := hessenbergize(a)
+		wr, wi, err := HessenbergEigenvalues(h.Clone())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Σλ must equal trace(A) (similarity preserves it).
+		var traceA, sumRe, sumIm float64
+		for i := 0; i < n; i++ {
+			traceA += a.At(i, i)
+		}
+		for i := range wr {
+			sumRe += wr[i]
+			sumIm += wi[i]
+		}
+		if math.Abs(sumRe-traceA) > 1e-6*math.Max(1, math.Abs(traceA)) {
+			t.Fatalf("trial %d: Σλ = %v, trace = %v", trial, sumRe, traceA)
+		}
+		if math.Abs(sumIm) > 1e-6 {
+			t.Fatalf("trial %d: imaginary parts do not cancel: %v", trial, sumIm)
+		}
+		// Πλ must equal det(A) = det(H).
+		det := determinant(a)
+		prod := complex(1, 0)
+		for i := range wr {
+			prod *= complex(wr[i], wi[i])
+		}
+		if math.Abs(imag(prod)) > 1e-5*math.Max(1, cmplx.Abs(prod)) {
+			t.Fatalf("trial %d: det imaginary part %v", trial, imag(prod))
+		}
+		if math.Abs(real(prod)-det) > 1e-5*math.Max(1, math.Abs(det)) {
+			t.Fatalf("trial %d: Πλ = %v, det = %v", trial, real(prod), det)
+		}
+	}
+}
+
+// determinant computes det(A) by LU with partial pivoting.
+func determinant(a *mat.Dense) float64 {
+	n := a.Rows()
+	lu := a.Clone()
+	det := 1.0
+	for k := 0; k < n; k++ {
+		p := k
+		for i := k + 1; i < n; i++ {
+			if math.Abs(lu.At(i, k)) > math.Abs(lu.At(p, k)) {
+				p = i
+			}
+		}
+		if lu.At(p, k) == 0 {
+			return 0
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				tmp := lu.At(k, j)
+				lu.Set(k, j, lu.At(p, j))
+				lu.Set(p, j, tmp)
+			}
+			det = -det
+		}
+		det *= lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			f := lu.At(i, k) / lu.At(k, k)
+			for j := k; j < n; j++ {
+				lu.Set(i, j, lu.At(i, j)-f*lu.At(k, j))
+			}
+		}
+	}
+	return det
+}
+
+// TestPropertySymmetricEigenReconstruction: A = Σ λ v vᵀ must reproduce the
+// input matrix.
+func TestPropertySymmetricEigenReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(10)
+		a := randSymmetric(rng, n)
+		dec, err := SymmetricEigen(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recon := mat.NewDense(n, n)
+		for k := 0; k < n; k++ {
+			lam := dec.Values[k]
+			v := dec.Vectors[k]
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					recon.Add(i, j, lam*v[i]*v[j])
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(recon.At(i, j)-a.At(i, j)) > 1e-7 {
+					t.Fatalf("trial %d: reconstruction error at (%d,%d)", trial, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestArnoldiPartialApproximatesDominant: a truncated Krylov space still
+// captures a well-separated dominant eigenvalue.
+func TestArnoldiPartialApproximatesDominant(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n := 60
+	a := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, 0.1*rng.NormFloat64())
+		}
+		a.Add(i, i, float64(i)/10)
+	}
+	a.Add(n-1, n-1, 20) // dominant, well separated
+	dec := Arnoldi(DenseOp{M: a}, ArnoldiOptions{MaxSteps: 20})
+	wr, _, err := HessenbergEigenvalues(dec.H.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxRitz := math.Inf(-1)
+	for _, v := range wr {
+		if v > maxRitz {
+			maxRitz = v
+		}
+	}
+	if math.Abs(maxRitz-(20+float64(n-1)/10)) > 0.5 {
+		t.Fatalf("partial Arnoldi dominant Ritz value %v", maxRitz)
+	}
+}
+
+// TestLanczosInvariantSubspaceRestart: block-diagonal matrices force an
+// early invariant subspace; Lanczos must restart and still find the full
+// spectrum.
+func TestLanczosInvariantSubspaceRestart(t *testing.T) {
+	n := 12
+	a := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, float64(i+1))
+	}
+	res, err := Lanczos(DenseOp{M: a}, LanczosOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) < n {
+		t.Fatalf("Lanczos found only %d of %d eigenvalues", len(res.Values), n)
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(res.Values[i]-float64(i+1)) > 1e-8 {
+			t.Fatalf("eigenvalue %d = %v", i, res.Values[i])
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package eigen
+
+import (
+	"fmt"
+	"math"
+
+	"hitsndiffs/internal/mat"
+)
+
+// SymEig holds a full eigendecomposition of a symmetric matrix. Values are
+// sorted ascending and Vectors[i] is the unit eigenvector for Values[i].
+type SymEig struct {
+	Values  mat.Vector
+	Vectors []mat.Vector
+}
+
+// SymmetricEigen computes all eigenvalues and eigenvectors of the symmetric
+// matrix a using Householder tridiagonalization followed by the implicit QL
+// algorithm (the classic tred2/tql2 pair). It returns an error if a is not
+// square or the QL iteration fails to converge.
+func SymmetricEigen(a *mat.Dense) (SymEig, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return SymEig{}, fmt.Errorf("eigen: SymmetricEigen wants square matrix, got %dx%d", n, a.Cols())
+	}
+	// Work on a copy: v accumulates the orthogonal transformation.
+	v := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		v[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			v[i][j] = a.At(i, j)
+		}
+	}
+	d := make([]float64, n) // diagonal
+	e := make([]float64, n) // off-diagonal
+	tred2(v, d, e)
+	if err := tql2(v, d, e); err != nil {
+		return SymEig{}, err
+	}
+	// d ascending already (tql2 sorts); columns of v are the eigenvectors.
+	out := SymEig{Values: mat.Vector(d), Vectors: make([]mat.Vector, n)}
+	for j := 0; j < n; j++ {
+		vec := mat.NewVector(n)
+		for i := 0; i < n; i++ {
+			vec[i] = v[i][j]
+		}
+		out.Vectors[j] = vec
+	}
+	return out, nil
+}
+
+// tred2 reduces a real symmetric matrix (stored in v) to tridiagonal form
+// using Householder reflections, accumulating the transformation in v.
+// On exit d holds the diagonal and e the subdiagonal (e[0] = 0).
+// This follows the EISPACK/JAMA formulation.
+func tred2(v [][]float64, d, e []float64) {
+	n := len(d)
+	for j := 0; j < n; j++ {
+		d[j] = v[n-1][j]
+	}
+	for i := n - 1; i > 0; i-- {
+		var scale, h float64
+		for k := 0; k < i; k++ {
+			scale += math.Abs(d[k])
+		}
+		if scale == 0 {
+			e[i] = d[i-1]
+			for j := 0; j < i; j++ {
+				d[j] = v[i-1][j]
+				v[i][j] = 0
+				v[j][i] = 0
+			}
+		} else {
+			for k := 0; k < i; k++ {
+				d[k] /= scale
+				h += d[k] * d[k]
+			}
+			f := d[i-1]
+			g := math.Sqrt(h)
+			if f > 0 {
+				g = -g
+			}
+			e[i] = scale * g
+			h -= f * g
+			d[i-1] = f - g
+			for j := 0; j < i; j++ {
+				e[j] = 0
+			}
+			for j := 0; j < i; j++ {
+				f = d[j]
+				v[j][i] = f
+				g = e[j] + v[j][j]*f
+				for k := j + 1; k <= i-1; k++ {
+					g += v[k][j] * d[k]
+					e[k] += v[k][j] * f
+				}
+				e[j] = g
+			}
+			f = 0
+			for j := 0; j < i; j++ {
+				e[j] /= h
+				f += e[j] * d[j]
+			}
+			hh := f / (h + h)
+			for j := 0; j < i; j++ {
+				e[j] -= hh * d[j]
+			}
+			for j := 0; j < i; j++ {
+				f = d[j]
+				g = e[j]
+				for k := j; k <= i-1; k++ {
+					v[k][j] -= f*e[k] + g*d[k]
+				}
+				d[j] = v[i-1][j]
+				v[i][j] = 0
+			}
+		}
+		d[i] = h
+	}
+	// Accumulate transformations.
+	for i := 0; i < n-1; i++ {
+		v[n-1][i] = v[i][i]
+		v[i][i] = 1
+		h := d[i+1]
+		if h != 0 {
+			for k := 0; k <= i; k++ {
+				d[k] = v[k][i+1] / h
+			}
+			for j := 0; j <= i; j++ {
+				var g float64
+				for k := 0; k <= i; k++ {
+					g += v[k][i+1] * v[k][j]
+				}
+				for k := 0; k <= i; k++ {
+					v[k][j] -= g * d[k]
+				}
+			}
+		}
+		for k := 0; k <= i; k++ {
+			v[k][i+1] = 0
+		}
+	}
+	for j := 0; j < n; j++ {
+		d[j] = v[n-1][j]
+		v[n-1][j] = 0
+	}
+	v[n-1][n-1] = 1
+	e[0] = 0
+}
+
+// tql2 runs the implicit QL algorithm on a symmetric tridiagonal matrix
+// (diagonal d, subdiagonal e with e[0] unused), updating the eigenvector
+// accumulation v. On exit d holds ascending eigenvalues.
+func tql2(v [][]float64, d, e []float64) error {
+	n := len(d)
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+	var f, tst1 float64
+	eps := math.Nextafter(1, 2) - 1
+	for l := 0; l < n; l++ {
+		tst1 = math.Max(tst1, math.Abs(d[l])+math.Abs(e[l]))
+		m := l
+		for m < n {
+			if math.Abs(e[m]) <= eps*tst1 {
+				break
+			}
+			m++
+		}
+		if m > l {
+			for iter := 0; ; iter++ {
+				if iter >= 100 {
+					return fmt.Errorf("eigen: tql2 failed to converge at index %d: %w", l, ErrNoConvergence)
+				}
+				g := d[l]
+				p := (d[l+1] - g) / (2 * e[l])
+				r := math.Hypot(p, 1)
+				if p < 0 {
+					r = -r
+				}
+				d[l] = e[l] / (p + r)
+				d[l+1] = e[l] * (p + r)
+				dl1 := d[l+1]
+				h := g - d[l]
+				for i := l + 2; i < n; i++ {
+					d[i] -= h
+				}
+				f += h
+				// Implicit QL transformation.
+				p = d[m]
+				c := 1.0
+				c2, c3 := c, c
+				el1 := e[l+1]
+				var s, s2 float64
+				for i := m - 1; i >= l; i-- {
+					c3 = c2
+					c2 = c
+					s2 = s
+					g = c * e[i]
+					h = c * p
+					r = math.Hypot(p, e[i])
+					e[i+1] = s * r
+					s = e[i] / r
+					c = p / r
+					p = c*d[i] - s*g
+					d[i+1] = h + s*(c*g+s*d[i])
+					for k := 0; k < n; k++ {
+						h = v[k][i+1]
+						v[k][i+1] = s*v[k][i] + c*h
+						v[k][i] = c*v[k][i] - s*h
+					}
+				}
+				p = -s * s2 * c3 * el1 * e[l] / dl1
+				e[l] = s * p
+				d[l] = c * p
+				if math.Abs(e[l]) <= eps*tst1 {
+					break
+				}
+			}
+		}
+		d[l] += f
+		e[l] = 0
+	}
+	// Sort eigenvalues ascending and reorder eigenvectors accordingly.
+	for i := 0; i < n-1; i++ {
+		k := i
+		p := d[i]
+		for j := i + 1; j < n; j++ {
+			if d[j] < p {
+				k = j
+				p = d[j]
+			}
+		}
+		if k != i {
+			d[k] = d[i]
+			d[i] = p
+			for j := 0; j < n; j++ {
+				v[j][i], v[j][k] = v[j][k], v[j][i]
+			}
+		}
+	}
+	return nil
+}

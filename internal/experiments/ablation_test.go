@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestAblationOrientation(t *testing.T) {
+	tbl, err := AblationOrientation(Config{Reps: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	// At strong discrimination the heuristic must orient correctly and the
+	// oriented accuracy must be high.
+	last := len(tbl.Rows) - 1
+	if tbl.Get(last, "correct-rate") < 0.99 {
+		t.Fatalf("orientation correct-rate %v at max discrimination", tbl.Get(last, "correct-rate"))
+	}
+	if tbl.Get(last, "oriented-rho") < 0.9 {
+		t.Fatalf("oriented ρ %v at max discrimination", tbl.Get(last, "oriented-rho"))
+	}
+	// Oriented must dominate raw on average (raw has arbitrary sign).
+	if tbl.MeanOf("oriented-rho") <= tbl.MeanOf("raw-rho") {
+		t.Fatalf("orientation does not help: %v vs %v",
+			tbl.MeanOf("oriented-rho"), tbl.MeanOf("raw-rho"))
+	}
+}
+
+func TestAblationConvergenceTol(t *testing.T) {
+	tbl, err := AblationConvergenceTol(Config{Reps: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	// Iterations must grow as the tolerance tightens.
+	first := tbl.Get(0, "iterations")
+	last := tbl.Get(len(tbl.Rows)-1, "iterations")
+	if last <= first {
+		t.Fatalf("iterations did not grow with tighter tolerance: %v -> %v", first, last)
+	}
+	// Accuracy at the default tolerance must match the tightest setting.
+	if tbl.Get(3, "rho") < tbl.Get(4, "rho")-0.01 {
+		t.Fatalf("1e-5 accuracy %v below 1e-8 accuracy %v", tbl.Get(3, "rho"), tbl.Get(4, "rho"))
+	}
+}

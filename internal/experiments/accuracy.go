@@ -1,0 +1,331 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"hitsndiffs/internal/c1p"
+	"hitsndiffs/internal/core"
+	"hitsndiffs/internal/grmest"
+	"hitsndiffs/internal/irt"
+	"hitsndiffs/internal/rank"
+	"hitsndiffs/internal/truth"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Reps is the number of repetitions averaged per data point
+	// (paper-style smoothing). Default 3.
+	Reps int
+	// Seed drives dataset generation; repetition r uses Seed+r.
+	Seed int64
+	// Quick trims the most expensive sweep points (large n/m and the
+	// GRM-estimator beyond small sizes) so the full suite stays fast.
+	Quick bool
+}
+
+func (c *Config) defaults() {
+	if c.Reps <= 0 {
+		c.Reps = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// methodSet builds the paper's Figure 4 competitor list. The GRM-estimator
+// is included only when includeGRM (it is orders of magnitude slower and,
+// per the paper's footnote, fails at large question counts).
+func methodSet(correct []int, includeGRM bool) []core.Ranker {
+	ms := []core.Ranker{
+		core.ABHPower{},
+		core.HNDPower{},
+		truth.HITS{},
+		truth.TruthFinder{},
+		truth.Investment{},
+		truth.PooledInvestment{},
+		truth.TrueAnswer{Correct: correct},
+	}
+	if includeGRM {
+		ms = append(ms, grmest.Estimator{})
+	}
+	return ms
+}
+
+// displayName maps ranker names to the paper's figure legend.
+func displayName(r core.Ranker) string {
+	switch r.Name() {
+	case "ABH-power":
+		return "ABH"
+	case "HnD-power":
+		return "HnD"
+	case "Invest":
+		return "Invest"
+	case "PooledInv":
+		return "PooledInv"
+	default:
+		return r.Name()
+	}
+}
+
+// MethodNames returns the legend order of the Figure 4 plots.
+func MethodNames(includeGRM bool) []string {
+	names := []string{"ABH", "HnD", "HITS", "TruthFinder", "Invest", "PooledInv", "True-Answer"}
+	if includeGRM {
+		names = append(names, "GRM-estimator")
+	}
+	return names
+}
+
+// evaluate runs every method on the dataset concurrently (all rankers are
+// pure readers of the response matrix) and returns Spearman accuracy
+// against the true abilities. Failed methods yield NaN.
+func evaluate(d *irt.Dataset, methods []core.Ranker) map[string]float64 {
+	type slot struct {
+		name string
+		rho  float64
+	}
+	results := make([]slot, len(methods))
+	var wg sync.WaitGroup
+	for idx, r := range methods {
+		wg.Add(1)
+		go func(idx int, r core.Ranker) {
+			defer wg.Done()
+			res, err := r.Rank(d.Responses)
+			if err != nil {
+				results[idx] = slot{displayName(r), math.NaN()}
+				return
+			}
+			results[idx] = slot{displayName(r), rank.Spearman(res.Scores, d.Abilities)}
+		}(idx, r)
+	}
+	wg.Wait()
+	out := make(map[string]float64, len(methods))
+	for _, s := range results {
+		out[s.name] = s.rho
+	}
+	return out
+}
+
+// average accumulates per-method means across repetition maps, skipping
+// NaNs.
+func average(samples []map[string]float64) map[string]float64 {
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, s := range samples {
+		for k, v := range s {
+			if !math.IsNaN(v) {
+				sums[k] += v
+				counts[k]++
+			}
+		}
+	}
+	out := make(map[string]float64, len(sums))
+	for k, s := range sums {
+		out[k] = s / float64(counts[k])
+	}
+	return out
+}
+
+// questionSweep returns the paper's n-axis {25..1600}, trimmed under Quick.
+func questionSweep(quick bool) []int {
+	if quick {
+		return []int{25, 50, 100, 200}
+	}
+	return []int{25, 50, 100, 200, 400, 800, 1600}
+}
+
+// Fig4VaryQuestions reproduces Figures 4a–4c: ranking accuracy as a
+// function of the number of questions for the given generative model.
+func Fig4VaryQuestions(model irt.ModelKind, cfg Config) (*Table, error) {
+	cfg.defaults()
+	name := fmt.Sprintf("fig4-%s-vs-n", model)
+	t := NewTable(name, fmt.Sprintf("Accuracy vs number of questions (%s)", model),
+		"questions", "spearman", MethodNames(true))
+	for _, n := range questionSweep(cfg.Quick) {
+		includeGRM := model == irt.ModelGRM && n <= 200 // paper footnote 12
+		var samples []map[string]float64
+		for r := 0; r < cfg.Reps; r++ {
+			gen := irt.DefaultConfig(model)
+			gen.Items = n
+			gen.Seed = cfg.Seed + int64(r)*1000 + int64(n)
+			d, err := irt.Generate(gen)
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, evaluate(d, methodSet(d.Correct, includeGRM)))
+		}
+		t.AddRow(float64(n), average(samples))
+	}
+	return t, nil
+}
+
+// Fig4VaryUsers reproduces Figure 4d (and 9a/9e for other models).
+func Fig4VaryUsers(model irt.ModelKind, cfg Config) (*Table, error) {
+	cfg.defaults()
+	sweep := []int{25, 50, 100, 200, 400, 800, 1600}
+	if cfg.Quick {
+		sweep = []int{25, 50, 100, 200}
+	}
+	t := NewTable(fmt.Sprintf("fig4-%s-vs-m", model),
+		fmt.Sprintf("Accuracy vs number of users (%s)", model),
+		"users", "spearman", MethodNames(true))
+	for _, m := range sweep {
+		includeGRM := model == irt.ModelGRM && m <= 200
+		var samples []map[string]float64
+		for r := 0; r < cfg.Reps; r++ {
+			gen := irt.DefaultConfig(model)
+			gen.Users = m
+			gen.Seed = cfg.Seed + int64(r)*1000 + int64(m)
+			d, err := irt.Generate(gen)
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, evaluate(d, methodSet(d.Correct, includeGRM)))
+		}
+		t.AddRow(float64(m), average(samples))
+	}
+	return t, nil
+}
+
+// Fig4VaryOptions reproduces Figure 4e (and 9b/9f): accuracy vs the number
+// of options k.
+func Fig4VaryOptions(model irt.ModelKind, cfg Config) (*Table, error) {
+	cfg.defaults()
+	sweep := []int{2, 3, 4, 5, 6}
+	if model == irt.ModelGRM {
+		sweep = []int{3, 4, 5, 6, 7} // GRM generation needs k ≥ 3
+	}
+	t := NewTable(fmt.Sprintf("fig4-%s-vs-k", model),
+		fmt.Sprintf("Accuracy vs number of options (%s)", model),
+		"options", "spearman", MethodNames(true))
+	for _, k := range sweep {
+		includeGRM := model == irt.ModelGRM
+		var samples []map[string]float64
+		for r := 0; r < cfg.Reps; r++ {
+			gen := irt.DefaultConfig(model)
+			gen.Options = k
+			gen.Seed = cfg.Seed + int64(r)*1000 + int64(k)
+			d, err := irt.Generate(gen)
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, evaluate(d, methodSet(d.Correct, includeGRM)))
+		}
+		t.AddRow(float64(k), average(samples))
+	}
+	return t, nil
+}
+
+// Fig4VaryDifficulty reproduces Figure 4f (and 9c/9g): the difficulty range
+// is shifted through seven windows; the x axis reports the measured average
+// user accuracy, as in the paper.
+func Fig4VaryDifficulty(model irt.ModelKind, cfg Config) (*Table, error) {
+	cfg.defaults()
+	windows := [][2]float64{
+		{-1, 0}, {-0.75, 0.25}, {-0.5, 0.5}, {-0.25, 0.75}, {0, 1}, {0.25, 1.25}, {0.5, 1.5},
+	}
+	t := NewTable(fmt.Sprintf("fig4-%s-vs-difficulty", model),
+		fmt.Sprintf("Accuracy vs question difficulty (%s)", model),
+		"mean-user-accuracy-%", "spearman", MethodNames(true))
+	for wi, w := range windows {
+		var samples []map[string]float64
+		var meanAcc float64
+		for r := 0; r < cfg.Reps; r++ {
+			gen := irt.DefaultConfig(model)
+			gen.DifficultyLow, gen.DifficultyHigh = w[0], w[1]
+			gen.Seed = cfg.Seed + int64(r)*1000 + int64(wi)
+			d, err := irt.Generate(gen)
+			if err != nil {
+				return nil, err
+			}
+			meanAcc += irt.MeanUserAccuracy(d)
+			samples = append(samples, evaluate(d, methodSet(d.Correct, model == irt.ModelGRM)))
+		}
+		meanAcc /= float64(cfg.Reps)
+		t.AddRow(math.Round(meanAcc*1000)/10, average(samples))
+	}
+	return t, nil
+}
+
+// Fig4VaryAnswerProb reproduces Figure 4g (and 9d/9h): accuracy when each
+// question is answered only with probability p.
+func Fig4VaryAnswerProb(model irt.ModelKind, cfg Config) (*Table, error) {
+	cfg.defaults()
+	t := NewTable(fmt.Sprintf("fig4-%s-vs-p", model),
+		fmt.Sprintf("Accuracy vs answer probability (%s)", model),
+		"answer-probability", "spearman", MethodNames(true))
+	for pi, p := range []float64{0.6, 0.7, 0.8, 0.9, 1.0} {
+		var samples []map[string]float64
+		for r := 0; r < cfg.Reps; r++ {
+			gen := irt.DefaultConfig(model)
+			gen.AnswerProb = p
+			gen.Seed = cfg.Seed + int64(r)*1000 + int64(pi)
+			d, err := irt.Generate(gen)
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, evaluate(d, methodSet(d.Correct, model == irt.ModelGRM)))
+		}
+		t.AddRow(p, average(samples))
+	}
+	return t, nil
+}
+
+// Fig4C1P reproduces Figure 4h: consistent (pre-P) response matrices, on
+// which only HND and ABH recover the exact ranking. BL is added as the
+// combinatorial reference.
+func Fig4C1P(cfg Config) (*Table, error) {
+	cfg.defaults()
+	methods := MethodNames(false)
+	methods = append(methods, "BL")
+	t := NewTable("fig4h-c1p", "Accuracy vs questions on consistent (C1P) data",
+		"questions", "spearman", methods)
+	for _, n := range questionSweep(cfg.Quick) {
+		var samples []map[string]float64
+		for r := 0; r < cfg.Reps; r++ {
+			gen := irt.DefaultConfig(irt.ModelGRM)
+			gen.Items = n
+			gen.Seed = cfg.Seed + int64(r)*1000 + int64(n)
+			d, err := irt.GenerateC1P(gen)
+			if err != nil {
+				return nil, err
+			}
+			ms := methodSet(d.Correct, false)
+			sample := evaluate(d, ms)
+			if res, err := (c1p.BL{}).Rank(d.Responses); err == nil {
+				sample["BL"] = rank.Spearman(res.Scores, d.Abilities)
+			} else {
+				sample["BL"] = math.NaN()
+			}
+			samples = append(samples, sample)
+		}
+		t.AddRow(float64(n), average(samples))
+	}
+	return t, nil
+}
+
+// Fig4VaryDiscrimination reproduces Figures 9i–9k: accuracy as a function
+// of the discrimination bound a_max.
+func Fig4VaryDiscrimination(model irt.ModelKind, cfg Config) (*Table, error) {
+	cfg.defaults()
+	t := NewTable(fmt.Sprintf("fig9-%s-vs-a", model),
+		fmt.Sprintf("Accuracy vs question discrimination (%s)", model),
+		"a-max", "spearman", MethodNames(true))
+	for _, amax := range []float64{2.5, 5, 10, 20, 40} {
+		var samples []map[string]float64
+		for r := 0; r < cfg.Reps; r++ {
+			gen := irt.DefaultConfig(model)
+			gen.DiscriminationMax = amax
+			gen.Seed = cfg.Seed + int64(r)*1000 + int64(amax)
+			d, err := irt.Generate(gen)
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, evaluate(d, methodSet(d.Correct, model == irt.ModelGRM)))
+		}
+		t.AddRow(amax, average(samples))
+	}
+	return t, nil
+}

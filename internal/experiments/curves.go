@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"hitsndiffs/internal/dataset"
+	"hitsndiffs/internal/irt"
+)
+
+// Fig13Scatter reproduces Figure 13a: the half-moon scatter of
+// (log discrimination, difficulty) item parameters. Each row is one sampled
+// item.
+func Fig13Scatter(items int, seed int64) *Table {
+	if items <= 0 {
+		items = 200
+	}
+	_, pts := dataset.HalfMoonItems(items, seed)
+	t := NewTable("fig13a-half-moon-scatter", "Half-moon distribution of item parameters",
+		"item", "value", []string{"log-a", "b", "c"})
+	for i, p := range pts {
+		t.AddRow(float64(i), map[string]float64{"log-a": p.LogA, "b": p.B, "c": p.C})
+	}
+	return t
+}
+
+// Fig8Curves reproduces Figure 8a/8b of the appendix: the probability of
+// choosing each of three options under a GRM item and under the Bock item
+// constructed to approximate it, sampled over the ability grid. Columns are
+// GRM-opt0..2 and Bock-opt0..2.
+func Fig8Curves(a float64, points int) *Table {
+	if a <= 0 {
+		a = 8
+	}
+	if points <= 0 {
+		points = 25
+	}
+	bs := []float64{-0.2, 0.2}
+	grm := irt.GRM{A: []float64{a}, B: [][]float64{bs}}
+	alpha, beta := irt.BockFromGRM(a, bs)
+	bock := irt.Bock{Alpha: [][]float64{alpha}, Beta: [][]float64{beta}}
+
+	t := NewTable("fig8-grm-vs-bock", "GRM vs Bock option probabilities (a=8, b=±0.2)",
+		"theta", "probability",
+		[]string{"GRM-opt0", "GRM-opt1", "GRM-opt2", "Bock-opt0", "Bock-opt1", "Bock-opt2"})
+	g := make([]float64, 3)
+	b := make([]float64, 3)
+	lo, hi := -0.75, 0.75
+	step := (hi - lo) / float64(points-1)
+	for p := 0; p < points; p++ {
+		theta := lo + float64(p)*step
+		grm.Probs(0, theta, g)
+		bock.Probs(0, theta, b)
+		t.AddRow(theta, map[string]float64{
+			"GRM-opt0": g[0], "GRM-opt1": g[1], "GRM-opt2": g[2],
+			"Bock-opt0": b[0], "Bock-opt1": b[1], "Bock-opt2": b[2],
+		})
+	}
+	return t
+}
+
+// Fig1Curves reproduces Figure 1c: the probability of picking the correct
+// answer for the three items of the running example under a GRM fit, as a
+// function of user ability.
+func Fig1Curves(points int) *Table {
+	if points <= 0 {
+		points = 21
+	}
+	// Three items of increasing difficulty over the [0, 1] ability range.
+	model := irt.GRM{
+		A: []float64{12, 12, 12},
+		B: [][]float64{{0.15, 0.35}, {0.35, 0.6}, {0.6, 0.85}},
+	}
+	t := NewTable("fig1c-example-curves", "P(correct) per item for the Figure 1 example",
+		"theta", "probability", []string{"item1", "item2", "item3"})
+	for p := 0; p < points; p++ {
+		theta := float64(p) / float64(points-1)
+		t.AddRow(theta, map[string]float64{
+			"item1": irt.ProbCorrect(model, 0, theta),
+			"item2": irt.ProbCorrect(model, 1, theta),
+			"item3": irt.ProbCorrect(model, 2, theta),
+		})
+	}
+	return t
+}

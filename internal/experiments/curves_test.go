@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFig13ScatterShapeAndHalfMoon(t *testing.T) {
+	tbl := Fig13Scatter(500, 7)
+	if len(tbl.Rows) != 500 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	// The defining property: difficulty spread is wider among highly
+	// discriminating items.
+	var hiB, loB []float64
+	for i := range tbl.Rows {
+		la := tbl.Get(i, "log-a")
+		b := tbl.Get(i, "b")
+		if la > 0.35 {
+			hiB = append(hiB, b)
+		} else if la < -0.35 {
+			loB = append(loB, b)
+		}
+	}
+	variance := func(xs []float64) float64 {
+		var mu float64
+		for _, x := range xs {
+			mu += x
+		}
+		mu /= float64(len(xs))
+		var v float64
+		for _, x := range xs {
+			v += (x - mu) * (x - mu)
+		}
+		return v / float64(len(xs))
+	}
+	if len(hiB) < 20 || len(loB) < 20 {
+		t.Fatalf("split sizes %d/%d", len(hiB), len(loB))
+	}
+	if variance(hiB) <= variance(loB) {
+		t.Fatalf("half-moon shape lost: var hi %v <= var lo %v", variance(hiB), variance(loB))
+	}
+}
+
+func TestFig8CurvesAgreeBetweenModels(t *testing.T) {
+	tbl := Fig8Curves(8, 25)
+	if len(tbl.Rows) != 25 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	for i := range tbl.Rows {
+		for opt := 0; opt < 3; opt++ {
+			g := tbl.Get(i, "GRM-opt"+string(rune('0'+opt)))
+			b := tbl.Get(i, "Bock-opt"+string(rune('0'+opt)))
+			if math.Abs(g-b) > 0.15 {
+				t.Fatalf("row %d option %d: GRM %v vs Bock %v", i, opt, g, b)
+			}
+		}
+	}
+}
+
+func TestFig1CurvesMonotoneAndOrdered(t *testing.T) {
+	tbl := Fig1Curves(21)
+	if len(tbl.Rows) != 21 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	// Each item's curve is non-decreasing in θ and easier items dominate.
+	for i := 1; i < len(tbl.Rows); i++ {
+		for _, item := range []string{"item1", "item2", "item3"} {
+			if tbl.Get(i, item) < tbl.Get(i-1, item)-1e-9 {
+				t.Fatalf("%s not monotone at row %d", item, i)
+			}
+		}
+	}
+	for i := range tbl.Rows {
+		if tbl.Get(i, "item1") < tbl.Get(i, "item3")-1e-9 {
+			t.Fatalf("easier item not dominating at row %d", i)
+		}
+	}
+}

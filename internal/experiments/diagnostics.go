@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"hitsndiffs/internal/core"
+	"hitsndiffs/internal/irt"
+)
+
+// Fig14Beta reproduces Figure 14a: the number of ABH-power iterations as a
+// function of the β coefficient, reported relative to the smallest count
+// (the paper divides by the minimum).
+func Fig14Beta(cfg Config) (*Table, error) {
+	cfg.defaults()
+	t := NewTable("fig14a-beta", "ABH-power iterations vs β coefficient (relative to minimum)",
+		"beta-multiplier", "relative-iterations", []string{"ABH-Power"})
+	gen := irt.DefaultConfig(irt.ModelSamejima)
+	gen.Seed = cfg.Seed
+	d, err := irt.Generate(gen)
+	if err != nil {
+		return nil, err
+	}
+	u := core.NewUpdate(d.Responses)
+	base := u.DiagCCT().NormInf()
+	multipliers := []float64{1, 2, 4, 6, 8, 10}
+	iters := make([]int, len(multipliers))
+	minIters := 0
+	for i, mult := range multipliers {
+		_, its, err := core.ABHDiffEigenvector(d.Responses, core.Options{Seed: cfg.Seed}, base*mult)
+		if err != nil {
+			return nil, err
+		}
+		iters[i] = its
+		if minIters == 0 || its < minIters {
+			minIters = its
+		}
+	}
+	for i, mult := range multipliers {
+		t.AddRow(mult, map[string]float64{
+			"ABH-Power": float64(iters[i]) / float64(minIters),
+		})
+	}
+	return t, nil
+}
+
+// Fig14Iterations reproduces Figure 14b: iteration counts of the power-
+// style implementations as the number of questions grows.
+func Fig14Iterations(cfg Config) (*Table, error) {
+	cfg.defaults()
+	methods := []string{"ABH-Power", "HnD-Deflation", "HnD-Power"}
+	t := NewTable("fig14b-iterations", "Iterations vs number of questions",
+		"questions", "iterations", methods)
+	sweep := []int{10, 100, 1000, 10000}
+	if cfg.Quick {
+		sweep = []int{10, 100, 1000}
+	}
+	for _, n := range sweep {
+		gen := irt.DefaultConfig(irt.ModelSamejima)
+		gen.Items = n
+		gen.Seed = cfg.Seed + int64(n)
+		d, err := irt.Generate(gen)
+		if err != nil {
+			return nil, err
+		}
+		_, abhIters, err := core.ABHDiffEigenvector(d.Responses, core.Options{Seed: cfg.Seed}, 0)
+		if err != nil {
+			return nil, err
+		}
+		_, hndIters, err := core.DiffEigenvector(d.Responses, core.Options{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		defRes, err := (core.HNDDeflation{Opts: core.Options{Seed: cfg.Seed}}).Rank(d.Responses)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(float64(n), map[string]float64{
+			"ABH-Power":     float64(abhIters),
+			"HnD-Power":     float64(hndIters),
+			"HnD-Deflation": float64(defRes.Iterations),
+		})
+	}
+	return t, nil
+}

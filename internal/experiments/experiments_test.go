@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"hitsndiffs/internal/irt"
+)
+
+func quickCfg() Config { return Config{Reps: 1, Seed: 2, Quick: true} }
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tbl := NewTable("demo", "Demo", "x", "y", []string{"A", "B"})
+	tbl.AddRow(1, map[string]float64{"A": 0.5, "B": math.NaN()})
+	tbl.AddRowText(2, "two", map[string]float64{"A": 1})
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "0.5000", "two", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines %d", len(lines))
+	}
+	if lines[0] != "x,A,B" {
+		t.Fatalf("csv header %q", lines[0])
+	}
+}
+
+func TestTableHelpers(t *testing.T) {
+	tbl := NewTable("demo", "Demo", "x", "y", []string{"A", "B"})
+	tbl.AddRow(1, map[string]float64{"A": 0.2, "B": 0.9})
+	tbl.AddRow(2, map[string]float64{"A": 0.4, "B": math.NaN()})
+	if w := tbl.Winner(0); w != "B" {
+		t.Fatalf("Winner = %q", w)
+	}
+	if w := tbl.Winner(1); w != "A" {
+		t.Fatalf("Winner row1 = %q", w)
+	}
+	if got := tbl.MeanOf("A"); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("MeanOf(A) = %v", got)
+	}
+	if got := tbl.MeanOf("B"); math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("MeanOf(B) = %v", got)
+	}
+	if !math.IsNaN(tbl.Get(1, "B")) || tbl.Get(0, "A") != 0.2 {
+		t.Fatal("Get wrong")
+	}
+}
+
+func TestFig4VaryQuestionsShape(t *testing.T) {
+	tbl, err := Fig4VaryQuestions(irt.ModelSamejima, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("quick sweep rows %d", len(tbl.Rows))
+	}
+	// HnD should be competitive: mean accuracy above 0.5 on Samejima.
+	if got := tbl.MeanOf("HnD"); got < 0.5 {
+		t.Fatalf("HnD mean accuracy %v", got)
+	}
+	// Accuracy should not degrade with more questions: last ≥ first − 0.1.
+	if tbl.Get(len(tbl.Rows)-1, "HnD") < tbl.Get(0, "HnD")-0.1 {
+		t.Fatal("HnD accuracy degrades with more questions")
+	}
+}
+
+func TestFig4C1PHnDAndABHPerfect(t *testing.T) {
+	tbl, err := Fig4C1P(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tbl.Rows {
+		for _, m := range []string{"HnD", "ABH", "BL"} {
+			if got := tbl.Get(i, m); got < 0.97 {
+				t.Errorf("%s row %d accuracy %v on C1P data", m, i, got)
+			}
+		}
+	}
+}
+
+func TestFig4VaryOptionsGRMUsesKAtLeast3(t *testing.T) {
+	tbl, err := Fig4VaryOptions(irt.ModelGRM, Config{Reps: 1, Seed: 3, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows[0].X != 3 {
+		t.Fatalf("GRM option sweep starts at %v", tbl.Rows[0].X)
+	}
+}
+
+func TestFig4VaryDifficultyXAxisIsAccuracy(t *testing.T) {
+	tbl, err := Fig4VaryDifficulty(irt.ModelSamejima, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("rows %d, want 7 windows", len(tbl.Rows))
+	}
+	// Harder windows (later rows) must have lower mean user accuracy.
+	if tbl.Rows[0].X <= tbl.Rows[len(tbl.Rows)-1].X {
+		t.Fatalf("difficulty shift did not reduce accuracy: %v -> %v",
+			tbl.Rows[0].X, tbl.Rows[len(tbl.Rows)-1].X)
+	}
+}
+
+func TestFig4VaryAnswerProb(t *testing.T) {
+	tbl, err := Fig4VaryAnswerProb(irt.ModelSamejima, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	if got := tbl.MeanOf("HnD"); got < 0.4 {
+		t.Fatalf("HnD mean %v under missing answers", got)
+	}
+}
+
+func TestFig5ScaleUsersShapes(t *testing.T) {
+	tbl, err := Fig5ScaleUsers(TimingConfig{Runs: 1, Seed: 2, Quick: true, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	// HnD-Power must have a measurement everywhere.
+	for i := range tbl.Rows {
+		if math.IsNaN(tbl.Get(i, "HnD-Power")) {
+			t.Fatalf("HnD-Power missing at row %d", i)
+		}
+	}
+}
+
+func TestFig6StabilityShapesAndDirection(t *testing.T) {
+	res, err := Fig6Stability(Config{Reps: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Variance.Rows) != 5 || len(res.Accuracy.Rows) != 5 {
+		t.Fatal("stability sweep should have 5 discrimination points")
+	}
+	// Section III-E's claim: HND's eigenvector variance stays below ABH's.
+	hLower := 0
+	for i := range res.Variance.Rows {
+		if res.Variance.Get(i, "HnD") < res.Variance.Get(i, "ABH") {
+			hLower++
+		}
+	}
+	if hLower < 3 {
+		t.Errorf("HnD variance lower at only %d/5 points", hLower)
+	}
+	// At the highest discrimination both methods should rank well.
+	last := len(res.Accuracy.Rows) - 1
+	if res.Accuracy.Get(last, "HnD") < 0.9 {
+		t.Errorf("HnD accuracy %v at a=16", res.Accuracy.Get(last, "HnD"))
+	}
+}
+
+func TestFig7RealWorldShapes(t *testing.T) {
+	per, avg, err := Fig7RealWorld(Config{Reps: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(per.Rows) != 6 {
+		t.Fatalf("per-dataset rows %d", len(per.Rows))
+	}
+	if len(avg.Rows) != 1 {
+		t.Fatalf("average rows %d", len(avg.Rows))
+	}
+	// Correlations are percentages.
+	if v := avg.Get(0, "HnD"); math.IsNaN(v) || v < -100 || v > 100 {
+		t.Fatalf("HnD average %v", v)
+	}
+}
+
+func TestFig12Shapes(t *testing.T) {
+	mean, std, err := Fig12AmericanExperience(Config{Reps: 2, Seed: 3, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mean.Rows) != 2 || len(std.Rows) != 2 {
+		t.Fatal("Fig12 should have two cohort sizes")
+	}
+	// Figure 12's qualitative takeaway: HnD within a few points of the
+	// cheating True-answer baseline.
+	if mean.Get(0, "HnD") < mean.Get(0, "True-answer")-15 {
+		t.Errorf("HnD %v far below True-answer %v", mean.Get(0, "HnD"), mean.Get(0, "True-answer"))
+	}
+}
+
+func TestFig13Shapes(t *testing.T) {
+	mean, _, err := Fig13HalfMoon(Config{Reps: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mean.Rows) != 1 {
+		t.Fatal("Fig13 should have one row")
+	}
+	// Figure 13's takeaway: HnD strong (≥85%) and well above TF.
+	if mean.Get(0, "HnD") < 80 {
+		t.Errorf("HnD half-moon accuracy %v", mean.Get(0, "HnD"))
+	}
+	if mean.Get(0, "HnD") <= mean.Get(0, "TF") {
+		t.Errorf("HnD %v not above TruthFinder %v", mean.Get(0, "HnD"), mean.Get(0, "TF"))
+	}
+}
+
+func TestFig14BetaMonotone(t *testing.T) {
+	tbl, err := Fig14Beta(Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 14a: iterations grow with β.
+	first := tbl.Get(0, "ABH-Power")
+	last := tbl.Get(len(tbl.Rows)-1, "ABH-Power")
+	if last <= first {
+		t.Fatalf("iterations did not grow with β: %v -> %v", first, last)
+	}
+}
+
+func TestFig14IterationsShapes(t *testing.T) {
+	tbl, err := Fig14Iterations(Config{Seed: 3, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	for i := range tbl.Rows {
+		for _, m := range []string{"ABH-Power", "HnD-Power", "HnD-Deflation"} {
+			if v := tbl.Get(i, m); math.IsNaN(v) || v < 1 {
+				t.Fatalf("%s row %d iterations %v", m, i, v)
+			}
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("median odd = %v", got)
+	}
+	if got := median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("median even = %v", got)
+	}
+	if !math.IsNaN(median(nil)) {
+		t.Fatal("median of empty should be NaN")
+	}
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"math"
+	"time"
+
+	"hitsndiffs/internal/core"
+	"hitsndiffs/internal/grmest"
+	"hitsndiffs/internal/irt"
+	"hitsndiffs/internal/response"
+)
+
+// TimingConfig controls the scalability experiments of Figure 5.
+type TimingConfig struct {
+	// Runs is the number of timed runs per point; the median is reported
+	// (the paper uses 5). Default 3.
+	Runs int
+	// Timeout drops a method from larger sizes once a single run exceeds
+	// it (the paper uses 1000 s). Default 10 s so the suite stays usable.
+	Timeout time.Duration
+	// Seed drives dataset generation.
+	Seed int64
+	// Quick caps the sweep at 10⁴ instead of 10⁵.
+	Quick bool
+}
+
+func (c *TimingConfig) defaults() {
+	if c.Runs <= 0 {
+		c.Runs = 3
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// scalabilityMethods returns the implementations compared in Figure 5.
+func scalabilityMethods() []core.Ranker {
+	return []core.Ranker{
+		grmest.Estimator{Opts: grmest.Options{EMIterations: 10}},
+		core.ABHPower{},
+		core.ABHDirect{},
+		core.HNDDirect{},
+		core.HNDDeflation{},
+		core.HNDPower{},
+	}
+}
+
+// ScalabilityMethodNames is the legend of Figure 5.
+func ScalabilityMethodNames() []string {
+	return []string{"GRM-estimator", "ABH-Power", "ABH-Direct", "HnD-Direct", "HnD-Deflation", "HnD-Power"}
+}
+
+func scalabilityDisplayName(r core.Ranker) string {
+	switch r.Name() {
+	case "ABH-power":
+		return "ABH-Power"
+	case "ABH-direct":
+		return "ABH-Direct"
+	case "HnD-direct":
+		return "HnD-Direct"
+	case "HnD-deflation":
+		return "HnD-Deflation"
+	case "HnD-power":
+		return "HnD-Power"
+	default:
+		return r.Name()
+	}
+}
+
+func sizeSweep(quick bool) []int {
+	if quick {
+		return []int{10, 100, 1000}
+	}
+	return []int{10, 100, 1000, 10000, 100000}
+}
+
+// timeMethods measures the median wall time of each still-alive method on
+// the dataset, marking methods that exceed the timeout as dead for larger
+// sizes.
+func timeMethods(m *response.Matrix, cfg TimingConfig, dead map[string]bool) map[string]float64 {
+	out := make(map[string]float64)
+	for _, r := range scalabilityMethods() {
+		name := scalabilityDisplayName(r)
+		if dead[name] {
+			out[name] = math.NaN()
+			continue
+		}
+		var times []float64
+		timedOut := false
+		for run := 0; run < cfg.Runs; run++ {
+			start := time.Now()
+			_, err := r.Rank(m)
+			elapsed := time.Since(start)
+			if err != nil {
+				timedOut = true
+				break
+			}
+			times = append(times, elapsed.Seconds())
+			if elapsed > cfg.Timeout {
+				timedOut = true
+				break
+			}
+		}
+		if len(times) == 0 {
+			out[name] = math.NaN()
+			dead[name] = true
+			continue
+		}
+		out[name] = median(times)
+		if timedOut {
+			dead[name] = true
+		}
+	}
+	return out
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid]
+	}
+	return (sorted[mid-1] + sorted[mid]) / 2
+}
+
+// Fig5ScaleUsers reproduces Figure 5a: execution time with n = 100
+// questions and m growing to 10⁵ users. The reported series should show
+// HnD-Power linear in m and the direct/ABH variants quadratic.
+func Fig5ScaleUsers(cfg TimingConfig) (*Table, error) {
+	cfg.defaults()
+	t := NewTable("fig5a-scale-users", "Execution time vs number of users (n=100)",
+		"users", "seconds", ScalabilityMethodNames())
+	dead := map[string]bool{}
+	for _, m := range sizeSweep(cfg.Quick) {
+		gen := irt.DefaultConfig(irt.ModelSamejima)
+		gen.Users = m
+		gen.Items = 100
+		gen.Seed = cfg.Seed + int64(m)
+		d, err := irt.Generate(gen)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(float64(m), timeMethods(d.Responses, cfg, dead))
+	}
+	return t, nil
+}
+
+// Fig5ScaleQuestions reproduces Figure 5b: execution time with m = 100
+// users and n growing to 10⁵ questions. Every implementation should be
+// near-linear here.
+func Fig5ScaleQuestions(cfg TimingConfig) (*Table, error) {
+	cfg.defaults()
+	t := NewTable("fig5b-scale-questions", "Execution time vs number of questions (m=100)",
+		"questions", "seconds", ScalabilityMethodNames())
+	dead := map[string]bool{}
+	for _, n := range sizeSweep(cfg.Quick) {
+		gen := irt.DefaultConfig(irt.ModelSamejima)
+		gen.Users = 100
+		gen.Items = n
+		gen.Seed = cfg.Seed + int64(n)
+		d, err := irt.Generate(gen)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(float64(n), timeMethods(d.Responses, cfg, dead))
+	}
+	return t, nil
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"math"
+
+	"hitsndiffs/internal/core"
+	"hitsndiffs/internal/irt"
+	"hitsndiffs/internal/mat"
+	"hitsndiffs/internal/rank"
+)
+
+// StabilityResult bundles the three panels of Figure 6: the variance of
+// the difference eigenvector each method ranks by, the normalized user
+// displacement across resampled response matrices, and the resulting
+// ranking accuracy, all as functions of the question discrimination.
+type StabilityResult struct {
+	Variance     *Table // Fig 6a
+	Displacement *Table // Fig 6b
+	Accuracy     *Table // Fig 6c
+}
+
+// stabilityModel builds the Section IV-D setup: m users with equally spaced
+// abilities in [0,1], n items with equally spaced difficulties in
+// [−0.5, 0.5] (all options of an item share the difficulty), and identical
+// discrimination a for every item.
+func stabilityModel(users, items, options int, a float64) (irt.GRM, mat.Vector) {
+	abilities := mat.NewVector(users)
+	for u := range abilities {
+		abilities[u] = float64(u) / float64(users-1)
+	}
+	disc := make([]float64, items)
+	bs := make([][]float64, items)
+	for i := range bs {
+		b := -0.5 + float64(i)/float64(items-1)
+		disc[i] = a
+		row := make([]float64, options-1)
+		for h := range row {
+			// GRM needs ascending thresholds; collapse toward a single
+			// difficulty with infinitesimal separation.
+			row[h] = b + 1e-9*float64(h)
+		}
+		bs[i] = row
+	}
+	return irt.GRM{A: disc, B: bs}, abilities
+}
+
+// Fig6Stability reproduces Figures 6a–6c: HND versus ABH as the question
+// discrimination sweeps 2⁰..2⁴, with Reps resampled response matrices per
+// point.
+func Fig6Stability(cfg Config) (*StabilityResult, error) {
+	cfg.defaults()
+	const users, items, options = 100, 100, 3
+	methods := []string{"ABH", "HnD"}
+	variance := NewTable("fig6a-variance", "Variance of the ranking eigenvector",
+		"discrimination", "variance", methods)
+	displacement := NewTable("fig6b-displacement", "Normalized user displacement across runs",
+		"discrimination", "displacement", methods)
+	accuracy := NewTable("fig6c-accuracy", "Ranking accuracy",
+		"discrimination", "spearman", methods)
+
+	for _, a := range []float64{1, 2, 4, 8, 16} {
+		model, abilities := stabilityModel(users, items, options, a)
+		var varH, varA float64
+		hndScores := make([]mat.Vector, 0, cfg.Reps)
+		abhScores := make([]mat.Vector, 0, cfg.Reps)
+		var accH, accA float64
+		for r := 0; r < cfg.Reps; r++ {
+			seed := cfg.Seed + int64(r)*977 + int64(a*31)
+			d := irt.GenerateFromModel(model, abilities, 1, seed)
+
+			hd, _, err := core.DiffEigenvector(d.Responses, core.Options{Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			varH += hd.Variance()
+			ad, _, err := core.ABHDiffEigenvector(d.Responses, core.Options{Seed: seed}, 0)
+			if err != nil {
+				return nil, err
+			}
+			varA += ad.Variance()
+
+			hres, err := (core.HNDPower{Opts: core.Options{Seed: seed}}).Rank(d.Responses)
+			if err != nil {
+				return nil, err
+			}
+			ares, err := (core.ABHPower{Opts: core.Options{Seed: seed}}).Rank(d.Responses)
+			if err != nil {
+				return nil, err
+			}
+			hndScores = append(hndScores, hres.Scores)
+			abhScores = append(abhScores, ares.Scores)
+			accH += rank.Spearman(hres.Scores, d.Abilities)
+			accA += rank.Spearman(ares.Scores, d.Abilities)
+		}
+		reps := float64(cfg.Reps)
+		variance.AddRow(a, map[string]float64{"HnD": varH / reps, "ABH": varA / reps})
+		displacement.AddRow(a, map[string]float64{
+			"HnD": meanPairwiseDisplacement(hndScores),
+			"ABH": meanPairwiseDisplacement(abhScores),
+		})
+		accuracy.AddRow(a, map[string]float64{"HnD": accH / reps, "ABH": accA / reps})
+	}
+	return &StabilityResult{Variance: variance, Displacement: displacement, Accuracy: accuracy}, nil
+}
+
+// meanPairwiseDisplacement averages the normalized user displacement over
+// all pairs of runs (Section IV-D's stability measure).
+func meanPairwiseDisplacement(scores []mat.Vector) float64 {
+	if len(scores) < 2 {
+		return math.NaN()
+	}
+	var s float64
+	var n int
+	for i := 0; i < len(scores); i++ {
+		for j := i + 1; j < len(scores); j++ {
+			s += rank.NormalizedDisplacement(scores[i], scores[j])
+			n++
+		}
+	}
+	return s / float64(n)
+}

@@ -1,0 +1,194 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation: the accuracy sweeps of Figure 4, the scalability curves of
+// Figure 5, the stability analysis of Figure 6, the (simulated) real-world
+// comparison of Figures 7/11, the supplementary sweeps of Figure 9, the
+// American-Experience and half-moon simulations of Figures 12/13, and the
+// ABH-power diagnostics of Figure 14. Each experiment returns a Table whose
+// rows mirror the series the paper plots.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table is one figure's worth of results: an x-axis sweep with one series
+// per method.
+type Table struct {
+	// Name identifies the experiment (e.g. "fig4a-grm-vs-n").
+	Name string
+	// Title is the human-readable caption.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// Methods fixes the series order.
+	Methods []string
+	// Rows holds one entry per swept x value.
+	Rows []Row
+}
+
+// Row is one x position with the per-method measurements. Missing values
+// (method timed out / not run) are NaN.
+type Row struct {
+	X      float64
+	XText  string // optional display override for X
+	Values map[string]float64
+}
+
+// NewTable allocates a table with the given series.
+func NewTable(name, title, xlabel, ylabel string, methods []string) *Table {
+	return &Table{
+		Name:    name,
+		Title:   title,
+		XLabel:  xlabel,
+		YLabel:  ylabel,
+		Methods: append([]string(nil), methods...),
+	}
+}
+
+// AddRow appends a measurement row.
+func (t *Table) AddRow(x float64, values map[string]float64) {
+	t.Rows = append(t.Rows, Row{X: x, Values: values})
+}
+
+// AddRowText appends a row with an explicit x display string.
+func (t *Table) AddRowText(x float64, text string, values map[string]float64) {
+	t.Rows = append(t.Rows, Row{X: x, XText: text, Values: values})
+}
+
+// Get returns the value for a method at row i (NaN when absent).
+func (t *Table) Get(i int, method string) float64 {
+	if v, ok := t.Rows[i].Values[method]; ok {
+		return v
+	}
+	return math.NaN()
+}
+
+// Render writes an aligned ASCII table, the library's stand-in for the
+// paper's plots.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s — %s\n", t.Name, t.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# x: %s   y: %s\n", t.XLabel, t.YLabel); err != nil {
+		return err
+	}
+	header := append([]string{t.XLabel}, t.Methods...)
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	cells := make([][]string, len(t.Rows))
+	for r, row := range t.Rows {
+		line := make([]string, len(header))
+		if row.XText != "" {
+			line[0] = row.XText
+		} else {
+			line[0] = trimFloat(row.X)
+		}
+		for c, m := range t.Methods {
+			v, ok := row.Values[m]
+			switch {
+			case !ok || math.IsNaN(v):
+				line[c+1] = "-"
+			default:
+				line[c+1] = fmt.Sprintf("%.4f", v)
+			}
+		}
+		for i, cell := range line {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+		cells[r] = line
+	}
+	writeLine := func(parts []string) error {
+		var b strings.Builder
+		for i, p := range parts {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], p)
+		}
+		b.WriteByte('\n')
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if err := writeLine(header); err != nil {
+		return err
+	}
+	for _, line := range cells {
+		if err := writeLine(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the table as CSV with the x column first.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cols := append([]string{t.XLabel}, t.Methods...)
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		parts := make([]string, 0, len(cols))
+		if row.XText != "" {
+			parts = append(parts, row.XText)
+		} else {
+			parts = append(parts, trimFloat(row.X))
+		}
+		for _, m := range t.Methods {
+			v, ok := row.Values[m]
+			if !ok || math.IsNaN(v) {
+				parts = append(parts, "")
+			} else {
+				parts = append(parts, fmt.Sprintf("%g", v))
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func trimFloat(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+// Winner returns the best method at row i (largest value), breaking ties
+// alphabetically for determinism.
+func (t *Table) Winner(i int) string {
+	best, bestV := "", math.Inf(-1)
+	methods := append([]string(nil), t.Methods...)
+	sort.Strings(methods)
+	for _, m := range methods {
+		if v, ok := t.Rows[i].Values[m]; ok && !math.IsNaN(v) && v > bestV {
+			best, bestV = m, v
+		}
+	}
+	return best
+}
+
+// MeanOf returns the mean of a method's values across rows, ignoring NaNs.
+func (t *Table) MeanOf(method string) float64 {
+	var s float64
+	var n int
+	for _, row := range t.Rows {
+		if v, ok := row.Values[method]; ok && !math.IsNaN(v) {
+			s += v
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return s / float64(n)
+}

@@ -1,0 +1,231 @@
+package grmest
+
+import (
+	"math"
+	"testing"
+
+	"hitsndiffs/internal/irt"
+	"hitsndiffs/internal/rank"
+	"hitsndiffs/internal/response"
+)
+
+func grmData(t *testing.T, users, items int, seed int64) *irt.Dataset {
+	t.Helper()
+	cfg := irt.DefaultConfig(irt.ModelGRM)
+	cfg.Users, cfg.Items, cfg.Seed = users, items, seed
+	d, err := irt.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestCategoryProbsSumToOneAndOrder(t *testing.T) {
+	p := itemParams{a: 2.5, b: []float64{-0.5, 0.4}}
+	dst := make([]float64, 3)
+	for theta := -3.0; theta <= 3; theta += 0.5 {
+		p.categoryProbs(theta, dst)
+		var s float64
+		for _, v := range dst {
+			if v < -1e-12 {
+				t.Fatalf("negative probability %v", v)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("probs sum %v at θ=%v", s, theta)
+		}
+	}
+	// Low θ → bottom category; high θ → top.
+	p.categoryProbs(-10, dst)
+	if dst[0] < 0.99 {
+		t.Fatalf("bottom category prob %v at low ability", dst[0])
+	}
+	p.categoryProbs(10, dst)
+	if dst[2] < 0.99 {
+		t.Fatalf("top category prob %v at high ability", dst[2])
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	p := itemParams{a: 3.7, b: []float64{-1.2, 0.1, 2.4}}
+	back := unpack(p.pack())
+	if math.Abs(back.a-p.a) > 1e-9 {
+		t.Fatalf("a: %v vs %v", back.a, p.a)
+	}
+	for h := range p.b {
+		if math.Abs(back.b[h]-p.b[h]) > 1e-6 {
+			t.Fatalf("b[%d]: %v vs %v", h, back.b[h], p.b[h])
+		}
+	}
+}
+
+func TestUnpackAlwaysAscending(t *testing.T) {
+	for _, x := range [][]float64{
+		{0, 0, 0, 0},
+		{1, -2, -5, 3},
+		{-1, 4, 0.0001, -8},
+	} {
+		p := unpack(x)
+		for h := 1; h < len(p.b); h++ {
+			if p.b[h] <= p.b[h-1] {
+				t.Fatalf("thresholds not ascending: %v", p.b)
+			}
+		}
+	}
+}
+
+func TestFitRecoversAbilityRanking(t *testing.T) {
+	d := grmData(t, 80, 80, 3)
+	fit, err := (Estimator{}).Fit(d.Responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rank.Spearman(fit.Abilities, d.Abilities); got < 0.75 {
+		t.Fatalf("EAP ρ = %v, want > 0.75", got)
+	}
+}
+
+func TestFitLogLikelihoodImproves(t *testing.T) {
+	d := grmData(t, 40, 30, 5)
+	short, err := (Estimator{Opts: Options{EMIterations: 1}}).Fit(d.Responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := (Estimator{Opts: Options{EMIterations: 15}}).Fit(d.Responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.LogLik < short.LogLik {
+		t.Fatalf("more EM rounds decreased log-likelihood: %v -> %v", short.LogLik, long.LogLik)
+	}
+}
+
+func TestFitThresholdsAscending(t *testing.T) {
+	d := grmData(t, 60, 40, 7)
+	fit, err := (Estimator{}).Fit(d.Responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, bs := range fit.B {
+		for h := 1; h < len(bs); h++ {
+			if bs[h] <= bs[h-1] {
+				t.Fatalf("item %d thresholds not ascending: %v", i, bs)
+			}
+		}
+		if fit.A[i] <= 0 {
+			t.Fatalf("item %d discrimination %v not positive", i, fit.A[i])
+		}
+	}
+}
+
+func TestRankImplementsRanker(t *testing.T) {
+	d := grmData(t, 30, 25, 9)
+	res, err := (Estimator{}).Rank(d.Responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) != 30 {
+		t.Fatalf("scores length %d", len(res.Scores))
+	}
+	if (Estimator{}).Name() != "GRM-estimator" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestFitHandlesMissingAnswers(t *testing.T) {
+	cfg := irt.DefaultConfig(irt.ModelGRM)
+	cfg.Users, cfg.Items, cfg.AnswerProb, cfg.Seed = 50, 40, 0.7, 11
+	d, err := irt.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := (Estimator{}).Fit(d.Responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range fit.Abilities {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			t.Fatalf("EAP ability %v", a)
+		}
+	}
+}
+
+func TestFitRejectsSingleUser(t *testing.T) {
+	m := response.New(2, 2, 3)
+	_ = m
+	one := response.New(2, 2, 3)
+	_ = one
+	if _, err := (Estimator{}).Fit(response.New(2, 2, 3)); err != nil {
+		t.Fatalf("2 users should be accepted: %v", err)
+	}
+}
+
+func TestEstimatorSeparatesExtremeUsers(t *testing.T) {
+	// Deterministic sanity check: one user answers everything with the best
+	// option, another always the worst; EAPs must be well separated.
+	m := response.New(10, 20, 3)
+	for i := 0; i < 20; i++ {
+		m.SetAnswer(0, i, 0) // best
+		m.SetAnswer(9, i, 2) // worst
+		for u := 1; u < 9; u++ {
+			m.SetAnswer(u, i, (u+i)%3)
+		}
+	}
+	fit, err := (Estimator{Opts: Options{EMIterations: 10}}).Fit(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Abilities[0] <= fit.Abilities[9] {
+		t.Fatalf("perfect user EAP %v not above hopeless user %v", fit.Abilities[0], fit.Abilities[9])
+	}
+}
+
+func TestFitBinaryItems(t *testing.T) {
+	// k=2 items degrade GRM to 2PL; the estimator must handle them (this is
+	// the Figure 12 configuration: the American Experience test is binary).
+	n := 40
+	model := irt.TwoPL{A: make([]float64, n), B: make([]float64, n)}
+	for i := range model.A {
+		model.A[i] = 1.5
+		model.B[i] = -1.5 + 3*float64(i)/float64(n-1)
+	}
+	d := irt.GenerateBinary(model, 60, 13)
+	fit, err := (Estimator{Opts: Options{EMIterations: 15}}).Fit(d.Responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rank.Spearman(fit.Abilities, d.Abilities); got < 0.8 {
+		t.Fatalf("binary EAP ρ = %v", got)
+	}
+	for i, bs := range fit.B {
+		if len(bs) != 1 {
+			t.Fatalf("binary item %d has %d thresholds", i, len(bs))
+		}
+	}
+}
+
+func TestFitRecoversDifficultyOrder(t *testing.T) {
+	// With plenty of users, the estimated per-item difficulty should
+	// correlate with the generating difficulty.
+	n := 30
+	model := irt.TwoPL{A: make([]float64, n), B: make([]float64, n)}
+	truthB := make([]float64, n)
+	for i := range model.A {
+		model.A[i] = 2
+		model.B[i] = -1.5 + 3*float64(i)/float64(n-1)
+		truthB[i] = model.B[i]
+	}
+	d := irt.GenerateBinary(model, 300, 17)
+	fit, err := (Estimator{Opts: Options{EMIterations: 20}}).Fit(d.Responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	estB := make([]float64, n)
+	for i, bs := range fit.B {
+		estB[i] = bs[0]
+	}
+	if got := rank.Spearman(estB, truthB); got < 0.9 {
+		t.Fatalf("difficulty recovery ρ = %v", got)
+	}
+}

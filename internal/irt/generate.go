@@ -1,0 +1,393 @@
+package irt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"hitsndiffs/internal/mat"
+	"hitsndiffs/internal/response"
+)
+
+// ModelKind selects a polytomous generative model.
+type ModelKind int
+
+// The three polytomous models used in the paper's experiments.
+const (
+	ModelGRM ModelKind = iota
+	ModelBock
+	ModelSamejima
+)
+
+// String implements fmt.Stringer.
+func (k ModelKind) String() string {
+	switch k {
+	case ModelGRM:
+		return "GRM"
+	case ModelBock:
+		return "Bock"
+	case ModelSamejima:
+		return "Samejima"
+	default:
+		return fmt.Sprintf("ModelKind(%d)", int(k))
+	}
+}
+
+// Config describes a synthetic ability-discovery workload. The zero value
+// is not usable; call Defaults or fill every field. Paper defaults
+// (Section IV-A): θ ∈ [0,1], b ∈ [−0.5,0.5], a ∈ [0,10], m = n = 100,
+// k = 3, every question answered.
+type Config struct {
+	Model   ModelKind
+	Users   int
+	Items   int
+	Options int
+	// AbilityLow/High bound the uniform ability distribution.
+	AbilityLow, AbilityHigh float64
+	// DifficultyLow/High bound the uniform difficulty distribution.
+	DifficultyLow, DifficultyHigh float64
+	// DiscriminationMax is the upper bound x of the per-item Bock/Samejima
+	// discrimination range [0, x]. GRM items draw from [0, 2x/(k+1)] so the
+	// average discriminations match across models (paper Appendix D).
+	DiscriminationMax float64
+	// AnswerProb is the independent probability p that a user answers any
+	// given question (paper Figure 4g). 1 means complete data.
+	AnswerProb float64
+	// Seed drives all randomness; equal seeds give equal datasets.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's default workload for the given model.
+func DefaultConfig(model ModelKind) Config {
+	return Config{
+		Model:             model,
+		Users:             100,
+		Items:             100,
+		Options:           3,
+		AbilityLow:        0,
+		AbilityHigh:       1,
+		DifficultyLow:     -0.5,
+		DifficultyHigh:    0.5,
+		DiscriminationMax: 10,
+		AnswerProb:        1,
+		Seed:              1,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Users < 1 || c.Items < 1 {
+		return fmt.Errorf("irt: config needs positive users/items, got %d/%d", c.Users, c.Items)
+	}
+	minK := 2
+	if c.Model == ModelGRM {
+		minK = 3 // mirrors the GIRTH generator's restriction noted in the paper
+	}
+	if c.Options < minK {
+		return fmt.Errorf("irt: %v needs at least %d options, got %d", c.Model, minK, c.Options)
+	}
+	if c.AbilityHigh < c.AbilityLow || c.DifficultyHigh < c.DifficultyLow {
+		return fmt.Errorf("irt: inverted parameter ranges")
+	}
+	if c.AnswerProb <= 0 || c.AnswerProb > 1 {
+		return fmt.Errorf("irt: answer probability %v outside (0,1]", c.AnswerProb)
+	}
+	if c.DiscriminationMax < 0 {
+		return fmt.Errorf("irt: negative discrimination bound %v", c.DiscriminationMax)
+	}
+	return nil
+}
+
+// Dataset is a generated workload: the observable responses plus the hidden
+// ground truth needed for evaluation.
+type Dataset struct {
+	// Responses is the observable response matrix.
+	Responses *response.Matrix
+	// Abilities is the hidden per-user ability θ (the evaluation ground
+	// truth; higher is better).
+	Abilities mat.Vector
+	// Correct is the correct option per item (always 0 under the package
+	// convention, recorded explicitly for the cheating baselines).
+	Correct []int
+	// Model is the generating model, retained for estimator experiments.
+	Model PolytomousModel
+}
+
+// Generate samples a synthetic dataset under cfg.
+func Generate(cfg Config) (*Dataset, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	model := sampleModel(cfg, rng)
+	return sampleResponses(cfg, model, rng)
+}
+
+// sampleModel draws item parameters for the configured model kind.
+func sampleModel(cfg Config, rng *rand.Rand) PolytomousModel {
+	k := cfg.Options
+	n := cfg.Items
+	switch cfg.Model {
+	case ModelGRM:
+		a := make([]float64, n)
+		b := make([][]float64, n)
+		// Appendix D: Bock draws a_ih from [0, x] ⇒ GRM draws a_i from
+		// [0, 2x/(k+1)] so average discriminations correspond.
+		grmMax := 2 * cfg.DiscriminationMax / float64(k+1)
+		for i := 0; i < n; i++ {
+			a[i] = rng.Float64() * grmMax
+			b[i] = sortedUniform(rng, k-1, cfg.DifficultyLow, cfg.DifficultyHigh)
+		}
+		return GRM{A: a, B: b}
+	case ModelBock:
+		alpha := make([][]float64, n)
+		beta := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			ai := rng.Float64() * 2 * cfg.DiscriminationMax / float64(k+1)
+			bs := sortedUniform(rng, k-1, cfg.DifficultyLow, cfg.DifficultyHigh)
+			alpha[i], beta[i] = BockFromGRM(ai, bs)
+		}
+		return Bock{Alpha: alpha, Beta: beta}
+	case ModelSamejima:
+		alpha := make([][]float64, n)
+		beta := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			ai := rng.Float64() * 2 * cfg.DiscriminationMax / float64(k+1)
+			bs := sortedUniform(rng, k, cfg.DifficultyLow, cfg.DifficultyHigh)
+			alpha[i], beta[i] = samejimaFromGRM(ai, bs)
+		}
+		return Samejima{Alpha: alpha, Beta: beta}
+	default:
+		panic(fmt.Sprintf("irt: unknown model kind %v", cfg.Model))
+	}
+}
+
+// BockFromGRM builds Bock category parameters that approximate a GRM item
+// with discrimination a and thresholds bs (paper Fig. 2 / Appendix C):
+// category h gets slope h·a and intercepts chosen so adjacent categories
+// cross at the GRM thresholds.
+func BockFromGRM(a float64, bs []float64) (alpha, beta []float64) {
+	k := len(bs) + 1
+	alpha = make([]float64, k)
+	beta = make([]float64, k)
+	for h := 1; h < k; h++ {
+		alpha[h] = float64(h) * a
+		beta[h] = beta[h-1] - a*bs[h-1]
+	}
+	return alpha, beta
+}
+
+// samejimaFromGRM builds Samejima parameters with a latent don't-know
+// category 0 (slope 0, intercept 0) and real categories 1..k whose adjacent
+// crossings sit at the thresholds bs (length k).
+func samejimaFromGRM(a float64, bs []float64) (alpha, beta []float64) {
+	k := len(bs)
+	alpha = make([]float64, k+1)
+	beta = make([]float64, k+1)
+	for h := 1; h <= k; h++ {
+		alpha[h] = float64(h) * a
+		beta[h] = beta[h-1] - a*bs[h-1]
+	}
+	return alpha, beta
+}
+
+func sortedUniform(rng *rand.Rand, count int, low, high float64) []float64 {
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = low + rng.Float64()*(high-low)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// sampleResponses draws abilities and categorical answers from the model.
+func sampleResponses(cfg Config, model PolytomousModel, rng *rand.Rand) (*Dataset, error) {
+	m := response.New(cfg.Users, cfg.Items, cfg.Options)
+	abilities := mat.NewVector(cfg.Users)
+	for u := range abilities {
+		abilities[u] = cfg.AbilityLow + rng.Float64()*(cfg.AbilityHigh-cfg.AbilityLow)
+	}
+	probs := make([]float64, cfg.Options)
+	for u := 0; u < cfg.Users; u++ {
+		for i := 0; i < cfg.Items; i++ {
+			if cfg.AnswerProb < 1 && rng.Float64() >= cfg.AnswerProb {
+				continue
+			}
+			model.Probs(i, abilities[u], probs)
+			m.SetAnswer(u, i, sampleCategorical(rng, probs))
+		}
+	}
+	correct := make([]int, cfg.Items)
+	return &Dataset{Responses: m, Abilities: abilities, Correct: correct, Model: model}, nil
+}
+
+func sampleCategorical(rng *rand.Rand, probs []float64) int {
+	r := rng.Float64()
+	var acc float64
+	for h, p := range probs {
+		acc += p
+		if r < acc {
+			return h
+		}
+	}
+	return len(probs) - 1 // guard against round-off
+}
+
+// GenerateC1P samples an ideal consistent-response dataset: a GRM item in
+// the a → ∞ limit is a pair of Heaviside steps, so a user with ability θ
+// deterministically picks the option whose threshold interval contains θ.
+// The resulting response matrix is a pre-P-matrix (paper Section II-C).
+//
+// Following the paper's Appendix D, the thresholds are drawn over the same
+// range as the abilities (both [0,1] in the paper) so that items actually
+// separate users, and abilities are drawn asymmetrically (10% in the lower
+// half, 90% in the upper half) so that the decile entropy heuristic has
+// signal to orient the ranking. The Difficulty* fields of cfg are ignored.
+func GenerateC1P(cfg Config) (*Dataset, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	k := cfg.Options
+	n := cfg.Items
+
+	thresholds := make([][]float64, n)
+	for i := range thresholds {
+		thresholds[i] = sortedUniform(rng, k-1, cfg.AbilityLow, cfg.AbilityHigh)
+	}
+
+	m := response.New(cfg.Users, cfg.Items, k)
+	abilities := mat.NewVector(cfg.Users)
+	mid := cfg.AbilityLow + (cfg.AbilityHigh-cfg.AbilityLow)/2
+	for u := range abilities {
+		if rng.Float64() < 0.1 {
+			abilities[u] = cfg.AbilityLow + rng.Float64()*(mid-cfg.AbilityLow)
+		} else {
+			abilities[u] = mid + rng.Float64()*(cfg.AbilityHigh-mid)
+		}
+	}
+	for u := 0; u < cfg.Users; u++ {
+		for i := 0; i < n; i++ {
+			if cfg.AnswerProb < 1 && rng.Float64() >= cfg.AnswerProb {
+				continue
+			}
+			// Count thresholds passed: category h = #\{b < θ\} ⇒ option k−1−h.
+			h := 0
+			for _, b := range thresholds[i] {
+				if abilities[u] > b {
+					h++
+				}
+			}
+			m.SetAnswer(u, i, k-1-h)
+		}
+	}
+	correct := make([]int, n)
+	// The implied infinite-discrimination GRM, for reference and curves.
+	a := make([]float64, n)
+	for i := range a {
+		a[i] = 1e6
+	}
+	return &Dataset{
+		Responses: m,
+		Abilities: abilities,
+		Correct:   correct,
+		Model:     GRM{A: a, B: thresholds},
+	}, nil
+}
+
+// GenerateFromModel samples responses from an explicit polytomous model and
+// explicit user abilities — the hook used by experiments that pin the model
+// parameters (e.g. the stability analysis of Section IV-D, which uses
+// equally spaced abilities and identical item discriminations).
+func GenerateFromModel(model PolytomousModel, abilities mat.Vector, answerProb float64, seed int64) *Dataset {
+	if len(abilities) < 1 || model.Items() < 1 {
+		panic("irt: GenerateFromModel needs users and items")
+	}
+	if answerProb <= 0 || answerProb > 1 {
+		panic(fmt.Sprintf("irt: answer probability %v outside (0,1]", answerProb))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := model.Items()
+	kMax := 0
+	per := make([]int, n)
+	for i := range per {
+		per[i] = model.Options(i)
+		if per[i] > kMax {
+			kMax = per[i]
+		}
+	}
+	m := response.New(len(abilities), n, per...)
+	probs := make([]float64, kMax)
+	for u := range abilities {
+		for i := 0; i < n; i++ {
+			if answerProb < 1 && rng.Float64() >= answerProb {
+				continue
+			}
+			dst := probs[:per[i]]
+			model.Probs(i, abilities[u], dst)
+			m.SetAnswer(u, i, sampleCategorical(rng, dst))
+		}
+	}
+	return &Dataset{
+		Responses: m,
+		Abilities: abilities.Clone(),
+		Correct:   make([]int, n),
+		Model:     model,
+	}
+}
+
+// GenerateBinary samples a dichotomous dataset from an explicit binary
+// model: user u answers item i correctly (option 0) with probability
+// model.ProbCorrect(i, θ_u). Abilities are drawn i.i.d. standard normal, the
+// convention of the DeMars-based simulation (paper Appendix D-C).
+func GenerateBinary(model BinaryModel, users int, seed int64) *Dataset {
+	if users < 1 {
+		panic("irt: GenerateBinary needs at least one user")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := model.Items()
+	m := response.New(users, n, 2)
+	abilities := mat.NewVector(users)
+	for u := range abilities {
+		abilities[u] = rng.NormFloat64()
+	}
+	for u := 0; u < users; u++ {
+		for i := 0; i < n; i++ {
+			if rng.Float64() < model.ProbCorrect(i, abilities[u]) {
+				m.SetAnswer(u, i, 0)
+			} else {
+				m.SetAnswer(u, i, 1)
+			}
+		}
+	}
+	return &Dataset{
+		Responses: m,
+		Abilities: abilities,
+		Correct:   make([]int, n),
+		Model:     BinaryAsPolytomous{M: model},
+	}
+}
+
+// MeanUserAccuracy returns the fraction of answered questions whose chosen
+// option is the correct one, averaged over all users: the x-axis of the
+// paper's difficulty-shift experiments (Figure 4f).
+func MeanUserAccuracy(d *Dataset) float64 {
+	var correct, total int
+	m := d.Responses
+	for u := 0; u < m.Users(); u++ {
+		for i := 0; i < m.Items(); i++ {
+			h := m.Answer(u, i)
+			if h == response.Unanswered {
+				continue
+			}
+			total++
+			if h == d.Correct[i] {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(correct) / float64(total)
+}

@@ -1,0 +1,409 @@
+package irt
+
+import (
+	"math"
+	"testing"
+
+	"hitsndiffs/internal/response"
+)
+
+func TestSigmoid(t *testing.T) {
+	if got := Sigmoid(0); got != 0.5 {
+		t.Fatalf("σ(0) = %v", got)
+	}
+	if got := Sigmoid(1000); got != 1 {
+		t.Fatalf("σ(1000) = %v", got)
+	}
+	if got := Sigmoid(-1000); got != 0 {
+		t.Fatalf("σ(-1000) = %v", got)
+	}
+	// Symmetry σ(−x) = 1 − σ(x).
+	for _, x := range []float64{0.1, 1, 3, 7} {
+		if math.Abs(Sigmoid(-x)-(1-Sigmoid(x))) > 1e-15 {
+			t.Fatalf("σ symmetry broken at %v", x)
+		}
+	}
+}
+
+func TestBinaryModelsMonotoneInAbility(t *testing.T) {
+	models := map[string]BinaryModel{
+		"1PL":  OnePL{B: []float64{0.2}},
+		"2PL":  TwoPL{A: []float64{2}, B: []float64{0.2}},
+		"GLAD": GLAD{A: []float64{2}},
+		"3PL":  ThreePL{A: []float64{2}, B: []float64{0.2}, C: []float64{0.25}},
+	}
+	for name, m := range models {
+		prev := -1.0
+		for theta := -3.0; theta <= 3.0; theta += 0.25 {
+			p := m.ProbCorrect(0, theta)
+			if p < 0 || p > 1 {
+				t.Fatalf("%s: probability %v outside [0,1]", name, p)
+			}
+			if p < prev {
+				t.Fatalf("%s: not monotone at θ=%v", name, theta)
+			}
+			prev = p
+		}
+	}
+}
+
+func Test3PLGuessingFloor(t *testing.T) {
+	m := ThreePL{A: []float64{5}, B: []float64{0}, C: []float64{0.25}}
+	if p := m.ProbCorrect(0, -100); math.Abs(p-0.25) > 1e-9 {
+		t.Fatalf("3PL floor = %v, want 0.25", p)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := ThreePL{A: []float64{1}, B: []float64{0}, C: []float64{1.5}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected validation error for c > 1")
+	}
+}
+
+func Test2PLSpecializations(t *testing.T) {
+	// 2PL with a = 1 equals 1PL.
+	two := TwoPL{A: []float64{1}, B: []float64{0.3}}
+	one := OnePL{B: []float64{0.3}}
+	for theta := -2.0; theta <= 2; theta += 0.5 {
+		if math.Abs(two.ProbCorrect(0, theta)-one.ProbCorrect(0, theta)) > 1e-15 {
+			t.Fatal("2PL(a=1) != 1PL")
+		}
+	}
+	// GLAD equals 2PL with b = 0.
+	glad := GLAD{A: []float64{2.5}}
+	two2 := TwoPL{A: []float64{2.5}, B: []float64{0}}
+	for theta := -2.0; theta <= 2; theta += 0.5 {
+		if math.Abs(glad.ProbCorrect(0, theta)-two2.ProbCorrect(0, theta)) > 1e-15 {
+			t.Fatal("GLAD != 2PL(b=0)")
+		}
+	}
+}
+
+func sumsToOne(t *testing.T, m PolytomousModel, name string) {
+	t.Helper()
+	for item := 0; item < m.Items(); item++ {
+		dst := make([]float64, m.Options(item))
+		for theta := -2.0; theta <= 3; theta += 0.4 {
+			m.Probs(item, theta, dst)
+			var s float64
+			for _, p := range dst {
+				if p < -1e-12 || p > 1+1e-12 {
+					t.Fatalf("%s: prob %v outside [0,1]", name, p)
+				}
+				s += p
+			}
+			if math.Abs(s-1) > 1e-9 {
+				t.Fatalf("%s: probs sum to %v at θ=%v", name, s, theta)
+			}
+		}
+	}
+}
+
+func TestGRMProbsSumToOne(t *testing.T) {
+	m := GRM{A: []float64{4}, B: [][]float64{{-0.2, 0.3}}}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sumsToOne(t, m, "GRM")
+}
+
+func TestGRMBestOptionDominatesAtHighAbility(t *testing.T) {
+	m := GRM{A: []float64{8}, B: [][]float64{{-0.2, 0.2}}}
+	dst := make([]float64, 3)
+	m.Probs(0, 5, dst)
+	if dst[0] < 0.99 {
+		t.Fatalf("high-ability best-option prob %v", dst[0])
+	}
+	m.Probs(0, -5, dst)
+	if dst[2] < 0.99 {
+		t.Fatalf("low-ability worst-option prob %v", dst[2])
+	}
+}
+
+func TestGRMValidateRejectsUnsorted(t *testing.T) {
+	m := GRM{A: []float64{1}, B: [][]float64{{0.5, -0.5}}}
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected error for unsorted thresholds")
+	}
+}
+
+func TestBockProbsSumToOne(t *testing.T) {
+	alpha, beta := BockFromGRM(4, []float64{-0.2, 0.3})
+	m := Bock{Alpha: [][]float64{alpha}, Beta: [][]float64{beta}}
+	sumsToOne(t, m, "Bock")
+}
+
+func TestBockRecovers2PLForK2(t *testing.T) {
+	// Bock with slopes {0, a} and intercepts {0, −a·b} must equal 2PL(a, b)
+	// for the correct-option probability.
+	a, b := 3.0, 0.25
+	alpha, beta := BockFromGRM(a, []float64{b})
+	m := Bock{Alpha: [][]float64{alpha}, Beta: [][]float64{beta}}
+	two := TwoPL{A: []float64{a}, B: []float64{b}}
+	dst := make([]float64, 2)
+	for theta := -2.0; theta <= 2; theta += 0.3 {
+		m.Probs(0, theta, dst)
+		want := two.ProbCorrect(0, theta)
+		if math.Abs(dst[0]-want) > 1e-12 {
+			t.Fatalf("Bock k=2 prob %v, 2PL %v at θ=%v", dst[0], want, theta)
+		}
+	}
+}
+
+func TestBockApproximatesGRM(t *testing.T) {
+	// Paper Fig. 8a: Bock with α_h = h·a approximates GRM with the same a.
+	a := 8.0
+	bs := []float64{-0.2, 0.2}
+	grm := GRM{A: []float64{a}, B: [][]float64{bs}}
+	alpha, beta := BockFromGRM(a, bs)
+	bock := Bock{Alpha: [][]float64{alpha}, Beta: [][]float64{beta}}
+	g := make([]float64, 3)
+	b := make([]float64, 3)
+	for theta := -0.6; theta <= 0.6; theta += 0.1 {
+		grm.Probs(0, theta, g)
+		bock.Probs(0, theta, b)
+		for h := 0; h < 3; h++ {
+			if math.Abs(g[h]-b[h]) > 0.2 {
+				t.Fatalf("GRM %v vs Bock %v at θ=%v option %d", g[h], b[h], theta, h)
+			}
+		}
+	}
+}
+
+func TestSamejimaProbsSumToOne(t *testing.T) {
+	alpha, beta := samejimaFromGRM(4, []float64{-0.3, 0, 0.3})
+	m := Samejima{Alpha: [][]float64{alpha}, Beta: [][]float64{beta}}
+	sumsToOne(t, m, "Samejima")
+}
+
+func TestSamejimaGuessingFloor(t *testing.T) {
+	// A hopeless user guesses uniformly: every option probability → 1/k.
+	k := 4
+	alpha, beta := samejimaFromGRM(6, []float64{-0.3, -0.1, 0.1, 0.3})
+	m := Samejima{Alpha: [][]float64{alpha}, Beta: [][]float64{beta}}
+	dst := make([]float64, k)
+	m.Probs(0, -50, dst)
+	for h, p := range dst {
+		if math.Abs(p-1.0/float64(k)) > 1e-6 {
+			t.Fatalf("option %d prob %v, want 1/%d", h, p, k)
+		}
+	}
+	// A perfect user still picks the best option.
+	m.Probs(0, 50, dst)
+	if dst[0] < 0.99 {
+		t.Fatalf("high-ability prob %v", dst[0])
+	}
+}
+
+func TestBinaryAsPolytomous(t *testing.T) {
+	b := BinaryAsPolytomous{M: OnePL{B: []float64{0}}}
+	dst := make([]float64, 2)
+	b.Probs(0, 0, dst)
+	if math.Abs(dst[0]-0.5) > 1e-12 || math.Abs(dst[1]-0.5) > 1e-12 {
+		t.Fatalf("binary adapter probs %v", dst)
+	}
+	if b.Options(0) != 2 || b.Items() != 1 {
+		t.Fatal("adapter shape wrong")
+	}
+}
+
+func TestResponseCurveMonotoneForGRM(t *testing.T) {
+	m := GRM{A: []float64{6}, B: [][]float64{{-0.1, 0.4}}}
+	thetas, probs := ResponseCurve(m, 0, -1, 2, 40)
+	if len(thetas) != 40 || len(probs) != 40 {
+		t.Fatal("curve length wrong")
+	}
+	for i := 1; i < len(probs); i++ {
+		if probs[i] < probs[i-1]-1e-12 {
+			t.Fatalf("best-option curve not monotone at %d", i)
+		}
+	}
+}
+
+func TestGenerateShapesAndDeterminism(t *testing.T) {
+	for _, kind := range []ModelKind{ModelGRM, ModelBock, ModelSamejima} {
+		cfg := DefaultConfig(kind)
+		cfg.Users, cfg.Items, cfg.Seed = 30, 20, 42
+		d1, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if d1.Responses.Users() != 30 || d1.Responses.Items() != 20 {
+			t.Fatalf("%v: shape wrong", kind)
+		}
+		d2, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < 30; u++ {
+			for i := 0; i < 20; i++ {
+				if d1.Responses.Answer(u, i) != d2.Responses.Answer(u, i) {
+					t.Fatalf("%v: same seed, different data", kind)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateAnswerProbability(t *testing.T) {
+	cfg := DefaultConfig(ModelSamejima)
+	cfg.Users, cfg.Items, cfg.AnswerProb, cfg.Seed = 200, 50, 0.6, 7
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var answered int
+	for u := 0; u < 200; u++ {
+		answered += d.Responses.AnswerCount(u)
+	}
+	frac := float64(answered) / float64(200*50)
+	if math.Abs(frac-0.6) > 0.03 {
+		t.Fatalf("answer fraction %v, want ≈0.6", frac)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	cfg := DefaultConfig(ModelGRM)
+	cfg.Options = 2 // GRM requires ≥ 3
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("expected GRM k=2 rejection")
+	}
+	cfg = DefaultConfig(ModelBock)
+	cfg.Options = 2 // Bock supports k=2
+	if _, err := Generate(cfg); err != nil {
+		t.Fatalf("Bock k=2 rejected: %v", err)
+	}
+	cfg = DefaultConfig(ModelSamejima)
+	cfg.AnswerProb = 0
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("expected rejection of p=0")
+	}
+}
+
+func TestHighDiscriminationImprovesAccuracySignal(t *testing.T) {
+	// With enormous discrimination, high-ability users answer almost
+	// everything correctly; low-ability users do not.
+	cfg := DefaultConfig(ModelGRM)
+	cfg.Users, cfg.Items, cfg.DiscriminationMax, cfg.Seed = 60, 80, 200, 3
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, worst := 0, 0
+	for u := 1; u < 60; u++ {
+		if d.Abilities[u] > d.Abilities[best] {
+			best = u
+		}
+		if d.Abilities[u] < d.Abilities[worst] {
+			worst = u
+		}
+	}
+	countCorrect := func(u int) int {
+		c := 0
+		for i := 0; i < 80; i++ {
+			if d.Responses.Answer(u, i) == 0 {
+				c++
+			}
+		}
+		return c
+	}
+	if countCorrect(best) <= countCorrect(worst) {
+		t.Fatalf("best user (%d correct) not ahead of worst (%d)", countCorrect(best), countCorrect(worst))
+	}
+}
+
+func TestGenerateC1PIsConsistent(t *testing.T) {
+	cfg := DefaultConfig(ModelGRM)
+	cfg.Users, cfg.Items, cfg.Seed = 40, 30, 5
+	d, err := GenerateC1P(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consistency: if user a is more able than user b, then for every item
+	// a's option index must be ≤ b's (smaller index = better).
+	m := d.Responses
+	for a := 0; a < m.Users(); a++ {
+		for b := 0; b < m.Users(); b++ {
+			if d.Abilities[a] <= d.Abilities[b] {
+				continue
+			}
+			for i := 0; i < m.Items(); i++ {
+				ha, hb := m.Answer(a, i), m.Answer(b, i)
+				if ha == response.Unanswered || hb == response.Unanswered {
+					continue
+				}
+				if ha > hb {
+					t.Fatalf("inconsistent: user %d (θ=%v) chose %d, user %d (θ=%v) chose %d on item %d",
+						a, d.Abilities[a], ha, b, d.Abilities[b], hb, i)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateC1PSortedIsPMatrix(t *testing.T) {
+	cfg := DefaultConfig(ModelGRM)
+	cfg.Users, cfg.Items, cfg.Seed = 25, 15, 9
+	d, err := GenerateC1P(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sort users by ability, then every column of the one-hot matrix must
+	// have consecutive ones.
+	order := d.Abilities.ArgSort()
+	sorted := d.Responses.PermuteUsers(order)
+	c := sorted.Binary()
+	for j := 0; j < c.Cols(); j++ {
+		state := 0 // 0 = before block, 1 = inside, 2 = after
+		for i := 0; i < c.Rows(); i++ {
+			one := c.At(i, j) != 0
+			switch {
+			case one && state == 0:
+				state = 1
+			case !one && state == 1:
+				state = 2
+			case one && state == 2:
+				t.Fatalf("column %d has two blocks of ones", j)
+			}
+		}
+	}
+}
+
+func TestGenerateBinary(t *testing.T) {
+	model := ThreePL{
+		A: []float64{1, 2, 0.5},
+		B: []float64{-0.5, 0, 0.5},
+		C: []float64{0.2, 0.2, 0.2},
+	}
+	d := GenerateBinary(model, 50, 11)
+	if d.Responses.Users() != 50 || d.Responses.Items() != 3 {
+		t.Fatal("shape wrong")
+	}
+	for u := 0; u < 50; u++ {
+		if d.Responses.AnswerCount(u) != 3 {
+			t.Fatal("binary generator must answer everything")
+		}
+	}
+}
+
+func TestMeanUserAccuracy(t *testing.T) {
+	m := response.New(2, 2, 2)
+	m.SetAnswer(0, 0, 0)
+	m.SetAnswer(0, 1, 0)
+	m.SetAnswer(1, 0, 1)
+	// One unanswered cell; 2 of 3 answered correctly.
+	d := &Dataset{Responses: m, Correct: []int{0, 0}}
+	if got := MeanUserAccuracy(d); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("MeanUserAccuracy = %v", got)
+	}
+}
+
+func TestModelKindString(t *testing.T) {
+	if ModelGRM.String() != "GRM" || ModelBock.String() != "Bock" || ModelSamejima.String() != "Samejima" {
+		t.Fatal("ModelKind strings wrong")
+	}
+	if ModelKind(9).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}

@@ -1,0 +1,213 @@
+package irt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PolytomousModel gives per-option choice probabilities for each item as a
+// function of ability. Option 0 is the best option by package convention.
+type PolytomousModel interface {
+	// Items returns the number of items.
+	Items() int
+	// Options returns the number of selectable options of the item.
+	Options(item int) int
+	// Probs fills dst (length Options(item)) with the probability of a user
+	// with ability theta choosing each option, summing to 1.
+	Probs(item int, theta float64, dst []float64)
+}
+
+// GRM is Samejima's graded response model (homogeneous case): one
+// discrimination a per item and ascending thresholds b₁ < … < b_{k−1}.
+// Internally category h ∈ {0..k−1} with larger h meaning "more steps
+// passed"; the exported option index is o = k−1−h so option 0 is best.
+type GRM struct {
+	// A is the per-item discrimination.
+	A []float64
+	// B is the per-item slice of k−1 ascending thresholds.
+	B [][]float64
+}
+
+// Items implements PolytomousModel.
+func (m GRM) Items() int { return len(m.A) }
+
+// Options implements PolytomousModel.
+func (m GRM) Options(item int) int { return len(m.B[item]) + 1 }
+
+// cumulative returns P*₍h₎(θ) = σ(a(θ − b_h)) for h = 1..k−1.
+func (m GRM) cumulative(item, h int, theta float64) float64 {
+	return Sigmoid(m.A[item] * (theta - m.B[item][h-1]))
+}
+
+// Probs implements PolytomousModel.
+func (m GRM) Probs(item int, theta float64, dst []float64) {
+	k := m.Options(item)
+	if len(dst) != k {
+		panic(fmt.Sprintf("irt: GRM Probs dst length %d, want %d", len(dst), k))
+	}
+	// Category h probability: P*_h − P*_{h+1}, with P*_0 = 1, P*_k = 0.
+	prev := 1.0
+	for h := 1; h <= k; h++ {
+		var cur float64
+		if h < k {
+			cur = m.cumulative(item, h, theta)
+		}
+		// Category h−1 maps to option k−1−(h−1) = k−h.
+		dst[k-h] = prev - cur
+		prev = cur
+	}
+}
+
+// Validate checks threshold monotonicity.
+func (m GRM) Validate() error {
+	if len(m.A) != len(m.B) {
+		return fmt.Errorf("irt: GRM parameter lengths differ: a=%d b=%d", len(m.A), len(m.B))
+	}
+	for i, bs := range m.B {
+		if !sort.Float64sAreSorted(bs) {
+			return fmt.Errorf("irt: GRM thresholds of item %d not ascending: %v", i, bs)
+		}
+	}
+	return nil
+}
+
+// Bock is Bock's nominal category model: multinomial logistic regression in
+// slope-intercept form. Category h has slope Alpha[i][h] and intercept
+// Beta[i][h]; the category with the largest slope is the best option, and
+// by construction index k−1 carries the largest slope so exported option
+// o = k−1−h.
+type Bock struct {
+	Alpha, Beta [][]float64
+}
+
+// Items implements PolytomousModel.
+func (m Bock) Items() int { return len(m.Alpha) }
+
+// Options implements PolytomousModel.
+func (m Bock) Options(item int) int { return len(m.Alpha[item]) }
+
+// Probs implements PolytomousModel.
+func (m Bock) Probs(item int, theta float64, dst []float64) {
+	k := m.Options(item)
+	if len(dst) != k {
+		panic(fmt.Sprintf("irt: Bock Probs dst length %d, want %d", len(dst), k))
+	}
+	softmaxInto(dst, m.Alpha[item], m.Beta[item], theta, true)
+}
+
+// Samejima is Samejima's multiple-choice model with a latent "don't know"
+// category 0: a low-ability user falls into the latent category and guesses
+// uniformly among the k real options. Alpha[i] and Beta[i] have length k+1
+// with index 0 the latent category; real categories 1..k map to exported
+// options o = k−h (so the highest real category is option 0).
+type Samejima struct {
+	Alpha, Beta [][]float64
+}
+
+// Items implements PolytomousModel.
+func (m Samejima) Items() int { return len(m.Alpha) }
+
+// Options implements PolytomousModel.
+func (m Samejima) Options(item int) int { return len(m.Alpha[item]) - 1 }
+
+// Probs implements PolytomousModel.
+func (m Samejima) Probs(item int, theta float64, dst []float64) {
+	k := m.Options(item)
+	if len(dst) != k {
+		panic(fmt.Sprintf("irt: Samejima Probs dst length %d, want %d", len(dst), k))
+	}
+	alpha, beta := m.Alpha[item], m.Beta[item]
+	// Stable softmax over k+1 categories.
+	logits := make([]float64, k+1)
+	maxLogit := math.Inf(-1)
+	for l := 0; l <= k; l++ {
+		logits[l] = alpha[l]*theta + beta[l]
+		if logits[l] > maxLogit {
+			maxLogit = logits[l]
+		}
+	}
+	var z float64
+	for l := range logits {
+		logits[l] = math.Exp(logits[l] - maxLogit)
+		z += logits[l]
+	}
+	dk := logits[0] / z // latent don't-know mass, spread uniformly
+	for h := 1; h <= k; h++ {
+		dst[k-h] = logits[h]/z + dk/float64(k)
+	}
+}
+
+// softmaxInto computes a numerically stable softmax of α_h·θ + β_h over the
+// categories. With reverseToOptions, category h is written to dst[k−1−h] so
+// that the highest category (largest slope) lands on option 0.
+func softmaxInto(dst, alpha, beta []float64, theta float64, reverseToOptions bool) {
+	k := len(alpha)
+	maxLogit := math.Inf(-1)
+	logits := make([]float64, k)
+	for h := 0; h < k; h++ {
+		logits[h] = alpha[h]*theta + beta[h]
+		if logits[h] > maxLogit {
+			maxLogit = logits[h]
+		}
+	}
+	var z float64
+	for h := range logits {
+		logits[h] = math.Exp(logits[h] - maxLogit)
+		z += logits[h]
+	}
+	for h := range logits {
+		p := logits[h] / z
+		if reverseToOptions {
+			dst[k-1-h] = p
+		} else {
+			dst[h] = p
+		}
+	}
+}
+
+// BinaryAsPolytomous adapts a binary model to the polytomous interface with
+// k = 2 options: option 0 is "correct", option 1 "incorrect".
+type BinaryAsPolytomous struct{ M BinaryModel }
+
+// Items implements PolytomousModel.
+func (b BinaryAsPolytomous) Items() int { return b.M.Items() }
+
+// Options implements PolytomousModel.
+func (b BinaryAsPolytomous) Options(int) int { return 2 }
+
+// Probs implements PolytomousModel.
+func (b BinaryAsPolytomous) Probs(item int, theta float64, dst []float64) {
+	if len(dst) != 2 {
+		panic("irt: BinaryAsPolytomous wants dst of length 2")
+	}
+	p := b.M.ProbCorrect(item, theta)
+	dst[0] = p
+	dst[1] = 1 - p
+}
+
+// ProbCorrect returns the probability that a user with ability theta picks
+// the best option (option 0) of the item: the quantity plotted in the
+// paper's Figure 1c.
+func ProbCorrect(m PolytomousModel, item int, theta float64) float64 {
+	dst := make([]float64, m.Options(item))
+	m.Probs(item, theta, dst)
+	return dst[0]
+}
+
+// ResponseCurve samples P(option 0 | θ) on a uniform θ grid, for plotting
+// item characteristic curves.
+func ResponseCurve(m PolytomousModel, item int, thetaLow, thetaHigh float64, points int) (thetas, probs []float64) {
+	if points < 2 {
+		panic("irt: ResponseCurve needs at least 2 points")
+	}
+	thetas = make([]float64, points)
+	probs = make([]float64, points)
+	step := (thetaHigh - thetaLow) / float64(points-1)
+	for i := 0; i < points; i++ {
+		th := thetaLow + float64(i)*step
+		thetas[i] = th
+		probs[i] = ProbCorrect(m, item, th)
+	}
+	return thetas, probs
+}

@@ -1,0 +1,301 @@
+package mat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a compressed-sparse-row matrix. It is the workhorse representation
+// for the (m × kn) one-hot response matrix C, whose rows each contain at most
+// n non-zeros.
+type CSR struct {
+	rows, cols int
+	rowPtr     []int     // len rows+1
+	colIdx     []int     // len nnz
+	val        []float64 // len nnz
+}
+
+// Coord is a single (Row, Col, Val) triplet used to assemble sparse matrices.
+type Coord struct {
+	Row, Col int
+	Val      float64
+}
+
+// NewCSR assembles a rows×cols CSR matrix from coordinate triplets.
+// Duplicate coordinates are summed. Entries equal to zero are kept out.
+func NewCSR(rows, cols int, entries []Coord) *CSR {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: NewCSR invalid shape %dx%d", rows, cols))
+	}
+	sorted := make([]Coord, 0, len(entries))
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			panic(fmt.Sprintf("mat: NewCSR entry (%d,%d) outside %dx%d", e.Row, e.Col, rows, cols))
+		}
+		if e.Val != 0 {
+			sorted = append(sorted, e)
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	m := &CSR{rows: rows, cols: cols, rowPtr: make([]int, rows+1)}
+	for i := 0; i < len(sorted); {
+		j := i + 1
+		v := sorted[i].Val
+		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
+			v += sorted[j].Val
+			j++
+		}
+		if v != 0 {
+			m.colIdx = append(m.colIdx, sorted[i].Col)
+			m.val = append(m.val, v)
+			m.rowPtr[sorted[i].Row+1]++
+		}
+		i = j
+	}
+	for r := 0; r < rows; r++ {
+		m.rowPtr[r+1] += m.rowPtr[r]
+	}
+	return m
+}
+
+// CSRFromDense converts a dense matrix to CSR, dropping zeros.
+func CSRFromDense(d *Dense) *CSR {
+	var entries []Coord
+	for i := 0; i < d.Rows(); i++ {
+		for j := 0; j < d.Cols(); j++ {
+			if v := d.At(i, j); v != 0 {
+				entries = append(entries, Coord{i, j, v})
+			}
+		}
+	}
+	return NewCSR(d.Rows(), d.Cols(), entries)
+}
+
+// Rows returns the number of rows.
+func (m *CSR) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *CSR) Cols() int { return m.cols }
+
+// NNZ returns the number of stored non-zero entries.
+func (m *CSR) NNZ() int { return len(m.val) }
+
+// At returns the (i, j) entry using a binary search within row i.
+func (m *CSR) At(i, j int) float64 {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	idx := sort.SearchInts(m.colIdx[lo:hi], j) + lo
+	if idx < hi && m.colIdx[idx] == j {
+		return m.val[idx]
+	}
+	return 0
+}
+
+// RowNNZ returns the column indices and values of row i as views.
+func (m *CSR) RowNNZ(i int) (cols []int, vals []float64) {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	return m.colIdx[lo:hi], m.val[lo:hi]
+}
+
+// Clone returns a deep copy of m.
+func (m *CSR) Clone() *CSR {
+	out := &CSR{
+		rows:   m.rows,
+		cols:   m.cols,
+		rowPtr: append([]int(nil), m.rowPtr...),
+		colIdx: append([]int(nil), m.colIdx...),
+		val:    append([]float64(nil), m.val...),
+	}
+	return out
+}
+
+// MulVec computes dst = m·x. dst must not alias x.
+func (m *CSR) MulVec(dst, x Vector) Vector {
+	if len(x) != m.cols || len(dst) != m.rows {
+		panic(fmt.Sprintf("mat: CSR MulVec shape mismatch (%dx%d)·%d -> %d", m.rows, m.cols, len(x), len(dst)))
+	}
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			s += m.val[p] * x[m.colIdx[p]]
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
+// MulVecT computes dst = mᵀ·x without materializing the transpose.
+// dst must not alias x.
+func (m *CSR) MulVecT(dst, x Vector) Vector {
+	if len(x) != m.rows || len(dst) != m.cols {
+		panic("mat: CSR MulVecT shape mismatch")
+	}
+	dst.Fill(0)
+	for i := 0; i < m.rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			dst[m.colIdx[p]] += m.val[p] * xi
+		}
+	}
+	return dst
+}
+
+// RowSums returns the per-row sums of m.
+func (m *CSR) RowSums() Vector {
+	out := NewVector(m.rows)
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			s += m.val[p]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ColSums returns the per-column sums of m.
+func (m *CSR) ColSums() Vector {
+	out := NewVector(m.cols)
+	for p, j := range m.colIdx {
+		out[j] += m.val[p]
+	}
+	return out
+}
+
+// ScaleRows returns a new CSR whose row i equals m's row i multiplied by
+// f[i].
+func (m *CSR) ScaleRows(f Vector) *CSR {
+	if len(f) != m.rows {
+		panic("mat: ScaleRows length mismatch")
+	}
+	out := m.Clone()
+	for i := 0; i < m.rows; i++ {
+		for p := out.rowPtr[i]; p < out.rowPtr[i+1]; p++ {
+			out.val[p] *= f[i]
+		}
+	}
+	return out
+}
+
+// ScaleCols returns a new CSR whose column j equals m's column j multiplied
+// by f[j].
+func (m *CSR) ScaleCols(f Vector) *CSR {
+	if len(f) != m.cols {
+		panic("mat: ScaleCols length mismatch")
+	}
+	out := m.Clone()
+	for p, j := range out.colIdx {
+		out.val[p] *= f[j]
+	}
+	return out
+}
+
+// RowNormalized returns a copy of m with each non-empty row scaled to sum 1.
+func (m *CSR) RowNormalized() *CSR {
+	sums := m.RowSums()
+	inv := NewVector(m.rows)
+	for i, s := range sums {
+		if s != 0 {
+			inv[i] = 1 / s
+		}
+	}
+	return m.ScaleRows(inv)
+}
+
+// ColNormalized returns a copy of m with each non-empty column scaled to
+// sum 1.
+func (m *CSR) ColNormalized() *CSR {
+	sums := m.ColSums()
+	inv := NewVector(m.cols)
+	for j, s := range sums {
+		if s != 0 {
+			inv[j] = 1 / s
+		}
+	}
+	return m.ScaleCols(inv)
+}
+
+// ToDense expands m to a dense matrix.
+func (m *CSR) ToDense() *Dense {
+	out := NewDense(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			out.Set(i, m.colIdx[p], m.val[p])
+		}
+	}
+	return out
+}
+
+// T returns the transpose of m as a new CSR matrix.
+func (m *CSR) T() *CSR {
+	entries := make([]Coord, 0, m.NNZ())
+	for i := 0; i < m.rows; i++ {
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			entries = append(entries, Coord{Row: m.colIdx[p], Col: i, Val: m.val[p]})
+		}
+	}
+	return NewCSR(m.cols, m.rows, entries)
+}
+
+// MulCSRT returns the dense product m·bᵀ, i.e. the (m.rows × b.rows) matrix
+// of row-pair dot products. It is used to materialize CC^T and the AvgHITS
+// update matrix U for the "direct" method variants.
+func (m *CSR) MulCSRT(b *CSR) *Dense {
+	if m.cols != b.cols {
+		panic("mat: MulCSRT inner dimension mismatch")
+	}
+	out := NewDense(m.rows, b.rows)
+	// For each column c of both operands, accumulate outer products of the
+	// column supports. We iterate b row-wise and scatter through a dense
+	// column accumulator of m's rows indexed by column.
+	// Simpler approach: scratch dense vector per row of m.
+	scratch := NewVector(m.cols)
+	for i := 0; i < m.rows; i++ {
+		cols, vals := m.RowNNZ(i)
+		for t, c := range cols {
+			scratch[c] = vals[t]
+		}
+		for j := 0; j < b.rows; j++ {
+			var s float64
+			bc, bv := b.RowNNZ(j)
+			for t, c := range bc {
+				s += bv[t] * scratch[c]
+			}
+			out.Set(i, j, s)
+		}
+		for _, c := range cols {
+			scratch[c] = 0
+		}
+	}
+	return out
+}
+
+// Laplacian returns the dense Laplacian L = D - m·mᵀ of the square of m,
+// where D is the diagonal matrix of row sums of m·mᵀ. This is the matrix
+// used by the ABH method of Atkins et al.
+func (m *CSR) Laplacian() *Dense {
+	g := m.MulCSRT(m) // CC^T
+	n := g.Rows()
+	l := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		var d float64
+		for j := 0; j < n; j++ {
+			d += g.At(i, j)
+		}
+		for j := 0; j < n; j++ {
+			if i == j {
+				l.Set(i, j, d-g.At(i, j))
+			} else {
+				l.Set(i, j, -g.At(i, j))
+			}
+		}
+	}
+	return l
+}

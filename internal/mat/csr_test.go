@@ -1,0 +1,210 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randSparse(rng *rand.Rand, r, c int, density float64) *CSR {
+	var entries []Coord
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if rng.Float64() < density {
+				entries = append(entries, Coord{i, j, rng.NormFloat64()})
+			}
+		}
+	}
+	// Guarantee at least one entry so matrices are never entirely empty.
+	if len(entries) == 0 {
+		entries = append(entries, Coord{0, 0, 1})
+	}
+	return NewCSR(r, c, entries)
+}
+
+func TestNewCSRDuplicatesSummed(t *testing.T) {
+	m := NewCSR(2, 2, []Coord{{0, 0, 1}, {0, 0, 2}, {1, 1, 3}})
+	if m.At(0, 0) != 3 {
+		t.Fatalf("duplicate sum = %v", m.At(0, 0))
+	}
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ = %d", m.NNZ())
+	}
+}
+
+func TestNewCSRDropsZeros(t *testing.T) {
+	m := NewCSR(2, 2, []Coord{{0, 0, 0}, {1, 0, 1}, {1, 0, -1}})
+	if m.NNZ() != 0 {
+		t.Fatalf("NNZ = %d, want 0 (explicit zero and cancelling duplicates)", m.NNZ())
+	}
+}
+
+func TestNewCSROutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCSR(2, 2, []Coord{{2, 0, 1}})
+}
+
+func TestCSRAt(t *testing.T) {
+	m := NewCSR(3, 4, []Coord{{0, 3, 5}, {2, 1, -2}})
+	if m.At(0, 3) != 5 || m.At(2, 1) != -2 || m.At(1, 1) != 0 {
+		t.Fatal("At wrong values")
+	}
+}
+
+func TestCSRDenseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := randDense(rng, 6, 9)
+	m := CSRFromDense(d)
+	back := m.ToDense()
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 9; j++ {
+			if d.At(i, j) != back.At(i, j) {
+				t.Fatal("round trip mismatch")
+			}
+		}
+	}
+}
+
+func TestCSRMulVecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		r := 1 + rng.Intn(15)
+		c := 1 + rng.Intn(15)
+		s := randSparse(rng, r, c, 0.3)
+		d := s.ToDense()
+		x := NewVector(c)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := NewVector(r)
+		want := NewVector(r)
+		s.MulVec(got, x)
+		d.MulVec(want, x)
+		if !got.Equal(want, 1e-10) {
+			t.Fatalf("MulVec mismatch trial %d", trial)
+		}
+		y := NewVector(r)
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+		gt := NewVector(c)
+		wt := NewVector(c)
+		s.MulVecT(gt, y)
+		d.MulVecT(wt, y)
+		if !gt.Equal(wt, 1e-10) {
+			t.Fatalf("MulVecT mismatch trial %d", trial)
+		}
+	}
+}
+
+func TestCSRTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := randSparse(rng, 5, 8, 0.4)
+	tt := s.T()
+	if tt.Rows() != 8 || tt.Cols() != 5 {
+		t.Fatalf("T shape %dx%d", tt.Rows(), tt.Cols())
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 8; j++ {
+			if s.At(i, j) != tt.At(j, i) {
+				t.Fatal("transpose mismatch")
+			}
+		}
+	}
+}
+
+func TestRowColSums(t *testing.T) {
+	m := NewCSR(2, 3, []Coord{{0, 0, 1}, {0, 2, 2}, {1, 2, 3}})
+	if !m.RowSums().Equal(Vector{3, 3}, 0) {
+		t.Fatalf("RowSums = %v", m.RowSums())
+	}
+	if !m.ColSums().Equal(Vector{1, 0, 5}, 0) {
+		t.Fatalf("ColSums = %v", m.ColSums())
+	}
+}
+
+func TestRowColNormalized(t *testing.T) {
+	m := NewCSR(2, 3, []Coord{{0, 0, 1}, {0, 2, 3}, {1, 1, 2}})
+	rn := m.RowNormalized()
+	if !rn.RowSums().Equal(Vector{1, 1}, 1e-12) {
+		t.Fatalf("RowNormalized sums %v", rn.RowSums())
+	}
+	cn := m.ColNormalized()
+	sums := cn.ColSums()
+	if math.Abs(sums[0]-1) > 1e-12 || math.Abs(sums[1]-1) > 1e-12 || math.Abs(sums[2]-1) > 1e-12 {
+		t.Fatalf("ColNormalized sums %v", sums)
+	}
+}
+
+func TestNormalizedSkipsEmptyRowsCols(t *testing.T) {
+	m := NewCSR(3, 3, []Coord{{0, 0, 2}})
+	rn := m.RowNormalized()
+	if rn.At(0, 0) != 1 {
+		t.Fatal("non-empty row not normalized")
+	}
+	if rn.RowSums()[1] != 0 {
+		t.Fatal("empty row acquired mass")
+	}
+}
+
+func TestMulCSRTMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randSparse(rng, 4, 7, 0.5)
+	b := randSparse(rng, 5, 7, 0.5)
+	got := a.MulCSRT(b)
+	want := a.ToDense().Mul(b.ToDense().T())
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 5; j++ {
+			if math.Abs(got.At(i, j)-want.At(i, j)) > 1e-10 {
+				t.Fatalf("MulCSRT mismatch at (%d,%d): %v vs %v", i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+func TestLaplacianRowSumsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := randSparse(rng, 6, 10, 0.4)
+	l := c.Laplacian()
+	rs := l.RowSums()
+	for i, s := range rs {
+		if math.Abs(s) > 1e-9 {
+			t.Fatalf("Laplacian row %d sums to %v", i, s)
+		}
+	}
+	if !l.IsSymmetric(1e-9) {
+		t.Fatal("Laplacian not symmetric")
+	}
+}
+
+func TestScaleRowsCols(t *testing.T) {
+	m := NewCSR(2, 2, []Coord{{0, 0, 1}, {1, 1, 2}})
+	sr := m.ScaleRows(Vector{2, 3})
+	if sr.At(0, 0) != 2 || sr.At(1, 1) != 6 {
+		t.Fatal("ScaleRows wrong")
+	}
+	sc := m.ScaleCols(Vector{5, 7})
+	if sc.At(0, 0) != 5 || sc.At(1, 1) != 14 {
+		t.Fatal("ScaleCols wrong")
+	}
+	// Original untouched.
+	if m.At(0, 0) != 1 {
+		t.Fatal("ScaleRows mutated receiver")
+	}
+}
+
+func TestRowNNZViews(t *testing.T) {
+	m := NewCSR(2, 4, []Coord{{0, 1, 5}, {0, 3, 6}})
+	cols, vals := m.RowNNZ(0)
+	if len(cols) != 2 || cols[0] != 1 || cols[1] != 3 || vals[0] != 5 || vals[1] != 6 {
+		t.Fatalf("RowNNZ = %v %v", cols, vals)
+	}
+	cols, _ = m.RowNNZ(1)
+	if len(cols) != 0 {
+		t.Fatal("empty row should have no entries")
+	}
+}

@@ -1,0 +1,237 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64 // len rows*cols, row-major
+}
+
+// NewDense returns a zeroed rows×cols matrix. It panics on non-positive
+// dimensions so shape bugs surface at construction time.
+func NewDense(rows, cols int) *Dense {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: NewDense invalid shape %dx%d", rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// DenseFromRows builds a matrix from a slice of equal-length rows.
+func DenseFromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("mat: DenseFromRows empty input")
+	}
+	m := NewDense(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic(fmt.Sprintf("mat: DenseFromRows ragged row %d", i))
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns the (i, j) entry.
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the (i, j) entry.
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Add accumulates v onto the (i, j) entry.
+func (m *Dense) Add(i, j int, v float64) { m.data[i*m.cols+j] += v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Dense) Row(i int) Vector { return Vector(m.data[i*m.cols : (i+1)*m.cols]) }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// MulVec computes dst = m·x. dst must have length m.Rows() and x length
+// m.Cols(); dst must not alias x.
+func (m *Dense) MulVec(dst, x Vector) Vector {
+	if len(x) != m.cols || len(dst) != m.rows {
+		panic(fmt.Sprintf("mat: MulVec shape mismatch (%dx%d)·%d -> %d", m.rows, m.cols, len(x), len(dst)))
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, a := range row {
+			s += a * x[j]
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
+// MulVecT computes dst = mᵀ·x. dst must have length m.Cols() and x length
+// m.Rows(); dst must not alias x.
+func (m *Dense) MulVecT(dst, x Vector) Vector {
+	if len(x) != m.rows || len(dst) != m.cols {
+		panic("mat: MulVecT shape mismatch")
+	}
+	dst.Fill(0)
+	for i := 0; i < m.rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, a := range row {
+			dst[j] += a * xi
+		}
+	}
+	return dst
+}
+
+// Mul returns the product m·b as a new matrix.
+func (m *Dense) Mul(b *Dense) *Dense {
+	if m.cols != b.rows {
+		panic(fmt.Sprintf("mat: Mul shape mismatch (%dx%d)·(%dx%d)", m.rows, m.cols, b.rows, b.cols))
+	}
+	out := NewDense(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		arow := m.data[i*m.cols : (i+1)*m.cols]
+		orow := out.data[i*b.cols : (i+1)*b.cols]
+		for kk, a := range arow {
+			if a == 0 {
+				continue
+			}
+			brow := b.data[kk*b.cols : (kk+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += a * bv
+			}
+		}
+	}
+	return out
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Dense) T() *Dense {
+	out := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.data[j*out.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return out
+}
+
+// Sub returns m - b as a new matrix.
+func (m *Dense) Sub(b *Dense) *Dense {
+	if m.rows != b.rows || m.cols != b.cols {
+		panic("mat: Sub shape mismatch")
+	}
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] -= b.data[i]
+	}
+	return out
+}
+
+// ScaleInPlace multiplies every entry by a and returns m.
+func (m *Dense) ScaleInPlace(a float64) *Dense {
+	for i := range m.data {
+		m.data[i] *= a
+	}
+	return m
+}
+
+// RowSums returns the vector of per-row sums.
+func (m *Dense) RowSums() Vector {
+	out := NewVector(m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.Row(i).Sum()
+	}
+	return out
+}
+
+// IsSymmetric reports whether m is square and symmetric within tol.
+func (m *Dense) IsSymmetric(tol float64) bool {
+	if m.rows != m.cols {
+		return false
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := i + 1; j < m.cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsRMatrix reports whether the square matrix m satisfies the R-matrix
+// property of Atkins et al. (values non-increasing as one moves away from
+// the diagonal along each row) within tol, together with symmetry.
+func (m *Dense) IsRMatrix(tol float64) bool {
+	if !m.IsSymmetric(tol) {
+		return false
+	}
+	n := m.rows
+	for j := 0; j < n; j++ {
+		// Right of the diagonal: entries must be non-increasing in i.
+		for i := j + 1; i+1 < n; i++ {
+			if m.At(j, i) < m.At(j, i+1)-tol {
+				return false
+			}
+		}
+		// Left of the diagonal: entries must be non-decreasing toward it.
+		for i := 0; i+1 <= j-1; i++ {
+			if m.At(j, i) > m.At(j, i+1)+tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// PermuteRows returns a new matrix whose row r is m's row perm[r].
+func (m *Dense) PermuteRows(perm []int) *Dense {
+	if len(perm) != m.rows {
+		panic("mat: PermuteRows length mismatch")
+	}
+	out := NewDense(m.rows, m.cols)
+	for r, src := range perm {
+		copy(out.data[r*m.cols:(r+1)*m.cols], m.data[src*m.cols:(src+1)*m.cols])
+	}
+	return out
+}
+
+// String renders m with aligned columns for debugging and small examples.
+func (m *Dense) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%8.4f", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,185 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func randDense(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func TestDenseBasics(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(0, 1, 5)
+	m.Add(0, 1, 2)
+	if m.At(0, 1) != 7 {
+		t.Fatalf("At = %v", m.At(0, 1))
+	}
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+}
+
+func TestNewDensePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDense(0, 3)
+}
+
+func TestDenseFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DenseFromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestIdentityMulVec(t *testing.T) {
+	id := Identity(4)
+	x := Vector{1, 2, 3, 4}
+	dst := NewVector(4)
+	id.MulVec(dst, x)
+	if !dst.Equal(x, 0) {
+		t.Fatalf("I·x = %v", dst)
+	}
+}
+
+func TestMulVecKnown(t *testing.T) {
+	m := DenseFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	dst := NewVector(3)
+	m.MulVec(dst, Vector{1, -1})
+	if !dst.Equal(Vector{-1, -1, -1}, 1e-12) {
+		t.Fatalf("MulVec = %v", dst)
+	}
+	dt := NewVector(2)
+	m.MulVecT(dt, Vector{1, 1, 1})
+	if !dt.Equal(Vector{9, 12}, 1e-12) {
+		t.Fatalf("MulVecT = %v", dt)
+	}
+}
+
+func TestMulMatchesMulVecColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randDense(rng, 4, 5)
+	b := randDense(rng, 5, 3)
+	p := a.Mul(b)
+	// Column j of p must equal a·(column j of b).
+	for j := 0; j < 3; j++ {
+		col := NewVector(5)
+		for i := 0; i < 5; i++ {
+			col[i] = b.At(i, j)
+		}
+		want := NewVector(4)
+		a.MulVec(want, col)
+		for i := 0; i < 4; i++ {
+			if math.Abs(p.At(i, j)-want[i]) > 1e-12 {
+				t.Fatalf("Mul mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randDense(rng, 3, 7)
+	tt := a.T().T()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 7; j++ {
+			if a.At(i, j) != tt.At(i, j) {
+				t.Fatal("T().T() differs from original")
+			}
+		}
+	}
+}
+
+func TestSubScaleRowSums(t *testing.T) {
+	a := DenseFromRows([][]float64{{1, 2}, {3, 4}})
+	b := DenseFromRows([][]float64{{1, 1}, {1, 1}})
+	c := a.Sub(b)
+	if c.At(1, 1) != 3 {
+		t.Fatalf("Sub = %v", c.At(1, 1))
+	}
+	c.ScaleInPlace(2)
+	if c.At(1, 1) != 6 {
+		t.Fatalf("ScaleInPlace = %v", c.At(1, 1))
+	}
+	rs := a.RowSums()
+	if !rs.Equal(Vector{3, 7}, 0) {
+		t.Fatalf("RowSums = %v", rs)
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	s := DenseFromRows([][]float64{{1, 2}, {2, 1}})
+	if !s.IsSymmetric(0) {
+		t.Fatal("symmetric matrix rejected")
+	}
+	a := DenseFromRows([][]float64{{1, 2}, {3, 1}})
+	if a.IsSymmetric(0.5) {
+		t.Fatal("asymmetric matrix accepted")
+	}
+	r := DenseFromRows([][]float64{{1, 2, 3}})
+	if r.IsSymmetric(0) {
+		t.Fatal("non-square matrix accepted")
+	}
+}
+
+func TestIsRMatrix(t *testing.T) {
+	// Classic R-matrix: entries fall off away from the diagonal.
+	r := DenseFromRows([][]float64{
+		{3, 2, 1},
+		{2, 3, 2},
+		{1, 2, 3},
+	})
+	if !r.IsRMatrix(1e-12) {
+		t.Fatal("R-matrix rejected")
+	}
+	bad := DenseFromRows([][]float64{
+		{3, 1, 2},
+		{1, 3, 1},
+		{2, 1, 3},
+	})
+	if bad.IsRMatrix(1e-12) {
+		t.Fatal("non-R-matrix accepted")
+	}
+}
+
+func TestPermuteRows(t *testing.T) {
+	a := DenseFromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	p := a.PermuteRows([]int{2, 0, 1})
+	if p.At(0, 0) != 3 || p.At(1, 0) != 1 || p.At(2, 0) != 2 {
+		t.Fatalf("PermuteRows wrong: %v", p)
+	}
+}
+
+func TestDenseString(t *testing.T) {
+	s := Identity(2).String()
+	if !strings.Contains(s, "1.0000") {
+		t.Fatalf("String output %q", s)
+	}
+	if strings.Count(s, "\n") != 2 {
+		t.Fatalf("expected 2 lines, got %q", s)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := Identity(2)
+	b := a.Clone()
+	b.Set(0, 0, 9)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}

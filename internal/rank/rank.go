@@ -1,0 +1,179 @@
+// Package rank provides the ranking utilities and rank-correlation metrics
+// used to evaluate ability discovery methods: Spearman's ρ (the paper's
+// accuracy measure, preferred over Kendall's τ in the presence of ties),
+// Kendall's τ-b, average ranks with tie handling, normalized user
+// displacement, and Shannon entropy for the decile symmetry-breaking
+// heuristic.
+package rank
+
+import (
+	"fmt"
+	"math"
+
+	"hitsndiffs/internal/mat"
+)
+
+// AverageRanks converts scores to 1-based ranks where tied scores receive
+// the average of the ranks they span (the convention required by Spearman's
+// ρ with ties). Higher scores receive higher ranks.
+func AverageRanks(scores mat.Vector) mat.Vector {
+	n := len(scores)
+	order := scores.ArgSort()
+	ranks := mat.NewVector(n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && scores[order[j+1]] == scores[order[i]] {
+			j++
+		}
+		// Positions i..j (0-based) share the average rank.
+		avg := float64(i+j)/2 + 1
+		for t := i; t <= j; t++ {
+			ranks[order[t]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Pearson returns the Pearson correlation coefficient of x and y, or NaN if
+// either has zero variance.
+func Pearson(x, y mat.Vector) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("rank: Pearson length mismatch %d vs %d", len(x), len(y)))
+	}
+	n := float64(len(x))
+	if n == 0 {
+		return math.NaN()
+	}
+	mx, my := x.Mean(), y.Mean()
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx := x[i] - mx
+		dy := y[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns Spearman's rank correlation coefficient between the two
+// score vectors: the Pearson correlation of their average ranks. It ranges
+// in [-1, 1] and handles ties by average ranks.
+func Spearman(x, y mat.Vector) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("rank: Spearman length mismatch %d vs %d", len(x), len(y)))
+	}
+	return Pearson(AverageRanks(x), AverageRanks(y))
+}
+
+// Kendall returns Kendall's τ-b between two score vectors, with the standard
+// tie correction. The implementation is the O(n²) pair count, which is ample
+// for the evaluation sizes used here.
+func Kendall(x, y mat.Vector) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("rank: Kendall length mismatch %d vs %d", len(x), len(y)))
+	}
+	n := len(x)
+	var concordant, discordant, tiesX, tiesY float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := x[i] - x[j]
+			dy := y[i] - y[j]
+			switch {
+			case dx == 0 && dy == 0:
+				// Joint tie: excluded from both tie counts in τ-b.
+			case dx == 0:
+				tiesX++
+			case dy == 0:
+				tiesY++
+			case dx*dy > 0:
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	den := math.Sqrt((concordant + discordant + tiesX) * (concordant + discordant + tiesY))
+	if den == 0 {
+		return math.NaN()
+	}
+	return (concordant - discordant) / den
+}
+
+// OrderFromScores returns user indices sorted by descending score, i.e. the
+// ranking "best user first" induced by a score vector.
+func OrderFromScores(scores mat.Vector) []int {
+	asc := scores.ArgSort()
+	for i, j := 0, len(asc)-1; i < j; i, j = i+1, j-1 {
+		asc[i], asc[j] = asc[j], asc[i]
+	}
+	return asc
+}
+
+// ScoresFromOrder inverts OrderFromScores: position p in order receives
+// score m-p so that order[0] has the largest score. Useful for comparing an
+// explicit ordering with correlation metrics.
+func ScoresFromOrder(order []int) mat.Vector {
+	s := mat.NewVector(len(order))
+	for p, u := range order {
+		s[u] = float64(len(order) - p)
+	}
+	return s
+}
+
+// NormalizedDisplacement returns the mean absolute difference between each
+// element's rank under scores a and b, scaled to [0, 1] by the number of
+// users. This is the "normalized user displacement" stability measure of
+// the paper's Section IV-D.
+func NormalizedDisplacement(a, b mat.Vector) float64 {
+	if len(a) != len(b) {
+		panic("rank: NormalizedDisplacement length mismatch")
+	}
+	m := float64(len(a))
+	if m == 0 {
+		return 0
+	}
+	ra := AverageRanks(a)
+	rb := AverageRanks(b)
+	var s float64
+	for i := range ra {
+		s += math.Abs(ra[i] - rb[i])
+	}
+	return s / (m * m)
+}
+
+// Entropy returns the Shannon entropy (in nats) of the empirical
+// distribution given by non-negative counts. Zero counts contribute
+// nothing; an all-zero histogram has entropy 0.
+func Entropy(counts []int) float64 {
+	var total float64
+	for _, c := range counts {
+		if c < 0 {
+			panic("rank: Entropy negative count")
+		}
+		total += float64(c)
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / total
+		h -= p * math.Log(p)
+	}
+	return h
+}
+
+// AbsSpearman returns |Spearman(x, y)|, the orientation-free accuracy used
+// when a method's ranking direction is resolved separately (e.g. by the
+// decile entropy heuristic).
+func AbsSpearman(x, y mat.Vector) float64 {
+	return math.Abs(Spearman(x, y))
+}

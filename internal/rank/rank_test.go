@@ -1,0 +1,234 @@
+package rank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hitsndiffs/internal/mat"
+)
+
+func TestAverageRanksNoTies(t *testing.T) {
+	r := AverageRanks(mat.Vector{10, 30, 20})
+	if !r.Equal(mat.Vector{1, 3, 2}, 0) {
+		t.Fatalf("ranks = %v", r)
+	}
+}
+
+func TestAverageRanksWithTies(t *testing.T) {
+	r := AverageRanks(mat.Vector{1, 2, 2, 3})
+	if !r.Equal(mat.Vector{1, 2.5, 2.5, 4}, 0) {
+		t.Fatalf("ranks = %v", r)
+	}
+	r = AverageRanks(mat.Vector{5, 5, 5})
+	if !r.Equal(mat.Vector{2, 2, 2}, 0) {
+		t.Fatalf("all-tied ranks = %v", r)
+	}
+}
+
+func TestSpearmanPerfectAndReverse(t *testing.T) {
+	x := mat.Vector{1, 2, 3, 4, 5}
+	if got := Spearman(x, x); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("ρ(x,x) = %v", got)
+	}
+	y := x.Clone().Reverse()
+	if got := Spearman(x, y); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("ρ(x,rev) = %v", got)
+	}
+}
+
+func TestSpearmanKnownValue(t *testing.T) {
+	// Classic example: ranks differing by one swap of adjacent items.
+	x := mat.Vector{1, 2, 3, 4}
+	y := mat.Vector{2, 1, 3, 4}
+	// d = (1,-1,0,0); ρ = 1 - 6·Σd²/(n(n²-1)) = 1 - 12/60 = 0.8
+	if got := Spearman(x, y); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("ρ = %v, want 0.8", got)
+	}
+}
+
+func TestSpearmanInvariantUnderMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := mat.NewVector(50)
+	y := mat.NewVector(50)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	base := Spearman(x, y)
+	xt := x.Clone()
+	for i := range xt {
+		xt[i] = math.Exp(xt[i]) // strictly monotone transform
+	}
+	if got := Spearman(xt, y); math.Abs(got-base) > 1e-9 {
+		t.Fatalf("Spearman not invariant: %v vs %v", got, base)
+	}
+}
+
+func TestSpearmanConstantVectorNaN(t *testing.T) {
+	if got := Spearman(mat.Vector{1, 1, 1}, mat.Vector{1, 2, 3}); !math.IsNaN(got) {
+		t.Fatalf("ρ with constant vector = %v, want NaN", got)
+	}
+}
+
+// Property: Spearman is symmetric and bounded in [-1, 1].
+func TestPropertySpearmanSymmetricBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		x := mat.NewVector(n)
+		y := mat.NewVector(n)
+		for i := range x {
+			x[i] = float64(rng.Intn(10)) // ties likely
+			y[i] = float64(rng.Intn(10))
+		}
+		a := Spearman(x, y)
+		b := Spearman(y, x)
+		if math.IsNaN(a) {
+			return math.IsNaN(b)
+		}
+		return math.Abs(a-b) < 1e-12 && a >= -1-1e-12 && a <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKendallBasics(t *testing.T) {
+	x := mat.Vector{1, 2, 3, 4}
+	if got := Kendall(x, x); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("τ(x,x) = %v", got)
+	}
+	if got := Kendall(x, x.Clone().Reverse()); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("τ(x,rev) = %v", got)
+	}
+	// One adjacent swap in 4 elements: τ = (C-D)/pairs = (5-1)/6.
+	y := mat.Vector{2, 1, 3, 4}
+	if got := Kendall(x, y); math.Abs(got-4.0/6) > 1e-12 {
+		t.Fatalf("τ = %v, want %v", got, 4.0/6)
+	}
+}
+
+func TestKendallTies(t *testing.T) {
+	x := mat.Vector{1, 1, 2}
+	y := mat.Vector{1, 2, 3}
+	// Pairs: (0,1) tie in x; (0,2) concordant; (1,2) concordant.
+	// τ-b = 2 / sqrt((2+1)·2) = 2/sqrt(6).
+	want := 2 / math.Sqrt(6)
+	if got := Kendall(x, y); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("τ-b = %v, want %v", got, want)
+	}
+}
+
+func TestKendallAllTiedNaN(t *testing.T) {
+	if got := Kendall(mat.Vector{1, 1}, mat.Vector{2, 2}); !math.IsNaN(got) {
+		t.Fatalf("τ all-tied = %v, want NaN", got)
+	}
+}
+
+// Property: Kendall and Spearman agree in sign on tie-free data.
+func TestPropertyKendallSpearmanSignAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		n := 5 + rng.Intn(30)
+		x := mat.NewVector(n)
+		y := mat.NewVector(n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = 0.8*x[i] + 0.3*rng.NormFloat64() // correlated
+		}
+		s := Spearman(x, y)
+		k := Kendall(x, y)
+		if s*k < 0 && math.Abs(s) > 0.1 && math.Abs(k) > 0.1 {
+			t.Fatalf("sign disagreement: ρ=%v τ=%v", s, k)
+		}
+	}
+}
+
+func TestOrderFromScoresAndBack(t *testing.T) {
+	s := mat.Vector{0.3, 0.9, 0.1}
+	order := OrderFromScores(s)
+	if order[0] != 1 || order[1] != 0 || order[2] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+	back := ScoresFromOrder(order)
+	if got := Spearman(back, s); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("round-trip ρ = %v", got)
+	}
+}
+
+func TestNormalizedDisplacement(t *testing.T) {
+	a := mat.Vector{1, 2, 3, 4}
+	if got := NormalizedDisplacement(a, a); got != 0 {
+		t.Fatalf("self displacement = %v", got)
+	}
+	b := a.Clone().Reverse()
+	// Ranks 1..4 vs 4..1: |d| = 3+1+1+3 = 8; normalized by m² = 16 → 0.5.
+	if got := NormalizedDisplacement(a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("reverse displacement = %v, want 0.5", got)
+	}
+	if got := NormalizedDisplacement(mat.Vector{}, mat.Vector{}); got != 0 {
+		t.Fatalf("empty displacement = %v", got)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if got := Entropy([]int{5, 0, 0}); got != 0 {
+		t.Fatalf("point mass entropy = %v", got)
+	}
+	want := math.Log(2)
+	if got := Entropy([]int{3, 3}); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("uniform-2 entropy = %v, want %v", got, want)
+	}
+	if got := Entropy([]int{0, 0}); got != 0 {
+		t.Fatalf("empty entropy = %v", got)
+	}
+	// Uniform distribution maximizes entropy for fixed support size.
+	if Entropy([]int{4, 4, 4}) < Entropy([]int{10, 1, 1}) {
+		t.Fatal("uniform should have higher entropy")
+	}
+}
+
+func TestEntropyNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Entropy([]int{-1})
+}
+
+func TestAbsSpearman(t *testing.T) {
+	x := mat.Vector{1, 2, 3}
+	if got := AbsSpearman(x, x.Clone().Reverse()); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("AbsSpearman = %v", got)
+	}
+}
+
+func TestPearsonEdgeCases(t *testing.T) {
+	if got := Pearson(mat.Vector{}, mat.Vector{}); !math.IsNaN(got) {
+		t.Fatalf("empty Pearson = %v", got)
+	}
+	x := mat.Vector{1, 2, 3}
+	if got := Pearson(x, x.Clone().Scale(2)); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("scaled Pearson = %v", got)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Spearman": func() { Spearman(mat.Vector{1}, mat.Vector{1, 2}) },
+		"Kendall":  func() { Kendall(mat.Vector{1}, mat.Vector{1, 2}) },
+		"Displace": func() { NormalizedDisplacement(mat.Vector{1}, mat.Vector{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,84 @@
+package response
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializes m as CSV: a header row "item0,item1,..." listing each
+// item's option count, followed by one row per user containing the chosen
+// option index per item. Unanswered items are written as "-" (an empty cell
+// is also accepted on read; "-" is emitted because a row of empty cells in
+// a single-item matrix would serialize to a blank line, which CSV readers
+// skip).
+func (m *Matrix) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, m.items)
+	for i := range header {
+		header[i] = strconv.Itoa(m.options[i])
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("response: write header: %w", err)
+	}
+	row := make([]string, m.items)
+	for u := 0; u < m.users; u++ {
+		for i := 0; i < m.items; i++ {
+			if h := m.Answer(u, i); h == Unanswered {
+				row[i] = "-"
+			} else {
+				row[i] = strconv.Itoa(h)
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("response: write user %d: %w", u, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses the format produced by WriteCSV.
+func ReadCSV(r io.Reader) (*Matrix, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("response: read csv: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("response: csv needs a header and at least one user row, got %d rows", len(records))
+	}
+	header := records[0]
+	options := make([]int, len(header))
+	for i, cell := range header {
+		k, err := strconv.Atoi(cell)
+		if err != nil {
+			return nil, fmt.Errorf("response: header cell %d %q: %w", i, cell, err)
+		}
+		if k < 1 {
+			return nil, fmt.Errorf("response: header cell %d declares %d options, need at least 1", i, k)
+		}
+		options[i] = k
+	}
+	m := New(len(records)-1, len(header), options...)
+	for u, row := range records[1:] {
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("response: user row %d has %d cells, want %d", u, len(row), len(header))
+		}
+		for i, cell := range row {
+			if cell == "" || cell == "-" {
+				continue
+			}
+			h, err := strconv.Atoi(cell)
+			if err != nil {
+				return nil, fmt.Errorf("response: row %d cell %d %q: %w", u, i, cell, err)
+			}
+			if h < 0 || h >= options[i] {
+				return nil, fmt.Errorf("response: row %d item %d option %d out of range [0,%d)", u, i, h, options[i])
+			}
+			m.SetAnswer(u, i, h)
+		}
+	}
+	return m, nil
+}

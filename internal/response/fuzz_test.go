@@ -1,0 +1,43 @@
+package response
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts that arbitrary input never panics the parser and that
+// anything it accepts survives a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("3,3\n0,1\n2,0\n")
+	f.Add("2\n\n")
+	f.Add("2,2\n0,\n,1\n")
+	f.Add("1,1,1\n0,0,0\n")
+	f.Add("x\n0\n")
+	f.Add("3,3\n-1,5\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := m.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted matrix failed to serialize: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Users() != m.Users() || back.Items() != m.Items() {
+			t.Fatalf("round trip changed shape: %dx%d vs %dx%d",
+				back.Users(), back.Items(), m.Users(), m.Items())
+		}
+		for u := 0; u < m.Users(); u++ {
+			for i := 0; i < m.Items(); i++ {
+				if back.Answer(u, i) != m.Answer(u, i) {
+					t.Fatal("round trip changed answers")
+				}
+			}
+		}
+	})
+}

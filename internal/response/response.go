@@ -1,0 +1,261 @@
+// Package response models the input of the ability discovery problem: the
+// choices of m users over n heterogeneous multiple-choice items, and the
+// derived (m × kn) one-hot binary response matrix C of the paper together
+// with its row- and column-normalized forms.
+package response
+
+import (
+	"fmt"
+
+	"hitsndiffs/internal/mat"
+)
+
+// Unanswered marks an item a user did not answer.
+const Unanswered = -1
+
+// Matrix holds the responses of m users to n items. Each item i has
+// OptionCount(i) options numbered from 0. Option 0 is, by generator
+// convention, the best-fitting option, but nothing in the algorithms relies
+// on that: they see only the one-hot encoding.
+type Matrix struct {
+	users   int
+	items   int
+	options []int // options[i] = number of options of item i
+	offsets []int // offsets[i] = first column of item i in the flat encoding
+	choices []int // users×items row-major; Unanswered for no response
+}
+
+// New creates an empty response matrix for m users, n items, and the given
+// per-item option counts. A single int may be passed to give every item the
+// same number of options.
+func New(users, items int, options ...int) *Matrix {
+	if users <= 0 || items <= 0 {
+		panic(fmt.Sprintf("response: New invalid shape %d users × %d items", users, items))
+	}
+	var per []int
+	switch len(options) {
+	case 1:
+		per = make([]int, items)
+		for i := range per {
+			per[i] = options[0]
+		}
+	case 0:
+		panic("response: New requires at least one option count")
+	default:
+		if len(options) != items {
+			panic(fmt.Sprintf("response: New got %d option counts for %d items", len(options), items))
+		}
+		per = append([]int(nil), options...)
+	}
+	offsets := make([]int, items+1)
+	for i, k := range per {
+		if k < 1 {
+			panic(fmt.Sprintf("response: item %d has %d options", i, k))
+		}
+		offsets[i+1] = offsets[i] + k
+	}
+	choices := make([]int, users*items)
+	for i := range choices {
+		choices[i] = Unanswered
+	}
+	return &Matrix{users: users, items: items, options: per, offsets: offsets, choices: choices}
+}
+
+// FromChoices builds a response matrix from a users×items table of option
+// indices (Unanswered allowed), inferring each item's option count as one
+// more than the maximum observed index, with a floor of minOptions.
+func FromChoices(choices [][]int, minOptions int) *Matrix {
+	if len(choices) == 0 || len(choices[0]) == 0 {
+		panic("response: FromChoices empty input")
+	}
+	users, items := len(choices), len(choices[0])
+	per := make([]int, items)
+	for i := range per {
+		per[i] = minOptions
+	}
+	for u, row := range choices {
+		if len(row) != items {
+			panic(fmt.Sprintf("response: FromChoices ragged row %d", u))
+		}
+		for i, c := range row {
+			if c != Unanswered && c+1 > per[i] {
+				per[i] = c + 1
+			}
+		}
+	}
+	m := New(users, items, per...)
+	for u, row := range choices {
+		for i, c := range row {
+			if c != Unanswered {
+				m.SetAnswer(u, i, c)
+			}
+		}
+	}
+	return m
+}
+
+// Users returns the number of users m.
+func (m *Matrix) Users() int { return m.users }
+
+// Items returns the number of items n.
+func (m *Matrix) Items() int { return m.items }
+
+// OptionCount returns the number of options of item i.
+func (m *Matrix) OptionCount(i int) int { return m.options[i] }
+
+// TotalOptions returns the width of the flat one-hot encoding (Σᵢ kᵢ).
+func (m *Matrix) TotalOptions() int { return m.offsets[m.items] }
+
+// MaxOptions returns k, the largest option count over all items.
+func (m *Matrix) MaxOptions() int {
+	k := 0
+	for _, v := range m.options {
+		if v > k {
+			k = v
+		}
+	}
+	return k
+}
+
+// Column returns the flat column index of option h of item i.
+func (m *Matrix) Column(item, option int) int {
+	if option < 0 || option >= m.options[item] {
+		panic(fmt.Sprintf("response: item %d has no option %d", item, option))
+	}
+	return m.offsets[item] + option
+}
+
+// SetAnswer records that user u chose option h for item i. Passing
+// Unanswered clears the response.
+func (m *Matrix) SetAnswer(u, i, h int) {
+	if h != Unanswered && (h < 0 || h >= m.options[i]) {
+		panic(fmt.Sprintf("response: SetAnswer option %d out of range for item %d (k=%d)", h, i, m.options[i]))
+	}
+	m.choices[u*m.items+i] = h
+}
+
+// Answer returns the option user u chose for item i, or Unanswered.
+func (m *Matrix) Answer(u, i int) int { return m.choices[u*m.items+i] }
+
+// AnswerCount returns the number of items user u answered.
+func (m *Matrix) AnswerCount(u int) int {
+	c := 0
+	for i := 0; i < m.items; i++ {
+		if m.Answer(u, i) != Unanswered {
+			c++
+		}
+	}
+	return c
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	return &Matrix{
+		users:   m.users,
+		items:   m.items,
+		options: append([]int(nil), m.options...),
+		offsets: append([]int(nil), m.offsets...),
+		choices: append([]int(nil), m.choices...),
+	}
+}
+
+// Binary returns the (m × Σkᵢ) one-hot CSR response matrix C of the paper.
+func (m *Matrix) Binary() *mat.CSR {
+	entries := make([]mat.Coord, 0, m.users*m.items)
+	for u := 0; u < m.users; u++ {
+		for i := 0; i < m.items; i++ {
+			if h := m.Answer(u, i); h != Unanswered {
+				entries = append(entries, mat.Coord{Row: u, Col: m.Column(i, h), Val: 1})
+			}
+		}
+	}
+	return mat.NewCSR(m.users, m.TotalOptions(), entries)
+}
+
+// PermuteUsers returns a new matrix whose user u is m's user perm[u].
+func (m *Matrix) PermuteUsers(perm []int) *Matrix {
+	if len(perm) != m.users {
+		panic("response: PermuteUsers length mismatch")
+	}
+	out := m.Clone()
+	for u, src := range perm {
+		copy(out.choices[u*m.items:(u+1)*m.items], m.choices[src*m.items:(src+1)*m.items])
+	}
+	return out
+}
+
+// IsConnected reports whether the user-option bipartite graph induced by the
+// responses forms a single connected component over the users who answered
+// at least one item. Spectral ranking methods require connectivity to relate
+// scores across users.
+func (m *Matrix) IsConnected() bool {
+	total := m.users + m.TotalOptions()
+	uf := newUnionFind(total)
+	for u := 0; u < m.users; u++ {
+		for i := 0; i < m.items; i++ {
+			if h := m.Answer(u, i); h != Unanswered {
+				uf.union(u, m.users+m.Column(i, h))
+			}
+		}
+	}
+	root := -1
+	for u := 0; u < m.users; u++ {
+		if m.AnswerCount(u) == 0 {
+			continue
+		}
+		r := uf.find(u)
+		if root == -1 {
+			root = r
+		} else if r != root {
+			return false
+		}
+	}
+	return true
+}
+
+// OptionCounts returns, for item i, the number of users choosing each
+// option.
+func (m *Matrix) OptionCounts(i int) []int {
+	counts := make([]int, m.options[i])
+	for u := 0; u < m.users; u++ {
+		if h := m.Answer(u, i); h != Unanswered {
+			counts[h]++
+		}
+	}
+	return counts
+}
+
+// unionFind is a standard weighted quick-union with path halving.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+}

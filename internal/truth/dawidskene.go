@@ -1,0 +1,176 @@
+package truth
+
+import (
+	"fmt"
+	"math"
+
+	"hitsndiffs/internal/core"
+	"hitsndiffs/internal/mat"
+	"hitsndiffs/internal/response"
+)
+
+// DawidSkene is the classic EM estimator of Dawid and Skene (1979) for
+// homogeneous multiclass labeling: every user is modeled by a k×k latent
+// confusion matrix and every item by a latent true class. The paper's
+// Appendix E-A contrasts this model with IRT; it is included here both as a
+// substrate (many crowdsourcing surveys recommend it) and as an additional
+// ability-discovery baseline: a user's score is their expected accuracy
+// Σ_j p(j)·π_u(j→j).
+//
+// The model assumes all items share the same option count; Rank returns an
+// error otherwise.
+type DawidSkene struct {
+	Opts Options
+	// Smoothing is the Laplace smoothing constant for confusion-matrix
+	// rows (default 0.01).
+	Smoothing float64
+}
+
+// Name implements core.Ranker.
+func (DawidSkene) Name() string { return "Dawid-Skene" }
+
+// Rank implements core.Ranker.
+func (d DawidSkene) Rank(m *response.Matrix) (core.Result, error) {
+	if err := validate(m); err != nil {
+		return core.Result{}, err
+	}
+	opts := d.Opts
+	opts.defaults()
+	smooth := d.Smoothing
+	if smooth <= 0 {
+		smooth = 0.01
+	}
+	k := m.OptionCount(0)
+	for i := 1; i < m.Items(); i++ {
+		if m.OptionCount(i) != k {
+			return core.Result{}, fmt.Errorf("truth: Dawid-Skene needs homogeneous items; item %d has %d options, item 0 has %d", i, m.OptionCount(i), k)
+		}
+	}
+	users, items := m.Users(), m.Items()
+
+	// T[i][j]: posterior probability that item i's true class is j.
+	// Initialize from vote fractions.
+	post := make([][]float64, items)
+	for i := range post {
+		post[i] = make([]float64, k)
+		counts := m.OptionCounts(i)
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		for j := 0; j < k; j++ {
+			if total > 0 {
+				post[i][j] = float64(counts[j]) / float64(total)
+			} else {
+				post[i][j] = 1 / float64(k)
+			}
+		}
+	}
+
+	prior := make([]float64, k)
+	// confusion[u][j][l]: P(user u answers l | true class j).
+	confusion := make([][][]float64, users)
+	for u := range confusion {
+		confusion[u] = make([][]float64, k)
+		for j := 0; j < k; j++ {
+			confusion[u][j] = make([]float64, k)
+		}
+	}
+
+	res := core.Result{}
+	prevScores := mat.NewVector(users)
+	for it := 1; it <= opts.MaxIter; it++ {
+		// M-step: class priors and confusion matrices from posteriors.
+		for j := range prior {
+			prior[j] = 0
+		}
+		for i := 0; i < items; i++ {
+			for j := 0; j < k; j++ {
+				prior[j] += post[i][j]
+			}
+		}
+		var priorSum float64
+		for _, p := range prior {
+			priorSum += p
+		}
+		for j := range prior {
+			prior[j] /= priorSum
+		}
+		for u := 0; u < users; u++ {
+			for j := 0; j < k; j++ {
+				row := confusion[u][j]
+				for l := range row {
+					row[l] = smooth
+				}
+				var rowSum float64
+				for i := 0; i < items; i++ {
+					if l := m.Answer(u, i); l != response.Unanswered {
+						row[l] += post[i][j]
+					}
+				}
+				for _, v := range row {
+					rowSum += v
+				}
+				for l := range row {
+					row[l] /= rowSum
+				}
+			}
+		}
+		// E-step: item posteriors from priors and confusion matrices,
+		// in log space for numerical stability.
+		for i := 0; i < items; i++ {
+			logp := make([]float64, k)
+			for j := 0; j < k; j++ {
+				logp[j] = math.Log(prior[j])
+			}
+			for u := 0; u < users; u++ {
+				l := m.Answer(u, i)
+				if l == response.Unanswered {
+					continue
+				}
+				for j := 0; j < k; j++ {
+					logp[j] += math.Log(confusion[u][j][l])
+				}
+			}
+			maxLog := math.Inf(-1)
+			for _, v := range logp {
+				if v > maxLog {
+					maxLog = v
+				}
+			}
+			var z float64
+			for j := range logp {
+				logp[j] = math.Exp(logp[j] - maxLog)
+				z += logp[j]
+			}
+			for j := 0; j < k; j++ {
+				post[i][j] = logp[j] / z
+			}
+		}
+		scores := d.scores(prior, confusion)
+		gap := distance(scores, prevScores)
+		copy(prevScores, scores)
+		res.Iterations = it
+		if gap < opts.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Scores = prevScores
+	return res, nil
+}
+
+// scores maps the fitted model to per-user expected accuracy.
+func (DawidSkene) scores(prior []float64, confusion [][][]float64) mat.Vector {
+	users := len(confusion)
+	k := len(prior)
+	out := mat.NewVector(users)
+	for u := 0; u < users; u++ {
+		var acc float64
+		for j := 0; j < k; j++ {
+			acc += prior[j] * confusion[u][j][j]
+		}
+		out[u] = acc
+	}
+	return out
+}

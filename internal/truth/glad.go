@@ -1,0 +1,129 @@
+package truth
+
+import (
+	"fmt"
+	"math"
+
+	"hitsndiffs/internal/core"
+	"hitsndiffs/internal/irt"
+	"hitsndiffs/internal/mat"
+	"hitsndiffs/internal/response"
+)
+
+// GLAD is the EM estimator of Whitehill et al. (NIPS 2009) — "Whose vote
+// should count more" — for binary labeling tasks. Latent per-item true
+// labels z_i, per-user ability α_u and per-item inverse difficulty β_i > 0
+// are estimated jointly under P(answer correct) = σ(α_u·β_i). Users are
+// ranked by the fitted α. The paper classifies GLAD as the 2PL IRT model
+// with all difficulties tied to zero (its Figure 2).
+//
+// Items must be binary (k ≤ 2); the method errors otherwise.
+type GLAD struct {
+	Opts Options
+	// LearnRate is the gradient ascent step (default 0.05).
+	LearnRate float64
+	// EMIterations is the number of EM rounds (default 40).
+	EMIterations int
+}
+
+// Name implements core.Ranker.
+func (GLAD) Name() string { return "GLAD" }
+
+// Rank implements core.Ranker.
+func (g GLAD) Rank(m *response.Matrix) (core.Result, error) {
+	if err := validate(m); err != nil {
+		return core.Result{}, err
+	}
+	for i := 0; i < m.Items(); i++ {
+		if m.OptionCount(i) > 2 {
+			return core.Result{}, fmt.Errorf("truth: GLAD needs binary items, item %d has %d options", i, m.OptionCount(i))
+		}
+	}
+	lr := g.LearnRate
+	if lr <= 0 {
+		lr = 0.05
+	}
+	rounds := g.EMIterations
+	if rounds <= 0 {
+		rounds = 40
+	}
+	users, items := m.Users(), m.Items()
+
+	alpha := mat.Ones(users)        // user abilities
+	logBeta := mat.NewVector(items) // β = e^{logBeta} > 0
+	post := mat.NewVector(items)    // P(z_i = option 0 | data)
+
+	// Initialize posteriors from vote fractions.
+	for i := 0; i < items; i++ {
+		counts := m.OptionCounts(i)
+		tot := counts[0]
+		if len(counts) > 1 {
+			tot += counts[1]
+		}
+		if tot == 0 {
+			post[i] = 0.5
+		} else {
+			post[i] = float64(counts[0]) / float64(tot)
+		}
+	}
+
+	iters := 0
+	for round := 0; round < rounds; round++ {
+		iters++
+		// E-step: posterior of z_i given α, β.
+		for i := 0; i < items; i++ {
+			log0, log1 := 0.0, 0.0 // log-likelihoods for z = option0 / option1
+			for u := 0; u < users; u++ {
+				h := m.Answer(u, i)
+				if h == response.Unanswered {
+					continue
+				}
+				p := irt.Sigmoid(alpha[u] * math.Exp(logBeta[i]))
+				p = math.Min(math.Max(p, 1e-12), 1-1e-12)
+				if h == 0 {
+					log0 += math.Log(p)
+					log1 += math.Log(1 - p)
+				} else {
+					log0 += math.Log(1 - p)
+					log1 += math.Log(p)
+				}
+			}
+			mx := math.Max(log0, log1)
+			e0 := math.Exp(log0 - mx)
+			e1 := math.Exp(log1 - mx)
+			post[i] = e0 / (e0 + e1)
+		}
+		// M-step: one gradient ascent step on the expected log-likelihood.
+		gradA := mat.NewVector(users)
+		gradB := mat.NewVector(items)
+		for u := 0; u < users; u++ {
+			for i := 0; i < items; i++ {
+				h := m.Answer(u, i)
+				if h == response.Unanswered {
+					continue
+				}
+				beta := math.Exp(logBeta[i])
+				p := irt.Sigmoid(alpha[u] * beta)
+				// P(answer matches z): post if h==0 matches z=0, etc.
+				// Expected gradient of log P over z posterior:
+				// d/dx log σ(x) = 1−σ; d/dx log(1−σ) = −σ.
+				var w float64 // P(this answer is "correct") under posterior
+				if h == 0 {
+					w = post[i]
+				} else {
+					w = 1 - post[i]
+				}
+				// gradient wrt x = αβ: w(1−p) − (1−w)p = w − p.
+				gx := w - p
+				gradA[u] += gx * beta
+				gradB[i] += gx * alpha[u] * beta // chain through logBeta
+			}
+		}
+		alpha.AddScaled(lr, gradA)
+		logBeta.AddScaled(lr, gradB)
+		for i := range logBeta {
+			logBeta[i] = math.Min(math.Max(logBeta[i], -4), 4)
+		}
+	}
+	return core.Result{Scores: alpha, Iterations: iters, Converged: true}, nil
+}

@@ -1,0 +1,224 @@
+package truth
+
+import (
+	"fmt"
+
+	"hitsndiffs/internal/core"
+	"hitsndiffs/internal/eigen"
+	"hitsndiffs/internal/mat"
+	"hitsndiffs/internal/rank"
+	"hitsndiffs/internal/response"
+)
+
+// The paper's related-work section (§V) discusses two spectral
+// truth-discovery methods that only handle binary problems: Ghosh, Kale and
+// McAfee (EC 2011) and Dalvi, Dasgupta, Kumar and Rastogi (WWW 2013). Both
+// are implemented here on the ±1 encoding of two-option items; they return
+// an error on k > 2, which is precisely the limitation the paper contrasts
+// HND against ("not obvious to generalize for k > 2 options").
+
+// signMatrix encodes a binary response matrix as A ∈ {−1,0,+1}^{m×n}:
+// +1 for option 0, −1 for option 1, 0 for unanswered. It errors when any
+// item has more than two options.
+func signMatrix(m *response.Matrix) (*mat.CSR, error) {
+	for i := 0; i < m.Items(); i++ {
+		if m.OptionCount(i) > 2 {
+			return nil, fmt.Errorf("truth: binary spectral methods need k ≤ 2, item %d has %d options", i, m.OptionCount(i))
+		}
+	}
+	entries := make([]mat.Coord, 0, m.Users()*m.Items())
+	for u := 0; u < m.Users(); u++ {
+		for i := 0; i < m.Items(); i++ {
+			switch m.Answer(u, i) {
+			case 0:
+				entries = append(entries, mat.Coord{Row: u, Col: i, Val: 1})
+			case 1:
+				entries = append(entries, mat.Coord{Row: u, Col: i, Val: -1})
+			}
+		}
+	}
+	return mat.NewCSR(m.Users(), m.Items(), entries), nil
+}
+
+// GhoshSpectral is the method of Ghosh et al.: the dominant eigenvector of
+// AᵀA estimates the item polarity (the labels), and each user is scored by
+// the agreement of their row with those labels. The original outputs only
+// item labels; the user score is the natural reliability estimate the
+// analysis is built on.
+type GhoshSpectral struct {
+	Opts Options
+}
+
+// Name implements core.Ranker.
+func (GhoshSpectral) Name() string { return "Ghosh-spectral" }
+
+// Rank implements core.Ranker.
+func (g GhoshSpectral) Rank(m *response.Matrix) (core.Result, error) {
+	if err := validate(m); err != nil {
+		return core.Result{}, err
+	}
+	opts := g.Opts
+	opts.defaults()
+	a, err := signMatrix(m)
+	if err != nil {
+		return core.Result{}, err
+	}
+	// Dominant eigenvector of AᵀA via power iteration, matrix-free.
+	op := eigen.FuncOp{N: a.Cols(), F: func(dst, x mat.Vector) {
+		tmp := mat.NewVector(a.Rows())
+		a.MulVec(tmp, x)
+		a.MulVecT(dst, tmp)
+	}}
+	pr, err := eigen.PowerIteration(op, eigen.PowerOptions{Tol: opts.Tol, MaxIter: opts.MaxIter})
+	if err != nil {
+		return core.Result{}, fmt.Errorf("truth: Ghosh eigenvector: %w", err)
+	}
+	labels := pr.Vector
+	orientToMajority(labels, a)
+	// User score: normalized agreement with sign(labels).
+	scores := mat.NewVector(m.Users())
+	signed := mat.NewVector(a.Cols())
+	for j, v := range labels {
+		if v >= 0 {
+			signed[j] = 1
+		} else {
+			signed[j] = -1
+		}
+	}
+	a.MulVec(scores, signed)
+	for u := range scores {
+		if c := m.AnswerCount(u); c > 0 {
+			scores[u] /= float64(c)
+		}
+	}
+	return core.Result{Scores: scores, Iterations: pr.Iterations, Converged: pr.Converged}, nil
+}
+
+// DalviSpectral is (the eigenvector variant of) Dalvi et al.: user
+// reliabilities are estimated from the dominant eigenvector of the
+// user-user agreement matrix A·Aᵀ, oriented so that agreeing with the
+// majority is positive.
+type DalviSpectral struct {
+	Opts Options
+}
+
+// Name implements core.Ranker.
+func (DalviSpectral) Name() string { return "Dalvi-spectral" }
+
+// Rank implements core.Ranker.
+func (d DalviSpectral) Rank(m *response.Matrix) (core.Result, error) {
+	if err := validate(m); err != nil {
+		return core.Result{}, err
+	}
+	opts := d.Opts
+	opts.defaults()
+	a, err := signMatrix(m)
+	if err != nil {
+		return core.Result{}, err
+	}
+	op := eigen.FuncOp{N: a.Rows(), F: func(dst, x mat.Vector) {
+		tmp := mat.NewVector(a.Cols())
+		a.MulVecT(tmp, x)
+		a.MulVec(dst, tmp)
+	}}
+	pr, err := eigen.PowerIteration(op, eigen.PowerOptions{Tol: opts.Tol, MaxIter: opts.MaxIter})
+	if err != nil {
+		return core.Result{}, fmt.Errorf("truth: Dalvi eigenvector: %w", err)
+	}
+	scores := pr.Vector
+	orientToAgreement(scores, m)
+	return core.Result{Scores: scores, Iterations: pr.Iterations, Converged: pr.Converged}, nil
+}
+
+// orientToAgreement flips the score vector if it anti-correlates with each
+// user's rate of agreeing with the per-item plurality — the anchor that
+// separates the expert mode from the mirrored anti-expert mode.
+func orientToAgreement(scores mat.Vector, m *response.Matrix) {
+	plurality := make([]int, m.Items())
+	for i := 0; i < m.Items(); i++ {
+		counts := m.OptionCounts(i)
+		best := 0
+		for h, c := range counts {
+			if c > counts[best] {
+				best = h
+			}
+		}
+		plurality[i] = best
+	}
+	agree := mat.NewVector(m.Users())
+	for u := 0; u < m.Users(); u++ {
+		var match, total float64
+		for i := 0; i < m.Items(); i++ {
+			if h := m.Answer(u, i); h != response.Unanswered {
+				total++
+				if h == plurality[i] {
+					match++
+				}
+			}
+		}
+		if total > 0 {
+			agree[u] = match / total
+		}
+	}
+	meanS, meanA := scores.Mean(), agree.Mean()
+	var cov float64
+	for u := range scores {
+		cov += (scores[u] - meanS) * (agree[u] - meanA)
+	}
+	if cov < 0 {
+		scores.Scale(-1)
+	}
+}
+
+// orientToMajority flips the label vector if it anti-correlates with the
+// simple column majority of A.
+func orientToMajority(labels mat.Vector, a *mat.CSR) {
+	colMaj := a.ColSums() // positive when option 0 is the column majority
+	var dot float64
+	for j := range labels {
+		dot += labels[j] * colMaj[j]
+	}
+	if dot < 0 {
+		labels.Scale(-1)
+	}
+}
+
+// InferLabels is the duality direction the paper motivates: given any
+// user-score vector (from HND or a baseline), estimate the correct option
+// of every item by weighted voting. To be robust against the heavy-tailed
+// score distributions spectral methods can produce, the vote weight is the
+// user's squared normalized average rank (0 for the worst user, 1 for the
+// best, quadratically emphasizing the top): only the ordering of the
+// scores matters. Items nobody answered report option 0.
+func InferLabels(m *response.Matrix, scores mat.Vector) ([]int, error) {
+	if len(scores) != m.Users() {
+		return nil, fmt.Errorf("truth: InferLabels got %d scores for %d users", len(scores), m.Users())
+	}
+	ranks := rank.AverageRanks(scores)
+	weights := mat.NewVector(m.Users())
+	span := float64(m.Users() - 1)
+	if span == 0 {
+		span = 1
+	}
+	for u, r := range ranks {
+		w := (r - 1) / span
+		weights[u] = w * w
+	}
+	labels := make([]int, m.Items())
+	for i := 0; i < m.Items(); i++ {
+		votes := make([]float64, m.OptionCount(i))
+		for u := 0; u < m.Users(); u++ {
+			if h := m.Answer(u, i); h != response.Unanswered {
+				votes[h] += weights[u]
+			}
+		}
+		best := 0
+		for h, v := range votes {
+			if v > votes[best] {
+				best = h
+			}
+		}
+		labels[i] = best
+	}
+	return labels, nil
+}

@@ -1,0 +1,373 @@
+// Package truth implements the truth-discovery baselines the paper compares
+// HITSnDIFFS against: HITS, TruthFinder, Investment, PooledInvestment, a
+// majority-vote baseline, the "True-answer" cheating baseline that knows
+// each item's correct option, and the Dawid–Skene EM estimator discussed in
+// the paper's Appendix E-A.
+//
+// All methods implement core.Ranker and return scores where higher means a
+// more able user. Unlike the spectral methods in package core, they produce
+// inherently oriented scores and need no symmetry breaking.
+package truth
+
+import (
+	"fmt"
+	"math"
+
+	"hitsndiffs/internal/core"
+	"hitsndiffs/internal/mat"
+	"hitsndiffs/internal/response"
+)
+
+// Options tunes the iterative baselines.
+type Options struct {
+	// Tol is the convergence threshold on the user score change (L2).
+	// Default 1e-5, matching the spectral methods.
+	Tol float64
+	// MaxIter bounds iterations for converging methods (default 1000).
+	MaxIter int
+	// FixedIter, when positive, runs exactly this many iterations with no
+	// convergence check — the paper runs Investment and PooledInvestment
+	// for a fixed 10 rounds because they do not converge.
+	FixedIter int
+}
+
+func (o *Options) defaults() {
+	if o.Tol <= 0 {
+		o.Tol = 1e-5
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 1000
+	}
+}
+
+func validate(m *response.Matrix) error {
+	if m.Users() < 2 {
+		return fmt.Errorf("truth: need at least 2 users, got %d", m.Users())
+	}
+	return nil
+}
+
+// HITS is Kleinberg's hubs-and-authorities run on the user-option bipartite
+// graph: user scores are hub scores, option weights authority scores. The
+// user scores converge to the dominant eigenvector of C·Cᵀ.
+type HITS struct {
+	Opts Options
+}
+
+// Name implements core.Ranker.
+func (h HITS) Name() string { return "HITS" }
+
+// Rank implements core.Ranker.
+func (h HITS) Rank(m *response.Matrix) (core.Result, error) {
+	if err := validate(m); err != nil {
+		return core.Result{}, err
+	}
+	opts := h.Opts
+	opts.defaults()
+	c := m.Binary()
+	s := mat.Ones(c.Rows())
+	s.Normalize()
+	w := mat.NewVector(c.Cols())
+	next := mat.NewVector(c.Rows())
+	res := core.Result{}
+	for it := 1; it <= opts.MaxIter; it++ {
+		c.MulVecT(w, s) // w ← Cᵀ·s
+		c.MulVec(next, w)
+		if next.Normalize() == 0 {
+			res.Scores, res.Iterations, res.Converged = s, it, true
+			return res, nil
+		}
+		gap := distance(next, s)
+		copy(s, next)
+		res.Iterations = it
+		if gap < opts.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Scores = s
+	return res, nil
+}
+
+// TruthFinder is the method of Yin, Han and Yu: user scores are the average
+// confidence of their chosen options (interpreted as the probability the
+// user is right), and an option's confidence is the probability at least
+// one of its supporters is right: w = 1 − exp(Cᵀ·log(1 − s)).
+type TruthFinder struct {
+	Opts Options
+	// InitialTrust seeds the user scores; the customary 0.9 when zero.
+	InitialTrust float64
+}
+
+// Name implements core.Ranker.
+func (t TruthFinder) Name() string { return "TruthFinder" }
+
+// Rank implements core.Ranker.
+func (t TruthFinder) Rank(m *response.Matrix) (core.Result, error) {
+	if err := validate(m); err != nil {
+		return core.Result{}, err
+	}
+	opts := t.Opts
+	opts.defaults()
+	trust := t.InitialTrust
+	if trust <= 0 || trust >= 1 {
+		trust = 0.9
+	}
+	c := m.Binary()
+	crow := c.RowNormalized()
+	const eps = 1e-9
+	s := mat.Constant(c.Rows(), trust)
+	logOneMinus := mat.NewVector(c.Rows())
+	w := mat.NewVector(c.Cols())
+	next := mat.NewVector(c.Rows())
+	res := core.Result{}
+	for it := 1; it <= opts.MaxIter; it++ {
+		for i, v := range s {
+			logOneMinus[i] = math.Log(math.Max(1-v, eps))
+		}
+		c.MulVecT(w, logOneMinus) // Σ_supporters log(1 − s)
+		for j := range w {
+			w[j] = 1 - math.Exp(w[j])
+		}
+		crow.MulVec(next, w) // average chosen-option confidence
+		gap := distance(next, s)
+		copy(s, next)
+		res.Iterations = it
+		if gap < opts.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Scores = s
+	return res, nil
+}
+
+// Investment is Pasternack and Roth's model: each user invests its
+// trustworthiness uniformly over its claims; claims grow the pooled
+// investment with a non-linear gain G(x) = x^g and pay users back
+// proportionally to their stake.
+type Investment struct {
+	Opts Options
+	// G is the claim growth exponent (paper default 1.2).
+	G float64
+}
+
+// Name implements core.Ranker.
+func (v Investment) Name() string { return "Invest" }
+
+// Rank implements core.Ranker.
+func (v Investment) Rank(m *response.Matrix) (core.Result, error) {
+	if err := validate(m); err != nil {
+		return core.Result{}, err
+	}
+	opts := v.Opts
+	opts.defaults()
+	rounds := opts.FixedIter
+	if rounds <= 0 {
+		rounds = 10 // the paper's fixed iteration count
+	}
+	g := v.G
+	if g <= 0 {
+		g = 1.2
+	}
+	users, cols := m.Users(), m.TotalOptions()
+	trust := mat.Ones(users)
+	counts := answerCounts(m)
+
+	belief := mat.NewVector(cols)
+	stake := mat.NewVector(cols) // Σ_u T(u)/|u| per option
+	for round := 0; round < rounds; round++ {
+		stake.Fill(0)
+		forEachAnswer(m, func(u, col int) {
+			stake[col] += trust[u] / counts[u]
+		})
+		for j := range belief {
+			belief[j] = math.Pow(stake[j], g)
+		}
+		next := mat.NewVector(users)
+		forEachAnswer(m, func(u, col int) {
+			if stake[col] > 0 {
+				share := (trust[u] / counts[u]) / stake[col]
+				next[u] += belief[col] * share
+			}
+		})
+		if next.NormInf() > 0 {
+			next.Scale(1 / next.NormInf()) // keep the recursion bounded
+		}
+		trust = next
+	}
+	return core.Result{Scores: trust, Iterations: rounds, Converged: true}, nil
+}
+
+// PooledInvestment extends Investment by normalizing each option's grown
+// belief against the other options of the same item (its mutual-exclusion
+// set), with gain exponent g = 1.4 by default.
+type PooledInvestment struct {
+	Opts Options
+	// G is the pooled growth exponent (paper default 1.4).
+	G float64
+}
+
+// Name implements core.Ranker.
+func (v PooledInvestment) Name() string { return "PooledInv" }
+
+// Rank implements core.Ranker.
+func (v PooledInvestment) Rank(m *response.Matrix) (core.Result, error) {
+	if err := validate(m); err != nil {
+		return core.Result{}, err
+	}
+	opts := v.Opts
+	opts.defaults()
+	rounds := opts.FixedIter
+	if rounds <= 0 {
+		rounds = 10
+	}
+	g := v.G
+	if g <= 0 {
+		g = 1.4
+	}
+	users, cols := m.Users(), m.TotalOptions()
+	trust := mat.Ones(users)
+	counts := answerCounts(m)
+
+	h := mat.NewVector(cols)
+	belief := mat.NewVector(cols)
+	for round := 0; round < rounds; round++ {
+		h.Fill(0)
+		forEachAnswer(m, func(u, col int) {
+			h[col] += trust[u] / counts[u]
+		})
+		// B(c) = H(c)·G(H(c)) / Σ_{c' in item} G(H(c')).
+		for i := 0; i < m.Items(); i++ {
+			var pool float64
+			for o := 0; o < m.OptionCount(i); o++ {
+				pool += math.Pow(h[m.Column(i, o)], g)
+			}
+			for o := 0; o < m.OptionCount(i); o++ {
+				col := m.Column(i, o)
+				if pool > 0 {
+					belief[col] = h[col] * math.Pow(h[col], g) / pool
+				} else {
+					belief[col] = 0
+				}
+			}
+		}
+		next := mat.NewVector(users)
+		forEachAnswer(m, func(u, col int) {
+			if h[col] > 0 {
+				share := (trust[u] / counts[u]) / h[col]
+				next[u] += belief[col] * share
+			}
+		})
+		if next.NormInf() > 0 {
+			next.Scale(1 / next.NormInf())
+		}
+		trust = next
+	}
+	return core.Result{Scores: trust, Iterations: rounds, Converged: true}, nil
+}
+
+// MajorityVote scores each user by the fraction of their answers that agree
+// with the per-item plurality option.
+type MajorityVote struct{}
+
+// Name implements core.Ranker.
+func (MajorityVote) Name() string { return "MajorityVote" }
+
+// Rank implements core.Ranker.
+func (MajorityVote) Rank(m *response.Matrix) (core.Result, error) {
+	if err := validate(m); err != nil {
+		return core.Result{}, err
+	}
+	plurality := make([]int, m.Items())
+	for i := 0; i < m.Items(); i++ {
+		counts := m.OptionCounts(i)
+		best := 0
+		for h, c := range counts {
+			if c > counts[best] {
+				best = h
+			}
+		}
+		plurality[i] = best
+	}
+	scores := mat.NewVector(m.Users())
+	for u := 0; u < m.Users(); u++ {
+		var agree, total float64
+		for i := 0; i < m.Items(); i++ {
+			if h := m.Answer(u, i); h != response.Unanswered {
+				total++
+				if h == plurality[i] {
+					agree++
+				}
+			}
+		}
+		if total > 0 {
+			scores[u] = agree / total
+		}
+	}
+	return core.Result{Scores: scores, Converged: true}, nil
+}
+
+// TrueAnswer is the paper's first cheating baseline: given the correct
+// option of every item, rank users by the number of correctly answered
+// questions.
+type TrueAnswer struct {
+	// Correct holds the correct option per item.
+	Correct []int
+}
+
+// Name implements core.Ranker.
+func (TrueAnswer) Name() string { return "True-Answer" }
+
+// Rank implements core.Ranker.
+func (t TrueAnswer) Rank(m *response.Matrix) (core.Result, error) {
+	if err := validate(m); err != nil {
+		return core.Result{}, err
+	}
+	if len(t.Correct) != m.Items() {
+		return core.Result{}, fmt.Errorf("truth: TrueAnswer has %d correct answers for %d items", len(t.Correct), m.Items())
+	}
+	scores := mat.NewVector(m.Users())
+	for u := 0; u < m.Users(); u++ {
+		for i := 0; i < m.Items(); i++ {
+			if m.Answer(u, i) == t.Correct[i] {
+				scores[u]++
+			}
+		}
+	}
+	return core.Result{Scores: scores, Converged: true}, nil
+}
+
+// answerCounts returns per-user answer counts as floats, with zero-answer
+// users mapped to 1 to avoid division by zero (their trust stays zero).
+func answerCounts(m *response.Matrix) mat.Vector {
+	counts := mat.NewVector(m.Users())
+	for u := range counts {
+		c := m.AnswerCount(u)
+		if c == 0 {
+			c = 1
+		}
+		counts[u] = float64(c)
+	}
+	return counts
+}
+
+// forEachAnswer calls fn(user, flatColumn) for every recorded answer.
+func forEachAnswer(m *response.Matrix, fn func(u, col int)) {
+	for u := 0; u < m.Users(); u++ {
+		for i := 0; i < m.Items(); i++ {
+			if h := m.Answer(u, i); h != response.Unanswered {
+				fn(u, m.Column(i, h))
+			}
+		}
+	}
+}
+
+func distance(a, b mat.Vector) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,313 @@
+package truth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hitsndiffs/internal/core"
+	"hitsndiffs/internal/irt"
+	"hitsndiffs/internal/mat"
+	"hitsndiffs/internal/rank"
+	"hitsndiffs/internal/response"
+)
+
+func strongDataset(t *testing.T, seed int64) *irt.Dataset {
+	t.Helper()
+	cfg := irt.DefaultConfig(irt.ModelSamejima)
+	cfg.Users, cfg.Items, cfg.DiscriminationMax, cfg.Seed = 60, 120, 40, seed
+	d, err := irt.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func allBaselines(correct []int) []core.Ranker {
+	return []core.Ranker{
+		HITS{},
+		TruthFinder{},
+		Investment{},
+		PooledInvestment{},
+		MajorityVote{},
+		TrueAnswer{Correct: correct},
+		DawidSkene{},
+	}
+}
+
+func TestBaselinesRankHighDiscriminationData(t *testing.T) {
+	// With very high discrimination, the strong baselines order users close
+	// to the truth; TruthFinder saturates its probabilities and lands lower
+	// (consistent with the paper's Figure 4), and Dawid-Skene is
+	// misspecified on heterogeneous items (paper Appendix E-A), so they get
+	// looser floors.
+	d := strongDataset(t, 3)
+	floors := map[string]float64{
+		"HITS":         0.7,
+		"Invest":       0.7,
+		"PooledInv":    0.7,
+		"MajorityVote": 0.7,
+		"True-Answer":  0.7,
+		"TruthFinder":  0.3,
+	}
+	for _, r := range allBaselines(d.Correct) {
+		floor, checked := floors[r.Name()]
+		res, err := r.Rank(d.Responses)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		if got := rank.Spearman(res.Scores, d.Abilities); checked && got < floor {
+			t.Errorf("%s: ρ = %v on high-discrimination data, want > %v", r.Name(), got, floor)
+		}
+	}
+}
+
+func TestTrueAnswerExactOnDeterministicData(t *testing.T) {
+	cfg := irt.DefaultConfig(irt.ModelGRM)
+	cfg.Users, cfg.Items, cfg.Seed = 40, 60, 5
+	d, err := irt.GenerateC1P(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (TrueAnswer{Correct: d.Correct}).Rank(d.Responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On consistent data, correct-count is a non-decreasing function of
+	// ability: every correctly answered item by a weaker user is also
+	// answered correctly by a stronger one.
+	order := d.Abilities.ArgSort()
+	for i := 1; i < len(order); i++ {
+		if res.Scores[order[i]] < res.Scores[order[i-1]] {
+			t.Fatalf("correct-count not monotone in ability")
+		}
+	}
+}
+
+func TestTrueAnswerWrongLength(t *testing.T) {
+	m := response.New(3, 2, 2)
+	m.SetAnswer(0, 0, 0)
+	if _, err := (TrueAnswer{Correct: []int{0}}).Rank(m); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestHITSConvergesAndIsNonNegative(t *testing.T) {
+	d := strongDataset(t, 7)
+	res, err := (HITS{}).Rank(d.Responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("HITS did not converge")
+	}
+	for _, s := range res.Scores {
+		if s < -1e-9 {
+			t.Fatalf("HITS score %v negative (violates Perron-Frobenius)", s)
+		}
+	}
+}
+
+func TestHITSFavorsMajorityAgreers(t *testing.T) {
+	// 5 users: 4 agree everywhere, 1 answers alone. The loner's options get
+	// authority only from them, so their hub score must be lowest.
+	m := response.New(5, 4, 2)
+	for u := 0; u < 4; u++ {
+		for i := 0; i < 4; i++ {
+			m.SetAnswer(u, i, 0)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		m.SetAnswer(4, i, 1)
+	}
+	res, err := (HITS{}).Rank(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 4; u++ {
+		if res.Scores[4] >= res.Scores[u] {
+			t.Fatalf("loner score %v not below majority score %v", res.Scores[4], res.Scores[u])
+		}
+	}
+}
+
+func TestTruthFinderScoresAreProbabilities(t *testing.T) {
+	d := strongDataset(t, 11)
+	res, err := (TruthFinder{}).Rank(d.Responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Scores {
+		if s < 0 || s > 1 {
+			t.Fatalf("TruthFinder score %v outside [0,1]", s)
+		}
+	}
+	if !res.Converged {
+		t.Fatal("TruthFinder did not converge")
+	}
+}
+
+func TestInvestmentFixedIterations(t *testing.T) {
+	d := strongDataset(t, 13)
+	res, err := (Investment{}).Rank(d.Responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 10 {
+		t.Fatalf("Investment ran %d iterations, want the paper's fixed 10", res.Iterations)
+	}
+	res5, err := (Investment{Opts: Options{FixedIter: 5}}).Rank(d.Responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res5.Iterations != 5 {
+		t.Fatalf("FixedIter override ignored: %d", res5.Iterations)
+	}
+}
+
+func TestPooledInvestmentBeliefsStayFinite(t *testing.T) {
+	d := strongDataset(t, 17)
+	res, err := (PooledInvestment{}).Rank(d.Responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Scores {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			t.Fatalf("PooledInvestment produced %v", s)
+		}
+	}
+}
+
+func TestMajorityVoteKnownCase(t *testing.T) {
+	m := response.New(3, 2, 2)
+	// Item 0: plurality option 0 (2 votes); item 1: plurality option 1.
+	m.SetAnswer(0, 0, 0)
+	m.SetAnswer(1, 0, 0)
+	m.SetAnswer(2, 0, 1)
+	m.SetAnswer(0, 1, 1)
+	m.SetAnswer(1, 1, 0)
+	m.SetAnswer(2, 1, 1)
+	res, err := (MajorityVote{}).Rank(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 0.5, 0.5}
+	for u, w := range want {
+		if math.Abs(res.Scores[u]-w) > 1e-12 {
+			t.Fatalf("user %d majority score %v, want %v", u, res.Scores[u], w)
+		}
+	}
+}
+
+func TestMajorityVoteUnansweredUsers(t *testing.T) {
+	m := response.New(3, 2, 2)
+	m.SetAnswer(0, 0, 0)
+	m.SetAnswer(1, 0, 0)
+	// User 2 answers nothing: score 0, no NaN.
+	res, err := (MajorityVote{}).Rank(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scores[2] != 0 {
+		t.Fatalf("silent user score %v", res.Scores[2])
+	}
+}
+
+func TestDawidSkeneRecoversOwnModel(t *testing.T) {
+	// On data actually generated by the Dawid-Skene model (homogeneous
+	// items, per-user symmetric confusion), DS must recover the accuracy
+	// ranking.
+	rng := rand.New(rand.NewSource(19))
+	users, items, k := 40, 150, 3
+	m := response.New(users, items, k)
+	acc := mat.NewVector(users)
+	for u := range acc {
+		acc[u] = 0.3 + 0.65*float64(u)/float64(users-1)
+	}
+	trueClass := make([]int, items)
+	for i := range trueClass {
+		trueClass[i] = rng.Intn(k)
+	}
+	for u := 0; u < users; u++ {
+		for i := 0; i < items; i++ {
+			if rng.Float64() < acc[u] {
+				m.SetAnswer(u, i, trueClass[i])
+			} else {
+				wrong := rng.Intn(k - 1)
+				if wrong >= trueClass[i] {
+					wrong++
+				}
+				m.SetAnswer(u, i, wrong)
+			}
+		}
+	}
+	res, err := (DawidSkene{}).Rank(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rank.Spearman(res.Scores, acc); got < 0.9 {
+		t.Fatalf("Dawid-Skene ρ = %v on its own model, want > 0.9", got)
+	}
+	for _, s := range res.Scores {
+		if s < 0 || s > 1 {
+			t.Fatalf("expected accuracy %v outside [0,1]", s)
+		}
+	}
+}
+
+func TestDawidSkeneRejectsHeterogeneousOptionCounts(t *testing.T) {
+	m := response.New(3, 2, 2, 3)
+	m.SetAnswer(0, 0, 0)
+	m.SetAnswer(1, 1, 2)
+	if _, err := (DawidSkene{}).Rank(m); err == nil {
+		t.Fatal("expected heterogeneity rejection")
+	}
+}
+
+func TestBaselineNames(t *testing.T) {
+	names := map[string]core.Ranker{
+		"HITS":         HITS{},
+		"TruthFinder":  TruthFinder{},
+		"Invest":       Investment{},
+		"PooledInv":    PooledInvestment{},
+		"MajorityVote": MajorityVote{},
+		"True-Answer":  TrueAnswer{},
+		"Dawid-Skene":  DawidSkene{},
+	}
+	for want, r := range names {
+		if r.Name() != want {
+			t.Errorf("Name() = %q, want %q", r.Name(), want)
+		}
+	}
+}
+
+func TestBaselinesAcceptTwoUsers(t *testing.T) {
+	m := response.New(2, 1, 2)
+	m.SetAnswer(0, 0, 0)
+	m.SetAnswer(1, 0, 0)
+	for _, r := range allBaselines([]int{0}) {
+		if _, err := r.Rank(m); err != nil {
+			t.Fatalf("%s rejected a valid 2-user matrix: %v", r.Name(), err)
+		}
+	}
+}
+
+func TestBaselinesHandleMissingAnswers(t *testing.T) {
+	cfg := irt.DefaultConfig(irt.ModelSamejima)
+	cfg.Users, cfg.Items, cfg.AnswerProb, cfg.DiscriminationMax, cfg.Seed = 50, 80, 0.7, 40, 23
+	d, err := irt.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range allBaselines(d.Correct) {
+		res, err := r.Rank(d.Responses)
+		if err != nil {
+			t.Fatalf("%s on incomplete data: %v", r.Name(), err)
+		}
+		for _, s := range res.Scores {
+			if math.IsNaN(s) || math.IsInf(s, 0) {
+				t.Fatalf("%s produced %v on incomplete data", r.Name(), s)
+			}
+		}
+	}
+}

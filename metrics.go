@@ -1,0 +1,46 @@
+package hitsndiffs
+
+import (
+	"hitsndiffs/internal/irt"
+	"hitsndiffs/internal/mat"
+	"hitsndiffs/internal/rank"
+)
+
+// Spearman returns Spearman's rank correlation between two score vectors
+// (the paper's accuracy measure), handling ties by average ranks.
+func Spearman(x, y []float64) float64 { return rank.Spearman(mat.Vector(x), mat.Vector(y)) }
+
+// Kendall returns Kendall's τ-b between two score vectors.
+func Kendall(x, y []float64) float64 { return rank.Kendall(mat.Vector(x), mat.Vector(y)) }
+
+// OrderFromScores returns user indices sorted best-first by score.
+func OrderFromScores(scores []float64) []int { return rank.OrderFromScores(mat.Vector(scores)) }
+
+// ModelKind selects a polytomous IRT generative model.
+type ModelKind = irt.ModelKind
+
+// The generative models of the paper's experiments.
+const (
+	ModelGRM      = irt.ModelGRM
+	ModelBock     = irt.ModelBock
+	ModelSamejima = irt.ModelSamejima
+)
+
+// GeneratorConfig configures the synthetic workload generators.
+type GeneratorConfig = irt.Config
+
+// Dataset is a generated workload with its hidden ground truth.
+type Dataset = irt.Dataset
+
+// DefaultGeneratorConfig returns the paper's default workload parameters
+// for the given model (100 users, 100 items, 3 options, θ∈[0,1],
+// b∈[−0.5,0.5], a∈[0,10]).
+func DefaultGeneratorConfig(model ModelKind) GeneratorConfig { return irt.DefaultConfig(model) }
+
+// Generate samples a synthetic ability-discovery dataset.
+func Generate(cfg GeneratorConfig) (*Dataset, error) { return irt.Generate(cfg) }
+
+// GenerateConsistent samples an ideal consistent-response (C1P) dataset:
+// the infinite-discrimination limit in which better users always pick
+// better options.
+func GenerateConsistent(cfg GeneratorConfig) (*Dataset, error) { return irt.GenerateC1P(cfg) }
