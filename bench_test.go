@@ -4,6 +4,7 @@
 package hitsndiffs
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -40,7 +41,7 @@ func benchMethods(b *testing.B, m *response.Matrix, methods []core.Ranker) {
 		b.Run(r.Name(), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := r.Rank(m); err != nil {
+				if _, err := r.Rank(context.Background(), m); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -133,7 +134,7 @@ func BenchmarkFig5aScaleUsers(b *testing.B) {
 			r := r
 			b.Run(fmt.Sprintf("%s/m=%d", r.Name(), m), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, err := r.Rank(d.Responses); err != nil {
+					if _, err := r.Rank(context.Background(), d.Responses); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -151,7 +152,7 @@ func BenchmarkFig5bScaleQuestions(b *testing.B) {
 			r := r
 			b.Run(fmt.Sprintf("%s/n=%d", r.Name(), n), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, err := r.Rank(d.Responses); err != nil {
+					if _, err := r.Rank(context.Background(), d.Responses); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -167,7 +168,7 @@ func BenchmarkFig5GRMEstimator(b *testing.B) {
 	est := grmest.Estimator{Opts: grmest.Options{EMIterations: 10}}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := est.Rank(d.Responses); err != nil {
+		if _, err := est.Rank(context.Background(), d.Responses); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -179,14 +180,14 @@ func BenchmarkFig6Stability(b *testing.B) {
 	d := genOrDie(b, irt.ModelGRM, nil)
 	b.Run("HnD-diffvec", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := core.DiffEigenvector(d.Responses, core.Options{}); err != nil {
+			if _, _, err := core.DiffEigenvector(context.Background(), d.Responses, core.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("ABH-diffvec", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := core.ABHDiffEigenvector(d.Responses, core.Options{}, 0); err != nil {
+			if _, _, err := core.ABHDiffEigenvector(context.Background(), d.Responses, core.Options{}, 0); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -203,7 +204,7 @@ func BenchmarkFig7RealWorld(b *testing.B) {
 		}
 		b.Run(spec.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := (core.HNDPower{}).Rank(d.Responses); err != nil {
+				if _, err := (core.HNDPower{}).Rank(context.Background(), d.Responses); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -218,7 +219,7 @@ func BenchmarkFig9Discrimination(b *testing.B) {
 		d := genOrDie(b, irt.ModelSamejima, func(c *irt.Config) { c.DiscriminationMax = amax })
 		b.Run(fmt.Sprintf("amax=%g", amax), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := (core.HNDPower{}).Rank(d.Responses); err != nil {
+				if _, err := (core.HNDPower{}).Rank(context.Background(), d.Responses); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -257,7 +258,7 @@ func BenchmarkFig14aBeta(b *testing.B) {
 		mult := mult
 		b.Run(fmt.Sprintf("beta=%gx", mult), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := (core.ABHPower{Beta: base * mult}).Rank(d.Responses); err != nil {
+				if _, err := (core.ABHPower{Beta: base * mult}).Rank(context.Background(), d.Responses); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -293,14 +294,14 @@ func BenchmarkAblationSymmetry(b *testing.B) {
 	d := genOrDie(b, irt.ModelSamejima, nil)
 	b.Run("with-orientation", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := (core.HNDPower{}).Rank(d.Responses); err != nil {
+			if _, err := (core.HNDPower{}).Rank(context.Background(), d.Responses); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("raw-spectral", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := (core.HNDPower{Opts: core.Options{SkipOrientation: true}}).Rank(d.Responses); err != nil {
+			if _, err := (core.HNDPower{Opts: core.Options{SkipOrientation: true}}).Rank(context.Background(), d.Responses); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -352,14 +353,14 @@ func BenchmarkAblationEigensolvers(b *testing.B) {
 	})
 	b.Run("lanczos-full-reorth", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := eigen.Lanczos(eigen.DenseOp{M: l}, eigen.LanczosOptions{MaxSteps: 60}); err != nil {
+			if _, err := eigen.Lanczos(context.Background(), eigen.DenseOp{M: l}, eigen.LanczosOptions{MaxSteps: 60}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("power-iteration", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := eigen.PowerIteration(eigen.DenseOp{M: l}, eigen.PowerOptions{}); err != nil {
+			if _, err := eigen.PowerIteration(context.Background(), eigen.DenseOp{M: l}, eigen.PowerOptions{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -377,8 +378,57 @@ func BenchmarkPQTreeReduce(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := BL().Rank(d.Responses); err != nil {
+		if _, err := BL().Rank(context.Background(), d.Responses); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEngineWarmVsCold quantifies the Engine's warm-start speedup on
+// a mid-size noisy matrix: each benchmarked operation is one Observe burst
+// followed by a full re-rank. The warm engine resumes the power iteration
+// from the previous score vector; the cold engine restarts from a random
+// vector every time. Reported custom metrics: power iterations per re-rank.
+func BenchmarkEngineWarmVsCold(b *testing.B) {
+	cfg := irt.DefaultConfig(irt.ModelSamejima)
+	cfg.Users, cfg.Items, cfg.Seed = 500, 150, 42
+	cfg.DiscriminationMax = 2 // noisy: narrow spectral gap, many iterations
+	d, err := irt.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+
+	run := func(b *testing.B, cold bool) {
+		opts := []EngineOption{WithRankOptions(WithSeed(1))}
+		if cold {
+			opts = append(opts, WithColdStart())
+		}
+		eng, err := NewEngine(d.Responses, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Rank(ctx); err != nil { // common cold start
+			b.Fatal(err)
+		}
+		var iters int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			user := i % cfg.Users
+			item := i % cfg.Items
+			k := d.Responses.OptionCount(item)
+			if err := eng.Observe(user, item, (d.Responses.Answer(user, item)+1+k)%k); err != nil {
+				b.Fatal(err)
+			}
+			res, err := eng.Rank(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			iters += res.Iterations
+		}
+		b.ReportMetric(float64(iters)/float64(b.N), "iterations/rerank")
+	}
+
+	b.Run("warm", func(b *testing.B) { run(b, false) })
+	b.Run("cold", func(b *testing.B) { run(b, true) })
 }

@@ -33,9 +33,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"time"
 
@@ -44,6 +46,7 @@ import (
 )
 
 type runner struct {
+	ctx    context.Context
 	cfg    experiments.Config
 	timing experiments.TimingConfig
 	csvDir string
@@ -61,7 +64,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <subcommand> (see -h)")
 		os.Exit(2)
 	}
+	// Ctrl-C cancels the context; the iterative solvers notice it
+	// mid-iteration and the run stops promptly instead of finishing the
+	// current sweep point.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	r := &runner{
+		ctx:    ctx,
 		cfg:    experiments.Config{Reps: *reps, Seed: *seed, Quick: !*full},
 		timing: experiments.TimingConfig{Runs: min(*reps, 3), Seed: *seed, Quick: !*full, Timeout: *timeout},
 		csvDir: *csvDir,
@@ -90,30 +99,35 @@ func main() {
 	if err := r.dispatch(cmd, model); err != nil {
 		fatal(err)
 	}
+	// A cancelled run produces tables of NaNs (failed methods render as
+	// "-"); report the interruption instead of exiting clean.
+	if err := ctx.Err(); err != nil {
+		fatal(fmt.Errorf("run interrupted: %w", err))
+	}
 }
 
 func (r *runner) dispatch(cmd string, model irt.ModelKind) error {
 	switch cmd {
 	case "fig4-n":
-		return r.table(experiments.Fig4VaryQuestions(model, r.cfg))
+		return r.table(experiments.Fig4VaryQuestions(r.ctx, model, r.cfg))
 	case "fig4-m":
-		return r.table(experiments.Fig4VaryUsers(model, r.cfg))
+		return r.table(experiments.Fig4VaryUsers(r.ctx, model, r.cfg))
 	case "fig4-k":
-		return r.table(experiments.Fig4VaryOptions(model, r.cfg))
+		return r.table(experiments.Fig4VaryOptions(r.ctx, model, r.cfg))
 	case "fig4-b":
-		return r.table(experiments.Fig4VaryDifficulty(model, r.cfg))
+		return r.table(experiments.Fig4VaryDifficulty(r.ctx, model, r.cfg))
 	case "fig4-p":
-		return r.table(experiments.Fig4VaryAnswerProb(model, r.cfg))
+		return r.table(experiments.Fig4VaryAnswerProb(r.ctx, model, r.cfg))
 	case "fig4-c1p":
-		return r.table(experiments.Fig4C1P(r.cfg))
+		return r.table(experiments.Fig4C1P(r.ctx, r.cfg))
 	case "fig9-disc":
-		return r.table(experiments.Fig4VaryDiscrimination(model, r.cfg))
+		return r.table(experiments.Fig4VaryDiscrimination(r.ctx, model, r.cfg))
 	case "fig5-users":
-		return r.table(experiments.Fig5ScaleUsers(r.timing))
+		return r.table(experiments.Fig5ScaleUsers(r.ctx, r.timing))
 	case "fig5-items":
-		return r.table(experiments.Fig5ScaleQuestions(r.timing))
+		return r.table(experiments.Fig5ScaleQuestions(r.ctx, r.timing))
 	case "fig6":
-		res, err := experiments.Fig6Stability(r.cfg)
+		res, err := experiments.Fig6Stability(r.ctx, r.cfg)
 		if err != nil {
 			return err
 		}
@@ -125,7 +139,7 @@ func (r *runner) dispatch(cmd string, model irt.ModelKind) error {
 		}
 		return r.emit(res.Accuracy)
 	case "fig7":
-		per, avg, err := experiments.Fig7RealWorld(r.cfg)
+		per, avg, err := experiments.Fig7RealWorld(r.ctx, r.cfg)
 		if err != nil {
 			return err
 		}
@@ -134,7 +148,7 @@ func (r *runner) dispatch(cmd string, model irt.ModelKind) error {
 		}
 		return r.emit(avg)
 	case "fig12":
-		mean, std, err := experiments.Fig12AmericanExperience(r.cfg)
+		mean, std, err := experiments.Fig12AmericanExperience(r.ctx, r.cfg)
 		if err != nil {
 			return err
 		}
@@ -143,7 +157,7 @@ func (r *runner) dispatch(cmd string, model irt.ModelKind) error {
 		}
 		return r.emit(std)
 	case "fig13":
-		mean, std, err := experiments.Fig13HalfMoon(r.cfg)
+		mean, std, err := experiments.Fig13HalfMoon(r.ctx, r.cfg)
 		if err != nil {
 			return err
 		}
@@ -152,9 +166,9 @@ func (r *runner) dispatch(cmd string, model irt.ModelKind) error {
 		}
 		return r.emit(std)
 	case "fig14-beta":
-		return r.table(experiments.Fig14Beta(r.cfg))
+		return r.table(experiments.Fig14Beta(r.ctx, r.cfg))
 	case "fig14-iters":
-		return r.table(experiments.Fig14Iterations(r.cfg))
+		return r.table(experiments.Fig14Iterations(r.ctx, r.cfg))
 	case "fig1":
 		return r.emit(experiments.Fig1Curves(0))
 	case "fig8":
@@ -162,9 +176,9 @@ func (r *runner) dispatch(cmd string, model irt.ModelKind) error {
 	case "fig13-scatter":
 		return r.emit(experiments.Fig13Scatter(0, r.cfg.Seed))
 	case "ablation-orient":
-		return r.table(experiments.AblationOrientation(r.cfg))
+		return r.table(experiments.AblationOrientation(r.ctx, r.cfg))
 	case "ablation-tol":
-		return r.table(experiments.AblationConvergenceTol(r.cfg))
+		return r.table(experiments.AblationConvergenceTol(r.ctx, r.cfg))
 	case "all":
 		for _, sub := range []struct {
 			name  string

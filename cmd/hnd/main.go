@@ -2,20 +2,25 @@
 //
 // Usage:
 //
-//	hnd [-method HnD-power] [-scores] [-tol 1e-5] [-maxiter 20000] file.csv
+//	hnd [-method HnD-power] [-scores] [-tol 1e-5] [-maxiter 20000] [-timeout 0] file.csv
 //
 // The input format is the one produced by datagen and
 // (*ResponseMatrix).WriteCSV: a header row with each item's option count,
 // then one row per user holding the chosen option index per item (empty
 // cell = unanswered). Output is one line per user, best first.
+//
+// Methods are resolved through the hitsndiffs registry; -list prints every
+// registered method with its applicability constraints. A -timeout bounds
+// the solve via context deadline, and Ctrl-C cancels it mid-iteration.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"sort"
-	"strings"
+	"os/signal"
 
 	"hitsndiffs"
 )
@@ -27,15 +32,12 @@ func main() {
 	infer := flag.Bool("infer", false, "also infer each item's most likely correct option by score-weighted voting")
 	tol := flag.Float64("tol", 1e-5, "convergence tolerance for iterative methods")
 	maxIter := flag.Int("maxiter", 20000, "iteration budget for iterative methods")
+	seed := flag.Int64("seed", 0, "random seed for the spectral starting vector")
+	timeout := flag.Duration("timeout", 0, "abort the solve after this long (0 = no deadline)")
 	flag.Parse()
 
 	if *list {
-		names := make([]string, 0)
-		for name := range hitsndiffs.Methods() {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		fmt.Println(strings.Join(names, "\n"))
+		fmt.Print(formatMethodList())
 		return
 	}
 	if flag.NArg() != 1 {
@@ -53,54 +55,74 @@ func main() {
 		fatal(err)
 	}
 
-	ranker, err := selectMethod(*method, hitsndiffs.Options{Tol: *tol, MaxIter: *maxIter})
+	ranker, err := hitsndiffs.New(*method,
+		hitsndiffs.WithTol(*tol),
+		hitsndiffs.WithMaxIter(*maxIter),
+		hitsndiffs.WithSeed(*seed),
+	)
 	if err != nil {
 		fatal(err)
 	}
-	res, err := ranker.Rank(m)
-	if err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if err := run(ctx, os.Stdout, ranker, m, *scores, *infer); err != nil {
 		fatal(err)
-	}
-	fmt.Printf("# method=%s users=%d items=%d iterations=%d converged=%v\n",
-		ranker.Name(), m.Users(), m.Items(), res.Iterations, res.Converged)
-	for pos, u := range res.Order() {
-		if *scores {
-			fmt.Printf("%4d  user=%d  score=%.6g\n", pos+1, u, res.Scores[u])
-		} else {
-			fmt.Printf("%4d  user=%d\n", pos+1, u)
-		}
-	}
-	if *infer {
-		labels, err := hitsndiffs.InferLabels(m, res.Scores)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println("# inferred correct option per item (score-weighted vote):")
-		for i, l := range labels {
-			fmt.Printf("item=%d option=%d\n", i, l)
-		}
 	}
 }
 
-// selectMethod resolves a method name, wiring tolerance options into the
-// spectral methods that accept them.
-func selectMethod(name string, opts hitsndiffs.Options) (hitsndiffs.Ranker, error) {
-	switch name {
-	case "HnD-power":
-		return hitsndiffs.HND(opts), nil
-	case "HnD-direct":
-		return hitsndiffs.HNDDirect(opts), nil
-	case "HnD-deflation":
-		return hitsndiffs.HNDDeflation(opts), nil
-	case "ABH-power":
-		return hitsndiffs.ABH(opts), nil
-	case "ABH-direct":
-		return hitsndiffs.ABHDirect(opts), nil
+// run ranks m with ranker and renders the report to w.
+func run(ctx context.Context, w io.Writer, ranker hitsndiffs.Ranker, m *hitsndiffs.ResponseMatrix, scores, infer bool) error {
+	res, err := ranker.Rank(ctx, m)
+	if err != nil {
+		return err
 	}
-	if r, ok := hitsndiffs.Methods()[name]; ok {
-		return r, nil
+	fmt.Fprintf(w, "# method=%s users=%d items=%d iterations=%d converged=%v\n",
+		ranker.Name(), m.Users(), m.Items(), res.Iterations, res.Converged)
+	for pos, u := range res.Order() {
+		if scores {
+			fmt.Fprintf(w, "%4d  user=%d  score=%.6g\n", pos+1, u, res.Scores[u])
+		} else {
+			fmt.Fprintf(w, "%4d  user=%d\n", pos+1, u)
+		}
 	}
-	return nil, fmt.Errorf("unknown method %q (use -list)", name)
+	if infer {
+		labels, err := hitsndiffs.InferLabels(m, res.Scores)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "# inferred correct option per item (score-weighted vote):")
+		for i, l := range labels {
+			fmt.Fprintf(w, "item=%d option=%d\n", i, l)
+		}
+	}
+	return nil
+}
+
+// formatMethodList renders every registered method with its constraint
+// tags and summary, one per line, in deterministic sorted order.
+func formatMethodList() string {
+	infos := hitsndiffs.MethodInfos()
+	nameW, tagW := 0, 0
+	for _, info := range infos {
+		if len(info.Name) > nameW {
+			nameW = len(info.Name)
+		}
+		if len(info.Constraints()) > tagW {
+			tagW = len(info.Constraints())
+		}
+	}
+	out := ""
+	for _, info := range infos {
+		out += fmt.Sprintf("%-*s  %-*s  %s\n", nameW, info.Name, tagW, info.Constraints(), info.Summary)
+	}
+	return out
 }
 
 func fatal(err error) {

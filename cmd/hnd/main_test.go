@@ -1,47 +1,93 @@
 package main
 
 import (
+	"context"
+	"strings"
 	"testing"
 
 	"hitsndiffs"
 )
 
-func TestSelectMethodKnownNames(t *testing.T) {
-	opts := hitsndiffs.Options{Tol: 1e-4, MaxIter: 100}
+func TestRegistryResolvesKnownNames(t *testing.T) {
+	opts := []hitsndiffs.Option{hitsndiffs.WithTol(1e-4), hitsndiffs.WithMaxIter(100)}
 	for _, name := range []string{
 		"HnD-power", "HnD-direct", "HnD-deflation", "ABH-power", "ABH-direct",
 		"ABH-lanczos", "BL", "HITS", "TruthFinder", "Invest", "PooledInv",
 		"MajorityVote", "Dawid-Skene", "Ghosh-spectral", "Dalvi-spectral", "GLAD",
 	} {
-		r, err := selectMethod(name, opts)
+		r, err := hitsndiffs.New(name, opts...)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if r.Name() != name {
-			t.Fatalf("selectMethod(%q).Name() = %q", name, r.Name())
+			t.Fatalf("New(%q).Name() = %q", name, r.Name())
 		}
 	}
 }
 
-func TestSelectMethodUnknown(t *testing.T) {
-	if _, err := selectMethod("nope", hitsndiffs.Options{}); err == nil {
+func TestUnknownMethodErrors(t *testing.T) {
+	if _, err := hitsndiffs.New("nope"); err == nil {
 		t.Fatal("expected error for unknown method")
+	} else if !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("error should name the unknown method: %v", err)
 	}
 }
 
-func TestSelectMethodAppliesOptions(t *testing.T) {
-	r, err := selectMethod("HnD-power", hitsndiffs.Options{MaxIter: 2, Tol: 1e-12})
+func TestListOutput(t *testing.T) {
+	out := formatMethodList()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	names := hitsndiffs.MethodNames()
+	if len(lines) != len(names) {
+		t.Fatalf("-list printed %d lines for %d methods:\n%s", len(lines), len(names), out)
+	}
+	for i, name := range names {
+		if !strings.HasPrefix(lines[i], name) {
+			t.Fatalf("line %d = %q, want prefix %q (sorted order)", i, lines[i], name)
+		}
+	}
+	// Metadata must be visible: the binary-only and consistent-only flags.
+	if !strings.Contains(out, "binary-only") {
+		t.Fatalf("-list output lacks binary-only tags:\n%s", out)
+	}
+	if !strings.Contains(out, "consistent-only") {
+		t.Fatalf("-list output lacks consistent-only tag for BL:\n%s", out)
+	}
+}
+
+func TestRunAppliesOptions(t *testing.T) {
+	r, err := hitsndiffs.New("HnD-power", hitsndiffs.WithMaxIter(2), hitsndiffs.WithTol(1e-12))
 	if err != nil {
 		t.Fatal(err)
 	}
 	m := hitsndiffs.FromChoices([][]int{
 		{0, 0}, {0, 1}, {1, 1},
 	}, 2)
-	res, err := r.Rank(m)
+	res, err := r.Rank(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Iterations > 2 {
 		t.Fatalf("MaxIter not plumbed: %d iterations", res.Iterations)
+	}
+}
+
+func TestRunRendersReport(t *testing.T) {
+	m := hitsndiffs.FromChoices([][]int{
+		{0, 0, 0}, {0, 0, 2}, {0, 1, 2}, {1, 2, 2},
+	}, 3)
+	r, err := hitsndiffs.New("HnD-power")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(context.Background(), &sb, r, m, true, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "method=HnD-power") {
+		t.Fatalf("missing header: %s", out)
+	}
+	if !strings.Contains(out, "score=") || !strings.Contains(out, "item=0") {
+		t.Fatalf("missing scores or inferred labels: %s", out)
 	}
 }

@@ -1,0 +1,265 @@
+package hitsndiffs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"hitsndiffs/internal/truth"
+)
+
+// Engine is the online-serving entry point: it owns a mutable response
+// matrix, absorbs new responses through Observe, and serves concurrent
+// Rank / InferLabels calls.
+//
+// Three properties make it cheap to sit behind heavy traffic:
+//
+//   - Readers and writers share an RWMutex, and ranking never holds the
+//     lock: Rank snapshots the matrix (O(mn) copy), releases the lock, and
+//     iterates on the snapshot, so Observe is never blocked by a long
+//     spectral solve.
+//   - Results are cached keyed by a matrix version counter that every
+//     Observe bumps; repeated Rank calls between updates are O(m).
+//   - Re-ranks warm-start the power iteration from the previous score
+//     vector, so steady-state convergence takes a fraction of the
+//     cold-start iterations (see BenchmarkEngineWarmVsCold).
+//
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	method string
+	base   []Option
+	warm   bool
+
+	mu         sync.RWMutex
+	m          *ResponseMatrix
+	version    uint64
+	lastScores []float64
+	cached     *engineCache
+}
+
+// engineCache holds the results computed for one matrix version.
+type engineCache struct {
+	version uint64
+	res     Result
+	labels  []int // nil until InferLabels fills it
+}
+
+// EngineOption configures NewEngine.
+type EngineOption func(*engineSettings)
+
+type engineSettings struct {
+	method string
+	base   []Option
+	cold   bool
+}
+
+// WithMethod selects the registered ranking method the engine serves
+// (default "HnD-power").
+func WithMethod(name string) EngineOption {
+	return func(s *engineSettings) { s.method = name }
+}
+
+// WithRankOptions sets the base options (tolerance, iteration budget,
+// seed, ...) applied to every Rank the engine runs.
+func WithRankOptions(opts ...Option) EngineOption {
+	return func(s *engineSettings) { s.base = append(s.base, opts...) }
+}
+
+// WithColdStart disables warm-starting re-ranks from the previous score
+// vector. Mainly useful for benchmarking the warm-start speedup and for
+// A/B-ing convergence behaviour.
+func WithColdStart() EngineOption {
+	return func(s *engineSettings) { s.cold = true }
+}
+
+// NewEngine builds an engine serving the given response matrix, which may
+// be empty: answers can arrive later through Observe. The matrix is
+// deep-copied, so the caller's copy stays independent. The method name is
+// resolved against the registry immediately so a typo fails at
+// construction, not at first request.
+func NewEngine(m *ResponseMatrix, opts ...EngineOption) (*Engine, error) {
+	if m == nil {
+		return nil, fmt.Errorf("hitsndiffs: NewEngine needs a response matrix")
+	}
+	s := engineSettings{method: "HnD-power"}
+	for _, o := range opts {
+		if o != nil {
+			o(&s)
+		}
+	}
+	if _, ok := Describe(s.method); !ok {
+		return nil, fmt.Errorf("hitsndiffs: NewEngine: unknown method %q (known: %v)", s.method, MethodNames())
+	}
+	return &Engine{
+		method: s.method,
+		base:   s.base,
+		warm:   !s.cold,
+		m:      m.Clone(),
+	}, nil
+}
+
+// Users returns the number of users the engine tracks.
+func (e *Engine) Users() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.m.Users()
+}
+
+// Items returns the number of items the engine tracks.
+func (e *Engine) Items() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.m.Items()
+}
+
+// Version returns the matrix version counter: it starts at zero and every
+// successful Observe / ObserveBatch increments it once. Cached results are
+// keyed by it.
+func (e *Engine) Version() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.version
+}
+
+// Method returns the name of the registered method the engine serves.
+func (e *Engine) Method() string { return e.method }
+
+// Snapshot returns a deep copy of the current response matrix.
+func (e *Engine) Snapshot() *ResponseMatrix {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.m.Clone()
+}
+
+// Observation is one (user, item, option) response for ObserveBatch.
+type Observation struct {
+	User, Item, Option int
+}
+
+// Observe records that user picked option of item, replacing any earlier
+// answer; pass Unanswered to retract one. It bumps the version counter,
+// invalidating cached results.
+func (e *Engine) Observe(user, item, option int) error {
+	return e.ObserveBatch([]Observation{{User: user, Item: item, Option: option}})
+}
+
+// ObserveBatch records several responses under one lock acquisition and a
+// single version bump — the cheap way to absorb a burst of traffic. The
+// batch is validated before anything is applied, so an out-of-range
+// observation leaves the matrix untouched.
+func (e *Engine) ObserveBatch(obs []Observation) error {
+	if len(obs) == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, o := range obs {
+		if o.User < 0 || o.User >= e.m.Users() {
+			return fmt.Errorf("hitsndiffs: Observe user %d out of range [0,%d)", o.User, e.m.Users())
+		}
+		if o.Item < 0 || o.Item >= e.m.Items() {
+			return fmt.Errorf("hitsndiffs: Observe item %d out of range [0,%d)", o.Item, e.m.Items())
+		}
+		if o.Option != Unanswered && (o.Option < 0 || o.Option >= e.m.OptionCount(o.Item)) {
+			return fmt.Errorf("hitsndiffs: Observe option %d out of range for item %d (k=%d)",
+				o.Option, o.Item, e.m.OptionCount(o.Item))
+		}
+	}
+	for _, o := range obs {
+		e.m.SetAnswer(o.User, o.Item, o.Option)
+	}
+	e.version++
+	e.cached = nil
+	return nil
+}
+
+// Rank scores the users of the current matrix with the engine's method.
+// Between updates the cached result is served in O(m); after an Observe
+// the solve re-runs, warm-started from the previous scores. Rank honors
+// ctx cancellation and deadlines mid-iteration. The returned Result owns
+// its score slice; callers may mutate it freely.
+func (e *Engine) Rank(ctx context.Context) (Result, error) {
+	res, _, _, err := e.rank(ctx, false)
+	return res, err
+}
+
+// rank is the shared solve path behind Rank and InferLabels. It returns
+// the result (with caller-owned scores), the matrix version the scores
+// correspond to, and — when needSnapshot is set — the exact snapshot they
+// were computed from, so label inference never mixes scores of one
+// version with responses of another.
+func (e *Engine) rank(ctx context.Context, needSnapshot bool) (Result, uint64, *ResponseMatrix, error) {
+	e.mu.RLock()
+	if c := e.cached; c != nil && c.version == e.version {
+		res := c.res
+		res.Scores = append([]float64(nil), c.res.Scores...)
+		var snapshot *ResponseMatrix
+		if needSnapshot {
+			snapshot = e.m.Clone()
+		}
+		version := c.version
+		e.mu.RUnlock()
+		return res, version, snapshot, nil
+	}
+	version := e.version
+	snapshot := e.m.Clone()
+	var warmScores []float64
+	if e.warm && len(e.lastScores) == snapshot.Users() {
+		warmScores = e.lastScores // copied by WithWarmStart below
+	}
+	e.mu.RUnlock()
+
+	opts := e.base
+	if warmScores != nil {
+		opts = append(append([]Option(nil), e.base...), WithWarmStart(warmScores))
+	}
+	r, err := New(e.method, opts...)
+	if err != nil {
+		return Result{}, 0, nil, err
+	}
+	res, err := r.Rank(ctx, snapshot)
+	if err != nil {
+		return Result{}, 0, nil, err
+	}
+
+	e.mu.Lock()
+	e.lastScores = append([]float64(nil), res.Scores...)
+	if e.version == version {
+		e.cached = &engineCache{version: version, res: res}
+	}
+	e.mu.Unlock()
+
+	out := res
+	out.Scores = append([]float64(nil), res.Scores...)
+	return out, version, snapshot, nil
+}
+
+// InferLabels serves the truth-discovery direction: it ranks (or reuses
+// the cached ranking) and estimates each item's correct option by
+// score-weighted voting over the same matrix snapshot the scores came
+// from. Labels are cached alongside the ranking under the same version
+// key.
+func (e *Engine) InferLabels(ctx context.Context) ([]int, error) {
+	e.mu.RLock()
+	if c := e.cached; c != nil && c.version == e.version && c.labels != nil {
+		out := append([]int(nil), c.labels...)
+		e.mu.RUnlock()
+		return out, nil
+	}
+	e.mu.RUnlock()
+
+	res, version, snapshot, err := e.rank(ctx, true)
+	if err != nil {
+		return nil, err
+	}
+	labels, err := truth.InferLabels(snapshot, res.Scores)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if c := e.cached; c != nil && c.version == version {
+		c.labels = append([]int(nil), labels...)
+	}
+	e.mu.Unlock()
+	return labels, nil
+}

@@ -1,6 +1,7 @@
 package hitsndiffs_test
 
 import (
+	"context"
 	"fmt"
 
 	"hitsndiffs"
@@ -15,7 +16,7 @@ func ExampleHND() {
 		{0, 1, 2},
 		{1, 2, 2}, // u3: weakest
 	}, 3)
-	res, err := hitsndiffs.HND().Rank(m)
+	res, err := hitsndiffs.HND().Rank(context.Background(), m)
 	if err != nil {
 		panic(err)
 	}
@@ -60,7 +61,7 @@ func ExampleInferLabels() {
 		{0, 0},
 		{1, 1},
 	}, 2)
-	res, err := hitsndiffs.HND().Rank(m)
+	res, err := hitsndiffs.HND().Rank(context.Background(), m)
 	if err != nil {
 		panic(err)
 	}
@@ -70,4 +71,58 @@ func ExampleInferLabels() {
 	}
 	fmt.Println(labels)
 	// Output: [0 0]
+}
+
+// Resolve a method by registry name with options.
+func ExampleNew() {
+	m := hitsndiffs.FromChoices([][]int{
+		{0, 0, 0},
+		{0, 0, 2},
+		{0, 1, 2},
+		{1, 2, 2},
+	}, 3)
+	r, err := hitsndiffs.New("HnD-power", hitsndiffs.WithTol(1e-6), hitsndiffs.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	res, err := r.Rank(context.Background(), m)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Order())
+	// Output: [0 1 2 3]
+}
+
+// Serve a live workload: observe a new response, re-rank, infer labels.
+func ExampleEngine() {
+	m := hitsndiffs.FromChoices([][]int{
+		{0, 0, 0},
+		{0, 0, 2},
+		{0, 1, 2},
+		{1, 2, 2},
+	}, 3)
+	eng, err := hitsndiffs.NewEngine(m)
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+	res, err := eng.Rank(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Order(), "version", eng.Version())
+
+	// User 3 corrects their first answer; the next Rank re-ranks
+	// warm-started from the previous scores.
+	if err := eng.Observe(3, 0, 0); err != nil {
+		panic(err)
+	}
+	res, err = eng.Rank(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Order(), "version", eng.Version())
+	// Output:
+	// [0 1 2 3] version 0
+	// [0 1 2 3] version 1
 }

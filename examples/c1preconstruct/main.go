@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,12 +27,13 @@ func main() {
 	m := d.Responses
 	fmt.Println("generated consistent responses; pre-P-matrix?", hitsndiffs.IsConsistent(m))
 
+	ctx := context.Background()
 	for _, method := range []hitsndiffs.Ranker{
 		hitsndiffs.HND(),
 		hitsndiffs.ABH(),
 		hitsndiffs.BL(),
 	} {
-		res, err := method.Rank(m)
+		res, err := method.Rank(ctx, m)
 		if err != nil {
 			log.Fatalf("%s: %v", method.Name(), err)
 		}
@@ -50,10 +52,10 @@ func main() {
 	fmt.Printf("\nafter corrupting %d answer(s); pre-P-matrix? %v\n",
 		corrupted, hitsndiffs.IsConsistent(m))
 
-	if _, err := hitsndiffs.BL().Rank(m); err != nil {
+	if _, err := hitsndiffs.BL().Rank(ctx, m); err != nil {
 		fmt.Println("BL:", err)
 	}
-	res, err := hitsndiffs.HND().Rank(m)
+	res, err := hitsndiffs.HND().Rank(ctx, m)
 	if err != nil {
 		log.Fatal(err)
 	}

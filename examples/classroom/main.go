@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,9 +41,10 @@ func main() {
 		hitsndiffs.PooledInvestment(),
 		hitsndiffs.MajorityVote(),
 	}
+	ctx := context.Background()
 	var hndScores []float64
 	for _, m := range methods {
-		res, err := m.Rank(d.Responses)
+		res, err := m.Rank(ctx, d.Responses)
 		if err != nil {
 			log.Fatal(err)
 		}

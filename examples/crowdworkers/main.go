@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,7 +37,7 @@ func main() {
 	fmt.Printf("crowd: %d workers × %d tasks, %.0f%% of cells answered\n\n",
 		cfg.Users, cfg.Items, 100*float64(answered)/float64(cfg.Users*cfg.Items))
 
-	res, err := hitsndiffs.HND().Rank(d.Responses)
+	res, err := hitsndiffs.HND().Rank(context.Background(), d.Responses)
 	if err != nil {
 		log.Fatal(err)
 	}

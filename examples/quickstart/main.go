@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,7 +28,10 @@ func main() {
 	fmt.Println("responses consistent (C1P)?", hitsndiffs.IsConsistent(m))
 
 	// HITSnDIFFS is guaranteed to recover the ability order in this case.
-	res, err := hitsndiffs.HND().Rank(m)
+	// Every Rank takes a context; a deadline or Ctrl-C interrupts the
+	// iteration mid-flight.
+	ctx := context.Background()
+	res, err := hitsndiffs.HND().Rank(ctx, m)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,7 +41,7 @@ func main() {
 	}
 
 	// Compare against a classic truth-discovery baseline.
-	hits, err := hitsndiffs.HITS().Rank(m)
+	hits, err := hitsndiffs.HITS().Rank(ctx, m)
 	if err != nil {
 		log.Fatal(err)
 	}

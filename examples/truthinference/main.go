@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -57,7 +58,7 @@ func main() {
 	// A global rank correlation would be diluted by the indistinguishable
 	// guesser mass; what matters for weighting is that the TOP of the
 	// ranking is real experts.
-	res, err := hitsndiffs.HND().Rank(d.Responses)
+	res, err := hitsndiffs.HND().Rank(context.Background(), d.Responses)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module hitsndiffs
+
+go 1.24.0

@@ -22,15 +22,23 @@
 //	m := hitsndiffs.NewResponseMatrix(4, 3, 3) // 4 users, 3 items, 3 options
 //	m.SetAnswer(0, 0, 0)                       // user 0 picks option 0 of item 0
 //	// ... record remaining answers ...
-//	res, err := hitsndiffs.HND().Rank(m)
+//	res, err := hitsndiffs.HND().Rank(ctx, m)
 //	if err != nil { ... }
 //	order := res.Order() // user indices, most able first
+//
+// Every Rank takes a context.Context; deadlines and cancellation interrupt
+// the iterative solvers mid-flight. Methods are tuned with functional
+// options (WithTol, WithMaxIter, WithSeed, ...) and can be resolved by name
+// through the registry (New, MethodNames, Describe). For online serving —
+// responses streaming in while rankings are read concurrently — use Engine,
+// which caches results per matrix version and warm-starts re-ranks.
 //
 // The subpackages under internal/ hold the implementation; this package is
 // the stable public surface.
 package hitsndiffs
 
 import (
+	"context"
 	"io"
 
 	"hitsndiffs/internal/c1p"
@@ -51,12 +59,10 @@ const Unanswered = response.Unanswered
 // better) plus convergence metadata.
 type Result = core.Result
 
-// Ranker is any ability-discovery method.
+// Ranker is any ability-discovery method. Rank honors context
+// cancellation: long iterations return ctx.Err() promptly once the
+// context is done.
 type Ranker = core.Ranker
-
-// Options tunes the iterative spectral methods (tolerance, iteration
-// budget, seed, orientation).
-type Options = core.Options
 
 // NewResponseMatrix creates an empty response matrix for the given number
 // of users and items. Pass one option count to give every item the same
@@ -77,49 +83,65 @@ func ReadCSV(r io.Reader) (*ResponseMatrix, error) { return response.ReadCSV(r) 
 // HND returns the paper's recommended method: HITSnDIFFS via the power
 // iteration of Algorithm 1 (O(mn) per iteration, provably exact on
 // consistent responses).
-func HND(opts ...Options) Ranker { return core.HNDPower{Opts: firstOpt(opts)} }
+func HND(opts ...Option) Ranker { return core.HNDPower{Opts: newSettings(opts).coreOptions()} }
 
 // HNDDirect returns the Arnoldi-based variant that materializes the update
 // matrix U (O(m²n)); slower, used for cross-checking.
-func HNDDirect(opts ...Options) Ranker { return core.HNDDirect{Opts: firstOpt(opts)} }
+func HNDDirect(opts ...Option) Ranker {
+	return core.HNDDirect{Opts: newSettings(opts).coreOptions()}
+}
 
 // HNDDeflation returns the Hotelling-deflation variant.
-func HNDDeflation(opts ...Options) Ranker { return core.HNDDeflation{Opts: firstOpt(opts)} }
+func HNDDeflation(opts ...Option) Ranker {
+	return core.HNDDeflation{Opts: newSettings(opts).coreOptions()}
+}
 
 // ABH returns the power-iteration implementation of the spectral seriation
 // method of Atkins, Boman and Hendrickson.
-func ABH(opts ...Options) Ranker { return core.ABHPower{Opts: firstOpt(opts)} }
+func ABH(opts ...Option) Ranker { return core.ABHPower{Opts: newSettings(opts).coreOptions()} }
 
 // ABHDirect returns the Fiedler-vector (Lanczos/dense) implementation of
 // ABH.
-func ABHDirect(opts ...Options) Ranker { return core.ABHDirect{Opts: firstOpt(opts)} }
+func ABHDirect(opts ...Option) Ranker {
+	return core.ABHDirect{Opts: newSettings(opts).coreOptions()}
+}
 
 // ABHLanczos returns the matrix-free Lanczos implementation of ABH: eigsh-
 // style convergence without the O(m²n) Laplacian materialization. This
 // variant goes beyond the paper's SciPy-bound implementations.
-func ABHLanczos(opts ...Options) Ranker { return core.ABHLanczos{Opts: firstOpt(opts)} }
+func ABHLanczos(opts ...Option) Ranker {
+	return core.ABHLanczos{Opts: newSettings(opts).coreOptions()}
+}
 
 // BL returns the Booth–Lueker PQ-tree baseline: exact on consistent
 // responses, fails otherwise.
 func BL() Ranker { return c1p.BL{} }
 
 // HITS returns Kleinberg's hubs-and-authorities baseline.
-func HITS() Ranker { return truth.HITS{} }
+func HITS(opts ...Option) Ranker { return truth.HITS{Opts: newSettings(opts).truthOptions()} }
 
 // TruthFinder returns the TruthFinder baseline of Yin, Han and Yu.
-func TruthFinder() Ranker { return truth.TruthFinder{} }
+func TruthFinder(opts ...Option) Ranker {
+	return truth.TruthFinder{Opts: newSettings(opts).truthOptions()}
+}
 
 // Investment returns the Investment baseline of Pasternack and Roth.
-func Investment() Ranker { return truth.Investment{} }
+func Investment(opts ...Option) Ranker {
+	return truth.Investment{Opts: newSettings(opts).truthOptions()}
+}
 
 // PooledInvestment returns the PooledInvestment baseline.
-func PooledInvestment() Ranker { return truth.PooledInvestment{} }
+func PooledInvestment(opts ...Option) Ranker {
+	return truth.PooledInvestment{Opts: newSettings(opts).truthOptions()}
+}
 
 // MajorityVote returns the plurality-agreement baseline.
 func MajorityVote() Ranker { return truth.MajorityVote{} }
 
 // DawidSkene returns the Dawid–Skene EM baseline (homogeneous items only).
-func DawidSkene() Ranker { return truth.DawidSkene{} }
+func DawidSkene(opts ...Option) Ranker {
+	return truth.DawidSkene{Opts: newSettings(opts).truthOptions()}
+}
 
 // TrueAnswer returns the cheating baseline that knows the correct option of
 // every item and counts correct answers.
@@ -127,13 +149,23 @@ func TrueAnswer(correct []int) Ranker { return truth.TrueAnswer{Correct: correct
 
 // GhoshSpectral returns the binary-only spectral baseline of Ghosh, Kale
 // and McAfee (errors on items with more than two options).
-func GhoshSpectral() Ranker { return truth.GhoshSpectral{} }
+func GhoshSpectral(opts ...Option) Ranker {
+	return truth.GhoshSpectral{Opts: newSettings(opts).truthOptions()}
+}
 
 // DalviSpectral returns the binary-only spectral baseline of Dalvi et al.
-func DalviSpectral() Ranker { return truth.DalviSpectral{} }
+func DalviSpectral(opts ...Option) Ranker {
+	return truth.DalviSpectral{Opts: newSettings(opts).truthOptions()}
+}
 
 // GLAD returns the EM estimator of Whitehill et al. for binary items.
-func GLAD() Ranker { return truth.GLAD{} }
+func GLAD(opts ...Option) Ranker { return truth.GLAD{Opts: newSettings(opts).truthOptions()} }
+
+// GRMEstimator returns the cheating baseline that fits a Graded Response
+// Model by MML-EM and ranks users by EAP ability.
+func GRMEstimator(opts ...Option) Ranker {
+	return grmest.Estimator{Opts: newSettings(opts).grmOptions()}
+}
 
 // InferLabels performs the truth-discovery direction of the duality: given
 // per-user ability scores from any Ranker, it estimates each item's correct
@@ -146,44 +178,15 @@ func InferLabels(m *ResponseMatrix, scores []float64) ([]int, error) {
 // splitting it into connected components, ranking each independently with
 // the supplied method, and min-max normalizing scores within components.
 // Cross-component score comparisons are not meaningful.
-func RankPerComponent(r Ranker, m *ResponseMatrix) (scores []float64, components [][]int, err error) {
-	res, err := core.RankPerComponent(r, m)
+func RankPerComponent(ctx context.Context, r Ranker, m *ResponseMatrix) (scores []float64, components [][]int, err error) {
+	res, err := core.RankPerComponent(ctx, r, m)
 	if err != nil {
 		return nil, nil, err
 	}
 	return res.Scores, res.Components, nil
 }
 
-// GRMEstimator returns the cheating baseline that fits a Graded Response
-// Model by MML-EM and ranks users by EAP ability.
-func GRMEstimator() Ranker { return grmest.Estimator{} }
-
-// Methods returns every general-purpose method (no cheating baselines),
-// keyed by name, for tools that select a method from a flag.
-func Methods() map[string]Ranker {
-	ms := []Ranker{
-		core.HNDPower{}, core.HNDDirect{}, core.HNDDeflation{},
-		core.ABHPower{}, core.ABHDirect{}, core.ABHLanczos{},
-		c1p.BL{},
-		truth.HITS{}, truth.TruthFinder{}, truth.Investment{},
-		truth.PooledInvestment{}, truth.MajorityVote{}, truth.DawidSkene{},
-		truth.GhoshSpectral{}, truth.DalviSpectral{}, truth.GLAD{},
-	}
-	out := make(map[string]Ranker, len(ms))
-	for _, m := range ms {
-		out[m.Name()] = m
-	}
-	return out
-}
-
 // IsConsistent reports whether the responses admit a consecutive-ones user
 // ordering (the paper's ideal "consistent responses" case), decided exactly
 // with the PQ-tree.
 func IsConsistent(m *ResponseMatrix) bool { return c1p.IsPreP(m) }
-
-func firstOpt(opts []Options) Options {
-	if len(opts) > 0 {
-		return opts[0]
-	}
-	return Options{}
-}

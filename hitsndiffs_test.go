@@ -2,6 +2,7 @@ package hitsndiffs
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 )
@@ -18,7 +19,7 @@ func figure1() *ResponseMatrix {
 
 func TestPublicQuickstart(t *testing.T) {
 	m := figure1()
-	res, err := HND().Rank(m)
+	res, err := HND().Rank(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,18 +37,20 @@ func TestPublicQuickstart(t *testing.T) {
 }
 
 func TestPublicMethodsRegistry(t *testing.T) {
-	ms := Methods()
 	for _, name := range []string{
 		"HnD-power", "HnD-direct", "HnD-deflation", "ABH-power", "ABH-direct", "ABH-lanczos",
 		"BL", "HITS", "TruthFinder", "Invest", "PooledInv", "MajorityVote", "Dawid-Skene",
 		"Ghosh-spectral", "Dalvi-spectral", "GLAD",
 	} {
-		r, ok := ms[name]
-		if !ok {
-			t.Fatalf("method %q missing from registry", name)
+		r, err := New(name)
+		if err != nil {
+			t.Fatalf("method %q missing from registry: %v", name, err)
 		}
 		if r.Name() != name {
 			t.Fatalf("registry key %q maps to %q", name, r.Name())
+		}
+		if _, ok := Describe(name); !ok {
+			t.Fatalf("Describe(%q) missing", name)
 		}
 	}
 }
@@ -60,7 +63,7 @@ func TestPublicGenerateAndRank(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := HND().Rank(d.Responses)
+	res, err := HND().Rank(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,11 +98,11 @@ func TestPublicCheatingBaselines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ta, err := TrueAnswer(d.Correct).Rank(d.Responses)
+	ta, err := TrueAnswer(d.Correct).Rank(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ge, err := GRMEstimator().Rank(d.Responses)
+	ge, err := GRMEstimator().Rank(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +128,7 @@ func TestPublicCSVRoundTrip(t *testing.T) {
 
 func TestPublicOptionsPlumbing(t *testing.T) {
 	m := figure1()
-	res, err := HND(Options{MaxIter: 3, Tol: 1e-12}).Rank(m)
+	res, err := HND(WithMaxIter(3), WithTol(1e-12)).Rank(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +155,7 @@ func TestPublicRankPerComponent(t *testing.T) {
 	m.SetAnswer(1, 0, 0)
 	m.SetAnswer(2, 1, 1)
 	m.SetAnswer(3, 1, 1)
-	scores, comps, err := RankPerComponent(HND(), m)
+	scores, comps, err := RankPerComponent(context.Background(), HND(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +172,7 @@ func TestPublicInferLabels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := HND().Rank(d.Responses)
+	res, err := HND().Rank(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +199,7 @@ func TestPublicBinaryBaselines(t *testing.T) {
 		}
 	}
 	for _, r := range []Ranker{GhoshSpectral(), DalviSpectral(), GLAD()} {
-		if _, err := r.Rank(m); err != nil {
+		if _, err := r.Rank(context.Background(), m); err != nil {
 			t.Fatalf("%s: %v", r.Name(), err)
 		}
 	}

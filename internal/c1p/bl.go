@@ -1,6 +1,7 @@
 package c1p
 
 import (
+	"context"
 	"fmt"
 
 	"hitsndiffs/internal/core"
@@ -22,7 +23,10 @@ type BL struct {
 func (BL) Name() string { return "BL" }
 
 // Rank implements core.Ranker.
-func (b BL) Rank(m *response.Matrix) (core.Result, error) {
+func (b BL) Rank(ctx context.Context, m *response.Matrix) (core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return core.Result{}, err
+	}
 	tree, err := Build(m)
 	if err != nil {
 		return core.Result{}, fmt.Errorf("c1p: BL cannot rank: %w", err)

@@ -1,6 +1,7 @@
 package c1p
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -284,7 +285,7 @@ func TestBLRankerOnC1PData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := (BL{}).Rank(d.Responses)
+	res, err := (BL{}).Rank(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +301,7 @@ func TestBLRankerFailsOnNoisyData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := (BL{}).Rank(d.Responses); err == nil {
+	if _, err := (BL{}).Rank(context.Background(), d.Responses); err == nil {
 		t.Fatal("BL must fail on inconsistent data")
 	}
 }

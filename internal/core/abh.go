@@ -1,8 +1,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 
 	"hitsndiffs/internal/eigen"
 	"hitsndiffs/internal/mat"
@@ -25,7 +25,7 @@ type ABHPower struct {
 func (a ABHPower) Name() string { return "ABH-power" }
 
 // Rank implements Ranker.
-func (a ABHPower) Rank(m *response.Matrix) (Result, error) {
+func (a ABHPower) Rank(ctx context.Context, m *response.Matrix) (Result, error) {
 	if err := validateInput(m); err != nil {
 		return Result{}, err
 	}
@@ -42,18 +42,16 @@ func (a ABHPower) Rank(m *response.Matrix) (Result, error) {
 		beta = d.NormInf() // largest diagonal entry of D (Appendix E-B)
 	}
 
-	rng := rand.New(rand.NewSource(opts.Seed + 211))
-	sdiff := mat.NewVector(users - 1)
-	for i := range sdiff {
-		sdiff[i] = rng.NormFloat64()
-	}
-	sdiff.Normalize()
+	sdiff := initialDiff(users, opts, 211)
 
 	s := mat.NewVector(users)
 	ls := mat.NewVector(users)
 	next := mat.NewVector(users - 1)
 	res := Result{}
 	for it := 1; it <= opts.MaxIter; it++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		mat.CumSumShift(s, sdiff) // s ← T·s_diff
 		u.ApplyL(ls, s, d)        // s ← D·s − C·(Cᵀ·s) = L·s
 		mat.Diff(next, ls)        // S·(L·s)
@@ -94,7 +92,7 @@ type ABHLanczos struct {
 func (a ABHLanczos) Name() string { return "ABH-lanczos" }
 
 // Rank implements Ranker.
-func (a ABHLanczos) Rank(m *response.Matrix) (Result, error) {
+func (a ABHLanczos) Rank(ctx context.Context, m *response.Matrix) (Result, error) {
 	if err := validateInput(m); err != nil {
 		return Result{}, err
 	}
@@ -116,7 +114,7 @@ func (a ABHLanczos) Rank(m *response.Matrix) (Result, error) {
 	if steps > users {
 		steps = users
 	}
-	res, err := eigen.Lanczos(op, eigen.LanczosOptions{MaxSteps: steps, Seed: opts.Seed})
+	res, err := eigen.Lanczos(ctx, op, eigen.LanczosOptions{MaxSteps: steps, Seed: opts.Seed})
 	if err != nil {
 		return Result{}, fmt.Errorf("core: ABH-lanczos: %w", err)
 	}
@@ -141,7 +139,7 @@ type ABHDirect struct {
 func (a ABHDirect) Name() string { return "ABH-direct" }
 
 // Rank implements Ranker.
-func (a ABHDirect) Rank(m *response.Matrix) (Result, error) {
+func (a ABHDirect) Rank(ctx context.Context, m *response.Matrix) (Result, error) {
 	if err := validateInput(m); err != nil {
 		return Result{}, err
 	}
@@ -149,7 +147,7 @@ func (a ABHDirect) Rank(m *response.Matrix) (Result, error) {
 	opts.defaults()
 	u := NewUpdate(m)
 	l := u.LaplacianMatrix()
-	_, fiedler, err := eigen.FiedlerVector(l)
+	_, fiedler, err := eigen.FiedlerVector(ctx, l)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: ABH-direct Fiedler vector: %w", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"hitsndiffs/internal/mat"
@@ -25,7 +26,7 @@ type ComponentResult struct {
 // component independently with the supplied method, and normalizes each
 // component's scores to [0, 1]. Components too small to rank (fewer than
 // two answering users) receive constant scores.
-func RankPerComponent(r Ranker, m *response.Matrix) (ComponentResult, error) {
+func RankPerComponent(ctx context.Context, r Ranker, m *response.Matrix) (ComponentResult, error) {
 	comps := m.Components()
 	out := ComponentResult{
 		Scores:     mat.NewVector(m.Users()),
@@ -36,7 +37,7 @@ func RankPerComponent(r Ranker, m *response.Matrix) (ComponentResult, error) {
 			continue // silent or isolated users keep score 0
 		}
 		sub := m.Subset(comp)
-		res, err := r.Rank(sub)
+		res, err := r.Rank(ctx, sub)
 		if err != nil {
 			return ComponentResult{}, fmt.Errorf("core: component of %d users: %w", len(comp), err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -31,7 +32,7 @@ func TestRankPerComponentTwoIslands(t *testing.T) {
 			m.SetAnswer(12+u, 20+i, b.Responses.Answer(u, i))
 		}
 	}
-	res, err := RankPerComponent(HNDPower{}, m)
+	res, err := RankPerComponent(context.Background(), HNDPower{}, m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,11 +68,11 @@ func TestRankPerComponentConnectedMatchesDirect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct, err := (HNDPower{}).Rank(d.Responses)
+	direct, err := (HNDPower{}).Rank(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
-	per, err := RankPerComponent(HNDPower{}, d.Responses)
+	per, err := RankPerComponent(context.Background(), HNDPower{}, d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestRankPerComponentTinyComponents(t *testing.T) {
 	m.SetAnswer(0, 0, 0)
 	m.SetAnswer(1, 0, 1)
 	m.SetAnswer(2, 1, 0)
-	res, err := RankPerComponent(HNDPower{}, m)
+	res, err := RankPerComponent(context.Background(), HNDPower{}, m)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -156,7 +157,7 @@ func TestPaperExampleAllMethodsRecoverOrder(t *testing.T) {
 	m := paperExample()
 	truth := paperAbilities()
 	for _, r := range allSpectralRankers() {
-		res, err := r.Rank(m)
+		res, err := r.Rank(context.Background(), m)
 		if err != nil {
 			t.Fatalf("%s: %v", r.Name(), err)
 		}
@@ -245,7 +246,7 @@ func TestC1PRecoveryTheorem(t *testing.T) {
 	// the skewed ability distribution.
 	d := c1pDataset(t, 50, 40, 3, 7)
 	for _, r := range allSpectralRankers() {
-		res, err := r.Rank(d.Responses)
+		res, err := r.Rank(context.Background(), d.Responses)
 		if err != nil {
 			t.Fatalf("%s: %v", r.Name(), err)
 		}
@@ -267,7 +268,7 @@ func TestC1PRecoveryAcrossShapes(t *testing.T) {
 	} {
 		d := c1pDataset(t, tc.users, tc.items, tc.options, tc.seed)
 		h := HNDPower{}
-		res, err := h.Rank(d.Responses)
+		res, err := h.Rank(context.Background(), d.Responses)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -282,12 +283,12 @@ func TestHNDVariantsAgreeOnNoisyData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := HNDPower{}.Rank(d.Responses)
+	base, err := HNDPower{}.Rank(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, r := range []Ranker{HNDDirect{}, HNDDeflation{}} {
-		res, err := r.Rank(d.Responses)
+		res, err := r.Rank(context.Background(), d.Responses)
 		if err != nil {
 			t.Fatalf("%s: %v", r.Name(), err)
 		}
@@ -304,11 +305,11 @@ func TestABHVariantsAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := ABHPower{}.Rank(d.Responses)
+	p, err := ABHPower{}.Rank(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dr, err := ABHDirect{}.Rank(d.Responses)
+	dr, err := ABHDirect{}.Rank(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +327,7 @@ func TestHNDBeatsNothingOnConstantResponses(t *testing.T) {
 			m.SetAnswer(u, i, 1)
 		}
 	}
-	res, err := HNDPower{}.Rank(m)
+	res, err := HNDPower{}.Rank(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,7 +345,7 @@ func TestTwoUserInput(t *testing.T) {
 		m.SetAnswer(1, i, 1)
 	}
 	for _, r := range []Ranker{HNDPower{}, ABHPower{}} {
-		if _, err := r.Rank(m); err != nil {
+		if _, err := r.Rank(context.Background(), m); err != nil {
 			t.Fatalf("%s on 2 users: %v", r.Name(), err)
 		}
 	}
@@ -352,7 +353,7 @@ func TestTwoUserInput(t *testing.T) {
 
 func TestValidateInputRejectsDegenerate(t *testing.T) {
 	m := response.New(3, 2, 2) // nobody answered anything
-	if _, err := (HNDPower{}).Rank(m); err == nil {
+	if _, err := (HNDPower{}).Rank(context.Background(), m); err == nil {
 		t.Fatal("expected error for empty responses")
 	}
 }
@@ -383,7 +384,7 @@ func TestOrientByDecileEntropy(t *testing.T) {
 
 func TestSkipOrientationKeepsRawSign(t *testing.T) {
 	d := c1pDataset(t, 30, 20, 3, 23)
-	res, err := HNDPower{Opts: Options{SkipOrientation: true}}.Rank(d.Responses)
+	res, err := HNDPower{Opts: Options{SkipOrientation: true}}.Rank(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -398,7 +399,7 @@ func TestSkipOrientationKeepsRawSign(t *testing.T) {
 
 func TestAvgHITSConvergesToConstant(t *testing.T) {
 	d := c1pDataset(t, 20, 15, 3, 29)
-	res, err := AvgHITS{}.Rank(d.Responses)
+	res, err := AvgHITS{}.Rank(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -410,11 +411,11 @@ func TestAvgHITSConvergesToConstant(t *testing.T) {
 
 func TestABHPowerBetaOverride(t *testing.T) {
 	d := c1pDataset(t, 25, 20, 3, 31)
-	auto, err := ABHPower{}.Rank(d.Responses)
+	auto, err := ABHPower{}.Rank(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
-	big, err := ABHPower{Beta: 500}.Rank(d.Responses)
+	big, err := ABHPower{Beta: 500}.Rank(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -465,7 +466,7 @@ func TestMissingAnswersStillRankable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := HNDPower{}.Rank(d.Responses)
+	res, err := HNDPower{}.Rank(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -505,11 +506,11 @@ func TestABHLanczosMatchesDirect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct, err := (ABHDirect{}).Rank(d.Responses)
+	direct, err := (ABHDirect{}).Rank(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
-	lan, err := (ABHLanczos{}).Rank(d.Responses)
+	lan, err := (ABHLanczos{}).Rank(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -520,7 +521,7 @@ func TestABHLanczosMatchesDirect(t *testing.T) {
 
 func TestABHLanczosRecoversC1P(t *testing.T) {
 	d := c1pDataset(t, 40, 50, 3, 89)
-	res, err := (ABHLanczos{}).Rank(d.Responses)
+	res, err := (ABHLanczos{}).Rank(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -532,7 +533,7 @@ func TestDiffEigenvectorsNonNegativeOnC1P(t *testing.T) {
 	// (entrywise) single-signed: the monotone eigenvector of Theorem 1.
 	d := c1pDataset(t, 40, 50, 3, 97)
 	sorted := d.Responses.PermuteUsers(d.Abilities.ArgSort())
-	hd, iters, err := DiffEigenvector(sorted, Options{})
+	hd, iters, err := DiffEigenvector(context.Background(), sorted, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -551,7 +552,7 @@ func TestDiffEigenvectorsNonNegativeOnC1P(t *testing.T) {
 	if pos > 0 && neg > 0 {
 		t.Fatalf("HND diff vector mixes signs on sorted C1P data: %d+/%d-", pos, neg)
 	}
-	ad, _, err := ABHDiffEigenvector(sorted, Options{}, 0)
+	ad, _, err := ABHDiffEigenvector(context.Background(), sorted, Options{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -573,10 +574,10 @@ func TestDiffEigenvectorTinyInputs(t *testing.T) {
 	m := response.New(2, 2, 2)
 	m.SetAnswer(0, 0, 0)
 	m.SetAnswer(1, 0, 0)
-	if _, _, err := DiffEigenvector(m, Options{}); err != nil {
+	if _, _, err := DiffEigenvector(context.Background(), m, Options{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := ABHDiffEigenvector(m, Options{}, 0); err != nil {
+	if _, _, err := ABHDiffEigenvector(context.Background(), m, Options{}, 0); err != nil {
 		t.Fatal(err)
 	}
 	if (ABHLanczos{}).Name() != "ABH-lanczos" {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 
 	"hitsndiffs/internal/mat"
@@ -11,7 +12,7 @@ import (
 // difference vector s_diff — the dominant eigenvector estimate of
 // U_diff = S·U·T. Exposed for the stability analysis of Section III-E /
 // IV-D, which compares the variance of this vector against ABH's.
-func DiffEigenvector(m *response.Matrix, opts Options) (mat.Vector, int, error) {
+func DiffEigenvector(ctx context.Context, m *response.Matrix, opts Options) (mat.Vector, int, error) {
 	if err := validateInput(m); err != nil {
 		return nil, 0, err
 	}
@@ -32,6 +33,9 @@ func DiffEigenvector(m *response.Matrix, opts Options) (mat.Vector, int, error) 
 	next := mat.NewVector(users - 1)
 	iters := 0
 	for it := 1; it <= opts.MaxIter; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, iters, err
+		}
 		mat.CumSumShift(s, sdiff)
 		u.ApplyU(us, s)
 		mat.Diff(next, us)
@@ -51,7 +55,7 @@ func DiffEigenvector(m *response.Matrix, opts Options) (mat.Vector, int, error) 
 // ABHDiffEigenvector runs the ABH-power iteration and returns the converged
 // difference vector: the dominant eigenvector estimate of β·I − M with
 // M = S·L·T. A non-positive beta selects the default max_i D_ii.
-func ABHDiffEigenvector(m *response.Matrix, opts Options, beta float64) (mat.Vector, int, error) {
+func ABHDiffEigenvector(ctx context.Context, m *response.Matrix, opts Options, beta float64) (mat.Vector, int, error) {
 	if err := validateInput(m); err != nil {
 		return nil, 0, err
 	}
@@ -76,6 +80,9 @@ func ABHDiffEigenvector(m *response.Matrix, opts Options, beta float64) (mat.Vec
 	next := mat.NewVector(users - 1)
 	iters := 0
 	for it := 1; it <= opts.MaxIter; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, iters, err
+		}
 		mat.CumSumShift(s, sdiff)
 		u.ApplyL(ls, s, d)
 		mat.Diff(next, ls)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -8,6 +9,26 @@ import (
 	"hitsndiffs/internal/mat"
 	"hitsndiffs/internal/response"
 )
+
+// initialDiff builds the starting difference vector for the power methods:
+// the (normalized) successive differences of the warm-start scores when one
+// is supplied and usable, otherwise a seeded random vector. The salt keeps
+// different methods from sharing a random start under the same seed.
+func initialDiff(users int, opts Options, salt int64) mat.Vector {
+	sdiff := mat.NewVector(users - 1)
+	if len(opts.WarmStart) == users {
+		mat.Diff(sdiff, opts.WarmStart)
+		if sdiff.Normalize() > 0 {
+			return sdiff
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + salt))
+	for i := range sdiff {
+		sdiff[i] = rng.NormFloat64()
+	}
+	sdiff.Normalize()
+	return sdiff
+}
 
 // HNDPower is HITSnDIFFS as described by Algorithm 1 of the paper: power
 // iteration on the difference update matrix U_diff = S·U·T realized with
@@ -22,7 +43,7 @@ type HNDPower struct {
 func (h HNDPower) Name() string { return "HnD-power" }
 
 // Rank implements Ranker.
-func (h HNDPower) Rank(m *response.Matrix) (Result, error) {
+func (h HNDPower) Rank(ctx context.Context, m *response.Matrix) (Result, error) {
 	if err := validateInput(m); err != nil {
 		return Result{}, err
 	}
@@ -36,18 +57,16 @@ func (h HNDPower) Rank(m *response.Matrix) (Result, error) {
 		return orient(mat.Vector{0, 1}, m, opts, Result{Iterations: 0, Converged: true}), nil
 	}
 
-	rng := rand.New(rand.NewSource(opts.Seed + 101))
-	sdiff := mat.NewVector(users - 1)
-	for i := range sdiff {
-		sdiff[i] = rng.NormFloat64()
-	}
-	sdiff.Normalize()
+	sdiff := initialDiff(users, opts, 101)
 
 	s := mat.NewVector(users)
 	us := mat.NewVector(users)
 	next := mat.NewVector(users - 1)
 	res := Result{}
 	for it := 1; it <= opts.MaxIter; it++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		mat.CumSumShift(s, sdiff) // s ← T·s_diff
 		u.ApplyU(us, s)           // w ← (C_col)ᵀ·s ; s ← C_row·w
 		mat.Diff(next, us)        // s_diff ← S·s
@@ -95,7 +114,7 @@ type HNDDirect struct {
 func (h HNDDirect) Name() string { return "HnD-direct" }
 
 // Rank implements Ranker.
-func (h HNDDirect) Rank(m *response.Matrix) (Result, error) {
+func (h HNDDirect) Rank(ctx context.Context, m *response.Matrix) (Result, error) {
 	if err := validateInput(m); err != nil {
 		return Result{}, err
 	}
@@ -103,7 +122,7 @@ func (h HNDDirect) Rank(m *response.Matrix) (Result, error) {
 	opts.defaults()
 	u := NewUpdate(m)
 	um := u.UMatrix()
-	vec, err := SecondLargestEigenvectorDense(um, opts.Seed)
+	vec, err := SecondLargestEigenvectorDense(ctx, um, opts.Seed)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: HnD-direct eigensolve: %w", err)
 	}
@@ -125,14 +144,14 @@ type HNDDeflation struct {
 func (h HNDDeflation) Name() string { return "HnD-deflation" }
 
 // Rank implements Ranker.
-func (h HNDDeflation) Rank(m *response.Matrix) (Result, error) {
+func (h HNDDeflation) Rank(ctx context.Context, m *response.Matrix) (Result, error) {
 	if err := validateInput(m); err != nil {
 		return Result{}, err
 	}
 	opts := h.Opts
 	opts.defaults()
 	u := NewUpdate(m)
-	hr, err := eigen.SecondEigenvectorHotelling(UOp{U: u}, eigen.HotellingOptions{
+	hr, err := eigen.SecondEigenvectorHotelling(ctx, UOp{U: u}, eigen.HotellingOptions{
 		Power: eigen.PowerOptions{
 			Tol:     opts.Tol,
 			MaxIter: opts.MaxIter,
@@ -163,14 +182,14 @@ type AvgHITS struct {
 func (a AvgHITS) Name() string { return "AvgHITS" }
 
 // Rank implements Ranker.
-func (a AvgHITS) Rank(m *response.Matrix) (Result, error) {
+func (a AvgHITS) Rank(ctx context.Context, m *response.Matrix) (Result, error) {
 	if err := validateInput(m); err != nil {
 		return Result{}, err
 	}
 	opts := a.Opts
 	opts.defaults()
 	u := NewUpdate(m)
-	pr, err := eigen.PowerIteration(UOp{U: u}, eigen.PowerOptions{
+	pr, err := eigen.PowerIteration(ctx, UOp{U: u}, eigen.PowerOptions{
 		Tol:     opts.Tol,
 		MaxIter: opts.MaxIter,
 		Seed:    opts.Seed,

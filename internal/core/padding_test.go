@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -84,11 +85,11 @@ func TestPaddingPreservesHNDRanking(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := (HNDPower{}).Rank(d.Responses)
+	base, err := (HNDPower{}).Rank(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
-	padded, err := (HNDPower{}).Rank(d.Responses.PadToEqualRowSums())
+	padded, err := (HNDPower{}).Rank(context.Background(), d.Responses.PadToEqualRowSums())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -64,11 +65,11 @@ func TestPropertyHNDUserPermutationEquivariance(t *testing.T) {
 		perm := rng.Perm(30)
 		permuted := d.Responses.PermuteUsers(perm)
 
-		base, err := (HNDPower{}).Rank(d.Responses)
+		base, err := (HNDPower{}).Rank(context.Background(), d.Responses)
 		if err != nil {
 			t.Fatal(err)
 		}
-		pres, err := (HNDPower{}).Rank(permuted)
+		pres, err := (HNDPower{}).Rank(context.Background(), permuted)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,7 +96,7 @@ func TestPropertyHNDOptionRelabelInvariance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := (HNDPower{Opts: Options{SkipOrientation: true}}).Rank(d.Responses)
+	base, err := (HNDPower{Opts: Options{SkipOrientation: true}}).Rank(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestPropertyHNDOptionRelabelInvariance(t *testing.T) {
 			}
 		}
 	}
-	res, err := (HNDPower{Opts: Options{SkipOrientation: true}}).Rank(relabeled)
+	res, err := (HNDPower{Opts: Options{SkipOrientation: true}}).Rank(context.Background(), relabeled)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestPropertyDuplicateUsersTie(t *testing.T) {
 	for i := 0; i < m.Items(); i++ {
 		m.SetAnswer(19, i, m.Answer(0, i))
 	}
-	res, err := (HNDPower{}).Rank(m)
+	res, err := (HNDPower{}).Rank(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestDisconnectedInputDoesNotCrash(t *testing.T) {
 		t.Fatal("test setup should be disconnected")
 	}
 	for _, r := range allSpectralRankers() {
-		res, err := r.Rank(m)
+		res, err := r.Rank(context.Background(), m)
 		if err != nil {
 			t.Fatalf("%s errored on disconnected input: %v", r.Name(), err)
 		}
@@ -186,7 +187,7 @@ func TestSilentUsersDoNotPoison(t *testing.T) {
 		m.SetAnswer(11, i, response.Unanswered)
 	}
 	for _, r := range allSpectralRankers() {
-		res, err := r.Rank(m)
+		res, err := r.Rank(context.Background(), m)
 		if err != nil {
 			t.Fatalf("%s: %v", r.Name(), err)
 		}
@@ -231,7 +232,7 @@ func TestPerComponentRanking(t *testing.T) {
 	}
 	for ci, comp := range comps {
 		sub := m.Subset(comp)
-		res, err := (HNDPower{}).Rank(sub)
+		res, err := (HNDPower{}).Rank(context.Background(), sub)
 		if err != nil {
 			t.Fatalf("component %d: %v", ci, err)
 		}

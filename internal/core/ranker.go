@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -34,12 +35,13 @@ type Result struct {
 func (r Result) Order() []int { return rank.OrderFromScores(r.Scores) }
 
 // Ranker is an ability-discovery method: it maps a response matrix to
-// per-user scores.
+// per-user scores. Rank must honor ctx: long-running iterations return
+// ctx.Err() promptly once the context is cancelled or its deadline passes.
 type Ranker interface {
 	// Name returns a short identifier (e.g. "HnD-power").
 	Name() string
-	// Rank scores the users of m.
-	Rank(m *response.Matrix) (Result, error)
+	// Rank scores the users of m, checking ctx between iterations.
+	Rank(ctx context.Context, m *response.Matrix) (Result, error)
 }
 
 // Options are shared tuning knobs for the iterative spectral methods.
@@ -54,6 +56,11 @@ type Options struct {
 	// SkipOrientation disables the decile entropy symmetry breaking,
 	// leaving the raw spectral orientation. Used by ablation experiments.
 	SkipOrientation bool
+	// WarmStart, when non-nil and of length Users(), seeds the iteration
+	// with a previous score vector instead of a random one. Power methods
+	// re-ranking a lightly perturbed matrix converge in a fraction of the
+	// cold-start iterations; methods without an iterate ignore it.
+	WarmStart mat.Vector
 }
 
 func (o *Options) defaults() {

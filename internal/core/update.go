@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"hitsndiffs/internal/eigen"
 	"hitsndiffs/internal/mat"
 	"hitsndiffs/internal/response"
@@ -106,8 +108,8 @@ func (u *Update) LaplacianMatrix() *mat.Dense { return u.C.Laplacian() }
 // SecondLargestEigenvectorDense computes the 2nd largest eigenvector of the
 // materialized U using Arnoldi + Hessenberg QR. Exposed for the HND-direct
 // variant and for tests.
-func SecondLargestEigenvectorDense(um *mat.Dense, seed int64) (mat.Vector, error) {
-	pairs, err := eigen.TopRealEigenpairs(eigen.DenseOp{M: um}, 2, eigen.ArnoldiOptions{Seed: seed})
+func SecondLargestEigenvectorDense(ctx context.Context, um *mat.Dense, seed int64) (mat.Vector, error) {
+	pairs, err := eigen.TopRealEigenpairs(ctx, eigen.DenseOp{M: um}, 2, eigen.ArnoldiOptions{Seed: seed})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package eigen
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -30,7 +31,8 @@ type ArnoldiOptions struct {
 
 // Arnoldi builds an orthonormal Krylov basis for the (possibly asymmetric)
 // operator a using modified Gram-Schmidt with one reorthogonalization pass.
-func Arnoldi(a Op, opts ArnoldiOptions) ArnoldiResult {
+// It returns ctx.Err() as soon as the context is cancelled between steps.
+func Arnoldi(ctx context.Context, a Op, opts ArnoldiOptions) (ArnoldiResult, error) {
 	n := a.Dim()
 	steps := opts.MaxSteps
 	if steps <= 0 || steps > n {
@@ -50,6 +52,9 @@ func Arnoldi(a Op, opts ArnoldiOptions) ArnoldiResult {
 	w := mat.NewVector(n)
 
 	for j := 0; j < steps; j++ {
+		if err := ctx.Err(); err != nil {
+			return ArnoldiResult{}, err
+		}
 		basis = append(basis, v.Clone())
 		a.Apply(w, v)
 		col := make([]float64, j+2)
@@ -95,7 +100,7 @@ func Arnoldi(a Op, opts ArnoldiOptions) ArnoldiResult {
 			h.Set(i, j, col[i])
 		}
 	}
-	return ArnoldiResult{Basis: basis, H: h, Steps: k}
+	return ArnoldiResult{Basis: basis, H: h, Steps: k}, nil
 }
 
 // HessenbergEigenvalues computes all eigenvalues of the upper Hessenberg
@@ -398,8 +403,11 @@ type RealEigenpair struct {
 // eigenvalues via Arnoldi projection, Hessenberg QR for the Ritz values and
 // inverse iteration for the Ritz vectors. Eigenvalues with significant
 // imaginary part are skipped.
-func TopRealEigenpairs(a Op, k int, opts ArnoldiOptions) ([]RealEigenpair, error) {
-	dec := Arnoldi(a, opts)
+func TopRealEigenpairs(ctx context.Context, a Op, k int, opts ArnoldiOptions) ([]RealEigenpair, error) {
+	dec, err := Arnoldi(ctx, a, opts)
+	if err != nil {
+		return nil, err
+	}
 	wr, wi, err := HessenbergEigenvalues(dec.H.Clone())
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package eigen
 
 import (
+	"context"
 	"fmt"
 
 	"hitsndiffs/internal/mat"
@@ -41,14 +42,14 @@ type HotellingResult struct {
 // whose dominant eigenpair is the second eigenpair of A. This mirrors the
 // paper's HND-deflation baseline, which needs one extra round of power
 // iteration to find the left eigenvector first.
-func SecondEigenvectorHotelling(a TransposableOp, opts HotellingOptions) (HotellingResult, error) {
+func SecondEigenvectorHotelling(ctx context.Context, a TransposableOp, opts HotellingOptions) (HotellingResult, error) {
 	n := a.Dim()
 	var res HotellingResult
 
 	right := opts.KnownRight
 	lambda := opts.KnownValue
 	if right == nil {
-		pr, err := PowerIteration(a, opts.Power)
+		pr, err := PowerIteration(ctx, a, opts.Power)
 		if err != nil {
 			return res, fmt.Errorf("eigen: Hotelling right eigenvector: %w", err)
 		}
@@ -62,7 +63,7 @@ func SecondEigenvectorHotelling(a TransposableOp, opts HotellingOptions) (Hotell
 
 	// Left dominant eigenvector via power iteration on Aᵀ.
 	leftOp := FuncOp{N: n, F: func(dst, x mat.Vector) { a.ApplyT(dst, x) }}
-	pl, err := PowerIteration(leftOp, opts.Power)
+	pl, err := PowerIteration(ctx, leftOp, opts.Power)
 	if err != nil {
 		return res, fmt.Errorf("eigen: Hotelling left eigenvector: %w", err)
 	}
@@ -79,7 +80,7 @@ func SecondEigenvectorHotelling(a TransposableOp, opts HotellingOptions) (Hotell
 		a.Apply(dst, x)
 		dst.AddScaled(-coef*left.Dot(x), right)
 	}}
-	p2, err := PowerIteration(deflated, opts.Power)
+	p2, err := PowerIteration(ctx, deflated, opts.Power)
 	res.PowerIterations = p2.Iterations
 	res.Value = p2.Value
 	res.Vector = p2.Vector

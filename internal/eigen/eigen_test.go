@@ -1,6 +1,7 @@
 package eigen
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -110,7 +111,7 @@ func TestSymmetricEigenOrthonormalVectors(t *testing.T) {
 func TestPowerIterationDominantPair(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	m := matrixWithSpectrum(rng, []float64{1, 2, 3, 10})
-	res, err := PowerIteration(DenseOp{M: m}, PowerOptions{Tol: 1e-10})
+	res, err := PowerIteration(context.Background(), DenseOp{M: m}, PowerOptions{Tol: 1e-10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestPowerIterationDominantPair(t *testing.T) {
 func TestPowerIterationNegativeDominant(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	m := matrixWithSpectrum(rng, []float64{-10, 1, 2})
-	res, err := PowerIteration(DenseOp{M: m}, PowerOptions{Tol: 1e-10})
+	res, err := PowerIteration(context.Background(), DenseOp{M: m}, PowerOptions{Tol: 1e-10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,11 +139,11 @@ func TestPowerIterationDeflated(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	m := matrixWithSpectrum(rng, []float64{1, 2, 3, 10})
 	// First find the dominant, then deflate it away.
-	r1, err := PowerIteration(DenseOp{M: m}, PowerOptions{Tol: 1e-12})
+	r1, err := PowerIteration(context.Background(), DenseOp{M: m}, PowerOptions{Tol: 1e-12})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := PowerIteration(DenseOp{M: m}, PowerOptions{
+	r2, err := PowerIteration(context.Background(), DenseOp{M: m}, PowerOptions{
 		Tol:                  1e-12,
 		OrthogonalizeAgainst: []mat.Vector{r1.Vector},
 	})
@@ -158,7 +159,7 @@ func TestPowerIterationIterationBudget(t *testing.T) {
 	// Eigenvalues 10 and 9.999 converge extremely slowly.
 	rng := rand.New(rand.NewSource(6))
 	m := matrixWithSpectrum(rng, []float64{9.999, 10})
-	_, err := PowerIteration(DenseOp{M: m}, PowerOptions{Tol: 1e-14, MaxIter: 3})
+	_, err := PowerIteration(context.Background(), DenseOp{M: m}, PowerOptions{Tol: 1e-14, MaxIter: 3})
 	if err == nil {
 		t.Fatal("expected ErrNoConvergence")
 	}
@@ -171,7 +172,7 @@ func TestLanczosMatchesDenseSolver(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lan, err := Lanczos(DenseOp{M: m}, LanczosOptions{})
+	lan, err := Lanczos(context.Background(), DenseOp{M: m}, LanczosOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestLanczosMatchesDenseSolver(t *testing.T) {
 func TestLanczosPartial(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	m := matrixWithSpectrum(rng, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 100})
-	lan, err := Lanczos(DenseOp{M: m}, LanczosOptions{MaxSteps: 6})
+	lan, err := Lanczos(context.Background(), DenseOp{M: m}, LanczosOptions{MaxSteps: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestFiedlerVectorPathGraph(t *testing.T) {
 		l.Add(i, i+1, -1)
 		l.Add(i+1, i, -1)
 	}
-	val, vec, err := FiedlerVector(l)
+	val, vec, err := FiedlerVector(context.Background(), l)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +290,7 @@ func TestArnoldiReconstruction(t *testing.T) {
 			m.Set(i, j, rng.NormFloat64())
 		}
 	}
-	dec := Arnoldi(DenseOp{M: m}, ArnoldiOptions{})
+	dec, _ := Arnoldi(context.Background(), DenseOp{M: m}, ArnoldiOptions{})
 	// Basis orthonormal.
 	for i := range dec.Basis {
 		for j := i; j < len(dec.Basis); j++ {
@@ -342,7 +343,7 @@ func TestTopRealEigenpairsAsymmetric(t *testing.T) {
 	}
 	a = p.Mul(dm).Mul(pinv)
 
-	pairs, err := TopRealEigenpairs(DenseOp{M: a}, 2, ArnoldiOptions{})
+	pairs, err := TopRealEigenpairs(context.Background(), DenseOp{M: a}, 2, ArnoldiOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,7 +363,7 @@ func TestTopRealEigenpairsAsymmetric(t *testing.T) {
 func TestHotellingSecondEigenpair(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
 	m := matrixWithSpectrum(rng, []float64{1, 2, 3, 6, 10})
-	res, err := SecondEigenvectorHotelling(DenseOp{M: m}, HotellingOptions{
+	res, err := SecondEigenvectorHotelling(context.Background(), DenseOp{M: m}, HotellingOptions{
 		Power: PowerOptions{Tol: 1e-11},
 	})
 	if err != nil {
@@ -383,7 +384,7 @@ func TestHotellingWithKnownRight(t *testing.T) {
 		{0.3, 0.4, 0.3},
 		{0.1, 0.3, 0.6},
 	})
-	res, err := SecondEigenvectorHotelling(DenseOp{M: u}, HotellingOptions{
+	res, err := SecondEigenvectorHotelling(context.Background(), DenseOp{M: u}, HotellingOptions{
 		Power:      PowerOptions{Tol: 1e-12},
 		KnownRight: mat.Ones(3),
 		KnownValue: 1,

@@ -1,6 +1,7 @@
 package eigen
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -32,8 +33,9 @@ type LanczosResult struct {
 // reorthogonalization on operator a (which must be symmetric for the result
 // to be meaningful) and returns all Ritz pairs of the realized Krylov space.
 // With MaxSteps equal to the operator dimension, the Ritz pairs are the full
-// eigendecomposition up to round-off.
-func Lanczos(a Op, opts LanczosOptions) (LanczosResult, error) {
+// eigendecomposition up to round-off. Cancellation of ctx is honored between
+// Krylov steps and returns ctx.Err().
+func Lanczos(ctx context.Context, a Op, opts LanczosOptions) (LanczosResult, error) {
 	n := a.Dim()
 	steps := opts.MaxSteps
 	if steps <= 0 || steps > n {
@@ -56,6 +58,9 @@ func Lanczos(a Op, opts LanczosOptions) (LanczosResult, error) {
 	w := mat.NewVector(n)
 
 	for j := 0; j < steps; j++ {
+		if err := ctx.Err(); err != nil {
+			return LanczosResult{}, err
+		}
 		basis = append(basis, v.Clone())
 		a.Apply(w, v)
 		aj := w.Dot(v)
@@ -122,17 +127,20 @@ func Lanczos(a Op, opts LanczosOptions) (LanczosResult, error) {
 // Laplacian), the quantity the ABH method of Atkins et al. sorts by. It uses
 // the dense symmetric solver for small matrices and Lanczos above the
 // crossover dimension.
-func FiedlerVector(l *mat.Dense) (value float64, vector mat.Vector, err error) {
+func FiedlerVector(ctx context.Context, l *mat.Dense) (value float64, vector mat.Vector, err error) {
 	const denseCrossover = 400
 	n := l.Rows()
 	if n <= denseCrossover {
+		if err := ctx.Err(); err != nil {
+			return 0, nil, err
+		}
 		dec, err := SymmetricEigen(l)
 		if err != nil {
 			return 0, nil, err
 		}
 		return dec.Values[1], dec.Vectors[1], nil
 	}
-	res, err := Lanczos(DenseOp{M: l}, LanczosOptions{})
+	res, err := Lanczos(ctx, DenseOp{M: l}, LanczosOptions{})
 	if err != nil {
 		return 0, nil, err
 	}

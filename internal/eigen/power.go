@@ -1,6 +1,7 @@
 package eigen
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -57,8 +58,9 @@ type PowerResult struct {
 // application and normalization. With OrthogonalizeAgainst set it computes
 // the dominant eigenpair within the orthogonal complement of the given
 // vectors. It returns ErrNoConvergence (with the best estimate) if the
-// iteration budget is exhausted.
-func PowerIteration(a Op, opts PowerOptions) (PowerResult, error) {
+// iteration budget is exhausted, and ctx.Err() as soon as the context is
+// cancelled between iterations.
+func PowerIteration(ctx context.Context, a Op, opts PowerOptions) (PowerResult, error) {
 	opts.defaults()
 	n := a.Dim()
 	v := opts.Start
@@ -83,6 +85,9 @@ func PowerIteration(a Op, opts PowerOptions) (PowerResult, error) {
 	next := mat.NewVector(n)
 	res := PowerResult{Vector: v}
 	for it := 1; it <= opts.MaxIter; it++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		a.Apply(next, v)
 		orthogonalize(next, opts.OrthogonalizeAgainst)
 		lambda := next.Dot(v) // Rayleigh quotient given ‖v‖=1

@@ -1,6 +1,7 @@
 package eigen
 
 import (
+	"context"
 	"math"
 	"math/cmplx"
 	"math/rand"
@@ -196,7 +197,7 @@ func TestArnoldiPartialApproximatesDominant(t *testing.T) {
 		a.Add(i, i, float64(i)/10)
 	}
 	a.Add(n-1, n-1, 20) // dominant, well separated
-	dec := Arnoldi(DenseOp{M: a}, ArnoldiOptions{MaxSteps: 20})
+	dec, _ := Arnoldi(context.Background(), DenseOp{M: a}, ArnoldiOptions{MaxSteps: 20})
 	wr, _, err := HessenbergEigenvalues(dec.H.Clone())
 	if err != nil {
 		t.Fatal(err)
@@ -221,7 +222,7 @@ func TestLanczosInvariantSubspaceRestart(t *testing.T) {
 	for i := 0; i < n; i++ {
 		a.Set(i, i, float64(i+1))
 	}
-	res, err := Lanczos(DenseOp{M: a}, LanczosOptions{})
+	res, err := Lanczos(context.Background(), DenseOp{M: a}, LanczosOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"hitsndiffs/internal/core"
 	"hitsndiffs/internal/irt"
 	"hitsndiffs/internal/rank"
@@ -12,7 +14,7 @@ import (
 // accuracy does orientation recover compared to the raw spectral sign?
 // Columns: correct-orientation rate, mean signed ρ with orientation, mean
 // signed ρ of the raw (sign-arbitrary) output.
-func AblationOrientation(cfg Config) (*Table, error) {
+func AblationOrientation(ctx context.Context, cfg Config) (*Table, error) {
 	cfg.defaults()
 	methods := []string{"correct-rate", "oriented-rho", "raw-rho"}
 	t := NewTable("ablation-orientation", "Decile entropy symmetry breaking vs raw spectral sign",
@@ -28,11 +30,11 @@ func AblationOrientation(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			oriented, err := (core.HNDPower{Opts: core.Options{Seed: gen.Seed}}).Rank(d.Responses)
+			oriented, err := (core.HNDPower{Opts: core.Options{Seed: gen.Seed}}).Rank(ctx, d.Responses)
 			if err != nil {
 				return nil, err
 			}
-			raw, err := (core.HNDPower{Opts: core.Options{Seed: gen.Seed, SkipOrientation: true}}).Rank(d.Responses)
+			raw, err := (core.HNDPower{Opts: core.Options{Seed: gen.Seed, SkipOrientation: true}}).Rank(ctx, d.Responses)
 			if err != nil {
 				return nil, err
 			}
@@ -57,7 +59,7 @@ func AblationOrientation(cfg Config) (*Table, error) {
 // AblationConvergenceTol sweeps the convergence tolerance of HND-power and
 // reports accuracy and iteration count — quantifying the paper's 1e-5
 // default.
-func AblationConvergenceTol(cfg Config) (*Table, error) {
+func AblationConvergenceTol(ctx context.Context, cfg Config) (*Table, error) {
 	cfg.defaults()
 	t := NewTable("ablation-tolerance", "HnD-power accuracy and iterations vs convergence tolerance",
 		"tolerance", "value", []string{"rho", "iterations"})
@@ -70,7 +72,7 @@ func AblationConvergenceTol(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := (core.HNDPower{Opts: core.Options{Tol: tol}}).Rank(d.Responses)
+			res, err := (core.HNDPower{Opts: core.Options{Tol: tol}}).Rank(ctx, d.Responses)
 			if err != nil {
 				return nil, err
 			}

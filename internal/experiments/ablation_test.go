@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 )
 
 func TestAblationOrientation(t *testing.T) {
-	tbl, err := AblationOrientation(Config{Reps: 1, Seed: 5})
+	tbl, err := AblationOrientation(context.Background(), Config{Reps: 1, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func TestAblationOrientation(t *testing.T) {
 }
 
 func TestAblationConvergenceTol(t *testing.T) {
-	tbl, err := AblationConvergenceTol(Config{Reps: 2, Seed: 5})
+	tbl, err := AblationConvergenceTol(context.Background(), Config{Reps: 2, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

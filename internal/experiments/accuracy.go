@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 
+	"hitsndiffs"
 	"hitsndiffs/internal/c1p"
 	"hitsndiffs/internal/core"
 	"hitsndiffs/internal/grmest"
@@ -12,6 +14,21 @@ import (
 	"hitsndiffs/internal/rank"
 	"hitsndiffs/internal/truth"
 )
+
+// rankersByName resolves method names through the public registry, so the
+// experiments harness exercises the same construction path as the CLIs.
+// The names are built-ins; a resolution failure is a programming error.
+func rankersByName(names ...string) []core.Ranker {
+	out := make([]core.Ranker, 0, len(names))
+	for _, n := range names {
+		r, err := hitsndiffs.New(n)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, r)
+	}
+	return out
+}
 
 // Config controls an experiment run.
 type Config struct {
@@ -38,15 +55,8 @@ func (c *Config) defaults() {
 // is included only when includeGRM (it is orders of magnitude slower and,
 // per the paper's footnote, fails at large question counts).
 func methodSet(correct []int, includeGRM bool) []core.Ranker {
-	ms := []core.Ranker{
-		core.ABHPower{},
-		core.HNDPower{},
-		truth.HITS{},
-		truth.TruthFinder{},
-		truth.Investment{},
-		truth.PooledInvestment{},
-		truth.TrueAnswer{Correct: correct},
-	}
+	ms := rankersByName("ABH-power", "HnD-power", "HITS", "TruthFinder", "Invest", "PooledInv")
+	ms = append(ms, truth.TrueAnswer{Correct: correct})
 	if includeGRM {
 		ms = append(ms, grmest.Estimator{})
 	}
@@ -81,7 +91,7 @@ func MethodNames(includeGRM bool) []string {
 // evaluate runs every method on the dataset concurrently (all rankers are
 // pure readers of the response matrix) and returns Spearman accuracy
 // against the true abilities. Failed methods yield NaN.
-func evaluate(d *irt.Dataset, methods []core.Ranker) map[string]float64 {
+func evaluate(ctx context.Context, d *irt.Dataset, methods []core.Ranker) map[string]float64 {
 	type slot struct {
 		name string
 		rho  float64
@@ -92,7 +102,7 @@ func evaluate(d *irt.Dataset, methods []core.Ranker) map[string]float64 {
 		wg.Add(1)
 		go func(idx int, r core.Ranker) {
 			defer wg.Done()
-			res, err := r.Rank(d.Responses)
+			res, err := r.Rank(ctx, d.Responses)
 			if err != nil {
 				results[idx] = slot{displayName(r), math.NaN()}
 				return
@@ -138,7 +148,7 @@ func questionSweep(quick bool) []int {
 
 // Fig4VaryQuestions reproduces Figures 4a–4c: ranking accuracy as a
 // function of the number of questions for the given generative model.
-func Fig4VaryQuestions(model irt.ModelKind, cfg Config) (*Table, error) {
+func Fig4VaryQuestions(ctx context.Context, model irt.ModelKind, cfg Config) (*Table, error) {
 	cfg.defaults()
 	name := fmt.Sprintf("fig4-%s-vs-n", model)
 	t := NewTable(name, fmt.Sprintf("Accuracy vs number of questions (%s)", model),
@@ -154,7 +164,7 @@ func Fig4VaryQuestions(model irt.ModelKind, cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			samples = append(samples, evaluate(d, methodSet(d.Correct, includeGRM)))
+			samples = append(samples, evaluate(ctx, d, methodSet(d.Correct, includeGRM)))
 		}
 		t.AddRow(float64(n), average(samples))
 	}
@@ -162,7 +172,7 @@ func Fig4VaryQuestions(model irt.ModelKind, cfg Config) (*Table, error) {
 }
 
 // Fig4VaryUsers reproduces Figure 4d (and 9a/9e for other models).
-func Fig4VaryUsers(model irt.ModelKind, cfg Config) (*Table, error) {
+func Fig4VaryUsers(ctx context.Context, model irt.ModelKind, cfg Config) (*Table, error) {
 	cfg.defaults()
 	sweep := []int{25, 50, 100, 200, 400, 800, 1600}
 	if cfg.Quick {
@@ -182,7 +192,7 @@ func Fig4VaryUsers(model irt.ModelKind, cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			samples = append(samples, evaluate(d, methodSet(d.Correct, includeGRM)))
+			samples = append(samples, evaluate(ctx, d, methodSet(d.Correct, includeGRM)))
 		}
 		t.AddRow(float64(m), average(samples))
 	}
@@ -191,7 +201,7 @@ func Fig4VaryUsers(model irt.ModelKind, cfg Config) (*Table, error) {
 
 // Fig4VaryOptions reproduces Figure 4e (and 9b/9f): accuracy vs the number
 // of options k.
-func Fig4VaryOptions(model irt.ModelKind, cfg Config) (*Table, error) {
+func Fig4VaryOptions(ctx context.Context, model irt.ModelKind, cfg Config) (*Table, error) {
 	cfg.defaults()
 	sweep := []int{2, 3, 4, 5, 6}
 	if model == irt.ModelGRM {
@@ -211,7 +221,7 @@ func Fig4VaryOptions(model irt.ModelKind, cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			samples = append(samples, evaluate(d, methodSet(d.Correct, includeGRM)))
+			samples = append(samples, evaluate(ctx, d, methodSet(d.Correct, includeGRM)))
 		}
 		t.AddRow(float64(k), average(samples))
 	}
@@ -221,7 +231,7 @@ func Fig4VaryOptions(model irt.ModelKind, cfg Config) (*Table, error) {
 // Fig4VaryDifficulty reproduces Figure 4f (and 9c/9g): the difficulty range
 // is shifted through seven windows; the x axis reports the measured average
 // user accuracy, as in the paper.
-func Fig4VaryDifficulty(model irt.ModelKind, cfg Config) (*Table, error) {
+func Fig4VaryDifficulty(ctx context.Context, model irt.ModelKind, cfg Config) (*Table, error) {
 	cfg.defaults()
 	windows := [][2]float64{
 		{-1, 0}, {-0.75, 0.25}, {-0.5, 0.5}, {-0.25, 0.75}, {0, 1}, {0.25, 1.25}, {0.5, 1.5},
@@ -241,7 +251,7 @@ func Fig4VaryDifficulty(model irt.ModelKind, cfg Config) (*Table, error) {
 				return nil, err
 			}
 			meanAcc += irt.MeanUserAccuracy(d)
-			samples = append(samples, evaluate(d, methodSet(d.Correct, model == irt.ModelGRM)))
+			samples = append(samples, evaluate(ctx, d, methodSet(d.Correct, model == irt.ModelGRM)))
 		}
 		meanAcc /= float64(cfg.Reps)
 		t.AddRow(math.Round(meanAcc*1000)/10, average(samples))
@@ -251,7 +261,7 @@ func Fig4VaryDifficulty(model irt.ModelKind, cfg Config) (*Table, error) {
 
 // Fig4VaryAnswerProb reproduces Figure 4g (and 9d/9h): accuracy when each
 // question is answered only with probability p.
-func Fig4VaryAnswerProb(model irt.ModelKind, cfg Config) (*Table, error) {
+func Fig4VaryAnswerProb(ctx context.Context, model irt.ModelKind, cfg Config) (*Table, error) {
 	cfg.defaults()
 	t := NewTable(fmt.Sprintf("fig4-%s-vs-p", model),
 		fmt.Sprintf("Accuracy vs answer probability (%s)", model),
@@ -266,7 +276,7 @@ func Fig4VaryAnswerProb(model irt.ModelKind, cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			samples = append(samples, evaluate(d, methodSet(d.Correct, model == irt.ModelGRM)))
+			samples = append(samples, evaluate(ctx, d, methodSet(d.Correct, model == irt.ModelGRM)))
 		}
 		t.AddRow(p, average(samples))
 	}
@@ -276,7 +286,7 @@ func Fig4VaryAnswerProb(model irt.ModelKind, cfg Config) (*Table, error) {
 // Fig4C1P reproduces Figure 4h: consistent (pre-P) response matrices, on
 // which only HND and ABH recover the exact ranking. BL is added as the
 // combinatorial reference.
-func Fig4C1P(cfg Config) (*Table, error) {
+func Fig4C1P(ctx context.Context, cfg Config) (*Table, error) {
 	cfg.defaults()
 	methods := MethodNames(false)
 	methods = append(methods, "BL")
@@ -293,8 +303,8 @@ func Fig4C1P(cfg Config) (*Table, error) {
 				return nil, err
 			}
 			ms := methodSet(d.Correct, false)
-			sample := evaluate(d, ms)
-			if res, err := (c1p.BL{}).Rank(d.Responses); err == nil {
+			sample := evaluate(ctx, d, ms)
+			if res, err := (c1p.BL{}).Rank(ctx, d.Responses); err == nil {
 				sample["BL"] = rank.Spearman(res.Scores, d.Abilities)
 			} else {
 				sample["BL"] = math.NaN()
@@ -308,7 +318,7 @@ func Fig4C1P(cfg Config) (*Table, error) {
 
 // Fig4VaryDiscrimination reproduces Figures 9i–9k: accuracy as a function
 // of the discrimination bound a_max.
-func Fig4VaryDiscrimination(model irt.ModelKind, cfg Config) (*Table, error) {
+func Fig4VaryDiscrimination(ctx context.Context, model irt.ModelKind, cfg Config) (*Table, error) {
 	cfg.defaults()
 	t := NewTable(fmt.Sprintf("fig9-%s-vs-a", model),
 		fmt.Sprintf("Accuracy vs question discrimination (%s)", model),
@@ -323,7 +333,7 @@ func Fig4VaryDiscrimination(model irt.ModelKind, cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			samples = append(samples, evaluate(d, methodSet(d.Correct, model == irt.ModelGRM)))
+			samples = append(samples, evaluate(ctx, d, methodSet(d.Correct, model == irt.ModelGRM)))
 		}
 		t.AddRow(amax, average(samples))
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"hitsndiffs/internal/core"
 	"hitsndiffs/internal/irt"
 )
@@ -8,7 +10,7 @@ import (
 // Fig14Beta reproduces Figure 14a: the number of ABH-power iterations as a
 // function of the β coefficient, reported relative to the smallest count
 // (the paper divides by the minimum).
-func Fig14Beta(cfg Config) (*Table, error) {
+func Fig14Beta(ctx context.Context, cfg Config) (*Table, error) {
 	cfg.defaults()
 	t := NewTable("fig14a-beta", "ABH-power iterations vs β coefficient (relative to minimum)",
 		"beta-multiplier", "relative-iterations", []string{"ABH-Power"})
@@ -24,7 +26,7 @@ func Fig14Beta(cfg Config) (*Table, error) {
 	iters := make([]int, len(multipliers))
 	minIters := 0
 	for i, mult := range multipliers {
-		_, its, err := core.ABHDiffEigenvector(d.Responses, core.Options{Seed: cfg.Seed}, base*mult)
+		_, its, err := core.ABHDiffEigenvector(ctx, d.Responses, core.Options{Seed: cfg.Seed}, base*mult)
 		if err != nil {
 			return nil, err
 		}
@@ -43,7 +45,7 @@ func Fig14Beta(cfg Config) (*Table, error) {
 
 // Fig14Iterations reproduces Figure 14b: iteration counts of the power-
 // style implementations as the number of questions grows.
-func Fig14Iterations(cfg Config) (*Table, error) {
+func Fig14Iterations(ctx context.Context, cfg Config) (*Table, error) {
 	cfg.defaults()
 	methods := []string{"ABH-Power", "HnD-Deflation", "HnD-Power"}
 	t := NewTable("fig14b-iterations", "Iterations vs number of questions",
@@ -60,15 +62,15 @@ func Fig14Iterations(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		_, abhIters, err := core.ABHDiffEigenvector(d.Responses, core.Options{Seed: cfg.Seed}, 0)
+		_, abhIters, err := core.ABHDiffEigenvector(ctx, d.Responses, core.Options{Seed: cfg.Seed}, 0)
 		if err != nil {
 			return nil, err
 		}
-		_, hndIters, err := core.DiffEigenvector(d.Responses, core.Options{Seed: cfg.Seed})
+		_, hndIters, err := core.DiffEigenvector(ctx, d.Responses, core.Options{Seed: cfg.Seed})
 		if err != nil {
 			return nil, err
 		}
-		defRes, err := (core.HNDDeflation{Opts: core.Options{Seed: cfg.Seed}}).Rank(d.Responses)
+		defRes, err := (core.HNDDeflation{Opts: core.Options{Seed: cfg.Seed}}).Rank(ctx, d.Responses)
 		if err != nil {
 			return nil, err
 		}

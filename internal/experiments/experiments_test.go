@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -61,7 +62,7 @@ func TestTableHelpers(t *testing.T) {
 }
 
 func TestFig4VaryQuestionsShape(t *testing.T) {
-	tbl, err := Fig4VaryQuestions(irt.ModelSamejima, quickCfg())
+	tbl, err := Fig4VaryQuestions(context.Background(), irt.ModelSamejima, quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestFig4VaryQuestionsShape(t *testing.T) {
 }
 
 func TestFig4C1PHnDAndABHPerfect(t *testing.T) {
-	tbl, err := Fig4C1P(quickCfg())
+	tbl, err := Fig4C1P(context.Background(), quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestFig4C1PHnDAndABHPerfect(t *testing.T) {
 }
 
 func TestFig4VaryOptionsGRMUsesKAtLeast3(t *testing.T) {
-	tbl, err := Fig4VaryOptions(irt.ModelGRM, Config{Reps: 1, Seed: 3, Quick: true})
+	tbl, err := Fig4VaryOptions(context.Background(), irt.ModelGRM, Config{Reps: 1, Seed: 3, Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestFig4VaryOptionsGRMUsesKAtLeast3(t *testing.T) {
 }
 
 func TestFig4VaryDifficultyXAxisIsAccuracy(t *testing.T) {
-	tbl, err := Fig4VaryDifficulty(irt.ModelSamejima, quickCfg())
+	tbl, err := Fig4VaryDifficulty(context.Background(), irt.ModelSamejima, quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestFig4VaryDifficultyXAxisIsAccuracy(t *testing.T) {
 }
 
 func TestFig4VaryAnswerProb(t *testing.T) {
-	tbl, err := Fig4VaryAnswerProb(irt.ModelSamejima, quickCfg())
+	tbl, err := Fig4VaryAnswerProb(context.Background(), irt.ModelSamejima, quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestFig4VaryAnswerProb(t *testing.T) {
 }
 
 func TestFig5ScaleUsersShapes(t *testing.T) {
-	tbl, err := Fig5ScaleUsers(TimingConfig{Runs: 1, Seed: 2, Quick: true, Timeout: 5 * time.Second})
+	tbl, err := Fig5ScaleUsers(context.Background(), TimingConfig{Runs: 1, Seed: 2, Quick: true, Timeout: 5 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestFig5ScaleUsersShapes(t *testing.T) {
 }
 
 func TestFig6StabilityShapesAndDirection(t *testing.T) {
-	res, err := Fig6Stability(Config{Reps: 2, Seed: 5})
+	res, err := Fig6Stability(context.Background(), Config{Reps: 2, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestFig6StabilityShapesAndDirection(t *testing.T) {
 }
 
 func TestFig7RealWorldShapes(t *testing.T) {
-	per, avg, err := Fig7RealWorld(Config{Reps: 1, Seed: 7})
+	per, avg, err := Fig7RealWorld(context.Background(), Config{Reps: 1, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestFig7RealWorldShapes(t *testing.T) {
 }
 
 func TestFig12Shapes(t *testing.T) {
-	mean, std, err := Fig12AmericanExperience(Config{Reps: 2, Seed: 3, Quick: true})
+	mean, std, err := Fig12AmericanExperience(context.Background(), Config{Reps: 2, Seed: 3, Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestFig12Shapes(t *testing.T) {
 }
 
 func TestFig13Shapes(t *testing.T) {
-	mean, _, err := Fig13HalfMoon(Config{Reps: 2, Seed: 3})
+	mean, _, err := Fig13HalfMoon(context.Background(), Config{Reps: 2, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestFig13Shapes(t *testing.T) {
 }
 
 func TestFig14BetaMonotone(t *testing.T) {
-	tbl, err := Fig14Beta(Config{Seed: 3})
+	tbl, err := Fig14Beta(context.Background(), Config{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +235,7 @@ func TestFig14BetaMonotone(t *testing.T) {
 }
 
 func TestFig14IterationsShapes(t *testing.T) {
-	tbl, err := Fig14Iterations(Config{Seed: 3, Quick: true})
+	tbl, err := Fig14Iterations(context.Background(), Config{Seed: 3, Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"hitsndiffs/internal/core"
@@ -12,14 +13,7 @@ import (
 // realWorldMethods is the method list of Figure 7/11 (no cheating
 // baselines: True-answer serves as the reference ranking instead).
 func realWorldMethods() []core.Ranker {
-	return []core.Ranker{
-		core.HNDPower{},
-		core.ABHPower{},
-		truth.HITS{},
-		truth.TruthFinder{},
-		truth.Investment{},
-		truth.PooledInvestment{},
-	}
+	return rankersByName("HnD-power", "ABH-power", "HITS", "TruthFinder", "Invest", "PooledInv")
 }
 
 // RealWorldMethodNames is the legend of Figures 7 and 11.
@@ -47,7 +41,7 @@ func realWorldDisplayName(r core.Ranker) string {
 // the "True-answer" reference ranking (the paper's approximate gold
 // standard), reported as a percentage. The returned tables are one per
 // dataset (Figure 11) plus an "Average" row table (Figure 7).
-func Fig7RealWorld(cfg Config) (perDataset *Table, average *Table, err error) {
+func Fig7RealWorld(ctx context.Context, cfg Config) (perDataset *Table, average *Table, err error) {
 	cfg.defaults()
 	methods := RealWorldMethodNames()
 	perDataset = NewTable("fig11-real-world", "Correlation with True-answer per dataset (simulated stand-ins)",
@@ -64,13 +58,13 @@ func Fig7RealWorld(cfg Config) (perDataset *Table, average *Table, err error) {
 			if err != nil {
 				return nil, nil, err
 			}
-			ref, err := (truth.TrueAnswer{Correct: d.Correct}).Rank(d.Responses)
+			ref, err := (truth.TrueAnswer{Correct: d.Correct}).Rank(ctx, d.Responses)
 			if err != nil {
 				return nil, nil, err
 			}
 			sample := make(map[string]float64)
 			for _, m := range realWorldMethods() {
-				res, err := m.Rank(d.Responses)
+				res, err := m.Rank(ctx, d.Responses)
 				name := realWorldDisplayName(m)
 				if err != nil {
 					sample[name] = math.NaN()

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"math"
 	"time"
 
@@ -38,14 +40,8 @@ func (c *TimingConfig) defaults() {
 
 // scalabilityMethods returns the implementations compared in Figure 5.
 func scalabilityMethods() []core.Ranker {
-	return []core.Ranker{
-		grmest.Estimator{Opts: grmest.Options{EMIterations: 10}},
-		core.ABHPower{},
-		core.ABHDirect{},
-		core.HNDDirect{},
-		core.HNDDeflation{},
-		core.HNDPower{},
-	}
+	ms := []core.Ranker{grmest.Estimator{Opts: grmest.Options{EMIterations: 10}}}
+	return append(ms, rankersByName("ABH-power", "ABH-direct", "HnD-direct", "HnD-deflation", "HnD-power")...)
 }
 
 // ScalabilityMethodNames is the legend of Figure 5.
@@ -79,8 +75,10 @@ func sizeSweep(quick bool) []int {
 
 // timeMethods measures the median wall time of each still-alive method on
 // the dataset, marking methods that exceed the timeout as dead for larger
-// sizes.
-func timeMethods(m *response.Matrix, cfg TimingConfig, dead map[string]bool) map[string]float64 {
+// sizes. The per-run timeout is enforced with a context deadline, so a
+// too-slow solve is interrupted mid-iteration instead of merely being
+// noticed after the fact.
+func timeMethods(ctx context.Context, m *response.Matrix, cfg TimingConfig, dead map[string]bool) map[string]float64 {
 	out := make(map[string]float64)
 	for _, r := range scalabilityMethods() {
 		name := scalabilityDisplayName(r)
@@ -91,18 +89,25 @@ func timeMethods(m *response.Matrix, cfg TimingConfig, dead map[string]bool) map
 		var times []float64
 		timedOut := false
 		for run := 0; run < cfg.Runs; run++ {
+			if ctx.Err() != nil {
+				// The whole sweep was cancelled (Ctrl-C); don't record a
+				// bogus timeout for this method.
+				return out
+			}
+			runCtx, cancel := context.WithTimeout(ctx, cfg.Timeout)
 			start := time.Now()
-			_, err := r.Rank(m)
+			_, err := r.Rank(runCtx, m)
 			elapsed := time.Since(start)
+			cancel()
+			if errors.Is(err, context.DeadlineExceeded) || elapsed > cfg.Timeout {
+				timedOut = true
+				break
+			}
 			if err != nil {
 				timedOut = true
 				break
 			}
 			times = append(times, elapsed.Seconds())
-			if elapsed > cfg.Timeout {
-				timedOut = true
-				break
-			}
 		}
 		if len(times) == 0 {
 			out[name] = math.NaN()
@@ -137,12 +142,15 @@ func median(xs []float64) float64 {
 // Fig5ScaleUsers reproduces Figure 5a: execution time with n = 100
 // questions and m growing to 10⁵ users. The reported series should show
 // HnD-Power linear in m and the direct/ABH variants quadratic.
-func Fig5ScaleUsers(cfg TimingConfig) (*Table, error) {
+func Fig5ScaleUsers(ctx context.Context, cfg TimingConfig) (*Table, error) {
 	cfg.defaults()
 	t := NewTable("fig5a-scale-users", "Execution time vs number of users (n=100)",
 		"users", "seconds", ScalabilityMethodNames())
 	dead := map[string]bool{}
 	for _, m := range sizeSweep(cfg.Quick) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		gen := irt.DefaultConfig(irt.ModelSamejima)
 		gen.Users = m
 		gen.Items = 100
@@ -151,7 +159,7 @@ func Fig5ScaleUsers(cfg TimingConfig) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(float64(m), timeMethods(d.Responses, cfg, dead))
+		t.AddRow(float64(m), timeMethods(ctx, d.Responses, cfg, dead))
 	}
 	return t, nil
 }
@@ -159,12 +167,15 @@ func Fig5ScaleUsers(cfg TimingConfig) (*Table, error) {
 // Fig5ScaleQuestions reproduces Figure 5b: execution time with m = 100
 // users and n growing to 10⁵ questions. Every implementation should be
 // near-linear here.
-func Fig5ScaleQuestions(cfg TimingConfig) (*Table, error) {
+func Fig5ScaleQuestions(ctx context.Context, cfg TimingConfig) (*Table, error) {
 	cfg.defaults()
 	t := NewTable("fig5b-scale-questions", "Execution time vs number of questions (m=100)",
 		"questions", "seconds", ScalabilityMethodNames())
 	dead := map[string]bool{}
 	for _, n := range sizeSweep(cfg.Quick) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		gen := irt.DefaultConfig(irt.ModelSamejima)
 		gen.Users = 100
 		gen.Items = n
@@ -173,7 +184,7 @@ func Fig5ScaleQuestions(cfg TimingConfig) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(float64(n), timeMethods(d.Responses, cfg, dead))
+		t.AddRow(float64(n), timeMethods(ctx, d.Responses, cfg, dead))
 	}
 	return t, nil
 }

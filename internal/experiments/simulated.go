@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"hitsndiffs/internal/core"
@@ -16,19 +17,13 @@ import (
 // methods of Ghosh et al., Dalvi et al. and GLAD, which are applicable to
 // these dichotomous workloads.
 func simulatedMethods(correct []int) []core.Ranker {
-	return []core.Ranker{
-		core.HNDPower{},
-		core.ABHPower{},
-		truth.HITS{},
-		truth.TruthFinder{},
-		truth.Investment{},
-		truth.PooledInvestment{},
+	ms := rankersByName("HnD-power", "ABH-power", "HITS", "TruthFinder", "Invest", "PooledInv")
+	ms = append(ms,
 		grmest.Estimator{Opts: grmest.Options{EMIterations: 15}},
 		truth.TrueAnswer{Correct: correct},
-		truth.GhoshSpectral{},
-		truth.DalviSpectral{},
-		truth.GLAD{EMIterations: 25},
-	}
+	)
+	ms = append(ms, rankersByName("Ghosh-spectral", "Dalvi-spectral")...)
+	return append(ms, truth.GLAD{EMIterations: 25})
 }
 
 // SimulatedMethodNames is the legend of Figures 12/13 (the last three
@@ -58,7 +53,7 @@ func simulatedDisplayName(r core.Ranker) string {
 // runSimulated evaluates all methods on Reps datasets produced by gen and
 // returns the mean and standard deviation of accuracy (in percent) against
 // the true abilities.
-func runSimulated(gen func(rep int) *irt.Dataset, cfg Config, skipTF bool) (mean, std map[string]float64) {
+func runSimulated(ctx context.Context, gen func(rep int) *irt.Dataset, cfg Config, skipTF bool) (mean, std map[string]float64) {
 	perMethod := map[string][]float64{}
 	for r := 0; r < cfg.Reps; r++ {
 		d := gen(r)
@@ -68,7 +63,7 @@ func runSimulated(gen func(rep int) *irt.Dataset, cfg Config, skipTF bool) (mean
 				// The paper omits TruthFinder from the 2692-student run.
 				continue
 			}
-			res, err := m.Rank(d.Responses)
+			res, err := m.Rank(ctx, d.Responses)
 			if err != nil {
 				continue
 			}
@@ -98,7 +93,7 @@ func runSimulated(gen func(rep int) *irt.Dataset, cfg Config, skipTF bool) (mean
 // Experience test with class-sized (100) and original-cohort (2692, or 500
 // under Quick) student counts. Two tables are returned: mean accuracy and
 // its standard deviation over the repetitions.
-func Fig12AmericanExperience(cfg Config) (mean, std *Table, err error) {
+func Fig12AmericanExperience(ctx context.Context, cfg Config) (mean, std *Table, err error) {
 	cfg.defaults()
 	methods := SimulatedMethodNames()
 	mean = NewTable("fig12-american-experience", "Accuracy on simulated American Experience data (mean %)",
@@ -112,7 +107,7 @@ func Fig12AmericanExperience(cfg Config) (mean, std *Table, err error) {
 	for _, size := range sizes {
 		size := size
 		skipTF := size > 1000
-		mu, sd := runSimulated(func(rep int) *irt.Dataset {
+		mu, sd := runSimulated(ctx, func(rep int) *irt.Dataset {
 			return dataset.AmericanExperience(size, cfg.Seed+int64(rep)*71+int64(size))
 		}, cfg, skipTF)
 		mean.AddRow(float64(size), mu)
@@ -123,14 +118,14 @@ func Fig12AmericanExperience(cfg Config) (mean, std *Table, err error) {
 
 // Fig13HalfMoon reproduces Figure 13b: accuracy on simulated data whose
 // (log a, b) item parameters follow the half-moon pattern.
-func Fig13HalfMoon(cfg Config) (mean, std *Table, err error) {
+func Fig13HalfMoon(ctx context.Context, cfg Config) (mean, std *Table, err error) {
 	cfg.defaults()
 	methods := SimulatedMethodNames()
 	mean = NewTable("fig13-half-moon", "Accuracy on half-moon simulated data (mean %)",
 		"config", "accuracy-%", methods)
 	std = NewTable("fig13-half-moon-std", "Accuracy on half-moon simulated data (std %)",
 		"config", "accuracy-%", methods)
-	mu, sd := runSimulated(func(rep int) *irt.Dataset {
+	mu, sd := runSimulated(ctx, func(rep int) *irt.Dataset {
 		d, _ := dataset.HalfMoon(100, 100, cfg.Seed+int64(rep)*53)
 		return d
 	}, cfg, false)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"hitsndiffs/internal/core"
@@ -47,7 +48,7 @@ func stabilityModel(users, items, options int, a float64) (irt.GRM, mat.Vector) 
 // Fig6Stability reproduces Figures 6a–6c: HND versus ABH as the question
 // discrimination sweeps 2⁰..2⁴, with Reps resampled response matrices per
 // point.
-func Fig6Stability(cfg Config) (*StabilityResult, error) {
+func Fig6Stability(ctx context.Context, cfg Config) (*StabilityResult, error) {
 	cfg.defaults()
 	const users, items, options = 100, 100, 3
 	methods := []string{"ABH", "HnD"}
@@ -68,22 +69,22 @@ func Fig6Stability(cfg Config) (*StabilityResult, error) {
 			seed := cfg.Seed + int64(r)*977 + int64(a*31)
 			d := irt.GenerateFromModel(model, abilities, 1, seed)
 
-			hd, _, err := core.DiffEigenvector(d.Responses, core.Options{Seed: seed})
+			hd, _, err := core.DiffEigenvector(ctx, d.Responses, core.Options{Seed: seed})
 			if err != nil {
 				return nil, err
 			}
 			varH += hd.Variance()
-			ad, _, err := core.ABHDiffEigenvector(d.Responses, core.Options{Seed: seed}, 0)
+			ad, _, err := core.ABHDiffEigenvector(ctx, d.Responses, core.Options{Seed: seed}, 0)
 			if err != nil {
 				return nil, err
 			}
 			varA += ad.Variance()
 
-			hres, err := (core.HNDPower{Opts: core.Options{Seed: seed}}).Rank(d.Responses)
+			hres, err := (core.HNDPower{Opts: core.Options{Seed: seed}}).Rank(ctx, d.Responses)
 			if err != nil {
 				return nil, err
 			}
-			ares, err := (core.ABHPower{Opts: core.Options{Seed: seed}}).Rank(d.Responses)
+			ares, err := (core.ABHPower{Opts: core.Options{Seed: seed}}).Rank(ctx, d.Responses)
 			if err != nil {
 				return nil, err
 			}

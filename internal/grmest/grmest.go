@@ -15,6 +15,7 @@
 package grmest
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -32,6 +33,9 @@ type Options struct {
 	GridMin, GridMax float64
 	// EMIterations is the number of EM rounds (default 40).
 	EMIterations int
+	// MaxIter, when positive, caps (never inflates) the EM round count —
+	// the shared iteration-budget knob of the public options API.
+	MaxIter int
 	// MStepIterations bounds the per-item ascent steps per round
 	// (default 15).
 	MStepIterations int
@@ -49,6 +53,9 @@ func (o *Options) defaults() {
 	}
 	if o.EMIterations <= 0 {
 		o.EMIterations = 40
+	}
+	if o.MaxIter > 0 && o.MaxIter < o.EMIterations {
+		o.EMIterations = o.MaxIter
 	}
 	if o.MStepIterations <= 0 {
 		o.MStepIterations = 15
@@ -81,8 +88,8 @@ type Estimator struct {
 func (Estimator) Name() string { return "GRM-estimator" }
 
 // Rank implements core.Ranker.
-func (e Estimator) Rank(m *response.Matrix) (core.Result, error) {
-	fit, err := e.Fit(m)
+func (e Estimator) Rank(ctx context.Context, m *response.Matrix) (core.Result, error) {
+	fit, err := e.Fit(ctx, m)
 	if err != nil {
 		return core.Result{}, err
 	}
@@ -94,7 +101,7 @@ func (e Estimator) Rank(m *response.Matrix) (core.Result, error) {
 }
 
 // Fit runs the EM estimation and returns the fitted model.
-func (e Estimator) Fit(m *response.Matrix) (*Fit, error) {
+func (e Estimator) Fit(ctx context.Context, m *response.Matrix) (*Fit, error) {
 	opts := e.Opts
 	opts.defaults()
 	if m.Users() < 2 {
@@ -160,6 +167,9 @@ func (e Estimator) Fit(m *response.Matrix) (*Fit, error) {
 	fit := &Fit{}
 	prevLL := math.Inf(-1)
 	for round := 1; round <= opts.EMIterations; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// E-step: posterior ability per user and marginal log-likelihood.
 		var ll float64
 		for u := 0; u < users; u++ {

@@ -1,6 +1,7 @@
 package grmest
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -77,7 +78,7 @@ func TestUnpackAlwaysAscending(t *testing.T) {
 
 func TestFitRecoversAbilityRanking(t *testing.T) {
 	d := grmData(t, 80, 80, 3)
-	fit, err := (Estimator{}).Fit(d.Responses)
+	fit, err := (Estimator{}).Fit(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,11 +89,11 @@ func TestFitRecoversAbilityRanking(t *testing.T) {
 
 func TestFitLogLikelihoodImproves(t *testing.T) {
 	d := grmData(t, 40, 30, 5)
-	short, err := (Estimator{Opts: Options{EMIterations: 1}}).Fit(d.Responses)
+	short, err := (Estimator{Opts: Options{EMIterations: 1}}).Fit(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
-	long, err := (Estimator{Opts: Options{EMIterations: 15}}).Fit(d.Responses)
+	long, err := (Estimator{Opts: Options{EMIterations: 15}}).Fit(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestFitLogLikelihoodImproves(t *testing.T) {
 
 func TestFitThresholdsAscending(t *testing.T) {
 	d := grmData(t, 60, 40, 7)
-	fit, err := (Estimator{}).Fit(d.Responses)
+	fit, err := (Estimator{}).Fit(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestFitThresholdsAscending(t *testing.T) {
 
 func TestRankImplementsRanker(t *testing.T) {
 	d := grmData(t, 30, 25, 9)
-	res, err := (Estimator{}).Rank(d.Responses)
+	res, err := (Estimator{}).Rank(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestFitHandlesMissingAnswers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fit, err := (Estimator{}).Fit(d.Responses)
+	fit, err := (Estimator{}).Fit(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestFitRejectsSingleUser(t *testing.T) {
 	_ = m
 	one := response.New(2, 2, 3)
 	_ = one
-	if _, err := (Estimator{}).Fit(response.New(2, 2, 3)); err != nil {
+	if _, err := (Estimator{}).Fit(context.Background(), response.New(2, 2, 3)); err != nil {
 		t.Fatalf("2 users should be accepted: %v", err)
 	}
 }
@@ -172,7 +173,7 @@ func TestEstimatorSeparatesExtremeUsers(t *testing.T) {
 			m.SetAnswer(u, i, (u+i)%3)
 		}
 	}
-	fit, err := (Estimator{Opts: Options{EMIterations: 10}}).Fit(m)
+	fit, err := (Estimator{Opts: Options{EMIterations: 10}}).Fit(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestFitBinaryItems(t *testing.T) {
 		model.B[i] = -1.5 + 3*float64(i)/float64(n-1)
 	}
 	d := irt.GenerateBinary(model, 60, 13)
-	fit, err := (Estimator{Opts: Options{EMIterations: 15}}).Fit(d.Responses)
+	fit, err := (Estimator{Opts: Options{EMIterations: 15}}).Fit(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +218,7 @@ func TestFitRecoversDifficultyOrder(t *testing.T) {
 		truthB[i] = model.B[i]
 	}
 	d := irt.GenerateBinary(model, 300, 17)
-	fit, err := (Estimator{Opts: Options{EMIterations: 20}}).Fit(d.Responses)
+	fit, err := (Estimator{Opts: Options{EMIterations: 20}}).Fit(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}

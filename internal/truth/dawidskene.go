@@ -1,6 +1,7 @@
 package truth
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -30,7 +31,7 @@ type DawidSkene struct {
 func (DawidSkene) Name() string { return "Dawid-Skene" }
 
 // Rank implements core.Ranker.
-func (d DawidSkene) Rank(m *response.Matrix) (core.Result, error) {
+func (d DawidSkene) Rank(ctx context.Context, m *response.Matrix) (core.Result, error) {
 	if err := validate(m); err != nil {
 		return core.Result{}, err
 	}
@@ -80,6 +81,9 @@ func (d DawidSkene) Rank(m *response.Matrix) (core.Result, error) {
 	res := core.Result{}
 	prevScores := mat.NewVector(users)
 	for it := 1; it <= opts.MaxIter; it++ {
+		if err := ctx.Err(); err != nil {
+			return core.Result{}, err
+		}
 		// M-step: class priors and confusion matrices from posteriors.
 		for j := range prior {
 			prior[j] = 0

@@ -1,6 +1,7 @@
 package truth
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -30,7 +31,7 @@ type GLAD struct {
 func (GLAD) Name() string { return "GLAD" }
 
 // Rank implements core.Ranker.
-func (g GLAD) Rank(m *response.Matrix) (core.Result, error) {
+func (g GLAD) Rank(ctx context.Context, m *response.Matrix) (core.Result, error) {
 	if err := validate(m); err != nil {
 		return core.Result{}, err
 	}
@@ -46,6 +47,11 @@ func (g GLAD) Rank(m *response.Matrix) (core.Result, error) {
 	rounds := g.EMIterations
 	if rounds <= 0 {
 		rounds = 40
+		// MaxIter is a budget, not a target: it caps the default EM
+		// round count but never inflates it.
+		if g.Opts.MaxIter > 0 && g.Opts.MaxIter < rounds {
+			rounds = g.Opts.MaxIter
+		}
 	}
 	users, items := m.Users(), m.Items()
 
@@ -69,6 +75,9 @@ func (g GLAD) Rank(m *response.Matrix) (core.Result, error) {
 
 	iters := 0
 	for round := 0; round < rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return core.Result{}, err
+		}
 		iters++
 		// E-step: posterior of z_i given α, β.
 		for i := 0; i < items; i++ {

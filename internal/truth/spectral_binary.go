@@ -1,6 +1,7 @@
 package truth
 
 import (
+	"context"
 	"fmt"
 
 	"hitsndiffs/internal/core"
@@ -53,7 +54,7 @@ type GhoshSpectral struct {
 func (GhoshSpectral) Name() string { return "Ghosh-spectral" }
 
 // Rank implements core.Ranker.
-func (g GhoshSpectral) Rank(m *response.Matrix) (core.Result, error) {
+func (g GhoshSpectral) Rank(ctx context.Context, m *response.Matrix) (core.Result, error) {
 	if err := validate(m); err != nil {
 		return core.Result{}, err
 	}
@@ -69,7 +70,7 @@ func (g GhoshSpectral) Rank(m *response.Matrix) (core.Result, error) {
 		a.MulVec(tmp, x)
 		a.MulVecT(dst, tmp)
 	}}
-	pr, err := eigen.PowerIteration(op, eigen.PowerOptions{Tol: opts.Tol, MaxIter: opts.MaxIter})
+	pr, err := eigen.PowerIteration(ctx, op, eigen.PowerOptions{Tol: opts.Tol, MaxIter: opts.MaxIter})
 	if err != nil {
 		return core.Result{}, fmt.Errorf("truth: Ghosh eigenvector: %w", err)
 	}
@@ -106,7 +107,7 @@ type DalviSpectral struct {
 func (DalviSpectral) Name() string { return "Dalvi-spectral" }
 
 // Rank implements core.Ranker.
-func (d DalviSpectral) Rank(m *response.Matrix) (core.Result, error) {
+func (d DalviSpectral) Rank(ctx context.Context, m *response.Matrix) (core.Result, error) {
 	if err := validate(m); err != nil {
 		return core.Result{}, err
 	}
@@ -121,7 +122,7 @@ func (d DalviSpectral) Rank(m *response.Matrix) (core.Result, error) {
 		a.MulVecT(tmp, x)
 		a.MulVec(dst, tmp)
 	}}
-	pr, err := eigen.PowerIteration(op, eigen.PowerOptions{Tol: opts.Tol, MaxIter: opts.MaxIter})
+	pr, err := eigen.PowerIteration(ctx, op, eigen.PowerOptions{Tol: opts.Tol, MaxIter: opts.MaxIter})
 	if err != nil {
 		return core.Result{}, fmt.Errorf("truth: Dalvi eigenvector: %w", err)
 	}

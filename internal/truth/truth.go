@@ -10,6 +10,7 @@
 package truth
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -40,6 +41,21 @@ func (o *Options) defaults() {
 	}
 }
 
+// fixedRounds resolves the round count of the fixed-iteration methods
+// (Investment, PooledInvestment): FixedIter wins outright; otherwise the
+// paper's 10 rounds, capped — never inflated — by the shared MaxIter
+// budget.
+func fixedRounds(opts Options) int {
+	if opts.FixedIter > 0 {
+		return opts.FixedIter
+	}
+	rounds := 10
+	if opts.MaxIter > 0 && opts.MaxIter < rounds {
+		rounds = opts.MaxIter
+	}
+	return rounds
+}
+
 func validate(m *response.Matrix) error {
 	if m.Users() < 2 {
 		return fmt.Errorf("truth: need at least 2 users, got %d", m.Users())
@@ -58,7 +74,7 @@ type HITS struct {
 func (h HITS) Name() string { return "HITS" }
 
 // Rank implements core.Ranker.
-func (h HITS) Rank(m *response.Matrix) (core.Result, error) {
+func (h HITS) Rank(ctx context.Context, m *response.Matrix) (core.Result, error) {
 	if err := validate(m); err != nil {
 		return core.Result{}, err
 	}
@@ -71,6 +87,9 @@ func (h HITS) Rank(m *response.Matrix) (core.Result, error) {
 	next := mat.NewVector(c.Rows())
 	res := core.Result{}
 	for it := 1; it <= opts.MaxIter; it++ {
+		if err := ctx.Err(); err != nil {
+			return core.Result{}, err
+		}
 		c.MulVecT(w, s) // w ← Cᵀ·s
 		c.MulVec(next, w)
 		if next.Normalize() == 0 {
@@ -103,7 +122,7 @@ type TruthFinder struct {
 func (t TruthFinder) Name() string { return "TruthFinder" }
 
 // Rank implements core.Ranker.
-func (t TruthFinder) Rank(m *response.Matrix) (core.Result, error) {
+func (t TruthFinder) Rank(ctx context.Context, m *response.Matrix) (core.Result, error) {
 	if err := validate(m); err != nil {
 		return core.Result{}, err
 	}
@@ -122,6 +141,9 @@ func (t TruthFinder) Rank(m *response.Matrix) (core.Result, error) {
 	next := mat.NewVector(c.Rows())
 	res := core.Result{}
 	for it := 1; it <= opts.MaxIter; it++ {
+		if err := ctx.Err(); err != nil {
+			return core.Result{}, err
+		}
 		for i, v := range s {
 			logOneMinus[i] = math.Log(math.Max(1-v, eps))
 		}
@@ -156,16 +178,13 @@ type Investment struct {
 func (v Investment) Name() string { return "Invest" }
 
 // Rank implements core.Ranker.
-func (v Investment) Rank(m *response.Matrix) (core.Result, error) {
+func (v Investment) Rank(ctx context.Context, m *response.Matrix) (core.Result, error) {
 	if err := validate(m); err != nil {
 		return core.Result{}, err
 	}
 	opts := v.Opts
 	opts.defaults()
-	rounds := opts.FixedIter
-	if rounds <= 0 {
-		rounds = 10 // the paper's fixed iteration count
-	}
+	rounds := fixedRounds(opts)
 	g := v.G
 	if g <= 0 {
 		g = 1.2
@@ -177,6 +196,9 @@ func (v Investment) Rank(m *response.Matrix) (core.Result, error) {
 	belief := mat.NewVector(cols)
 	stake := mat.NewVector(cols) // Σ_u T(u)/|u| per option
 	for round := 0; round < rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return core.Result{}, err
+		}
 		stake.Fill(0)
 		forEachAnswer(m, func(u, col int) {
 			stake[col] += trust[u] / counts[u]
@@ -212,16 +234,13 @@ type PooledInvestment struct {
 func (v PooledInvestment) Name() string { return "PooledInv" }
 
 // Rank implements core.Ranker.
-func (v PooledInvestment) Rank(m *response.Matrix) (core.Result, error) {
+func (v PooledInvestment) Rank(ctx context.Context, m *response.Matrix) (core.Result, error) {
 	if err := validate(m); err != nil {
 		return core.Result{}, err
 	}
 	opts := v.Opts
 	opts.defaults()
-	rounds := opts.FixedIter
-	if rounds <= 0 {
-		rounds = 10
-	}
+	rounds := fixedRounds(opts)
 	g := v.G
 	if g <= 0 {
 		g = 1.4
@@ -233,6 +252,9 @@ func (v PooledInvestment) Rank(m *response.Matrix) (core.Result, error) {
 	h := mat.NewVector(cols)
 	belief := mat.NewVector(cols)
 	for round := 0; round < rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return core.Result{}, err
+		}
 		h.Fill(0)
 		forEachAnswer(m, func(u, col int) {
 			h[col] += trust[u] / counts[u]
@@ -275,7 +297,7 @@ type MajorityVote struct{}
 func (MajorityVote) Name() string { return "MajorityVote" }
 
 // Rank implements core.Ranker.
-func (MajorityVote) Rank(m *response.Matrix) (core.Result, error) {
+func (MajorityVote) Rank(ctx context.Context, m *response.Matrix) (core.Result, error) {
 	if err := validate(m); err != nil {
 		return core.Result{}, err
 	}
@@ -320,7 +342,7 @@ type TrueAnswer struct {
 func (TrueAnswer) Name() string { return "True-Answer" }
 
 // Rank implements core.Ranker.
-func (t TrueAnswer) Rank(m *response.Matrix) (core.Result, error) {
+func (t TrueAnswer) Rank(ctx context.Context, m *response.Matrix) (core.Result, error) {
 	if err := validate(m); err != nil {
 		return core.Result{}, err
 	}

@@ -1,6 +1,7 @@
 package truth
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -52,7 +53,7 @@ func TestBaselinesRankHighDiscriminationData(t *testing.T) {
 	}
 	for _, r := range allBaselines(d.Correct) {
 		floor, checked := floors[r.Name()]
-		res, err := r.Rank(d.Responses)
+		res, err := r.Rank(context.Background(), d.Responses)
 		if err != nil {
 			t.Fatalf("%s: %v", r.Name(), err)
 		}
@@ -69,7 +70,7 @@ func TestTrueAnswerExactOnDeterministicData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := (TrueAnswer{Correct: d.Correct}).Rank(d.Responses)
+	res, err := (TrueAnswer{Correct: d.Correct}).Rank(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,14 +88,14 @@ func TestTrueAnswerExactOnDeterministicData(t *testing.T) {
 func TestTrueAnswerWrongLength(t *testing.T) {
 	m := response.New(3, 2, 2)
 	m.SetAnswer(0, 0, 0)
-	if _, err := (TrueAnswer{Correct: []int{0}}).Rank(m); err == nil {
+	if _, err := (TrueAnswer{Correct: []int{0}}).Rank(context.Background(), m); err == nil {
 		t.Fatal("expected length mismatch error")
 	}
 }
 
 func TestHITSConvergesAndIsNonNegative(t *testing.T) {
 	d := strongDataset(t, 7)
-	res, err := (HITS{}).Rank(d.Responses)
+	res, err := (HITS{}).Rank(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestHITSFavorsMajorityAgreers(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		m.SetAnswer(4, i, 1)
 	}
-	res, err := (HITS{}).Rank(m)
+	res, err := (HITS{}).Rank(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestHITSFavorsMajorityAgreers(t *testing.T) {
 
 func TestTruthFinderScoresAreProbabilities(t *testing.T) {
 	d := strongDataset(t, 11)
-	res, err := (TruthFinder{}).Rank(d.Responses)
+	res, err := (TruthFinder{}).Rank(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,14 +150,14 @@ func TestTruthFinderScoresAreProbabilities(t *testing.T) {
 
 func TestInvestmentFixedIterations(t *testing.T) {
 	d := strongDataset(t, 13)
-	res, err := (Investment{}).Rank(d.Responses)
+	res, err := (Investment{}).Rank(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Iterations != 10 {
 		t.Fatalf("Investment ran %d iterations, want the paper's fixed 10", res.Iterations)
 	}
-	res5, err := (Investment{Opts: Options{FixedIter: 5}}).Rank(d.Responses)
+	res5, err := (Investment{Opts: Options{FixedIter: 5}}).Rank(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestInvestmentFixedIterations(t *testing.T) {
 
 func TestPooledInvestmentBeliefsStayFinite(t *testing.T) {
 	d := strongDataset(t, 17)
-	res, err := (PooledInvestment{}).Rank(d.Responses)
+	res, err := (PooledInvestment{}).Rank(context.Background(), d.Responses)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestMajorityVoteKnownCase(t *testing.T) {
 	m.SetAnswer(0, 1, 1)
 	m.SetAnswer(1, 1, 0)
 	m.SetAnswer(2, 1, 1)
-	res, err := (MajorityVote{}).Rank(m)
+	res, err := (MajorityVote{}).Rank(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestMajorityVoteUnansweredUsers(t *testing.T) {
 	m.SetAnswer(0, 0, 0)
 	m.SetAnswer(1, 0, 0)
 	// User 2 answers nothing: score 0, no NaN.
-	res, err := (MajorityVote{}).Rank(m)
+	res, err := (MajorityVote{}).Rank(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestDawidSkeneRecoversOwnModel(t *testing.T) {
 			}
 		}
 	}
-	res, err := (DawidSkene{}).Rank(m)
+	res, err := (DawidSkene{}).Rank(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +260,7 @@ func TestDawidSkeneRejectsHeterogeneousOptionCounts(t *testing.T) {
 	m := response.New(3, 2, 2, 3)
 	m.SetAnswer(0, 0, 0)
 	m.SetAnswer(1, 1, 2)
-	if _, err := (DawidSkene{}).Rank(m); err == nil {
+	if _, err := (DawidSkene{}).Rank(context.Background(), m); err == nil {
 		t.Fatal("expected heterogeneity rejection")
 	}
 }
@@ -286,7 +287,7 @@ func TestBaselinesAcceptTwoUsers(t *testing.T) {
 	m.SetAnswer(0, 0, 0)
 	m.SetAnswer(1, 0, 0)
 	for _, r := range allBaselines([]int{0}) {
-		if _, err := r.Rank(m); err != nil {
+		if _, err := r.Rank(context.Background(), m); err != nil {
 			t.Fatalf("%s rejected a valid 2-user matrix: %v", r.Name(), err)
 		}
 	}
@@ -300,7 +301,7 @@ func TestBaselinesHandleMissingAnswers(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, r := range allBaselines(d.Correct) {
-		res, err := r.Rank(d.Responses)
+		res, err := r.Rank(context.Background(), d.Responses)
 		if err != nil {
 			t.Fatalf("%s on incomplete data: %v", r.Name(), err)
 		}

@@ -1,0 +1,210 @@
+package hitsndiffs
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestMethodNamesSortedAndComplete(t *testing.T) {
+	names := MethodNames()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("MethodNames not sorted: %v", names)
+	}
+	if len(names) != 16 {
+		t.Fatalf("expected 16 built-in methods, got %d: %v", len(names), names)
+	}
+}
+
+func TestDescribeMetadata(t *testing.T) {
+	cases := map[string]func(MethodInfo) bool{
+		"Ghosh-spectral": func(i MethodInfo) bool { return i.BinaryOnly },
+		"Dalvi-spectral": func(i MethodInfo) bool { return i.BinaryOnly },
+		"GLAD":           func(i MethodInfo) bool { return i.BinaryOnly },
+		"Dawid-Skene":    func(i MethodInfo) bool { return i.HomogeneousOnly },
+		"BL":             func(i MethodInfo) bool { return i.ConsistentOnly && !i.Iterative },
+		"HnD-power":      func(i MethodInfo) bool { return i.Iterative && !i.BinaryOnly },
+	}
+	for name, check := range cases {
+		info, ok := Describe(name)
+		if !ok {
+			t.Fatalf("Describe(%q) not found", name)
+		}
+		if !check(info) {
+			t.Fatalf("Describe(%q) metadata wrong: %+v", name, info)
+		}
+		if info.Summary == "" {
+			t.Fatalf("Describe(%q) lacks a summary", name)
+		}
+	}
+}
+
+func TestConstraintsRendering(t *testing.T) {
+	info, _ := Describe("GLAD")
+	tags := info.Constraints()
+	if !strings.Contains(tags, "binary-only") || !strings.Contains(tags, "iterative") {
+		t.Fatalf("GLAD constraints = %q", tags)
+	}
+	if unconstrained := (MethodInfo{}).Constraints(); unconstrained != "-" {
+		t.Fatalf("empty constraints = %q", unconstrained)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	if err := Register(MethodInfo{}, func(...Option) Ranker { return nil }); err == nil {
+		t.Fatal("empty name must be rejected")
+	}
+	if err := Register(MethodInfo{Name: "x-nil-factory"}, nil); err == nil {
+		t.Fatal("nil factory must be rejected")
+	}
+	if err := Register(MethodInfo{Name: "HnD-power"}, func(...Option) Ranker { return nil }); err == nil {
+		t.Fatal("duplicate name must be rejected")
+	}
+}
+
+// constRanker is a trivial custom method for registry extension tests.
+type constRanker struct{}
+
+func (constRanker) Name() string { return "test-const" }
+func (constRanker) Rank(ctx context.Context, m *ResponseMatrix) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	scores := make([]float64, m.Users())
+	for i := range scores {
+		scores[i] = float64(i)
+	}
+	return Result{Scores: scores, Converged: true}, nil
+}
+
+func TestRegisterCustomMethod(t *testing.T) {
+	err := Register(MethodInfo{Name: "test-const", Summary: "index-ordered test stub"},
+		func(opts ...Option) Ranker { return constRanker{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New("test-const")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Rank(context.Background(), NewResponseMatrix(3, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order := res.Order(); order[0] != 2 {
+		t.Fatalf("custom method order = %v", order)
+	}
+	// And an Engine can serve it.
+	eng, err := NewEngine(NewResponseMatrix(3, 1, 2), WithMethod("test-const"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Rank(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptionsAreIndependentPerCall(t *testing.T) {
+	// A shared option list applied to two methods must not leak state.
+	shared := []Option{WithTol(1e-3), WithMaxIter(50), WithSeed(4)}
+	a, err := New("HnD-power", shared...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New("HITS", shared...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := FromChoices([][]int{{0, 0}, {0, 1}, {1, 1}}, 2)
+	if _, err := a.Rank(context.Background(), m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Rank(context.Background(), m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithWarmStartCopiesSlice(t *testing.T) {
+	scores := []float64{3, 2, 1, 0}
+	opt := WithWarmStart(scores)
+	scores[0] = -99 // caller mutates after handing the slice over
+	var s settings
+	opt(&s)
+	if s.warmStart[0] != 3 {
+		t.Fatalf("WithWarmStart must copy; saw %v", s.warmStart)
+	}
+}
+
+// The shared iteration budget must reach every method the registry marks
+// Iterative — as an upper bound, never an inflation of fixed-round
+// defaults.
+func TestWithMaxIterBoundsEveryIterativeMethod(t *testing.T) {
+	m := engineWorkload(t, 30, 20, 17)
+	for _, name := range []string{"HnD-power", "ABH-power", "HITS", "TruthFinder", "Invest", "PooledInv", "Dawid-Skene"} {
+		r, err := New(name, WithMaxIter(3), WithTol(1e-300))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Rank(context.Background(), m)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Iterations > 3 {
+			t.Fatalf("%s ran %d iterations with WithMaxIter(3)", name, res.Iterations)
+		}
+	}
+	// Binary-only GLAD on a binary workload.
+	bm := NewResponseMatrix(6, 5, 2)
+	for u := 0; u < 6; u++ {
+		for i := 0; i < 5; i++ {
+			bm.SetAnswer(u, i, (u+i)%2)
+		}
+	}
+	r, err := New("GLAD", WithMaxIter(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Rank(context.Background(), bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 3 {
+		t.Fatalf("GLAD ran %d EM rounds with WithMaxIter(3)", res.Iterations)
+	}
+}
+
+// A large budget must not inflate the fixed-round methods past their
+// paper defaults (Invest/PooledInv: 10 rounds, GLAD: 40, GRM EM: 40).
+func TestLargeMaxIterDoesNotInflateFixedRounds(t *testing.T) {
+	m := engineWorkload(t, 30, 20, 19)
+	for name, maxRounds := range map[string]int{"Invest": 10, "PooledInv": 10} {
+		r, err := New(name, WithMaxIter(20000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Rank(context.Background(), m)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Iterations > maxRounds {
+			t.Fatalf("%s ran %d rounds with a 20000 budget (default is %d)", name, res.Iterations, maxRounds)
+		}
+	}
+}
+
+func TestGRMEstimatorHonorsMaxIter(t *testing.T) {
+	cfg := DefaultGeneratorConfig(ModelGRM)
+	cfg.Users, cfg.Items, cfg.Seed = 20, 15, 23
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GRMEstimator(WithMaxIter(2)).Rank(context.Background(), d.Responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 2 {
+		t.Fatalf("GRM estimator ran %d EM rounds with WithMaxIter(2)", res.Iterations)
+	}
+}
