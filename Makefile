@@ -1,0 +1,38 @@
+# Development entry points. CI runs `make check`; `make bench` regenerates
+# the performance-trajectory baseline committed as BENCH_pr2.json.
+
+# pipefail so a failing benchmark run fails the bench target instead of
+# being masked by tee's exit status.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -c
+
+GO ?= go
+
+# Benchmarks tracked as the perf baseline: the Figure 5 scaling workloads
+# (serial vs parallel kernels), the isolated zero-alloc power-loop body,
+# CSR assembly, and the Engine serving paths.
+BENCH_PATTERN ?= Fig5aScaleUsers|Fig5bScaleQuestions|HNDPowerInnerLoop|EngineSnapshot|EngineWarmVsCold|NewCSRAssembly|MulVecParallel
+BENCH_TIME ?= 1x
+BENCH_OUT ?= BENCH_pr2.json
+
+.PHONY: build test check bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_TIME) -timeout 30m . ./internal/mat/ | tee bench.out
+	$(GO) run ./cmd/bench2json < bench.out > $(BENCH_OUT)
+	@rm -f bench.out
+	@echo "wrote $(BENCH_OUT)"
+
+clean:
+	rm -f bench.out

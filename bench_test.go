@@ -125,39 +125,86 @@ func BenchmarkFig4hC1P(b *testing.B) {
 	})
 }
 
+// fig5Parallelisms is the worker sweep of the scaling benchmarks: the
+// serial kernels (p=1, the paper's single-core setting) against a 4-way
+// fan-out. On a multi-core host the p=4 rows at the largest sizes show the
+// parallel speedup; on a single hardware thread they degrade gracefully to
+// near-serial cost.
+var fig5Parallelisms = []int{1, 4}
+
 // BenchmarkFig5aScaleUsers times the Figure 5a scaling workloads: the
-// power implementations across growing user counts (n fixed at 100).
+// power implementations across growing user counts (n fixed at 100),
+// swept over kernel parallelism.
 func BenchmarkFig5aScaleUsers(b *testing.B) {
 	for _, m := range []int{100, 1000, 5000} {
 		d := genOrDie(b, irt.ModelSamejima, func(c *irt.Config) { c.Users = m })
-		for _, r := range []core.Ranker{core.HNDPower{}, core.HNDDeflation{}, core.ABHPower{}} {
-			r := r
-			b.Run(fmt.Sprintf("%s/m=%d", r.Name(), m), func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					if _, err := r.Rank(context.Background(), d.Responses); err != nil {
-						b.Fatal(err)
+		for _, p := range fig5Parallelisms {
+			opts := core.Options{Workers: p}
+			for _, r := range []core.Ranker{core.HNDPower{Opts: opts}, core.HNDDeflation{Opts: opts}, core.ABHPower{Opts: opts}} {
+				r := r
+				b.Run(fmt.Sprintf("%s/m=%d/p=%d", r.Name(), m, p), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := r.Rank(context.Background(), d.Responses); err != nil {
+							b.Fatal(err)
+						}
 					}
-				}
-			})
+				})
+			}
 		}
 	}
 }
 
 // BenchmarkFig5bScaleQuestions times the Figure 5b scaling workloads
-// (m fixed at 100, n growing).
+// (m fixed at 100, n growing), swept over kernel parallelism.
 func BenchmarkFig5bScaleQuestions(b *testing.B) {
 	for _, n := range []int{100, 1000, 10000} {
 		d := genOrDie(b, irt.ModelSamejima, func(c *irt.Config) { c.Items = n })
-		for _, r := range []core.Ranker{core.HNDPower{}, core.ABHPower{}} {
-			r := r
-			b.Run(fmt.Sprintf("%s/n=%d", r.Name(), n), func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					if _, err := r.Rank(context.Background(), d.Responses); err != nil {
-						b.Fatal(err)
+		for _, p := range fig5Parallelisms {
+			opts := core.Options{Workers: p}
+			for _, r := range []core.Ranker{core.HNDPower{Opts: opts}, core.ABHPower{Opts: opts}} {
+				r := r
+				b.Run(fmt.Sprintf("%s/n=%d/p=%d", r.Name(), n, p), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := r.Rank(context.Background(), d.Responses); err != nil {
+							b.Fatal(err)
+						}
 					}
-				}
-			})
+				})
+			}
 		}
+	}
+}
+
+// BenchmarkHNDPowerInnerLoop isolates one iteration of the HND power loop
+// — the O(mn) body every Figure 5 data point repeats thousands of times.
+// With an owned Workspace and the serial kernels it must report 0
+// allocs/op: every buffer is preallocated and reused.
+func BenchmarkHNDPowerInnerLoop(b *testing.B) {
+	d := genOrDie(b, irt.ModelSamejima, func(c *irt.Config) { c.Users = 1000 })
+	for _, p := range fig5Parallelisms {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			u := core.NewUpdate(d.Responses)
+			u.SetWorkers(p)
+			ws := u.NewWorkspace()
+			users := u.Users()
+			sdiff := mat.Ones(users - 1)
+			sdiff.Normalize()
+			s := mat.NewVector(users)
+			us := mat.NewVector(users)
+			next := mat.NewVector(users - 1)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mat.CumSumShift(s, sdiff)
+				ws.ApplyU(us, s)
+				mat.Diff(next, us)
+				next.Normalize()
+				_ = mat.FlipInvariantDist(next, sdiff)
+				copy(sdiff, next)
+			}
+		})
 	}
 }
 
@@ -431,4 +478,63 @@ func BenchmarkEngineWarmVsCold(b *testing.B) {
 
 	b.Run("warm", func(b *testing.B) { run(b, false) })
 	b.Run("cold", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkEngineSnapshot quantifies the copy-on-write snapshot redesign:
+// under unchanged-matrix traffic the serving paths take O(1) views instead
+// of the O(mn) deep clone Rank used to pay per call. "view" vs "deep-clone"
+// is the snapshot mechanism itself; "rank-cached" and "infer-labels-cached"
+// are the full serving paths, whose bytes/op must stay O(m) — independent
+// of the matrix area.
+func BenchmarkEngineSnapshot(b *testing.B) {
+	cfg := irt.DefaultConfig(irt.ModelSamejima)
+	cfg.Users, cfg.Items, cfg.Seed = 2000, 300, 42
+	d, err := irt.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	eng, err := NewEngine(d.Responses)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Rank(ctx); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.InferLabels(ctx); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("view", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if m, _ := eng.View(); m == nil {
+				b.Fatal("nil view")
+			}
+		}
+	})
+	b.Run("deep-clone", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if m := eng.Snapshot(); m == nil {
+				b.Fatal("nil snapshot")
+			}
+		}
+	})
+	b.Run("rank-cached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Rank(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("infer-labels-cached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.InferLabels(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -1,0 +1,108 @@
+// Command bench2json converts the plain-text output of `go test -bench`
+// into a machine-readable JSON document, so benchmark runs can be archived
+// and diffed across PRs (see the `bench` Make target, which emits
+// BENCH_pr2.json as the repository's performance-trajectory baseline).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | bench2json > BENCH.json
+//
+// Each benchmark line becomes one record holding the benchmark name, the
+// GOMAXPROCS suffix, the iteration count, and every reported metric
+// (ns/op, B/op, allocs/op, and any custom b.ReportMetric units) keyed by
+// unit. Header lines (goos/goarch/pkg/cpu) are captured as run metadata.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark measurement.
+type Record struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole converted run.
+type Report struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+func main() {
+	report := Report{Benchmarks: []Record{}}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			report.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			report.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			report.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if rec, ok := parseBenchLine(line); ok {
+				rec.Package = pkg
+				report.Benchmarks = append(report.Benchmarks, rec)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one benchmark result line:
+//
+//	BenchmarkName/sub-8   123   456.7 ns/op   89 B/op   2 allocs/op
+//
+// Fields after the iteration count come in (value, unit) pairs.
+func parseBenchLine(line string) (Record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Record{}, false
+	}
+	name := fields[0]
+	procs := 1
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = p
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	rec := Record{Name: name, Procs: procs, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		rec.Metrics[fields[i+1]] = v
+	}
+	return rec, len(rec.Metrics) > 0
+}

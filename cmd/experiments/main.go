@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [-reps 3] [-seed 1] [-full] [-csv DIR] <subcommand>
+//	experiments [-reps 3] [-seed 1] [-full] [-csv DIR] [-parallel 0] <subcommand>
 //
 // Subcommands:
 //
@@ -41,6 +41,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"hitsndiffs"
 	"hitsndiffs/internal/experiments"
 	"hitsndiffs/internal/irt"
 )
@@ -58,7 +59,9 @@ func main() {
 	full := flag.Bool("full", false, "run full-size sweeps (slow; default is the quick variant)")
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-run timeout for scalability sweeps")
+	parallel := flag.Int("parallel", 0, "worker goroutines per sparse kernel for every method (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+	hitsndiffs.SetParallelism(*parallel)
 
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <subcommand> (see -h)")

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	hnd [-method HnD-power] [-scores] [-tol 1e-5] [-maxiter 20000] [-timeout 0] file.csv
+//	hnd [-method HnD-power] [-scores] [-tol 1e-5] [-maxiter 20000] [-timeout 0] [-parallel 0] file.csv
 //
 // The input format is the one produced by datagen and
 // (*ResponseMatrix).WriteCSV: a header row with each item's option count,
@@ -12,6 +12,8 @@
 // Methods are resolved through the hitsndiffs registry; -list prints every
 // registered method with its applicability constraints. A -timeout bounds
 // the solve via context deadline, and Ctrl-C cancels it mid-iteration.
+// -parallel caps the worker goroutines of the sparse kernels (0 =
+// GOMAXPROCS, 1 = serial).
 package main
 
 import (
@@ -34,6 +36,7 @@ func main() {
 	maxIter := flag.Int("maxiter", 20000, "iteration budget for iterative methods")
 	seed := flag.Int64("seed", 0, "random seed for the spectral starting vector")
 	timeout := flag.Duration("timeout", 0, "abort the solve after this long (0 = no deadline)")
+	parallel := flag.Int("parallel", 0, "worker goroutines per sparse kernel (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	if *list {
@@ -59,6 +62,7 @@ func main() {
 		hitsndiffs.WithTol(*tol),
 		hitsndiffs.WithMaxIter(*maxIter),
 		hitsndiffs.WithSeed(*seed),
+		hitsndiffs.WithParallelism(*parallel),
 	)
 	if err != nil {
 		fatal(err)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"hitsndiffs/internal/truth"
 )
@@ -15,9 +16,11 @@ import (
 // Three properties make it cheap to sit behind heavy traffic:
 //
 //   - Readers and writers share an RWMutex, and ranking never holds the
-//     lock: Rank snapshots the matrix (O(mn) copy), releases the lock, and
-//     iterates on the snapshot, so Observe is never blocked by a long
-//     spectral solve.
+//     lock or copies the matrix: Rank takes a copy-on-write snapshot (O(1))
+//     and iterates on that immutable view, so Observe is never blocked by a
+//     long spectral solve and Rank never pays an O(mn) clone. The first
+//     Observe after a snapshot was taken clones the matrix once before
+//     writing; versions nobody snapshotted are mutated in place.
 //   - Results are cached keyed by a matrix version counter that every
 //     Observe bumps; repeated Rank calls between updates are O(m).
 //   - Re-ranks warm-start the power iteration from the previous score
@@ -30,8 +33,13 @@ type Engine struct {
 	base   []Option
 	warm   bool
 
-	mu         sync.RWMutex
+	mu sync.RWMutex
+	// m is the current matrix. It is mutated in place only while shared is
+	// false; once a reader has taken it as a snapshot (shared true), the
+	// next write clones it first and the old pointer stays immutable
+	// forever — the copy-on-write discipline behind O(1) snapshots.
 	m          *ResponseMatrix
+	shared     atomic.Bool
 	version    uint64
 	lastScores []float64
 	cached     *engineCache
@@ -124,11 +132,26 @@ func (e *Engine) Version() uint64 {
 // Method returns the name of the registered method the engine serves.
 func (e *Engine) Method() string { return e.method }
 
-// Snapshot returns a deep copy of the current response matrix.
+// Snapshot returns a deep copy of the current response matrix that the
+// caller may freely mutate. Serving paths that only read should prefer
+// View, which is O(1).
 func (e *Engine) Snapshot() *ResponseMatrix {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.m.Clone()
+}
+
+// View returns the current response matrix as a copy-on-write snapshot in
+// O(1), together with the version it corresponds to. The returned matrix is
+// immutable by contract: the engine clones its internal state before the
+// next write, so the view stays consistent forever, but callers must not
+// mutate it. It is the zero-copy read path behind Rank and InferLabels.
+func (e *Engine) View() (*ResponseMatrix, uint64) {
+	e.mu.RLock()
+	m, version := e.m, e.version
+	e.shared.Store(true)
+	e.mu.RUnlock()
+	return m, version
 }
 
 // Observation is one (user, item, option) response for ObserveBatch.
@@ -165,6 +188,13 @@ func (e *Engine) ObserveBatch(obs []Observation) error {
 				o.Option, o.Item, e.m.OptionCount(o.Item))
 		}
 	}
+	// Copy-on-write: if any reader holds the current matrix as a snapshot,
+	// detach from it once before mutating. Back-to-back Observes without an
+	// intervening snapshot keep writing in place.
+	if e.shared.Load() {
+		e.m = e.m.Clone()
+		e.shared.Store(false)
+	}
 	for _, o := range obs {
 		e.m.SetAnswer(o.User, o.Item, o.Option)
 	}
@@ -185,9 +215,10 @@ func (e *Engine) Rank(ctx context.Context) (Result, error) {
 
 // rank is the shared solve path behind Rank and InferLabels. It returns
 // the result (with caller-owned scores), the matrix version the scores
-// correspond to, and — when needSnapshot is set — the exact snapshot they
-// were computed from, so label inference never mixes scores of one
-// version with responses of another.
+// correspond to, and — when needSnapshot is set — the exact copy-on-write
+// view they were computed from, so label inference never mixes scores of
+// one version with responses of another. No path through rank copies the
+// matrix: snapshots are O(1) COW views.
 func (e *Engine) rank(ctx context.Context, needSnapshot bool) (Result, uint64, *ResponseMatrix, error) {
 	e.mu.RLock()
 	if c := e.cached; c != nil && c.version == e.version {
@@ -195,14 +226,16 @@ func (e *Engine) rank(ctx context.Context, needSnapshot bool) (Result, uint64, *
 		res.Scores = append([]float64(nil), c.res.Scores...)
 		var snapshot *ResponseMatrix
 		if needSnapshot {
-			snapshot = e.m.Clone()
+			snapshot = e.m
+			e.shared.Store(true)
 		}
 		version := c.version
 		e.mu.RUnlock()
 		return res, version, snapshot, nil
 	}
 	version := e.version
-	snapshot := e.m.Clone()
+	snapshot := e.m
+	e.shared.Store(true)
 	var warmScores []float64
 	if e.warm && len(e.lastScores) == snapshot.Users() {
 		warmScores = e.lastScores // copied by WithWarmStart below

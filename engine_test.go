@@ -325,3 +325,82 @@ func TestEngineConcurrentObserveAndRank(t *testing.T) {
 		t.Fatalf("final scores length %d", len(res.Scores))
 	}
 }
+
+// TestEngineViewCopyOnWrite pins the snapshot semantics: a View is O(1),
+// stays frozen at its version while Observes land, and back-to-back
+// Observes without an intervening snapshot mutate in place (no clone).
+func TestEngineViewCopyOnWrite(t *testing.T) {
+	m := engineWorkload(t, 30, 20, 9)
+	eng, err := NewEngine(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, version := eng.View()
+	if version != 0 {
+		t.Fatalf("fresh engine version = %d", version)
+	}
+	before := view.Answer(1, 1)
+	next := (before + 1 + view.OptionCount(1)) % view.OptionCount(1)
+	if err := eng.Observe(1, 1, next); err != nil {
+		t.Fatal(err)
+	}
+	if got := view.Answer(1, 1); got != before {
+		t.Fatalf("view mutated by Observe: answer %d -> %d", before, got)
+	}
+	view2, version2 := eng.View()
+	if version2 != 1 {
+		t.Fatalf("version after Observe = %d, want 1", version2)
+	}
+	if view2 == view {
+		t.Fatal("post-Observe view aliases the frozen snapshot")
+	}
+	if got := view2.Answer(1, 1); got != next {
+		t.Fatalf("new view answer = %d, want %d", got, next)
+	}
+	// Retracting and re-answering without an intervening View writes in
+	// place; the engine state must still reflect every Observe.
+	if err := eng.Observe(2, 2, Unanswered); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Observe(3, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := eng.View(); got.Answer(2, 2) != Unanswered || got.Answer(3, 3) != 0 {
+		t.Fatal("in-place Observes lost")
+	}
+	if view2.Answer(2, 2) == Unanswered && m.Answer(2, 2) != Unanswered {
+		t.Fatal("frozen view2 mutated by post-snapshot Observe")
+	}
+}
+
+// TestEngineRankDoesNotCloneMatrix asserts the serving guarantee behind
+// BenchmarkEngineSnapshot: ranking traffic on an unchanged matrix performs
+// no O(mn) matrix copies — scores aside, per-call allocations stay flat as
+// the matrix grows.
+func TestEngineRankDoesNotCloneMatrix(t *testing.T) {
+	ctx := context.Background()
+	perCall := func(users, items int) float64 {
+		eng, err := NewEngine(engineWorkload(t, users, items, 11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Rank(ctx); err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(20, func() {
+			if _, err := eng.Rank(ctx); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.InferLabels(ctx); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small := perCall(40, 30)
+	large := perCall(160, 120)
+	// A per-call matrix clone would scale allocations with users×items;
+	// cached serving should stay within a small constant of the small case.
+	if large > 4*small+8 {
+		t.Fatalf("cached Rank+InferLabels allocations grew with matrix size: %v -> %v", small, large)
+	}
+}

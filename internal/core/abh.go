@@ -31,7 +31,7 @@ func (a ABHPower) Rank(ctx context.Context, m *response.Matrix) (Result, error) 
 	}
 	opts := a.Opts
 	opts.defaults()
-	u := NewUpdate(m)
+	u := opts.newUpdate(m)
 	users := u.Users()
 	if users == 2 {
 		return orient(mat.Vector{0, 1}, m, opts, Result{Converged: true}), nil
@@ -44,6 +44,9 @@ func (a ABHPower) Rank(ctx context.Context, m *response.Matrix) (Result, error) 
 
 	sdiff := initialDiff(users, opts, 211)
 
+	// Preallocated buffers + owned workspace: the loop body allocates
+	// nothing.
+	ws := u.NewWorkspace()
 	s := mat.NewVector(users)
 	ls := mat.NewVector(users)
 	next := mat.NewVector(users - 1)
@@ -52,12 +55,10 @@ func (a ABHPower) Rank(ctx context.Context, m *response.Matrix) (Result, error) 
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
-		mat.CumSumShift(s, sdiff) // s ← T·s_diff
-		u.ApplyL(ls, s, d)        // s ← D·s − C·(Cᵀ·s) = L·s
-		mat.Diff(next, ls)        // S·(L·s)
-		for i := range next {
-			next[i] = beta*sdiff[i] - next[i] // (β·I − M)·s_diff
-		}
+		mat.CumSumShift(s, sdiff)              // s ← T·s_diff
+		ws.ApplyL(ls, s, d)                    // s ← D·s − C·(Cᵀ·s) = L·s (fused)
+		mat.Diff(next, ls)                     // S·(L·s)
+		mat.AXPBY(next, beta, sdiff, -1, next) // (β·I − M)·s_diff
 		if next.Normalize() == 0 {
 			res.Iterations = it
 			res.Converged = true
@@ -98,14 +99,15 @@ func (a ABHLanczos) Rank(ctx context.Context, m *response.Matrix) (Result, error
 	}
 	opts := a.Opts
 	opts.defaults()
-	u := NewUpdate(m)
+	u := opts.newUpdate(m)
 	users := u.Users()
 	if users == 2 {
 		return orient(mat.Vector{0, 1}, m, opts, Result{Converged: true}), nil
 	}
 	d := u.DiagCCT()
+	ws := u.NewWorkspace()
 	op := eigen.FuncOp{N: users, F: func(dst, x mat.Vector) {
-		u.ApplyL(dst, x, d)
+		ws.ApplyL(dst, x, d)
 	}}
 	steps := a.MaxSteps
 	if steps <= 0 {
@@ -145,7 +147,7 @@ func (a ABHDirect) Rank(ctx context.Context, m *response.Matrix) (Result, error)
 	}
 	opts := a.Opts
 	opts.defaults()
-	u := NewUpdate(m)
+	u := opts.newUpdate(m)
 	l := u.LaplacianMatrix()
 	_, fiedler, err := eigen.FiedlerVector(ctx, l)
 	if err != nil {

@@ -17,7 +17,7 @@ func DiffEigenvector(ctx context.Context, m *response.Matrix, opts Options) (mat
 		return nil, 0, err
 	}
 	opts.defaults()
-	u := NewUpdate(m)
+	u := opts.newUpdate(m)
 	users := u.Users()
 	if users < 3 {
 		return mat.Ones(users - 1), 0, nil
@@ -28,6 +28,7 @@ func DiffEigenvector(ctx context.Context, m *response.Matrix, opts Options) (mat
 		sdiff[i] = rng.NormFloat64()
 	}
 	sdiff.Normalize()
+	ws := u.NewWorkspace()
 	s := mat.NewVector(users)
 	us := mat.NewVector(users)
 	next := mat.NewVector(users - 1)
@@ -37,7 +38,7 @@ func DiffEigenvector(ctx context.Context, m *response.Matrix, opts Options) (mat
 			return nil, iters, err
 		}
 		mat.CumSumShift(s, sdiff)
-		u.ApplyU(us, s)
+		ws.ApplyU(us, s)
 		mat.Diff(next, us)
 		if next.Normalize() == 0 {
 			return sdiff, it, nil
@@ -60,7 +61,7 @@ func ABHDiffEigenvector(ctx context.Context, m *response.Matrix, opts Options, b
 		return nil, 0, err
 	}
 	opts.defaults()
-	u := NewUpdate(m)
+	u := opts.newUpdate(m)
 	users := u.Users()
 	if users < 3 {
 		return mat.Ones(users - 1), 0, nil
@@ -75,6 +76,7 @@ func ABHDiffEigenvector(ctx context.Context, m *response.Matrix, opts Options, b
 		sdiff[i] = rng.NormFloat64()
 	}
 	sdiff.Normalize()
+	ws := u.NewWorkspace()
 	s := mat.NewVector(users)
 	ls := mat.NewVector(users)
 	next := mat.NewVector(users - 1)
@@ -84,11 +86,9 @@ func ABHDiffEigenvector(ctx context.Context, m *response.Matrix, opts Options, b
 			return nil, iters, err
 		}
 		mat.CumSumShift(s, sdiff)
-		u.ApplyL(ls, s, d)
+		ws.ApplyL(ls, s, d)
 		mat.Diff(next, ls)
-		for i := range next {
-			next[i] = beta*sdiff[i] - next[i]
-		}
+		mat.AXPBY(next, beta, sdiff, -1, next)
 		if next.Normalize() == 0 {
 			return sdiff, it, nil
 		}

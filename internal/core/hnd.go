@@ -49,7 +49,7 @@ func (h HNDPower) Rank(ctx context.Context, m *response.Matrix) (Result, error) 
 	}
 	opts := h.Opts
 	opts.defaults()
-	u := NewUpdate(m)
+	u := opts.newUpdate(m)
 	users := u.Users()
 	if users == 2 {
 		// U_diff is 1×1; any nonzero diff orders the two users. Defer to the
@@ -59,6 +59,9 @@ func (h HNDPower) Rank(ctx context.Context, m *response.Matrix) (Result, error) 
 
 	sdiff := initialDiff(users, opts, 101)
 
+	// All loop buffers are preallocated and the workspace is owned by this
+	// goroutine: the iteration body performs zero heap allocations.
+	ws := u.NewWorkspace()
 	s := mat.NewVector(users)
 	us := mat.NewVector(users)
 	next := mat.NewVector(users - 1)
@@ -68,7 +71,7 @@ func (h HNDPower) Rank(ctx context.Context, m *response.Matrix) (Result, error) 
 			return Result{}, err
 		}
 		mat.CumSumShift(s, sdiff) // s ← T·s_diff
-		u.ApplyU(us, s)           // w ← (C_col)ᵀ·s ; s ← C_row·w
+		ws.ApplyU(us, s)          // w ← (C_col)ᵀ·s ; s ← C_row·w
 		mat.Diff(next, us)        // s_diff ← S·s
 		if next.Normalize() == 0 {
 			// U_diff annihilated the iterate: no ranking signal remains
@@ -120,7 +123,7 @@ func (h HNDDirect) Rank(ctx context.Context, m *response.Matrix) (Result, error)
 	}
 	opts := h.Opts
 	opts.defaults()
-	u := NewUpdate(m)
+	u := opts.newUpdate(m)
 	um := u.UMatrix()
 	vec, err := SecondLargestEigenvectorDense(ctx, um, opts.Seed)
 	if err != nil {
@@ -150,8 +153,8 @@ func (h HNDDeflation) Rank(ctx context.Context, m *response.Matrix) (Result, err
 	}
 	opts := h.Opts
 	opts.defaults()
-	u := NewUpdate(m)
-	hr, err := eigen.SecondEigenvectorHotelling(ctx, UOp{U: u}, eigen.HotellingOptions{
+	u := opts.newUpdate(m)
+	hr, err := eigen.SecondEigenvectorHotelling(ctx, UOp{U: u, WS: u.NewWorkspace()}, eigen.HotellingOptions{
 		Power: eigen.PowerOptions{
 			Tol:     opts.Tol,
 			MaxIter: opts.MaxIter,
@@ -188,8 +191,8 @@ func (a AvgHITS) Rank(ctx context.Context, m *response.Matrix) (Result, error) {
 	}
 	opts := a.Opts
 	opts.defaults()
-	u := NewUpdate(m)
-	pr, err := eigen.PowerIteration(ctx, UOp{U: u}, eigen.PowerOptions{
+	u := opts.newUpdate(m)
+	pr, err := eigen.PowerIteration(ctx, UOp{U: u, WS: u.NewWorkspace()}, eigen.PowerOptions{
 		Tol:     opts.Tol,
 		MaxIter: opts.MaxIter,
 		Seed:    opts.Seed,

@@ -61,6 +61,18 @@ type Options struct {
 	// re-ranking a lightly perturbed matrix converge in a fraction of the
 	// cold-start iterations; methods without an iterate ignore it.
 	WarmStart mat.Vector
+	// Workers caps the goroutines the sparse kernels fan out to per apply:
+	// 1 forces the serial kernels, 0 (the default) tracks
+	// mat.DefaultWorkers() — GOMAXPROCS unless overridden process-wide.
+	Workers int
+}
+
+// newUpdate builds the AVGHITS update machinery for m with the option's
+// worker cap applied.
+func (o Options) newUpdate(m *response.Matrix) *Update {
+	u := NewUpdate(m)
+	u.SetWorkers(o.Workers)
+	return u
 }
 
 func (o *Options) defaults() {
@@ -167,12 +179,5 @@ func groupEntropy(m *response.Matrix, users []int) float64 {
 // convergenceGap returns the sign-insensitive L2 distance between two unit
 // vectors, the convergence measure used by all power-style iterations here.
 func convergenceGap(a, b mat.Vector) float64 {
-	var same, flip float64
-	for i := range a {
-		d := a[i] - b[i]
-		s := a[i] + b[i]
-		same += d * d
-		flip += s * s
-	}
-	return math.Sqrt(math.Min(same, flip))
+	return mat.FlipInvariantDist(a, b)
 }

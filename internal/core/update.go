@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"sync"
 
 	"hitsndiffs/internal/eigen"
 	"hitsndiffs/internal/mat"
@@ -12,53 +13,147 @@ import (
 // (Section III-B): C_row, C_col and matrix-free application of the update
 // matrix U = C_row·(C_col)ᵀ and of the ABH quantities derived from
 // L = D − C·Cᵀ. Building an Update costs O(nnz); every Apply costs O(nnz).
+//
+// An Update is immutable after construction and safe for concurrent
+// appliers: the ApplyU/ApplyUT/ApplyL convenience methods draw their scratch
+// space from an internal pool, and hot loops that want zero allocations and
+// no pool traffic own a Workspace (see NewWorkspace) instead.
 type Update struct {
 	// C is the binary one-hot response matrix (m × Σkᵢ).
 	C *mat.CSR
 	// Crow and Ccol are the row- and column-normalized forms of C.
 	Crow, Ccol *mat.CSR
-	// scratch holds an option-weight work vector (length Σkᵢ).
-	scratch mat.Vector
+
+	// workers caps the goroutines each sparse kernel may fan out to;
+	// 0 defers to mat.DefaultWorkers() at apply time.
+	workers int
+
+	// pool recycles Workspaces for the convenience Apply* methods so
+	// concurrent appliers never share scratch space.
+	pool sync.Pool
 }
 
 // NewUpdate precomputes the normalized matrices for m.
 func NewUpdate(m *response.Matrix) *Update {
 	c := m.Binary()
-	return &Update{
-		C:       c,
-		Crow:    c.RowNormalized(),
-		Ccol:    c.ColNormalized(),
-		scratch: mat.NewVector(c.Cols()),
+	u := &Update{
+		C:    c,
+		Crow: c.RowNormalized(),
+		Ccol: c.ColNormalized(),
 	}
+	u.pool.New = func() any { return u.NewWorkspace() }
+	return u
 }
+
+// SetWorkers caps the worker goroutines the sparse kernels fan out to: 1
+// forces the serial kernels, 0 (the default) defers to
+// mat.DefaultWorkers(). Call before sharing the Update across goroutines.
+func (u *Update) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	u.workers = n
+}
+
+// Workers reports the configured worker cap (0 = package default).
+func (u *Update) Workers() int { return u.workers }
 
 // Users returns the number of users (the dimension of U).
 func (u *Update) Users() int { return u.C.Rows() }
 
+// Workspace holds the scratch buffers one applier goroutine needs: the
+// option-weight vector (length Σkᵢ) plus the per-worker accumulators of the
+// parallel transpose kernel. A Workspace must not be shared by concurrent
+// appliers; a solver loop that owns one performs zero heap allocations per
+// iteration after warm-up.
+type Workspace struct {
+	u   *Update
+	opt mat.Vector
+	ts  mat.TScratch
+}
+
+// NewWorkspace returns a fresh workspace for applying u.
+func (u *Update) NewWorkspace() *Workspace {
+	return &Workspace{u: u, opt: mat.NewVector(u.C.Cols())}
+}
+
 // ApplyU computes dst = U·s = C_row·(C_col)ᵀ·s using two sparse mat-vec
 // products. dst must not alias s.
-func (u *Update) ApplyU(dst, s mat.Vector) {
-	u.Ccol.MulVecT(u.scratch, s)
-	u.Crow.MulVec(dst, u.scratch)
+func (w *Workspace) ApplyU(dst, s mat.Vector) {
+	w.u.Ccol.MulVecTPar(w.opt, s, w.u.workers, &w.ts)
+	w.u.Crow.MulVecPar(dst, w.opt, w.u.workers)
 }
 
 // ApplyUT computes dst = Uᵀ·s.
-func (u *Update) ApplyUT(dst, s mat.Vector) {
-	u.Crow.MulVecT(u.scratch, s)
-	u.Ccol.MulVec(dst, u.scratch)
+func (w *Workspace) ApplyUT(dst, s mat.Vector) {
+	w.u.Crow.MulVecTPar(w.opt, s, w.u.workers, &w.ts)
+	w.u.Ccol.MulVecPar(dst, w.opt, w.u.workers)
 }
 
-// UOp exposes U as an eigen.TransposableOp without materializing it.
-type UOp struct{ U *Update }
+// ApplyL computes dst = L·s = D·s − C·(Cᵀ·s) matrix-free. d must be the
+// vector returned by DiagCCT. The D·s − · correction is fused into the row
+// sweep of the second mat-vec, so the whole apply is two passes over the
+// non-zeros with no extra sweep over dst.
+func (w *Workspace) ApplyL(dst, s, d mat.Vector) {
+	w.u.C.MulVecTPar(w.opt, s, w.u.workers, &w.ts)
+	w.u.C.MulVecDiagSub(dst, w.opt, d, s, w.u.workers)
+}
+
+// acquire fetches a pooled workspace for the convenience appliers.
+func (u *Update) acquire() *Workspace { return u.pool.Get().(*Workspace) }
+
+// ApplyU computes dst = U·s like Workspace.ApplyU, drawing scratch space
+// from the internal pool so concurrent appliers of one Update are safe.
+func (u *Update) ApplyU(dst, s mat.Vector) {
+	w := u.acquire()
+	w.ApplyU(dst, s)
+	u.pool.Put(w)
+}
+
+// ApplyUT computes dst = Uᵀ·s; see ApplyU for the concurrency contract.
+func (u *Update) ApplyUT(dst, s mat.Vector) {
+	w := u.acquire()
+	w.ApplyUT(dst, s)
+	u.pool.Put(w)
+}
+
+// ApplyL computes dst = L·s = D·s − C·(Cᵀ·s) matrix-free; see ApplyU for
+// the concurrency contract. d must be the vector returned by DiagCCT.
+func (u *Update) ApplyL(dst, s, d mat.Vector) {
+	w := u.acquire()
+	w.ApplyL(dst, s, d)
+	u.pool.Put(w)
+}
+
+// UOp exposes U as an eigen.TransposableOp without materializing it. When
+// WS is set the applications run through that workspace (single-goroutine
+// solvers: zero allocations per apply); when nil they fall back to the
+// Update's pooled scratch.
+type UOp struct {
+	U  *Update
+	WS *Workspace
+}
 
 // Dim implements eigen.Op.
 func (o UOp) Dim() int { return o.U.Users() }
 
 // Apply implements eigen.Op.
-func (o UOp) Apply(dst, x mat.Vector) { o.U.ApplyU(dst, x) }
+func (o UOp) Apply(dst, x mat.Vector) {
+	if o.WS != nil {
+		o.WS.ApplyU(dst, x)
+		return
+	}
+	o.U.ApplyU(dst, x)
+}
 
 // ApplyT implements eigen.TransposableOp.
-func (o UOp) ApplyT(dst, x mat.Vector) { o.U.ApplyUT(dst, x) }
+func (o UOp) ApplyT(dst, x mat.Vector) {
+	if o.WS != nil {
+		o.WS.ApplyUT(dst, x)
+		return
+	}
+	o.U.ApplyUT(dst, x)
+}
 
 // UMatrix materializes the dense (m × m) update matrix U. O(m²n) — used by
 // the "direct" method variants and by tests of the R-matrix lemmas.
@@ -89,16 +184,6 @@ func (u *Update) DiagCCT() mat.Vector {
 	d := mat.NewVector(u.Users())
 	u.C.MulVec(d, colSums)
 	return d
-}
-
-// ApplyL computes dst = L·s = D·s − C·(Cᵀ·s) matrix-free. d must be the
-// vector returned by DiagCCT.
-func (u *Update) ApplyL(dst, s, d mat.Vector) {
-	u.C.MulVecT(u.scratch, s)
-	u.C.MulVec(dst, u.scratch)
-	for i := range dst {
-		dst[i] = d[i]*s[i] - dst[i]
-	}
 }
 
 // LaplacianMatrix materializes the dense Laplacian L = D − C·Cᵀ (O(m²n)),

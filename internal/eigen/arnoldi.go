@@ -27,6 +27,10 @@ type ArnoldiOptions struct {
 	MaxSteps int
 	// Seed seeds the random start vector.
 	Seed int64
+	// Work recycles the iteration buffers across solves; nil draws from a
+	// package-internal pool. The orthonormal basis itself escapes in the
+	// result and is always freshly allocated.
+	Work *Workspace
 }
 
 // Arnoldi builds an orthonormal Krylov basis for the (possibly asymmetric)
@@ -39,17 +43,23 @@ func Arnoldi(ctx context.Context, a Op, opts ArnoldiOptions) (ArnoldiResult, err
 		steps = n
 	}
 	rng := rand.New(rand.NewSource(opts.Seed + 29))
+	ws, release := borrow(opts.Work)
+	defer release()
 
 	basis := make([]mat.Vector, 0, steps)
 	// h[i][j] entries collected densely afterwards; store columns as we go.
 	hcols := make([][]float64, 0, steps)
 
-	v := mat.NewVector(n)
+	v := ws.get(n)
 	for i := range v {
 		v[i] = rng.NormFloat64()
 	}
 	v.Normalize()
-	w := mat.NewVector(n)
+	w := ws.get(n)
+	defer func() {
+		ws.put(v)
+		ws.put(w)
+	}()
 
 	for j := 0; j < steps; j++ {
 		if err := ctx.Err(); err != nil {
@@ -77,15 +87,17 @@ func Arnoldi(ctx context.Context, a Op, opts ArnoldiOptions) (ArnoldiResult, err
 			if j+1 >= steps {
 				break
 			}
-			restart := mat.NewVector(n)
+			restart := ws.get(n)
 			for i := range restart {
 				restart[i] = rng.NormFloat64()
 			}
 			orthogonalize(restart, basis)
 			if restart.Normalize() == 0 {
+				ws.put(restart)
 				break
 			}
 			copy(v, restart)
+			ws.put(restart)
 			continue
 		}
 		w.Scale(1 / hj1)

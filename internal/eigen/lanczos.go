@@ -17,6 +17,9 @@ type LanczosOptions struct {
 	Tol float64
 	// Seed seeds the random start vector.
 	Seed int64
+	// Work recycles the Krylov basis and iteration buffers across solves;
+	// nil draws from a package-internal pool.
+	Work *Workspace
 }
 
 // LanczosResult is the tridiagonal (Ritz) decomposition produced by Lanczos.
@@ -45,23 +48,36 @@ func Lanczos(ctx context.Context, a Op, opts LanczosOptions) (LanczosResult, err
 		opts.Tol = 1e-8
 	}
 	rng := rand.New(rand.NewSource(opts.Seed + 11))
+	ws, release := borrow(opts.Work)
+	defer release()
 
 	basis := make([]mat.Vector, 0, steps)
 	alpha := make([]float64, 0, steps)
 	beta := make([]float64, 0, steps) // beta[i] couples basis[i] and basis[i+1]
 
-	v := mat.NewVector(n)
+	v := ws.get(n)
 	for i := range v {
 		v[i] = rng.NormFloat64()
 	}
 	v.Normalize()
-	w := mat.NewVector(n)
+	w := ws.get(n)
+	// The Krylov basis lives in the workspace; only the Ritz vectors built
+	// at the end escape to the caller.
+	defer func() {
+		for _, b := range basis {
+			ws.put(b)
+		}
+		ws.put(v)
+		ws.put(w)
+	}()
 
 	for j := 0; j < steps; j++ {
 		if err := ctx.Err(); err != nil {
 			return LanczosResult{}, err
 		}
-		basis = append(basis, v.Clone())
+		bv := ws.get(n)
+		copy(bv, v)
+		basis = append(basis, bv)
 		a.Apply(w, v)
 		aj := w.Dot(v)
 		alpha = append(alpha, aj)
@@ -78,16 +94,18 @@ func Lanczos(ctx context.Context, a Op, opts LanczosOptions) (LanczosResult, err
 			if j+1 >= steps {
 				break
 			}
-			restart := mat.NewVector(n)
+			restart := ws.get(n)
 			for i := range restart {
 				restart[i] = rng.NormFloat64()
 			}
 			orthogonalize(restart, basis)
 			if restart.Normalize() == 0 {
+				ws.put(restart)
 				break
 			}
 			beta = append(beta, 0)
 			copy(v, restart)
+			ws.put(restart)
 			continue
 		}
 		beta = append(beta, bj)

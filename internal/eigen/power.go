@@ -3,7 +3,6 @@ package eigen
 import (
 	"context"
 	"errors"
-	"math"
 	"math/rand"
 
 	"hitsndiffs/internal/mat"
@@ -31,6 +30,11 @@ type PowerOptions struct {
 	// eigenvectors are known a priori, such as the all-ones dominant
 	// eigenvector of a row-stochastic matrix.
 	OrthogonalizeAgainst []mat.Vector
+	// Work recycles the iteration buffers across solves. Nil draws from a
+	// package-internal pool, which already makes repeated solves
+	// allocation-free once warm; set it to share buffers deterministically
+	// within one goroutine.
+	Work *Workspace
 }
 
 func (o *PowerOptions) defaults() {
@@ -63,15 +67,24 @@ type PowerResult struct {
 func PowerIteration(ctx context.Context, a Op, opts PowerOptions) (PowerResult, error) {
 	opts.defaults()
 	n := a.Dim()
-	v := opts.Start
-	if v == nil {
+	ws, release := borrow(opts.Work)
+	defer release()
+	v := ws.get(n)
+	next := ws.get(n)
+	defer func() {
+		ws.put(v)
+		ws.put(next)
+	}()
+	if opts.Start == nil {
 		rng := rand.New(rand.NewSource(opts.Seed + 1))
-		v = mat.NewVector(n)
 		for i := range v {
 			v[i] = rng.NormFloat64()
 		}
 	} else {
-		v = v.Clone()
+		if len(opts.Start) != n {
+			panic("eigen: PowerIteration start vector length mismatch")
+		}
+		copy(v, opts.Start)
 	}
 	orthogonalize(v, opts.OrthogonalizeAgainst)
 	if v.Normalize() == 0 {
@@ -82,10 +95,14 @@ func PowerIteration(ctx context.Context, a Op, opts PowerOptions) (PowerResult, 
 		v.Normalize()
 	}
 
-	next := mat.NewVector(n)
-	res := PowerResult{Vector: v}
+	// The loop body performs no heap allocations: both iterates live in the
+	// workspace and the convergence measure is a single fused pass. The
+	// result vector is cloned out on every return path, so workspace
+	// buffers never escape.
+	res := PowerResult{}
 	for it := 1; it <= opts.MaxIter; it++ {
 		if err := ctx.Err(); err != nil {
+			res.Vector = v.Clone()
 			return res, err
 		}
 		a.Apply(next, v)
@@ -94,19 +111,22 @@ func PowerIteration(ctx context.Context, a Op, opts PowerOptions) (PowerResult, 
 		if next.Normalize() == 0 {
 			// v is (numerically) in the null space of the deflated operator.
 			res.Value, res.Iterations, res.Converged = 0, it, true
+			res.Vector = v.Clone()
 			return res, nil
 		}
 		// Measure the change allowing for a sign flip (negative dominant
 		// eigenvalues alternate sign each iteration).
-		diff := math.Min(dist(next, v), distNeg(next, v))
+		diff := mat.FlipInvariantDist(next, v)
 		copy(v, next)
 		res.Value = lambda
 		res.Iterations = it
 		if diff < opts.Tol {
 			res.Converged = true
+			res.Vector = v.Clone()
 			return res, nil
 		}
 	}
+	res.Vector = v.Clone()
 	return res, ErrNoConvergence
 }
 
@@ -117,22 +137,4 @@ func orthogonalize(v mat.Vector, basis []mat.Vector) {
 			v.AddScaled(-v.Dot(b), b)
 		}
 	}
-}
-
-func dist(a, b mat.Vector) float64 {
-	var s float64
-	for i := range a {
-		d := a[i] - b[i]
-		s += d * d
-	}
-	return math.Sqrt(s)
-}
-
-func distNeg(a, b mat.Vector) float64 {
-	var s float64
-	for i := range a {
-		d := a[i] + b[i]
-		s += d * d
-	}
-	return math.Sqrt(s)
 }

@@ -1,0 +1,61 @@
+package eigen
+
+import (
+	"sync"
+
+	"hitsndiffs/internal/mat"
+)
+
+// Workspace recycles the iteration buffers of the solvers in this package
+// (power iterates, Krylov basis vectors, restart vectors) across solves, so
+// repeated solves — Engine re-ranks, experiment sweeps — stop allocating
+// once warm. Buffers are keyed by length and handed out with undefined
+// contents; result vectors returned to callers are always freshly
+// allocated, never workspace-owned.
+//
+// A Workspace is not safe for concurrent use: give each solving goroutine
+// its own, or leave the options' Work field nil to draw from an internal
+// sync.Pool that is.
+type Workspace struct {
+	free map[int][]mat.Vector
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace {
+	return &Workspace{free: make(map[int][]mat.Vector)}
+}
+
+// get hands out a vector of length n, recycled when one is available.
+func (w *Workspace) get(n int) mat.Vector {
+	if w != nil {
+		if vs := w.free[n]; len(vs) > 0 {
+			v := vs[len(vs)-1]
+			w.free[n] = vs[:len(vs)-1]
+			return v
+		}
+	}
+	return mat.NewVector(n)
+}
+
+// put returns a buffer for reuse. Safe to call with nil receiver or vector.
+func (w *Workspace) put(v mat.Vector) {
+	if w == nil || v == nil {
+		return
+	}
+	w.free[len(v)] = append(w.free[len(v)], v)
+}
+
+// wsPool backs solves whose options carry no explicit Workspace, making
+// buffer reuse across repeated solves the default while staying safe for
+// concurrent solvers.
+var wsPool = sync.Pool{New: func() any { return NewWorkspace() }}
+
+// borrow resolves the workspace a solve should use: the caller's when set,
+// otherwise one from the package pool, handed back by release.
+func borrow(w *Workspace) (ws *Workspace, release func()) {
+	if w != nil {
+		return w, func() {}
+	}
+	pw := wsPool.Get().(*Workspace)
+	return pw, func() { wsPool.Put(pw) }
+}

@@ -1,0 +1,99 @@
+package eigen
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"hitsndiffs/internal/mat"
+)
+
+// workspaceTestOp is a small symmetric operator with a clear dominant pair.
+func workspaceTestOp() DenseOp {
+	n := 40
+	m := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, float64(i+1))
+		if i+1 < n {
+			m.Set(i, i+1, 0.5)
+			m.Set(i+1, i, 0.5)
+		}
+	}
+	return DenseOp{M: m}
+}
+
+// TestPowerIterationWorkspaceReuse asserts that repeated solves through one
+// Workspace return results identical to fresh solves, and that the returned
+// vectors are caller-owned (mutating one does not perturb the next solve).
+func TestPowerIterationWorkspaceReuse(t *testing.T) {
+	op := workspaceTestOp()
+	fresh, err := PowerIteration(context.Background(), op, PowerOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace()
+	var prev mat.Vector
+	for round := 0; round < 3; round++ {
+		res, err := PowerIteration(context.Background(), op, PowerOptions{Seed: 3, Work: ws})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Value-fresh.Value) > 1e-12 {
+			t.Fatalf("round %d: value %g, fresh %g", round, res.Value, fresh.Value)
+		}
+		if !res.Vector.Equal(fresh.Vector, 1e-12) {
+			t.Fatalf("round %d: vector drifted from fresh solve", round)
+		}
+		if prev != nil && &prev[0] == &res.Vector[0] {
+			t.Fatalf("round %d: result vector aliases previous result", round)
+		}
+		prev = res.Vector
+		res.Vector.Fill(math.NaN()) // must not poison the next solve
+	}
+}
+
+// TestLanczosWorkspaceReuse asserts Lanczos through a shared Workspace
+// reproduces the fresh-solve Ritz values and keeps result vectors detached
+// from the recycled Krylov basis.
+func TestLanczosWorkspaceReuse(t *testing.T) {
+	op := workspaceTestOp()
+	fresh, err := Lanczos(context.Background(), op, LanczosOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace()
+	for round := 0; round < 3; round++ {
+		res, err := Lanczos(context.Background(), op, LanczosOptions{Seed: 5, Work: ws})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Values.Equal(fresh.Values, 1e-9) {
+			t.Fatalf("round %d: Ritz values drifted", round)
+		}
+		for _, v := range res.Vectors {
+			v.Fill(math.NaN()) // detached from workspace: next round unaffected
+		}
+	}
+}
+
+// TestPowerIterationLoopAllocs asserts the power-iteration inner loop is
+// allocation-free once the workspace is warm: with a warmed Workspace the
+// only allocation per solve is the cloned-out result vector.
+func TestPowerIterationLoopAllocs(t *testing.T) {
+	op := workspaceTestOp()
+	ws := NewWorkspace()
+	opts := PowerOptions{Seed: 3, Work: ws}
+	if _, err := PowerIteration(context.Background(), op, opts); err != nil {
+		t.Fatal(err) // warm-up
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := PowerIteration(context.Background(), op, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One result-vector clone per solve; the iterations themselves are
+	// allocation-free regardless of iteration count.
+	if allocs > 2 {
+		t.Fatalf("PowerIteration allocates %.0f objects per warm solve, want ≤ 2", allocs)
+	}
+}

@@ -23,40 +23,134 @@ type Coord struct {
 
 // NewCSR assembles a rows×cols CSR matrix from coordinate triplets.
 // Duplicate coordinates are summed. Entries equal to zero are kept out.
+//
+// Assembly is O(nnz + rows + cols): input already sorted by (row, col) —
+// the common case, produced by every one-hot response encoding — is merged
+// in a single pass with no sort at all, and unsorted input goes through two
+// stable counting-sort passes (by column, then by row) instead of an
+// O(nnz log nnz) comparison sort (see BenchmarkNewCSRAssembly).
 func NewCSR(rows, cols int, entries []Coord) *CSR {
 	if rows <= 0 || cols <= 0 {
 		panic(fmt.Sprintf("mat: NewCSR invalid shape %dx%d", rows, cols))
 	}
-	sorted := make([]Coord, 0, len(entries))
+	nnz := 0
+	inOrder := true
+	prevRow, prevCol := -1, -1
 	for _, e := range entries {
 		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
 			panic(fmt.Sprintf("mat: NewCSR entry (%d,%d) outside %dx%d", e.Row, e.Col, rows, cols))
 		}
 		if e.Val != 0 {
-			sorted = append(sorted, e)
+			if e.Row < prevRow || (e.Row == prevRow && e.Col < prevCol) {
+				inOrder = false
+			}
+			prevRow, prevCol = e.Row, e.Col
+			nnz++
 		}
 	}
-	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].Row != sorted[j].Row {
-			return sorted[i].Row < sorted[j].Row
-		}
-		return sorted[i].Col < sorted[j].Col
-	})
 	m := &CSR{rows: rows, cols: cols, rowPtr: make([]int, rows+1)}
-	for i := 0; i < len(sorted); {
-		j := i + 1
-		v := sorted[i].Val
-		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
-			v += sorted[j].Val
-			j++
+	if nnz == 0 {
+		return m
+	}
+	if inOrder {
+		// Fast path: merge duplicate runs straight off the sorted input.
+		colIdx := make([]int, 0, nnz)
+		val := make([]float64, 0, nnz)
+		for i := 0; i < len(entries); {
+			e := entries[i]
+			if e.Val == 0 {
+				i++
+				continue
+			}
+			v := e.Val
+			j := i + 1
+			for j < len(entries) &&
+				(entries[j].Val == 0 || (entries[j].Row == e.Row && entries[j].Col == e.Col)) {
+				v += entries[j].Val
+				j++
+			}
+			if v != 0 {
+				colIdx = append(colIdx, e.Col)
+				val = append(val, v)
+				m.rowPtr[e.Row+1]++
+			}
+			i = j
+		}
+		m.colIdx = colIdx
+		m.val = val
+		for r := 0; r < rows; r++ {
+			m.rowPtr[r+1] += m.rowPtr[r]
+		}
+		return m
+	}
+
+	// Pass 1: stable counting sort by column into scratch triplet arrays.
+	colStart := make([]int, cols+1)
+	for _, e := range entries {
+		if e.Val != 0 {
+			colStart[e.Col+1]++
+		}
+	}
+	for c := 0; c < cols; c++ {
+		colStart[c+1] += colStart[c]
+	}
+	byColRow := make([]int, nnz)
+	byColCol := make([]int, nnz)
+	byColVal := make([]float64, nnz)
+	for _, e := range entries {
+		if e.Val == 0 {
+			continue
+		}
+		at := colStart[e.Col]
+		colStart[e.Col]++
+		byColRow[at] = e.Row
+		byColCol[at] = e.Col
+		byColVal[at] = e.Val
+	}
+
+	// Pass 2: stable counting sort by row. Stability preserves the column
+	// order within each row, so the output is sorted by (row, col).
+	rowStart := make([]int, rows+1)
+	for _, r := range byColRow {
+		rowStart[r+1]++
+	}
+	for r := 0; r < rows; r++ {
+		rowStart[r+1] += rowStart[r]
+	}
+	colIdx := make([]int, nnz)
+	val := make([]float64, nnz)
+	for p, r := range byColRow {
+		at := rowStart[r]
+		rowStart[r]++
+		colIdx[at] = byColCol[p]
+		val[at] = byColVal[p]
+	}
+	// rowStart[r] now holds the end of row r; recover the row of each run
+	// from it while merging duplicates in place below.
+
+	// Merge duplicate (row, col) runs, dropping entries that sum to zero.
+	out := 0
+	row := 0
+	for p := 0; p < nnz; {
+		for rowStart[row] <= p {
+			row++
+		}
+		q := p + 1
+		v := val[p]
+		for q < rowStart[row] && colIdx[q] == colIdx[p] {
+			v += val[q]
+			q++
 		}
 		if v != 0 {
-			m.colIdx = append(m.colIdx, sorted[i].Col)
-			m.val = append(m.val, v)
-			m.rowPtr[sorted[i].Row+1]++
+			colIdx[out] = colIdx[p]
+			val[out] = v
+			out++
+			m.rowPtr[row+1]++
 		}
-		i = j
+		p = q
 	}
+	m.colIdx = colIdx[:out]
+	m.val = val[:out]
 	for r := 0; r < rows; r++ {
 		m.rowPtr[r+1] += m.rowPtr[r]
 	}
@@ -113,18 +207,14 @@ func (m *CSR) Clone() *CSR {
 	return out
 }
 
-// MulVec computes dst = m·x. dst must not alias x.
+// MulVec computes dst = m·x. dst must not alias x. It shares its row loop
+// with MulVecPar, which is what keeps the serial and parallel kernels
+// bitwise identical.
 func (m *CSR) MulVec(dst, x Vector) Vector {
 	if len(x) != m.cols || len(dst) != m.rows {
 		panic(fmt.Sprintf("mat: CSR MulVec shape mismatch (%dx%d)·%d -> %d", m.rows, m.cols, len(x), len(dst)))
 	}
-	for i := 0; i < m.rows; i++ {
-		var s float64
-		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
-			s += m.val[p] * x[m.colIdx[p]]
-		}
-		dst[i] = s
-	}
+	m.mulVecRange(dst, x, 0, m.rows)
 	return dst
 }
 

@@ -1,0 +1,223 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomCSR builds a random rows×cols CSR with roughly density·rows·cols
+// non-zeros, together with the dense coordinate list it was assembled from.
+func randomCSR(rng *rand.Rand, rows, cols int, density float64) *CSR {
+	var entries []Coord
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				entries = append(entries, Coord{Row: i, Col: j, Val: rng.NormFloat64()})
+			}
+		}
+	}
+	return NewCSR(rows, cols, entries)
+}
+
+func randomVector(rng *rand.Rand, n int) Vector {
+	v := NewVector(n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// bitsEqual reports exact bit-level equality of two vectors.
+func bitsEqual(a, b Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// parallelShapes lists shapes spanning the serial fallback (small) and the
+// genuinely parallel regime (nnz ≥ parallelMinNNZ).
+var parallelShapes = []struct {
+	rows, cols int
+	density    float64
+}{
+	{rows: 17, cols: 9, density: 0.4},    // serial fallback
+	{rows: 120, cols: 80, density: 0.15}, // serial fallback
+	{rows: 500, cols: 130, density: 0.3}, // parallel
+	{rows: 900, cols: 60, density: 0.5},  // parallel, skewed tall
+	{rows: 80, cols: 600, density: 0.4},  // parallel, wide rows
+}
+
+// TestMulVecParMatchesSerial asserts the row-partitioned parallel kernel is
+// bitwise identical to the serial MulVec for every worker count: per-row
+// accumulation order does not depend on the chunking.
+func TestMulVecParMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, shape := range parallelShapes {
+		m := randomCSR(rng, shape.rows, shape.cols, shape.density)
+		x := randomVector(rng, shape.cols)
+		want := NewVector(shape.rows)
+		m.MulVec(want, x)
+		for _, w := range []int{1, 2, 3, 4, 8} {
+			got := NewVector(shape.rows)
+			m.MulVecPar(got, x, w)
+			if !bitsEqual(got, want) {
+				t.Fatalf("MulVecPar(workers=%d) not bitwise equal to MulVec for %dx%d nnz=%d",
+					w, shape.rows, shape.cols, m.NNZ())
+			}
+		}
+	}
+}
+
+// TestMulVecTParAgreesWithSerial asserts the transpose kernel agrees with
+// serial MulVecT within 1e-12 (the per-worker accumulators reassociate the
+// scatter sums) and is bitwise deterministic for a fixed worker count.
+func TestMulVecTParAgreesWithSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, shape := range parallelShapes {
+		m := randomCSR(rng, shape.rows, shape.cols, shape.density)
+		x := randomVector(rng, shape.rows)
+		want := NewVector(shape.cols)
+		m.MulVecT(want, x)
+		scale := want.NormInf() + 1
+		for _, w := range []int{1, 2, 3, 4, 8} {
+			var ws TScratch
+			got := NewVector(shape.cols)
+			m.MulVecTPar(got, x, w, &ws)
+			for j := range got {
+				if math.Abs(got[j]-want[j]) > 1e-12*scale {
+					t.Fatalf("MulVecTPar(workers=%d)[%d] = %g, serial %g (%dx%d)",
+						w, j, got[j], want[j], shape.rows, shape.cols)
+				}
+			}
+			again := NewVector(shape.cols)
+			m.MulVecTPar(again, x, w, &ws)
+			if !bitsEqual(got, again) {
+				t.Fatalf("MulVecTPar(workers=%d) not deterministic for %dx%d", w, shape.rows, shape.cols)
+			}
+			fresh := NewVector(shape.cols)
+			m.MulVecTPar(fresh, x, w, nil) // nil scratch must agree too
+			if !bitsEqual(got, fresh) {
+				t.Fatalf("MulVecTPar(workers=%d) differs with nil scratch", w)
+			}
+		}
+	}
+}
+
+// TestMulVecDiagSubMatchesReference asserts the fused ABH kernel
+// dst = diag∘s − m·x matches the unfused two-pass reference bitwise, for
+// every worker count.
+func TestMulVecDiagSubMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, shape := range parallelShapes {
+		m := randomCSR(rng, shape.rows, shape.cols, shape.density)
+		x := randomVector(rng, shape.cols)
+		s := randomVector(rng, shape.rows)
+		diag := randomVector(rng, shape.rows)
+		want := NewVector(shape.rows)
+		m.MulVec(want, x)
+		for i := range want {
+			want[i] = diag[i]*s[i] - want[i]
+		}
+		for _, w := range []int{1, 2, 3, 4, 8} {
+			got := NewVector(shape.rows)
+			m.MulVecDiagSub(got, x, diag, s, w)
+			if !bitsEqual(got, want) {
+				t.Fatalf("MulVecDiagSub(workers=%d) not bitwise equal to reference (%dx%d)",
+					w, shape.rows, shape.cols)
+			}
+		}
+	}
+}
+
+// TestNewCSRCountingSortAgainstDense cross-checks the counting-sort
+// assembly — shuffled input, duplicate coordinates, duplicates cancelling to
+// zero — against a dense accumulation of the same entries.
+func TestNewCSRCountingSortAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		rows := 1 + rng.Intn(40)
+		cols := 1 + rng.Intn(40)
+		dense := NewDense(rows, cols)
+		n := rng.Intn(4 * rows * cols)
+		entries := make([]Coord, 0, n+2)
+		for e := 0; e < n; e++ {
+			i, j := rng.Intn(rows), rng.Intn(cols)
+			v := float64(rng.Intn(9) - 4) // small ints so duplicate sums are exact
+			entries = append(entries, Coord{Row: i, Col: j, Val: v})
+			dense.Set(i, j, dense.At(i, j)+v)
+		}
+		// Force an exact cancellation at one coordinate. Integer values keep
+		// every duplicate sum exact regardless of accumulation order.
+		i, j := rng.Intn(rows), rng.Intn(cols)
+		w := float64(1 + rng.Intn(8))
+		entries = append(entries, Coord{Row: i, Col: j, Val: w}, Coord{Row: i, Col: j, Val: -w})
+		rng.Shuffle(len(entries), func(a, b int) { entries[a], entries[b] = entries[b], entries[a] })
+
+		m := NewCSR(rows, cols, entries)
+		for r := 0; r < rows; r++ {
+			colsNNZ, vals := m.RowNNZ(r)
+			for p := range colsNNZ {
+				if p > 0 && colsNNZ[p] <= colsNNZ[p-1] {
+					t.Fatalf("trial %d: row %d columns not strictly sorted: %v", trial, r, colsNNZ)
+				}
+				if vals[p] == 0 {
+					t.Fatalf("trial %d: stored explicit zero at (%d,%d)", trial, r, colsNNZ[p])
+				}
+			}
+			for c := 0; c < cols; c++ {
+				if got, want := m.At(r, c), dense.At(r, c); got != want {
+					t.Fatalf("trial %d: At(%d,%d) = %g, dense %g", trial, r, c, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFusedVectorKernels pins the fused AXPY/scale/dot helpers against
+// their unfused equivalents.
+func TestFusedVectorKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	x := randomVector(rng, 257)
+	y := randomVector(rng, 257)
+
+	want := x.Clone().Scale(2.5).AddScaled(-1.25, y)
+	got := AXPBY(NewVector(len(x)), 2.5, x, -1.25, y)
+	if !got.Equal(want, 1e-15) {
+		t.Fatalf("AXPBY mismatch")
+	}
+	aliased := x.Clone()
+	AXPBY(aliased, 2.5, aliased, -1.25, y) // dst aliasing x must work
+	if !bitsEqual(aliased, got) {
+		t.Fatalf("AXPBY aliasing mismatch")
+	}
+
+	d := math.Min(dist2(x, y), distNeg2(x, y))
+	if got := FlipInvariantDist(x, y); math.Abs(got-d) > 1e-13 {
+		t.Fatalf("FlipInvariantDist = %g, want %g", got, d)
+	}
+}
+
+func dist2(a, b Vector) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func distNeg2(a, b Vector) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] + b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -154,6 +154,37 @@ func (v Vector) AddScaled(a float64, w Vector) Vector {
 	return v
 }
 
+// AXPBY sets dst[i] = a·x[i] + b·y[i] in one fused pass and returns dst.
+// dst may alias x or y. It panics if lengths differ. The spectral shift of
+// ABH-power (next ← β·s_diff − next) is one AXPBY instead of a scale plus a
+// subtract pass.
+func AXPBY(dst Vector, a float64, x Vector, b float64, y Vector) Vector {
+	if len(dst) != len(x) || len(dst) != len(y) {
+		panic(fmt.Sprintf("mat: AXPBY length mismatch %d, %d, %d", len(dst), len(x), len(y)))
+	}
+	for i := range dst {
+		dst[i] = a*x[i] + b*y[i]
+	}
+	return dst
+}
+
+// FlipInvariantDist returns min(‖a−b‖₂, ‖a+b‖₂), the sign-insensitive
+// distance every power-style iteration here uses as its convergence
+// measure, computed in a single fused pass over both vectors.
+func FlipInvariantDist(a, b Vector) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: FlipInvariantDist length mismatch %d vs %d", len(a), len(b)))
+	}
+	var same, flip float64
+	for i, x := range a {
+		d := x - b[i]
+		s := x + b[i]
+		same += d * d
+		flip += s * s
+	}
+	return math.Sqrt(math.Min(same, flip))
+}
+
 // Normalize scales v to unit L2 norm in place and returns the original norm.
 // A zero vector is left unchanged and 0 is returned.
 func (v Vector) Normalize() float64 {

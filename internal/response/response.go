@@ -6,6 +6,7 @@ package response
 
 import (
 	"fmt"
+	"sync"
 
 	"hitsndiffs/internal/mat"
 )
@@ -23,6 +24,12 @@ type Matrix struct {
 	options []int // options[i] = number of options of item i
 	offsets []int // offsets[i] = first column of item i in the flat encoding
 	choices []int // users×items row-major; Unanswered for no response
+
+	// binMu guards bin, the memoized one-hot CSR encoding. Concurrent
+	// readers of an otherwise-immutable Matrix (e.g. several Engine ranks on
+	// one snapshot) share a single build; any SetAnswer invalidates it.
+	binMu sync.Mutex
+	bin   *mat.CSR
 }
 
 // New creates an empty response matrix for m users, n items, and the given
@@ -132,6 +139,9 @@ func (m *Matrix) SetAnswer(u, i, h int) {
 		panic(fmt.Sprintf("response: SetAnswer option %d out of range for item %d (k=%d)", h, i, m.options[i]))
 	}
 	m.choices[u*m.items+i] = h
+	m.binMu.Lock()
+	m.bin = nil
+	m.binMu.Unlock()
 }
 
 // Answer returns the option user u chose for item i, or Unanswered.
@@ -160,7 +170,15 @@ func (m *Matrix) Clone() *Matrix {
 }
 
 // Binary returns the (m × Σkᵢ) one-hot CSR response matrix C of the paper.
+// The encoding is memoized until the next SetAnswer, so repeated solves on
+// an unchanged matrix (Engine re-ranks, method comparisons) build it once;
+// callers must treat the returned CSR as read-only.
 func (m *Matrix) Binary() *mat.CSR {
+	m.binMu.Lock()
+	defer m.binMu.Unlock()
+	if m.bin != nil {
+		return m.bin
+	}
 	entries := make([]mat.Coord, 0, m.users*m.items)
 	for u := 0; u < m.users; u++ {
 		for i := 0; i < m.items; i++ {
@@ -169,7 +187,8 @@ func (m *Matrix) Binary() *mat.CSR {
 			}
 		}
 	}
-	return mat.NewCSR(m.users, m.TotalOptions(), entries)
+	m.bin = mat.NewCSR(m.users, m.TotalOptions(), entries)
+	return m.bin
 }
 
 // PermuteUsers returns a new matrix whose user u is m's user perm[u].

@@ -7,6 +7,16 @@ import (
 	"hitsndiffs/internal/truth"
 )
 
+// SetParallelism sets the process-wide default number of worker goroutines
+// the sparse kernels fan out to per matrix-vector product. It applies to
+// every method that does not carry an explicit WithParallelism option.
+// Passing 0 restores the default of tracking runtime.GOMAXPROCS. Safe for
+// concurrent use; cmd/hnd and cmd/experiments expose it as -parallel.
+func SetParallelism(n int) { mat.SetDefaultWorkers(n) }
+
+// Parallelism returns the effective process-wide default worker count.
+func Parallelism() int { return mat.DefaultWorkers() }
+
 // Option is a functional tuning knob accepted by every method constructor
 // and by New. Options a method has no use for (e.g. a tolerance on the
 // closed-form BL baseline) are silently ignored, so one option list can be
@@ -21,6 +31,7 @@ type settings struct {
 	seed            int64
 	skipOrientation bool
 	warmStart       mat.Vector
+	workers         int
 }
 
 // WithTol sets the L2 convergence threshold of iterative methods. The
@@ -58,6 +69,16 @@ func WithWarmStart(scores []float64) Option {
 	return func(s *settings) { s.warmStart = mat.Vector(clone) }
 }
 
+// WithParallelism caps the worker goroutines the sparse kernels of this
+// method fan out to per matrix-vector product: 1 forces the serial kernels
+// (bitwise-reproducible against any worker count for row-parallel products,
+// and within 1e-12 for transpose products), 0 or omission defers to the
+// process-wide default (see SetParallelism). Methods without parallel
+// kernels ignore it.
+func WithParallelism(n int) Option {
+	return func(s *settings) { s.workers = n }
+}
+
 func newSettings(opts []Option) settings {
 	var s settings
 	for _, o := range opts {
@@ -77,6 +98,7 @@ func (s settings) coreOptions() core.Options {
 		Seed:            s.seed,
 		SkipOrientation: s.skipOrientation,
 		WarmStart:       s.warmStart,
+		Workers:         s.workers,
 	}
 }
 
