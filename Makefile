@@ -1,5 +1,5 @@
 # Development entry points. CI runs `make check`; `make bench` regenerates
-# the performance-trajectory baseline committed as BENCH_pr2.json.
+# the performance-trajectory baseline committed as BENCH_pr3.json.
 
 # pipefail so a failing benchmark run fails the bench target instead of
 # being masked by tee's exit status.
@@ -10,10 +10,11 @@ GO ?= go
 
 # Benchmarks tracked as the perf baseline: the Figure 5 scaling workloads
 # (serial vs parallel kernels), the isolated zero-alloc power-loop body,
-# CSR assembly, and the Engine serving paths.
-BENCH_PATTERN ?= Fig5aScaleUsers|Fig5bScaleQuestions|HNDPowerInnerLoop|EngineSnapshot|EngineWarmVsCold|NewCSRAssembly|MulVecParallel
+# the pooled parallel dispatch path, CSR assembly, the Engine serving
+# paths, and the sharded-router scaling curves.
+BENCH_PATTERN ?= Fig5aScaleUsers|Fig5bScaleQuestions|HNDPowerInnerLoop|EngineSnapshot|EngineWarmVsCold|NewCSRAssembly|MulVecParallel|ParallelDoPooled|ShardedObserve|ShardedRank
 BENCH_TIME ?= 1x
-BENCH_OUT ?= BENCH_pr2.json
+BENCH_OUT ?= BENCH_pr3.json
 
 .PHONY: build test check bench clean
 

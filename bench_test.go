@@ -480,6 +480,80 @@ func BenchmarkEngineWarmVsCold(b *testing.B) {
 	b.Run("cold", func(b *testing.B) { run(b, true) })
 }
 
+// shardedBenchMatrix builds the workload the sharded-router benchmarks
+// share.
+func shardedBenchMatrix(b *testing.B, users, items int) *response.Matrix {
+	b.Helper()
+	cfg := irt.DefaultConfig(irt.ModelSamejima)
+	cfg.Users, cfg.Items, cfg.Seed = users, items, 42
+	d, err := irt.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d.Responses
+}
+
+// BenchmarkShardedObserve measures write throughput under serving traffic —
+// every write races an outstanding read snapshot, so each op pays one
+// copy-on-write clone — across shard counts. Sharding confines the clone
+// (and the write lock) to the one shard owning the written user, so per-op
+// cost shrinks with the shard count: the acceptance bar is ≥2x throughput
+// at 4 shards vs 1.
+func BenchmarkShardedObserve(b *testing.B) {
+	m := shardedBenchMatrix(b, 2000, 200)
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			eng, err := NewShardedEngine(m, WithShards(n))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// A reader holds a snapshot of every shard (what Rank
+				// does), so the next write must detach its shard first.
+				eng.View()
+				user := i % eng.Users()
+				if err := eng.Observe(user, i%eng.Items(), 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedRank measures steady-state re-rank latency across shard
+// counts: each op is one single-user write followed by a full cluster Rank.
+// Only the written user's shard re-solves (warm-started, 1/N of the users);
+// the other shards answer from their version-keyed caches, so re-rank
+// latency drops as shards are added.
+func BenchmarkShardedRank(b *testing.B) {
+	m := shardedBenchMatrix(b, 1000, 100)
+	ctx := context.Background()
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			eng, err := NewShardedEngine(m, WithShards(n), WithRankOptions(WithSeed(1)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Rank(ctx); err != nil { // common cold start
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				user := i % eng.Users()
+				if err := eng.Observe(user, i%eng.Items(), 0); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Rank(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEngineSnapshot quantifies the copy-on-write snapshot redesign:
 // under unchanged-matrix traffic the serving paths take O(1) views instead
 // of the O(mn) deep clone Rank used to pay per call. "view" vs "deep-clone"

@@ -29,7 +29,11 @@
 //	fig13-scatter                half-moon parameter scatter (Fig 13a)
 //	ablation-orient              decile-entropy orientation ablation
 //	ablation-tol                 convergence tolerance ablation
+//	sharded                      sharded-engine serving latency vs shard count
 //	all                          everything above
+//
+// The sharded sweep honors -shards as the largest shard count swept
+// (powers of two up to it).
 package main
 
 import (
@@ -51,6 +55,7 @@ type runner struct {
 	cfg    experiments.Config
 	timing experiments.TimingConfig
 	csvDir string
+	shards int
 }
 
 func main() {
@@ -59,7 +64,8 @@ func main() {
 	full := flag.Bool("full", false, "run full-size sweeps (slow; default is the quick variant)")
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-run timeout for scalability sweeps")
-	parallel := flag.Int("parallel", 0, "worker goroutines per sparse kernel for every method (0 = GOMAXPROCS, 1 = serial)")
+	parallel := flag.Int("parallel", 0, "chunks per sparse kernel apply for every method, run on the worker pool (0 = GOMAXPROCS, 1 = serial)")
+	shards := flag.Int("shards", 8, "largest shard count the `sharded` subcommand sweeps")
 	flag.Parse()
 	hitsndiffs.SetParallelism(*parallel)
 
@@ -77,6 +83,7 @@ func main() {
 		cfg:    experiments.Config{Reps: *reps, Seed: *seed, Quick: !*full},
 		timing: experiments.TimingConfig{Runs: min(*reps, 3), Seed: *seed, Quick: !*full, Timeout: *timeout},
 		csvDir: *csvDir,
+		shards: *shards,
 	}
 	if r.csvDir != "" {
 		if err := os.MkdirAll(r.csvDir, 0o755); err != nil {
@@ -182,6 +189,10 @@ func (r *runner) dispatch(cmd string, model irt.ModelKind) error {
 		return r.table(experiments.AblationOrientation(r.ctx, r.cfg))
 	case "ablation-tol":
 		return r.table(experiments.AblationConvergenceTol(r.ctx, r.cfg))
+	case "sharded":
+		return r.table(experiments.ShardedServing(r.ctx, experiments.ShardedConfig{
+			MaxShards: r.shards, Seed: r.cfg.Seed, Quick: r.cfg.Quick,
+		}))
 	case "all":
 		for _, sub := range []struct {
 			name  string
@@ -199,6 +210,7 @@ func (r *runner) dispatch(cmd string, model irt.ModelKind) error {
 			{"fig14-beta", 0}, {"fig14-iters", 0},
 			{"fig1", 0}, {"fig8", 0}, {"fig13-scatter", 0},
 			{"ablation-orient", 0}, {"ablation-tol", 0},
+			{"sharded", 0},
 		} {
 			fmt.Printf("\n===== %s %v =====\n", sub.name, sub.model)
 			if err := r.dispatch(sub.name, sub.model); err != nil {

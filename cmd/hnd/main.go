@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	hnd [-method HnD-power] [-scores] [-tol 1e-5] [-maxiter 20000] [-timeout 0] [-parallel 0] file.csv
+//	hnd [-method HnD-power] [-scores] [-tol 1e-5] [-maxiter 20000] [-timeout 0] [-parallel 0] [-shards 1] file.csv
 //
 // The input format is the one produced by datagen and
 // (*ResponseMatrix).WriteCSV: a header row with each item's option count,
@@ -12,8 +12,12 @@
 // Methods are resolved through the hitsndiffs registry; -list prints every
 // registered method with its applicability constraints. A -timeout bounds
 // the solve via context deadline, and Ctrl-C cancels it mid-iteration.
-// -parallel caps the worker goroutines of the sparse kernels (0 =
-// GOMAXPROCS, 1 = serial).
+// -parallel caps the chunks each sparse kernel apply splits into, executed
+// on the persistent worker pool (0 = GOMAXPROCS, 1 = the serial kernels).
+// -shards N > 1 ranks through a ShardedEngine —
+// the horizontal-scaling serving path — hashing users across N independent
+// engines and merging the per-shard rankings (scores are then min-max
+// normalized within each shard, and -infer is unavailable).
 package main
 
 import (
@@ -36,12 +40,16 @@ func main() {
 	maxIter := flag.Int("maxiter", 20000, "iteration budget for iterative methods")
 	seed := flag.Int64("seed", 0, "random seed for the spectral starting vector")
 	timeout := flag.Duration("timeout", 0, "abort the solve after this long (0 = no deadline)")
-	parallel := flag.Int("parallel", 0, "worker goroutines per sparse kernel (0 = GOMAXPROCS, 1 = serial)")
+	parallel := flag.Int("parallel", 0, "chunks per sparse kernel apply, run on the worker pool (0 = GOMAXPROCS, 1 = serial)")
+	shards := flag.Int("shards", 1, "hash users across this many engine shards (>1 merges per-shard rankings)")
 	flag.Parse()
 
 	if *list {
 		fmt.Print(formatMethodList())
 		return
+	}
+	if *infer && *shards > 1 {
+		fatal(fmt.Errorf("-infer requires -shards=1: label inference needs the full matrix on one engine"))
 	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hnd [flags] file.csv (see -h)")
@@ -58,16 +66,6 @@ func main() {
 		fatal(err)
 	}
 
-	ranker, err := hitsndiffs.New(*method,
-		hitsndiffs.WithTol(*tol),
-		hitsndiffs.WithMaxIter(*maxIter),
-		hitsndiffs.WithSeed(*seed),
-		hitsndiffs.WithParallelism(*parallel),
-	)
-	if err != nil {
-		fatal(err)
-	}
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if *timeout > 0 {
@@ -76,9 +74,54 @@ func main() {
 		defer cancel()
 	}
 
+	rankOpts := []hitsndiffs.Option{
+		hitsndiffs.WithTol(*tol),
+		hitsndiffs.WithMaxIter(*maxIter),
+		hitsndiffs.WithSeed(*seed),
+		hitsndiffs.WithParallelism(*parallel),
+	}
+	if *shards > 1 {
+		eng, err := hitsndiffs.NewShardedEngine(m,
+			hitsndiffs.WithShards(*shards),
+			hitsndiffs.WithMethod(*method),
+			hitsndiffs.WithRankOptions(rankOpts...),
+		)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runSharded(ctx, os.Stdout, eng, *scores); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	ranker, err := hitsndiffs.New(*method, rankOpts...)
+	if err != nil {
+		fatal(err)
+	}
 	if err := run(ctx, os.Stdout, ranker, m, *scores, *infer); err != nil {
 		fatal(err)
 	}
+}
+
+// runSharded ranks through the sharded serving engine and renders the
+// merged report to w. (-infer with shards is rejected up front in main,
+// before the shard engines are built.)
+func runSharded(ctx context.Context, w io.Writer, eng *hitsndiffs.ShardedEngine, scores bool) error {
+	res, err := eng.Rank(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# method=%s users=%d items=%d shards=%d iterations=%d converged=%v\n",
+		eng.Method(), eng.Users(), eng.Items(), eng.Shards(), res.Iterations, res.Converged)
+	for pos, u := range res.Order() {
+		if scores {
+			fmt.Fprintf(w, "%4d  user=%d  score=%.6g  shard=%d\n", pos+1, u, res.Scores[u], eng.ShardFor(u))
+		} else {
+			fmt.Fprintf(w, "%4d  user=%d\n", pos+1, u)
+		}
+	}
+	return nil
 }
 
 // run ranks m with ranker and renders the report to w.

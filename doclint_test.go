@@ -1,0 +1,104 @@
+package hitsndiffs
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+// doclintPackages are the packages whose exported surface must be fully
+// documented — the public API plus the three internal layers the
+// architecture guide walks through. CI runs this test in its docs job.
+var doclintPackages = []string{
+	".",
+	"internal/mat",
+	"internal/core",
+	"internal/eigen",
+	"internal/shard",
+}
+
+// TestExportedDocComments is the repository's revive/golint-style
+// exported-comment check, kept as a test so `go test` (and the CI docs job)
+// enforces it without external tooling: every exported type, function,
+// method, constant and variable in doclintPackages must carry a doc
+// comment.
+func TestExportedDocComments(t *testing.T) {
+	for _, dir := range doclintPackages {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, pkg := range pkgs {
+			for _, file := range pkg.Files {
+				for _, decl := range file.Decls {
+					checkDeclDocs(t, fset, decl)
+				}
+			}
+		}
+	}
+}
+
+// checkDeclDocs reports every exported identifier in decl that lacks a doc
+// comment.
+func checkDeclDocs(t *testing.T, fset *token.FileSet, decl ast.Decl) {
+	t.Helper()
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedReceiver(d) {
+			return
+		}
+		if d.Doc == nil {
+			t.Errorf("%s: exported %s %s has no doc comment", fset.Position(d.Pos()), funcKind(d), d.Name.Name)
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					t.Errorf("%s: exported type %s has no doc comment", fset.Position(s.Pos()), s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				for _, name := range s.Names {
+					if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						t.Errorf("%s: exported %s %s has no doc comment", fset.Position(s.Pos()), d.Tok, name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether a function is free-standing or a method
+// on an exported type (methods on unexported types are not public API).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	for {
+		switch tt := typ.(type) {
+		case *ast.StarExpr:
+			typ = tt.X
+		case *ast.IndexExpr: // generic receiver
+			typ = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// funcKind names the declaration kind for lint messages.
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}

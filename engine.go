@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hitsndiffs/internal/mat"
 	"hitsndiffs/internal/truth"
 )
 
@@ -26,6 +27,9 @@ import (
 //   - Re-ranks warm-start the power iteration from the previous score
 //     vector, so steady-state convergence takes a fraction of the
 //     cold-start iterations (see BenchmarkEngineWarmVsCold).
+//
+// One Engine owns one matrix; to scale a large population horizontally,
+// ShardedEngine composes several Engines behind a hashing router.
 //
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
@@ -56,9 +60,11 @@ type engineCache struct {
 type EngineOption func(*engineSettings)
 
 type engineSettings struct {
-	method string
-	base   []Option
-	cold   bool
+	method   string
+	base     []Option
+	cold     bool
+	shards   int
+	poolSize int
 }
 
 // WithMethod selects the registered ranking method the engine serves
@@ -80,6 +86,22 @@ func WithColdStart() EngineOption {
 	return func(s *engineSettings) { s.cold = true }
 }
 
+// WithShards sets the number of independent engine shards NewShardedEngine
+// hashes users across (default 1, which degenerates to a plain Engine; the
+// count is capped at the number of users). Plain NewEngine ignores it.
+func WithShards(n int) EngineOption {
+	return func(s *engineSettings) { s.shards = n }
+}
+
+// WithPoolSize sizes the persistent kernel worker pool at engine
+// construction — shorthand for calling SetPoolSize before NewEngine or
+// NewShardedEngine. The pool is process-global and shared by every engine:
+// the option does not scope the size to this engine, and the most recent
+// resize wins for all of them. Zero (the default) leaves the pool alone.
+func WithPoolSize(n int) EngineOption {
+	return func(s *engineSettings) { s.poolSize = n }
+}
+
 // NewEngine builds an engine serving the given response matrix, which may
 // be empty: answers can arrive later through Observe. The matrix is
 // deep-copied, so the caller's copy stays independent. The method name is
@@ -97,6 +119,9 @@ func NewEngine(m *ResponseMatrix, opts ...EngineOption) (*Engine, error) {
 	}
 	if _, ok := Describe(s.method); !ok {
 		return nil, fmt.Errorf("hitsndiffs: NewEngine: unknown method %q (known: %v)", s.method, MethodNames())
+	}
+	if s.poolSize > 0 {
+		mat.SetPoolSize(s.poolSize)
 	}
 	return &Engine{
 		method: s.method,
@@ -154,9 +179,43 @@ func (e *Engine) View() (*ResponseMatrix, uint64) {
 	return m, version
 }
 
+// answeredAtLeast reports whether at least n users currently have one or
+// more recorded answers. It scans under the read lock without taking a
+// snapshot, so — unlike View — it never marks the matrix shared and never
+// triggers a copy-on-write clone on the next write. The sharded router
+// uses it to detect shards too sparse to rank.
+func (e *Engine) answeredAtLeast(n int) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	count := 0
+	for u := 0; u < e.m.Users() && count < n; u++ {
+		if e.m.AnswerCount(u) > 0 {
+			count++
+		}
+	}
+	return count >= n
+}
+
 // Observation is one (user, item, option) response for ObserveBatch.
 type Observation struct {
 	User, Item, Option int
+}
+
+// validateObservation rejects an observation outside the given matrix
+// geometry — the one validation rule shared by Engine and the sharded
+// router, so both report identical errors for identical bad input.
+func validateObservation(o Observation, users, items int, optionCount func(int) int) error {
+	if o.User < 0 || o.User >= users {
+		return fmt.Errorf("hitsndiffs: Observe user %d out of range [0,%d)", o.User, users)
+	}
+	if o.Item < 0 || o.Item >= items {
+		return fmt.Errorf("hitsndiffs: Observe item %d out of range [0,%d)", o.Item, items)
+	}
+	if o.Option != Unanswered && (o.Option < 0 || o.Option >= optionCount(o.Item)) {
+		return fmt.Errorf("hitsndiffs: Observe option %d out of range for item %d (k=%d)",
+			o.Option, o.Item, optionCount(o.Item))
+	}
+	return nil
 }
 
 // Observe records that user picked option of item, replacing any earlier
@@ -177,15 +236,8 @@ func (e *Engine) ObserveBatch(obs []Observation) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for _, o := range obs {
-		if o.User < 0 || o.User >= e.m.Users() {
-			return fmt.Errorf("hitsndiffs: Observe user %d out of range [0,%d)", o.User, e.m.Users())
-		}
-		if o.Item < 0 || o.Item >= e.m.Items() {
-			return fmt.Errorf("hitsndiffs: Observe item %d out of range [0,%d)", o.Item, e.m.Items())
-		}
-		if o.Option != Unanswered && (o.Option < 0 || o.Option >= e.m.OptionCount(o.Item)) {
-			return fmt.Errorf("hitsndiffs: Observe option %d out of range for item %d (k=%d)",
-				o.Option, o.Item, e.m.OptionCount(o.Item))
+		if err := validateObservation(o, e.m.Users(), e.m.Items(), e.m.OptionCount); err != nil {
+			return err
 		}
 	}
 	// Copy-on-write: if any reader holds the current matrix as a snapshot,

@@ -93,6 +93,108 @@ func ExampleNew() {
 	// Output: [0 1 2 3]
 }
 
+// Take an O(1) copy-on-write snapshot: the view stays frozen at its
+// version while writers move the engine on.
+func ExampleEngine_View() {
+	m := hitsndiffs.FromChoices([][]int{
+		{0, 0, 0},
+		{0, 0, 2},
+		{0, 1, 2},
+		{1, 2, 2},
+	}, 3)
+	eng, err := hitsndiffs.NewEngine(m)
+	if err != nil {
+		panic(err)
+	}
+
+	view, version := eng.View() // O(1): no copy until someone writes
+
+	// The engine clones before applying the next write, so the view is
+	// immutable — it still sees user 3's original answer afterwards.
+	if err := eng.Observe(3, 0, 0); err != nil {
+		panic(err)
+	}
+	fmt.Println("view:", view.Answer(3, 0), "at version", version)
+
+	current, now := eng.View()
+	fmt.Println("live:", current.Answer(3, 0), "at version", now)
+	// Output:
+	// view: 1 at version 0
+	// live: 0 at version 1
+}
+
+// Cap the kernel fan-out of one method. Row-parallel products are bitwise
+// identical for every worker count, so the ranking never depends on the
+// parallelism knob.
+func ExampleWithParallelism() {
+	m := hitsndiffs.FromChoices([][]int{
+		{0, 0, 0},
+		{0, 0, 2},
+		{0, 1, 2},
+		{1, 2, 2},
+	}, 3)
+	serial, err := hitsndiffs.New("HnD-power", hitsndiffs.WithSeed(1), hitsndiffs.WithParallelism(1))
+	if err != nil {
+		panic(err)
+	}
+	wide, err := hitsndiffs.New("HnD-power", hitsndiffs.WithSeed(1), hitsndiffs.WithParallelism(4))
+	if err != nil {
+		panic(err)
+	}
+	a, err := serial.Rank(context.Background(), m)
+	if err != nil {
+		panic(err)
+	}
+	b, err := wide.Rank(context.Background(), m)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(a.Order(), b.Order())
+	// Output: [0 1 2 3] [0 1 2 3]
+}
+
+// Scale horizontally: hash users across independent engine shards, absorb a
+// write burst with one fanned-out batch, and read one merged ranking.
+func ExampleShardedEngine() {
+	m := hitsndiffs.FromChoices([][]int{
+		{0, 0, 0}, // user 0: best option everywhere
+		{0, 0, 1},
+		{0, 1, 1},
+		{0, 1, 2},
+		{1, 1, 2},
+		{1, 2, 2}, // user 5: weakest
+	}, 3)
+	eng, err := hitsndiffs.NewShardedEngine(m,
+		hitsndiffs.WithShards(2),
+		hitsndiffs.WithRankOptions(hitsndiffs.WithSeed(1)),
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("shards:", eng.Shards(), "users:", eng.Users())
+
+	// One batch, validated up front, split by owning shard, applied with
+	// one lock acquisition and one version bump per touched shard.
+	err = eng.ObserveBatch([]hitsndiffs.Observation{
+		{User: 4, Item: 0, Option: 0},
+		{User: 5, Item: 0, Option: 0},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Shards rank concurrently; per-shard scores are min-max normalized
+	// and merged deterministically.
+	res, err := eng.Rank(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("ranked", len(res.Scores), "users, converged:", res.Converged)
+	// Output:
+	// shards: 2 users: 6
+	// ranked 6 users, converged: true
+}
+
 // Serve a live workload: observe a new response, re-rank, infer labels.
 func ExampleEngine() {
 	m := hitsndiffs.FromChoices([][]int{

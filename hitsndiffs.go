@@ -31,7 +31,10 @@
 // options (WithTol, WithMaxIter, WithSeed, ...) and can be resolved by name
 // through the registry (New, MethodNames, Describe). For online serving —
 // responses streaming in while rankings are read concurrently — use Engine,
-// which caches results per matrix version and warm-starts re-ranks.
+// which caches results per matrix version and warm-starts re-ranks; for
+// horizontal scaling, ShardedEngine hashes users across independent engine
+// shards and merges their rankings. See docs/ARCHITECTURE.md for the layer
+// map and the copy-on-write and worker-pool protocols.
 //
 // The subpackages under internal/ hold the implementation; this package is
 // the stable public surface.

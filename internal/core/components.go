@@ -41,22 +41,9 @@ func RankPerComponent(ctx context.Context, r Ranker, m *response.Matrix) (Compon
 		if err != nil {
 			return ComponentResult{}, fmt.Errorf("core: component of %d users: %w", len(comp), err)
 		}
-		lo, hi := res.Scores[0], res.Scores[0]
-		for _, s := range res.Scores {
-			if s < lo {
-				lo = s
-			}
-			if s > hi {
-				hi = s
-			}
-		}
-		span := hi - lo
+		norm := res.Scores.MinMaxNormalized()
 		for idx, u := range comp {
-			if span > 0 {
-				out.Scores[u] = (res.Scores[idx] - lo) / span
-			} else {
-				out.Scores[u] = 0.5
-			}
+			out.Scores[u] = norm[idx]
 		}
 	}
 	return out, nil

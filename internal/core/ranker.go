@@ -61,7 +61,8 @@ type Options struct {
 	// re-ranking a lightly perturbed matrix converge in a fraction of the
 	// cold-start iterations; methods without an iterate ignore it.
 	WarmStart mat.Vector
-	// Workers caps the goroutines the sparse kernels fan out to per apply:
+	// Workers caps the chunks each sparse kernel apply splits into —
+	// executed on the shared persistent worker pool (mat.SetPoolSize):
 	// 1 forces the serial kernels, 0 (the default) tracks
 	// mat.DefaultWorkers() — GOMAXPROCS unless overridden process-wide.
 	Workers int

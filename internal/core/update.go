@@ -45,9 +45,10 @@ func NewUpdate(m *response.Matrix) *Update {
 	return u
 }
 
-// SetWorkers caps the worker goroutines the sparse kernels fan out to: 1
-// forces the serial kernels, 0 (the default) defers to
-// mat.DefaultWorkers(). Call before sharing the Update across goroutines.
+// SetWorkers caps the chunks each sparse kernel apply splits into (the
+// chunks run on the persistent pool shared by the whole process): 1 forces
+// the serial kernels, 0 (the default) defers to mat.DefaultWorkers(). Call
+// before sharing the Update across goroutines.
 func (u *Update) SetWorkers(n int) {
 	if n < 0 {
 		n = 0

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"hitsndiffs"
+	"hitsndiffs/internal/irt"
+)
+
+// ShardedConfig tunes the sharded-serving throughput sweep.
+type ShardedConfig struct {
+	// MaxShards bounds the swept shard counts (1, 2, 4, ... ≤ MaxShards).
+	MaxShards int
+	// Seed seeds the synthetic workload and the solves.
+	Seed int64
+	// Quick shrinks the workload for smoke runs.
+	Quick bool
+}
+
+// ShardedServing measures the serving engine's horizontal scaling: for each
+// shard count it drives the two steady-state traffic patterns the sharded
+// router optimizes — snapshot-interleaved writes (every Observe pays its
+// shard's copy-on-write clone) and single-user write + full re-rank (only
+// the written shard re-solves) — and reports the mean latency per
+// operation. It is the experiments-harness twin of BenchmarkShardedObserve
+// and BenchmarkShardedRank.
+func ShardedServing(ctx context.Context, cfg ShardedConfig) (*Table, error) {
+	users, items, writes, reranks := 2000, 200, 400, 30
+	if cfg.Quick {
+		users, items, writes, reranks = 800, 80, 150, 12
+	}
+	gen := irt.DefaultConfig(irt.ModelSamejima)
+	gen.Users, gen.Items, gen.Seed = users, items, cfg.Seed
+	d, err := irt.Generate(gen)
+	if err != nil {
+		return nil, err
+	}
+
+	const observeCol, rerankCol = "observe µs/op", "write+rerank ms/op"
+	t := NewTable("sharded-serving",
+		fmt.Sprintf("sharded engine serving latency, m=%d n=%d", users, items),
+		"shards", "latency", []string{observeCol, rerankCol})
+
+	max := cfg.MaxShards
+	if max < 1 {
+		max = 1
+	}
+	for n := 1; n <= max; n *= 2 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		eng, err := hitsndiffs.NewShardedEngine(d.Responses,
+			hitsndiffs.WithShards(n),
+			hitsndiffs.WithRankOptions(hitsndiffs.WithSeed(cfg.Seed)))
+		if err != nil {
+			return nil, err
+		}
+
+		start := time.Now()
+		for i := 0; i < writes; i++ {
+			eng.View() // an outstanding snapshot makes the write pay its shard's COW clone
+			if err := eng.Observe(i%eng.Users(), i%eng.Items(), 0); err != nil {
+				return nil, err
+			}
+		}
+		observeUS := time.Since(start).Seconds() * 1e6 / float64(writes)
+
+		if _, err := eng.Rank(ctx); err != nil { // common cold start
+			return nil, err
+		}
+		start = time.Now()
+		for i := 0; i < reranks; i++ {
+			if err := eng.Observe(i%eng.Users(), i%eng.Items(), 1); err != nil {
+				return nil, err
+			}
+			if _, err := eng.Rank(ctx); err != nil {
+				return nil, err
+			}
+		}
+		rerankMS := time.Since(start).Seconds() * 1e3 / float64(reranks)
+
+		t.AddRow(float64(eng.Shards()), map[string]float64{
+			observeCol: observeUS,
+			rerankCol:  rerankMS,
+		})
+	}
+	return t, nil
+}

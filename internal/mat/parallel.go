@@ -3,7 +3,6 @@ package mat
 import (
 	"runtime"
 	"sort"
-	"sync"
 	"sync/atomic"
 )
 
@@ -68,21 +67,6 @@ func (m *CSR) chunkRow(k, w int) int {
 	return sort.Search(m.rows, func(r int) bool { return m.rowPtr[r] >= target })
 }
 
-// parallelDo runs fn(k) for every k in [0, w) across w goroutines (reusing
-// the calling goroutine for k = 0) and waits for all of them.
-func parallelDo(w int, fn func(k int)) {
-	var wg sync.WaitGroup
-	wg.Add(w - 1)
-	for k := 1; k < w; k++ {
-		go func(k int) {
-			defer wg.Done()
-			fn(k)
-		}(k)
-	}
-	fn(0)
-	wg.Wait()
-}
-
 // mulVecRange is the serial MulVec row loop restricted to rows [lo, hi).
 func (m *CSR) mulVecRange(dst, x Vector, lo, hi int) {
 	for i := lo; i < hi; i++ {
@@ -95,11 +79,12 @@ func (m *CSR) mulVecRange(dst, x Vector, lo, hi int) {
 }
 
 // MulVecPar computes dst = m·x like MulVec, splitting the row sweep over up
-// to `workers` goroutines (0 = DefaultWorkers). Rows are partitioned into
-// contiguous, nnz-balanced chunks, so the per-row accumulation order — and
-// therefore the floating-point result — is bitwise identical to the serial
-// MulVec for every worker count. Small matrices fall back to the serial
-// kernel. dst must not alias x.
+// to `workers` chunks (0 = DefaultWorkers) executed on the persistent
+// worker pool (see SetPoolSize). Rows are partitioned into contiguous,
+// nnz-balanced chunks, so the per-row accumulation order — and therefore
+// the floating-point result — is bitwise identical to the serial MulVec for
+// every worker count. Small matrices fall back to the serial kernel. dst
+// must not alias x.
 func (m *CSR) MulVecPar(dst, x Vector, workers int) Vector {
 	if len(x) != m.cols || len(dst) != m.rows {
 		panic("mat: CSR MulVecPar shape mismatch")
@@ -108,9 +93,7 @@ func (m *CSR) MulVecPar(dst, x Vector, workers int) Vector {
 	if w == 1 {
 		return m.MulVec(dst, x)
 	}
-	parallelDo(w, func(k int) {
-		m.mulVecRange(dst, x, m.chunkRow(k, w), m.chunkRow(k+1, w))
-	})
+	runKernel(taskMulVec, m, dst, x, nil, nil, nil, w)
 	return dst
 }
 
@@ -136,13 +119,47 @@ func (t *TScratch) ensure(workers, cols int) {
 	}
 }
 
+// scatterTRange zeroes the private accumulator p (over the matrix's column
+// span) and scatters rows [lo, hi) of the transpose product into it — one
+// chunk of MulVecTPar's first phase.
+func (m *CSR) scatterTRange(p, x Vector, lo, hi int) {
+	p = p[:m.cols]
+	p.Fill(0)
+	for i := lo; i < hi; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for q := m.rowPtr[i]; q < m.rowPtr[i+1]; q++ {
+			p[m.colIdx[q]] += m.val[q] * xi
+		}
+	}
+}
+
+// reduceColumns sums the first w per-chunk accumulators into column chunk k
+// of dst — one chunk of MulVecTPar's second phase. Accumulators are always
+// added in chunk order, which keeps the reduction deterministic for a fixed
+// worker count.
+func reduceColumns(dst Vector, partials []Vector, w, k int) {
+	cols := len(dst)
+	lo, hi := k*cols/w, (k+1)*cols/w
+	for j := lo; j < hi; j++ {
+		var s float64
+		for q := 0; q < w; q++ {
+			s += partials[q][j]
+		}
+		dst[j] = s
+	}
+}
+
 // MulVecTPar computes dst = mᵀ·x like MulVecT, splitting the scatter over up
-// to `workers` goroutines (0 = DefaultWorkers). Each worker scatters its
-// nnz-balanced row chunk into a private accumulator from ws (allocated
-// locally when ws is nil); the accumulators are then reduced into dst in
-// worker order over parallel column chunks. The result is bitwise
-// deterministic for a fixed worker count and agrees with the serial MulVecT
-// up to floating-point reassociation. dst must not alias x.
+// to `workers` chunks (0 = DefaultWorkers) executed on the persistent
+// worker pool. Each chunk scatters its nnz-balanced row range into a
+// private accumulator from ws (allocated locally when ws is nil); the
+// accumulators are then reduced into dst in chunk order over parallel
+// column chunks. The result is bitwise deterministic for a fixed worker
+// count and agrees with the serial MulVecT up to floating-point
+// reassociation. dst must not alias x.
 func (m *CSR) MulVecTPar(dst, x Vector, workers int, ws *TScratch) Vector {
 	if len(x) != m.rows || len(dst) != m.cols {
 		panic("mat: CSR MulVecTPar shape mismatch")
@@ -155,29 +172,8 @@ func (m *CSR) MulVecTPar(dst, x Vector, workers int, ws *TScratch) Vector {
 		ws = &TScratch{}
 	}
 	ws.ensure(w, m.cols)
-	parallelDo(w, func(k int) {
-		p := ws.partials[k][:m.cols]
-		p.Fill(0)
-		for i := m.chunkRow(k, w); i < m.chunkRow(k+1, w); i++ {
-			xi := x[i]
-			if xi == 0 {
-				continue
-			}
-			for q := m.rowPtr[i]; q < m.rowPtr[i+1]; q++ {
-				p[m.colIdx[q]] += m.val[q] * xi
-			}
-		}
-	})
-	parallelDo(w, func(k int) {
-		lo, hi := k*m.cols/w, (k+1)*m.cols/w
-		for j := lo; j < hi; j++ {
-			var s float64
-			for q := 0; q < w; q++ {
-				s += ws.partials[q][j]
-			}
-			dst[j] = s
-		}
-	})
+	runKernel(taskScatterT, m, nil, x, nil, nil, ws, w)
+	runKernel(taskReduceT, m, dst, nil, nil, nil, ws, w)
 	return dst
 }
 
@@ -197,9 +193,10 @@ func (m *CSR) mulVecDiagSubRange(dst, x, diag, s Vector, lo, hi int) {
 // kernel behind the matrix-free ABH Laplacian apply L·s = D·s − C·(Cᵀ·s).
 // Fusing the diagonal term into the row sweep removes one full pass over
 // dst compared to MulVec followed by an elementwise fix-up. The sweep is
-// split over up to `workers` goroutines (0 = DefaultWorkers) with the same
-// nnz-balanced row partition as MulVecPar, so results are bitwise identical
-// to the serial fused loop for every worker count. dst must not alias x.
+// split over up to `workers` chunks (0 = DefaultWorkers) executed on the
+// persistent worker pool with the same nnz-balanced row partition as
+// MulVecPar, so results are bitwise identical to the serial fused loop for
+// every worker count. dst must not alias x.
 func (m *CSR) MulVecDiagSub(dst, x, diag, s Vector, workers int) Vector {
 	if len(x) != m.cols || len(dst) != m.rows || len(diag) != m.rows || len(s) != m.rows {
 		panic("mat: CSR MulVecDiagSub shape mismatch")
@@ -209,8 +206,6 @@ func (m *CSR) MulVecDiagSub(dst, x, diag, s Vector, workers int) Vector {
 		m.mulVecDiagSubRange(dst, x, diag, s, 0, m.rows)
 		return dst
 	}
-	parallelDo(w, func(k int) {
-		m.mulVecDiagSubRange(dst, x, diag, s, m.chunkRow(k, w), m.chunkRow(k+1, w))
-	})
+	runKernel(taskDiagSub, m, dst, x, diag, s, nil, w)
 	return dst
 }

@@ -1,0 +1,157 @@
+package mat
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// poolTestCSR builds a random CSR large enough to clear the serial
+// fallback threshold.
+func poolTestCSR(t testing.TB, rows, cols int, seed int64) *CSR {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	entries := make([]Coord, 0, rows*8)
+	for r := 0; r < rows; r++ {
+		for k := 0; k < 8; k++ {
+			entries = append(entries, Coord{Row: r, Col: rng.Intn(cols), Val: rng.Float64()})
+		}
+	}
+	m := NewCSR(rows, cols, entries)
+	if m.NNZ() < parallelMinNNZ {
+		t.Fatalf("test matrix too small to engage the pool: nnz=%d", m.NNZ())
+	}
+	return m
+}
+
+// TestPooledKernelsMatchSerial checks the pooled dispatch path against the
+// serial kernels for every worker count: row-parallel products must be
+// bitwise identical, transpose products within reassociation tolerance.
+func TestPooledKernelsMatchSerial(t *testing.T) {
+	m := poolTestCSR(t, 2000, 300, 1)
+	rng := rand.New(rand.NewSource(2))
+	x := NewVector(m.Cols())
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	xt := NewVector(m.Rows())
+	for i := range xt {
+		xt[i] = rng.NormFloat64()
+	}
+	diag := NewVector(m.Rows())
+	sv := NewVector(m.Rows())
+	for i := range diag {
+		diag[i], sv[i] = rng.Float64(), rng.NormFloat64()
+	}
+
+	wantMul := m.MulVec(NewVector(m.Rows()), x)
+	wantMulT := m.MulVecT(NewVector(m.Cols()), xt)
+	serialFused := NewVector(m.Rows())
+	m.mulVecDiagSubRange(serialFused, x, diag, sv, 0, m.Rows())
+
+	var ws TScratch
+	for _, w := range []int{2, 3, 4, 7, 16} {
+		got := m.MulVecPar(NewVector(m.Rows()), x, w)
+		for i := range got {
+			if got[i] != wantMul[i] {
+				t.Fatalf("MulVecPar(w=%d)[%d] = %g, serial %g", w, i, got[i], wantMul[i])
+			}
+		}
+		gotT := m.MulVecTPar(NewVector(m.Cols()), xt, w, &ws)
+		for j := range gotT {
+			if d := gotT[j] - wantMulT[j]; d > 1e-12 || d < -1e-12 {
+				t.Fatalf("MulVecTPar(w=%d)[%d] = %g, serial %g", w, j, gotT[j], wantMulT[j])
+			}
+		}
+		gotF := m.MulVecDiagSub(NewVector(m.Rows()), x, diag, sv, w)
+		for i := range gotF {
+			if gotF[i] != serialFused[i] {
+				t.Fatalf("MulVecDiagSub(w=%d)[%d] = %g, serial %g", w, i, gotF[i], serialFused[i])
+			}
+		}
+	}
+}
+
+// TestPoolConcurrentDispatch hammers the shared pool from many goroutines —
+// the sharded-engine fan-out pattern — and checks every result. Run under
+// -race this also proves dispatches never share mutable state.
+func TestPoolConcurrentDispatch(t *testing.T) {
+	m := poolTestCSR(t, 1500, 200, 3)
+	x := Ones(m.Cols())
+	want := m.MulVec(NewVector(m.Rows()), x)
+
+	const goroutines, rounds = 8, 20
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			dst := NewVector(m.Rows())
+			var ws TScratch
+			dstT := NewVector(m.Cols())
+			xt := Ones(m.Rows())
+			for r := 0; r < rounds; r++ {
+				m.MulVecPar(dst, x, 1+(g+r)%5)
+				for i := range dst {
+					if dst[i] != want[i] {
+						errs <- fmt.Sprintf("goroutine %d round %d: dst[%d]=%g want %g", g, r, i, dst[i], want[i])
+						return
+					}
+				}
+				m.MulVecTPar(dstT, xt, 1+(g+r)%5, &ws)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	if msg := <-errs; msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+// TestSetPoolSize exercises the grow/shrink lifecycle: resizing between and
+// during dispatches must never lose results or target a dead worker.
+func TestSetPoolSize(t *testing.T) {
+	m := poolTestCSR(t, 1200, 150, 5)
+	x := Ones(m.Cols())
+	want := m.MulVec(NewVector(m.Rows()), x)
+	check := func(w int) {
+		t.Helper()
+		got := m.MulVecPar(NewVector(m.Rows()), x, w)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("after resize: MulVecPar(w=%d)[%d] = %g, want %g", w, i, got[i], want[i])
+			}
+		}
+	}
+
+	SetPoolSize(4)
+	if PoolSize() != 4 {
+		t.Fatalf("PoolSize() = %d after SetPoolSize(4)", PoolSize())
+	}
+	check(8) // more chunks than workers: chunks queue
+	SetPoolSize(1)
+	if PoolSize() != 1 {
+		t.Fatalf("PoolSize() = %d after SetPoolSize(1)", PoolSize())
+	}
+	check(6) // shrunk pool still serves wide dispatches
+	SetPoolSize(6)
+	check(6)
+
+	// Resize concurrently with dispatch traffic.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, n := range []int{2, 5, 1, 4, 3} {
+			SetPoolSize(n)
+		}
+	}()
+	for r := 0; r < 10; r++ {
+		check(1 + r%6)
+	}
+	wg.Wait()
+	SetPoolSize(0) // restore the GOMAXPROCS default for other tests
+}

@@ -329,3 +329,31 @@ func (v Vector) Equal(w Vector, tol float64) bool {
 	}
 	return true
 }
+
+// MinMaxNormalized returns a copy of v rescaled to [0, 1] by min-max
+// normalization. A flat vector (zero span) maps to 0.5 everywhere — the
+// "no signal" midpoint; per-component and per-shard ranking merges share
+// this one rule so their score contracts cannot drift apart.
+func (v Vector) MinMaxNormalized() Vector {
+	out := NewVector(len(v))
+	if len(v) == 0 {
+		return out
+	}
+	lo, hi := v[0], v[0]
+	for _, x := range v[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi == lo {
+		out.Fill(0.5)
+		return out
+	}
+	for i, x := range v {
+		out[i] = (x - lo) / (hi - lo)
+	}
+	return out
+}

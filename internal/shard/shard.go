@@ -1,0 +1,102 @@
+// Package shard maps tenant and user keys onto a fixed number of engine
+// shards. It is the routing substrate of the sharded serving engine: a
+// stateless mixing hash assigns keys to shards with good balance, and a Map
+// materializes the resulting bidirectional user partition (global user
+// index ↔ (shard, local index)) that the router uses to fan writes out and
+// merge ranks back deterministically.
+//
+// Every function here is deterministic: the same key and shard count always
+// produce the same shard, across processes and platforms, so a response
+// matrix re-sharded at the same width reproduces the exact same partition.
+package shard
+
+// mix is the splitmix64 finalizer: a full-avalanche 64-bit mixer, so
+// consecutive user indices — the common key pattern — spread uniformly
+// across shards instead of striping.
+func mix(key uint64) uint64 {
+	key ^= key >> 30
+	key *= 0xbf58476d1ce4e5b9
+	key ^= key >> 27
+	key *= 0x94d049bb133111eb
+	key ^= key >> 31
+	return key
+}
+
+// Of maps an integer key (typically a global user index) onto one of n
+// shards. It panics if n is not positive.
+func Of(key uint64, n int) int {
+	if n <= 0 {
+		panic("shard: Of needs a positive shard count")
+	}
+	return int(mix(key) % uint64(n))
+}
+
+// OfString maps a string key (typically a tenant identifier) onto one of n
+// shards via FNV-1a followed by the same mixer Of uses. It panics if n is
+// not positive.
+func OfString(key string, n int) int {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return Of(h, n)
+}
+
+// Map is the materialized user partition of a sharded engine: for every
+// global user index it records the owning shard and the user's local index
+// within that shard, plus the inverse mapping. A Map is immutable after
+// NewMap and safe for concurrent readers.
+type Map struct {
+	shard   []int   // global user -> owning shard
+	local   []int   // global user -> local index within its shard
+	globals [][]int // shard -> local index -> global user
+}
+
+// NewMap partitions `users` global user indices across `shards` shards with
+// Of. Local indices within a shard preserve global order, so merges that
+// iterate shards then locals visit users deterministically. NewMap panics
+// if shards is not positive or users is negative.
+func NewMap(users, shards int) *Map {
+	if shards <= 0 {
+		panic("shard: NewMap needs a positive shard count")
+	}
+	if users < 0 {
+		panic("shard: NewMap needs a non-negative user count")
+	}
+	m := &Map{
+		shard:   make([]int, users),
+		local:   make([]int, users),
+		globals: make([][]int, shards),
+	}
+	for u := 0; u < users; u++ {
+		s := Of(uint64(u), shards)
+		m.shard[u] = s
+		m.local[u] = len(m.globals[s])
+		m.globals[s] = append(m.globals[s], u)
+	}
+	return m
+}
+
+// Shards returns the number of shards the map partitions users across.
+func (m *Map) Shards() int { return len(m.globals) }
+
+// Users returns the number of global users the map covers.
+func (m *Map) Users() int { return len(m.shard) }
+
+// ShardOf returns the shard owning the given global user.
+func (m *Map) ShardOf(user int) int { return m.shard[user] }
+
+// Locate returns the owning shard and the local index of a global user.
+func (m *Map) Locate(user int) (shard, local int) {
+	return m.shard[user], m.local[user]
+}
+
+// GlobalsOf returns the global user indices served by a shard, ordered by
+// local index. The returned slice is owned by the map and must not be
+// mutated.
+func (m *Map) GlobalsOf(shard int) []int { return m.globals[shard] }
+
+// Size returns the number of users a shard owns.
+func (m *Map) Size(shard int) int { return len(m.globals[shard]) }

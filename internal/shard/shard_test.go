@@ -1,0 +1,87 @@
+package shard
+
+import "testing"
+
+// TestOfDeterministic pins the routing function: the same key and width
+// must map to the same shard on every call (and every platform — the test
+// fixes a few absolute values so an accidental hash change fails loudly).
+func TestOfDeterministic(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 17} {
+		for key := uint64(0); key < 100; key++ {
+			a, b := Of(key, n), Of(key, n)
+			if a != b {
+				t.Fatalf("Of(%d, %d) unstable: %d vs %d", key, n, a, b)
+			}
+			if a < 0 || a >= n {
+				t.Fatalf("Of(%d, %d) = %d out of range", key, n, a)
+			}
+		}
+	}
+	if got := Of(0, 1); got != 0 {
+		t.Fatalf("Of(0,1) = %d, want 0", got)
+	}
+	if a, b := OfString("tenant-a", 8), OfString("tenant-a", 8); a != b {
+		t.Fatalf("OfString unstable: %d vs %d", a, b)
+	}
+	if OfString("tenant-a", 8) == OfString("tenant-b", 8) &&
+		OfString("tenant-a", 8) == OfString("tenant-c", 8) &&
+		OfString("tenant-a", 8) == OfString("tenant-d", 8) {
+		t.Fatal("OfString maps four distinct tenants to one shard: hash degenerate")
+	}
+}
+
+// TestOfBalance checks the mixer spreads consecutive integer keys (the user
+// index pattern) evenly: no shard may hold more than twice its fair share
+// of 10k users.
+func TestOfBalance(t *testing.T) {
+	const users = 10000
+	for _, n := range []int{2, 4, 8} {
+		counts := make([]int, n)
+		for u := 0; u < users; u++ {
+			counts[Of(uint64(u), n)]++
+		}
+		fair := users / n
+		for s, c := range counts {
+			if c > 2*fair || c < fair/2 {
+				t.Fatalf("shards=%d: shard %d holds %d of %d users (fair share %d)", n, s, c, users, fair)
+			}
+		}
+	}
+}
+
+// TestMapRoundTrip checks the partition is a bijection: every global user
+// appears in exactly one shard at the local index the map reports, and
+// local indices preserve global order.
+func TestMapRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ users, shards int }{
+		{0, 1}, {1, 1}, {5, 1}, {7, 3}, {1000, 4}, {3, 8},
+	} {
+		m := NewMap(tc.users, tc.shards)
+		if m.Users() != tc.users || m.Shards() != tc.shards {
+			t.Fatalf("NewMap(%d,%d): Users=%d Shards=%d", tc.users, tc.shards, m.Users(), m.Shards())
+		}
+		seen := 0
+		for s := 0; s < m.Shards(); s++ {
+			globals := m.GlobalsOf(s)
+			if len(globals) != m.Size(s) {
+				t.Fatalf("shard %d: len(GlobalsOf)=%d Size=%d", s, len(globals), m.Size(s))
+			}
+			for l, g := range globals {
+				shard, local := m.Locate(g)
+				if shard != s || local != l {
+					t.Fatalf("user %d: Locate=(%d,%d), inverse says (%d,%d)", g, shard, local, s, l)
+				}
+				if m.ShardOf(g) != s {
+					t.Fatalf("user %d: ShardOf=%d, want %d", g, m.ShardOf(g), s)
+				}
+				if l > 0 && globals[l-1] >= g {
+					t.Fatalf("shard %d: locals out of global order at %d", s, l)
+				}
+				seen++
+			}
+		}
+		if seen != tc.users {
+			t.Fatalf("NewMap(%d,%d): partition covers %d users", tc.users, tc.shards, seen)
+		}
+	}
+}

@@ -1,0 +1,395 @@
+package hitsndiffs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"hitsndiffs/internal/mat"
+	"hitsndiffs/internal/shard"
+)
+
+// ShardedEngine scales the serving Engine horizontally: it hashes users
+// across N independent Engines (shards), each owning a disjoint slice of
+// the response matrix, and routes traffic so the shards never contend with
+// each other.
+//
+// Three effects make it the heavy-traffic configuration:
+//
+//   - Observe and ObserveBatch touch only the shard(s) owning the written
+//     users, so write locks, version bumps and copy-on-write clones are
+//     confined to 1/N of the matrix. Under mixed read/write traffic the
+//     dominant write cost — the one-time clone after a snapshot — shrinks
+//     from O(m·n) to O(m·n/N) (see BenchmarkShardedObserve).
+//   - Rank fans out across shards concurrently and re-solves only shards
+//     whose version changed since their last solve; a single-user write
+//     therefore re-ranks 1/N of the users while the other shards answer
+//     from their caches (see BenchmarkShardedRank).
+//   - All shards share one persistent kernel worker pool (see SetPoolSize),
+//     so concurrent shard solves fan out without per-apply goroutine spawns.
+//
+// The price is score granularity: user scores are only directly comparable
+// within a shard, so the merged ranking min-max normalizes each shard to
+// [0, 1] — the same contract as RankPerComponent. Workloads that need
+// globally calibrated scores, or label inference over the full matrix,
+// should use a single Engine (or one ShardedEngine per tenant and
+// shard.OfString to route tenants).
+//
+// Construct with NewShardedEngine; the zero value is not usable. All
+// methods are safe for concurrent use.
+type ShardedEngine struct {
+	method  string
+	engines []*Engine
+	users   *shard.Map
+	options []int // per-item option counts, identical across shards
+
+	// mu guards the router's two memos: sparse, the per-shard
+	// too-few-users verdict keyed by shard version (recomputing it per
+	// Rank would rescan matrices or take COW-poisoning snapshots), and
+	// cached, the merged Rank result keyed by the cluster version.
+	mu     sync.Mutex
+	sparse []sparseMemo
+	cached *shardedCache
+}
+
+// shardedCache holds the merged ranking computed at one cluster version.
+// Shard versions only grow, so their sum is a valid freshness key: equal
+// sums imply no shard has been written in between.
+type shardedCache struct {
+	version uint64
+	res     Result
+}
+
+// sparseMemo caches one shard's too-few-users verdict for a shard version.
+type sparseMemo struct {
+	version uint64
+	valid   bool
+	sparse  bool
+}
+
+// NewShardedEngine builds a sharded serving engine over the given response
+// matrix. WithShards picks the shard count (default 1; capped at the user
+// count); the remaining options are those of NewEngine and apply to every
+// shard. Users are assigned to shards by hashing their index
+// (shard.Of), so the partition is deterministic across processes.
+//
+// Kernel parallelism needs no per-shard division: every shard's solves
+// dispatch their chunks through the shared persistent worker pool (see
+// SetPoolSize), which caps concurrent kernel execution at the pool size
+// plus one chunk per in-flight solve (each dispatch runs its first chunk
+// itself); surplus chunks queue. Each shard therefore keeps the full
+// WithParallelism / SetParallelism chunk budget — in particular the
+// steady-state single-shard re-solve.
+func NewShardedEngine(m *ResponseMatrix, opts ...EngineOption) (*ShardedEngine, error) {
+	if m == nil {
+		return nil, fmt.Errorf("hitsndiffs: NewShardedEngine needs a response matrix")
+	}
+	s := engineSettings{method: "HnD-power"}
+	for _, o := range opts {
+		if o != nil {
+			o(&s)
+		}
+	}
+	users := shardMapFor(m.Users(), s.shards)
+	n := users.Shards()
+	options := make([]int, m.Items())
+	for i := range options {
+		options[i] = m.OptionCount(i)
+	}
+
+	se := &ShardedEngine{
+		method:  s.method,
+		engines: make([]*Engine, n),
+		users:   users,
+		options: options,
+		sparse:  make([]sparseMemo, n),
+	}
+	for sh := 0; sh < n; sh++ {
+		// shardMapFor guarantees every shard owns at least one user, so
+		// Subset's non-empty precondition always holds.
+		sub := m.Subset(users.GlobalsOf(sh))
+		// Forward the caller's options verbatim so the shard engines see
+		// the full NewEngine option surface, present and future; NewEngine
+		// ignores the router-only WithShards.
+		eng, err := NewEngine(sub, opts...)
+		if err != nil {
+			return nil, err
+		}
+		se.engines[sh] = eng
+	}
+	return se, nil
+}
+
+// shardMapFor builds the user partition for a requested shard count,
+// deterministically lowering the count until every shard owns at least one
+// user (hash imbalance can leave a shard empty when shards approach the
+// user count; a 1-wide partition never can). The result is a pure function
+// of (users, requested), so re-sharding the same population reproduces the
+// same partition.
+func shardMapFor(userCount, requested int) *shard.Map {
+	n := requested
+	if n > userCount {
+		n = userCount
+	}
+	if n < 1 {
+		n = 1
+	}
+	for ; n > 1; n-- {
+		m := shard.NewMap(userCount, n)
+		empty := false
+		for sh := 0; sh < n; sh++ {
+			if m.Size(sh) == 0 {
+				empty = true
+				break
+			}
+		}
+		if !empty {
+			return m
+		}
+	}
+	return shard.NewMap(userCount, 1)
+}
+
+// Shards returns the number of independent engine shards behind the router.
+func (s *ShardedEngine) Shards() int { return len(s.engines) }
+
+// Users returns the number of users across all shards.
+func (s *ShardedEngine) Users() int { return s.users.Users() }
+
+// Items returns the number of items every shard tracks.
+func (s *ShardedEngine) Items() int { return len(s.options) }
+
+// Method returns the name of the registered method every shard serves.
+func (s *ShardedEngine) Method() string { return s.method }
+
+// ShardFor returns the shard index serving the given global user. The
+// assignment is deterministic: it depends only on the user index and the
+// shard count.
+func (s *ShardedEngine) ShardFor(user int) int { return s.users.ShardOf(user) }
+
+// ShardForKey routes an arbitrary string key — typically a tenant
+// identifier — to a shard index with the same hash family user routing
+// uses. It lets callers pin per-tenant side state to the shard that would
+// serve it.
+func (s *ShardedEngine) ShardForKey(key string) int {
+	return shard.OfString(key, len(s.engines))
+}
+
+// LocalFor returns the shard owning a global user together with the user's
+// row index inside that shard — the index into the shard's View matrix and
+// RankAll score vector. The mapping is fixed at construction.
+func (s *ShardedEngine) LocalFor(user int) (shard, local int) {
+	return s.users.Locate(user)
+}
+
+// UsersOf returns the global user indices a shard serves, ordered by the
+// shard's local row index (local order preserves global order). The slice
+// is a copy the caller may keep.
+func (s *ShardedEngine) UsersOf(sh int) []int {
+	return append([]int(nil), s.users.GlobalsOf(sh)...)
+}
+
+// Version returns the sum of the shard version counters: it increases with
+// every successful write anywhere in the cluster, so equal Versions imply
+// no shard has changed.
+func (s *ShardedEngine) Version() uint64 {
+	var v uint64
+	for _, e := range s.engines {
+		v += e.Version()
+	}
+	return v
+}
+
+// View returns O(1) copy-on-write views of every shard's response matrix
+// together with the matching shard versions, in shard order. Like
+// Engine.View, the returned matrices are immutable by contract: the next
+// write to a shard clones it first, so each view stays consistent forever,
+// but callers must not mutate them. Use LocalFor / UsersOf to translate
+// between global user indices and per-shard row indices.
+func (s *ShardedEngine) View() ([]*ResponseMatrix, []uint64) {
+	ms := make([]*ResponseMatrix, len(s.engines))
+	vs := make([]uint64, len(s.engines))
+	for i, e := range s.engines {
+		ms[i], vs[i] = e.View()
+	}
+	return ms, vs
+}
+
+// validate rejects an observation no shard could apply, using the router's
+// own copy of the item/option geometry (and global user indices, which the
+// shard engines cannot report) so a bad batch is refused before any shard
+// is touched.
+func (s *ShardedEngine) validate(o Observation) error {
+	return validateObservation(o, s.Users(), s.Items(), func(i int) int { return s.options[i] })
+}
+
+// Observe records that user picked option of item, replacing any earlier
+// answer; pass Unanswered to retract one. Only the shard owning the user is
+// locked and version-bumped — writes to different shards never contend.
+func (s *ShardedEngine) Observe(user, item, option int) error {
+	o := Observation{User: user, Item: item, Option: option}
+	if err := s.validate(o); err != nil {
+		return err
+	}
+	sh, local := s.users.Locate(user)
+	return s.engines[sh].Observe(local, item, option)
+}
+
+// ObserveBatch splits a batch of responses by owning shard and applies the
+// per-shard sub-batches concurrently, each under its shard's single lock
+// acquisition and version bump. The whole batch is validated up front
+// against the router's geometry, so an out-of-range observation leaves
+// every shard untouched.
+func (s *ShardedEngine) ObserveBatch(obs []Observation) error {
+	if len(obs) == 0 {
+		return nil
+	}
+	for _, o := range obs {
+		if err := s.validate(o); err != nil {
+			return err
+		}
+	}
+	perShard := make([][]Observation, len(s.engines))
+	for _, o := range obs {
+		sh, local := s.users.Locate(o.User)
+		perShard[sh] = append(perShard[sh], Observation{User: local, Item: o.Item, Option: o.Option})
+	}
+	touched := 0
+	last := -1
+	for sh, batch := range perShard {
+		if len(batch) > 0 {
+			touched++
+			last = sh
+		}
+	}
+	if touched == 1 {
+		return s.engines[last].ObserveBatch(perShard[last])
+	}
+	errs := make([]error, len(s.engines))
+	var wg sync.WaitGroup
+	for sh, batch := range perShard {
+		if len(batch) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh int, batch []Observation) {
+			defer wg.Done()
+			errs[sh] = s.engines[sh].ObserveBatch(batch)
+		}(sh, batch)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rank scores every user in the cluster. With one shard it is exactly
+// Engine.Rank. With several, the shards rank concurrently — each serving
+// from its version-keyed cache when unchanged, re-solving (warm-started)
+// when written — and the per-shard scores are min-max normalized to [0, 1]
+// and merged into one global score vector. Between writes the merged
+// result itself is cached, so a read-heavy steady state pays one score
+// copy per Rank, no fan-out. The merge is deterministic: it visits shards
+// in index order and writes each user's score at its global index, so the
+// result is independent of shard completion order. Iterations sums the
+// shard iteration counts; Converged reports whether every shard converged.
+// The returned Result owns its score slice; callers may mutate it freely.
+func (s *ShardedEngine) Rank(ctx context.Context) (Result, error) {
+	if len(s.engines) == 1 {
+		return s.engines[0].Rank(ctx)
+	}
+	version := s.Version()
+	s.mu.Lock()
+	if c := s.cached; c != nil && c.version == version {
+		out := c.res
+		out.Scores = append(mat.Vector(nil), c.res.Scores...)
+		s.mu.Unlock()
+		return out, nil
+	}
+	s.mu.Unlock()
+
+	results, err := s.RankAll(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	merged := Result{Scores: mat.NewVector(s.Users()), Converged: true}
+	for sh, res := range results {
+		norm := res.Scores.MinMaxNormalized()
+		for local, g := range s.users.GlobalsOf(sh) {
+			merged.Scores[g] = norm[local]
+		}
+		merged.Iterations += res.Iterations
+		merged.Converged = merged.Converged && res.Converged
+	}
+	if s.Version() == version {
+		s.mu.Lock()
+		s.cached = &shardedCache{version: version, res: merged}
+		s.mu.Unlock()
+		out := merged
+		out.Scores = append(mat.Vector(nil), merged.Scores...)
+		return out, nil
+	}
+	return merged, nil
+}
+
+// RankAll runs every shard's Rank concurrently and returns the raw
+// per-shard results in shard order, scores in shard-local user indexing
+// (translate with LocalFor / UsersOf). Shards left
+// with fewer than two answering users — possible under hash imbalance on
+// tiny populations — report a flat, converged result instead of failing the
+// whole fan-out. On error, the first failing shard in index order wins,
+// deterministically.
+func (s *ShardedEngine) RankAll(ctx context.Context) ([]Result, error) {
+	results := make([]Result, len(s.engines))
+	errs := make([]error, len(s.engines))
+	var wg sync.WaitGroup
+	for i := range s.engines {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.rankShard(ctx, i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// rankShard ranks one shard, mapping the too-few-users degenerate case to a
+// flat result when the shard is only a slice of a wider population. (The
+// merge maps the flat scores to 0.5 — "no signal" — for every user there.)
+func (s *ShardedEngine) rankShard(ctx context.Context, i int) (Result, error) {
+	eng := s.engines[i]
+	if len(s.engines) > 1 && s.shardTooSparse(i) {
+		return Result{Scores: mat.NewVector(eng.Users()), Converged: true}, nil
+	}
+	return eng.Rank(ctx)
+}
+
+// shardTooSparse reports whether shard i has fewer than two answering users
+// — the population no spectral method can rank. The verdict is memoized per
+// shard version, and the rescan path reads under the shard's lock without
+// snapshotting, so steady-state Ranks over cache-hit shards neither touch
+// their matrices nor poison their copy-on-write state.
+func (s *ShardedEngine) shardTooSparse(i int) bool {
+	version := s.engines[i].Version()
+	s.mu.Lock()
+	if m := s.sparse[i]; m.valid && m.version == version {
+		s.mu.Unlock()
+		return m.sparse
+	}
+	s.mu.Unlock()
+	sparse := !s.engines[i].answeredAtLeast(2)
+	s.mu.Lock()
+	s.sparse[i] = sparseMemo{version: version, valid: true, sparse: sparse}
+	s.mu.Unlock()
+	return sparse
+}
+
