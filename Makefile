@@ -1,5 +1,5 @@
 # Development entry points. CI runs `make check`; `make bench` regenerates
-# the performance-trajectory baseline committed as BENCH_pr3.json.
+# the performance-trajectory baseline committed as BENCH_pr4.json.
 
 # pipefail so a failing benchmark run fails the bench target instead of
 # being masked by tee's exit status.
@@ -10,11 +10,12 @@ GO ?= go
 
 # Benchmarks tracked as the perf baseline: the Figure 5 scaling workloads
 # (serial vs parallel kernels), the isolated zero-alloc power-loop body,
-# the pooled parallel dispatch path, CSR assembly, the Engine serving
-# paths, and the sharded-router scaling curves.
-BENCH_PATTERN ?= Fig5aScaleUsers|Fig5bScaleQuestions|HNDPowerInnerLoop|EngineSnapshot|EngineWarmVsCold|NewCSRAssembly|MulVecParallel|ParallelDoPooled|ShardedObserve|ShardedRank
+# the pooled parallel dispatch path, CSR and block-diagonal assembly, the
+# Engine serving paths, the sharded-router scaling curves, and the batched
+# multi-tenant ranking path.
+BENCH_PATTERN ?= Fig5aScaleUsers|Fig5bScaleQuestions|HNDPowerInnerLoop|EngineSnapshot|EngineWarmVsCold|NewCSRAssembly|MulVecParallel|ParallelDoPooled|ShardedObserve|ShardedRank|BatchedRank|BlockDiag
 BENCH_TIME ?= 1x
-BENCH_OUT ?= BENCH_pr3.json
+BENCH_OUT ?= BENCH_pr4.json
 
 .PHONY: build test check bench clean
 

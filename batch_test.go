@@ -1,0 +1,287 @@
+package hitsndiffs
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+)
+
+// tenantWorkloads builds n independent tenant matrices of slightly varying
+// shapes.
+func tenantWorkloads(t testing.TB, n int, seed int64) []*ResponseMatrix {
+	t.Helper()
+	out := make([]*ResponseMatrix, n)
+	for i := range out {
+		out[i] = engineWorkload(t, 40+5*(i%3), 30, seed+int64(i))
+	}
+	return out
+}
+
+func scoresEqualBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRankBatchMatchesIndividualSolves: the batched path must be bitwise
+// identical (serial kernels) to ranking every tenant alone with the same
+// method and options.
+func TestRankBatchMatchesIndividualSolves(t *testing.T) {
+	ctx := context.Background()
+	tenants := tenantWorkloads(t, 5, 11)
+	base := []Option{WithSeed(2), WithParallelism(1)}
+	eng, err := NewEngine(NewResponseMatrix(2, 1, 2), WithRankOptions(base...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.RankBatch(ctx, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tenants) {
+		t.Fatalf("got %d results for %d tenants", len(got), len(tenants))
+	}
+	for i, m := range tenants {
+		want, err := HND(base...).Rank(ctx, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !scoresEqualBits(got[i].Scores, want.Scores) {
+			t.Fatalf("tenant %d: batched scores differ from solo solve", i)
+		}
+	}
+}
+
+// TestRankBatchCachePerTenantVersion: unchanged tenants are served from the
+// per-tenant cache; a written tenant — and only it — re-solves, warm-started.
+func TestRankBatchCachePerTenantVersion(t *testing.T) {
+	ctx := context.Background()
+	tenants := tenantWorkloads(t, 4, 23)
+	eng, err := NewEngine(NewResponseMatrix(2, 1, 2), WithRankOptions(WithSeed(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := eng.RankBatch(ctx, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.batchSolves != 4 {
+		t.Fatalf("cold batch solved %d tenants, want 4", eng.batchSolves)
+	}
+
+	again, err := eng.RankBatch(ctx, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.batchSolves != 4 {
+		t.Fatalf("unchanged batch re-solved (%d total solves, want 4)", eng.batchSolves)
+	}
+	for i := range tenants {
+		if !scoresEqualBits(first[i].Scores, again[i].Scores) {
+			t.Fatalf("tenant %d: cached result differs", i)
+		}
+	}
+
+	// Write one tenant: exactly one re-solve, warm-started (fewer
+	// iterations than its cold solve).
+	tenants[2].SetAnswer(0, 0, 0)
+	third, err := eng.RankBatch(ctx, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.batchSolves != 5 {
+		t.Fatalf("single-tenant write re-solved %d tenants, want 1", eng.batchSolves-4)
+	}
+	if third[2].Iterations >= first[2].Iterations {
+		t.Fatalf("re-solve not warm-started: %d iterations vs cold %d",
+			third[2].Iterations, first[2].Iterations)
+	}
+	// Result slices are caller-owned: scribbling on one must not corrupt
+	// the cache.
+	third[0].Scores[0] = 1e9
+	fourth, err := eng.RankBatch(ctx, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fourth[0].Scores[0] == 1e9 {
+		t.Fatal("cache shares score slices with callers")
+	}
+}
+
+// TestRankBatchDuplicateAndFallback covers duplicate tenant pointers and
+// the sequential fallback for methods without a batched form.
+func TestRankBatchDuplicateAndFallback(t *testing.T) {
+	ctx := context.Background()
+	m := engineWorkload(t, 30, 20, 5)
+	eng, err := NewEngine(NewResponseMatrix(2, 1, 2),
+		WithMethod("HITS"), WithRankOptions(WithSeed(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.RankBatch(ctx, []*ResponseMatrix{m, m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.batchSolves != 1 {
+		t.Fatalf("duplicate tenant solved %d times, want 1", eng.batchSolves)
+	}
+	if !scoresEqualBits(res[0].Scores, res[1].Scores) {
+		t.Fatal("duplicate tenants disagree")
+	}
+	want, err := New("HITS", WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wres, err := want.Rank(ctx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scoresEqualBits(res[0].Scores, wres.Scores) {
+		t.Fatal("fallback batched result differs from direct HITS solve")
+	}
+}
+
+// TestRankBatchErrorNamesCallerIndex: a failing tenant must be named by
+// its position in the caller's slice, not its position inside the
+// stale-only chunk the batcher actually solves.
+func TestRankBatchErrorNamesCallerIndex(t *testing.T) {
+	ctx := context.Background()
+	good := engineWorkload(t, 20, 10, 1)
+	bad := NewResponseMatrix(5, 3, 2) // nobody answered anything
+	eng, err := NewEngine(NewResponseMatrix(2, 1, 2), WithRankOptions(WithSeed(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cache the good tenant so the failing batch's stale set holds only the
+	// bad one (chunk-local index 0, caller index 2).
+	if _, err := eng.RankBatch(ctx, []*ResponseMatrix{good}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.RankBatch(ctx, []*ResponseMatrix{good, good, bad})
+	if err == nil || !strings.Contains(err.Error(), "tenant 2") {
+		t.Fatalf("want error naming tenant 2, got %v", err)
+	}
+}
+
+// TestObserveRankAvoidsFullCSRRebuild is the delta-aware acceptance
+// criterion: after the engine's first solve, a single-user Observe followed
+// by a Rank must rebuild only the touched rows of the memoized one-hot CSR
+// — the full-assembly counter stays at one, under an outstanding
+// copy-on-write snapshot included.
+func TestObserveRankAvoidsFullCSRRebuild(t *testing.T) {
+	ctx := context.Background()
+	eng, err := NewEngine(engineWorkload(t, 120, 60, 9), WithRankOptions(WithSeed(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Rank(ctx); err != nil {
+		t.Fatal(err)
+	}
+	view, _ := eng.View() // outstanding snapshot: the next write COW-clones
+	if full, _ := view.CSRRebuilds(); full != 1 {
+		t.Fatalf("cold rank paid %d full builds, want 1", full)
+	}
+	for i := 0; i < 3; i++ {
+		if err := eng.Observe(7+i, 3, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Rank(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, _ := eng.View()
+	full, delta := m.CSRRebuilds()
+	if full != 1 {
+		t.Fatalf("single-user writes triggered %d full CSR rebuilds, want 1 (delta=%d)", full, delta)
+	}
+	if delta != 3 {
+		t.Fatalf("expected 3 delta rebuilds, got %d", delta)
+	}
+	// The outstanding snapshot still serves its original, fully consistent
+	// encoding.
+	if view.Binary() == nil || view == m {
+		t.Fatal("snapshot was not detached by the writes")
+	}
+}
+
+// TestShardedRankAllBatchedMatchesFanOut: the batched RankAll must return
+// exactly what the concurrent per-shard fan-out returns (serial kernels,
+// fixed seed), shard by shard.
+func TestShardedRankAllBatchedMatchesFanOut(t *testing.T) {
+	ctx := context.Background()
+	m := engineWorkload(t, 200, 40, 31)
+	mk := func() *ShardedEngine {
+		eng, err := NewShardedEngine(m, WithShards(4),
+			WithRankOptions(WithSeed(5), WithParallelism(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	a, b := mk(), mk()
+	batched, err := a.RankAll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fanout, err := b.rankAllFanOut(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batched) != len(fanout) {
+		t.Fatal("shard count mismatch")
+	}
+	for i := range batched {
+		if !scoresEqualBits(batched[i].Scores, fanout[i].Scores) {
+			t.Fatalf("shard %d: batched RankAll differs from fan-out", i)
+		}
+		if batched[i].Iterations != fanout[i].Iterations {
+			t.Fatalf("shard %d: iteration counts differ", i)
+		}
+	}
+
+	// After a single-user write, only the owning shard re-solves; the other
+	// shards answer from the caches the batched path populated.
+	if err := a.Observe(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	sh := a.ShardFor(0)
+	versions := make([]uint64, a.Shards())
+	for i, e := range a.engines {
+		versions[i] = e.Version()
+	}
+	rebatched, err := a.RankAll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rebatched {
+		if i != sh && !scoresEqualBits(rebatched[i].Scores, batched[i].Scores) {
+			t.Fatalf("unwritten shard %d changed scores after foreign write", i)
+		}
+		if a.engines[i].Version() != versions[i] {
+			t.Fatalf("RankAll bumped shard %d's version", i)
+		}
+	}
+
+	// WithBatchSize chunking must not change results.
+	c, err := NewShardedEngine(m, WithShards(4), WithBatchSize(2),
+		WithRankOptions(WithSeed(5), WithParallelism(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunked, err := c.RankAll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range chunked {
+		if !scoresEqualBits(chunked[i].Scores, fanout[i].Scores) {
+			t.Fatalf("shard %d: WithBatchSize(2) changed RankAll results", i)
+		}
+	}
+}

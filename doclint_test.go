@@ -10,14 +10,22 @@ import (
 )
 
 // doclintPackages are the packages whose exported surface must be fully
-// documented — the public API plus the three internal layers the
-// architecture guide walks through. CI runs this test in its docs job.
+// documented — the public API and every internal package. CI runs this
+// test in its docs job.
 var doclintPackages = []string{
 	".",
-	"internal/mat",
+	"internal/c1p",
 	"internal/core",
+	"internal/dataset",
 	"internal/eigen",
+	"internal/experiments",
+	"internal/grmest",
+	"internal/irt",
+	"internal/mat",
+	"internal/rank",
+	"internal/response",
 	"internal/shard",
+	"internal/truth",
 }
 
 // TestExportedDocComments is the repository's revive/golint-style

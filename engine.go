@@ -2,10 +2,12 @@ package hitsndiffs
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"hitsndiffs/internal/core"
 	"hitsndiffs/internal/mat"
 	"hitsndiffs/internal/truth"
 )
@@ -33,9 +35,16 @@ import (
 //
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
-	method string
-	base   []Option
-	warm   bool
+	method    string
+	base      []Option
+	warm      bool
+	batchSize int
+
+	// batchMu serializes RankBatch calls and guards the per-tenant result
+	// cache behind them.
+	batchMu     sync.Mutex
+	tenants     map[*ResponseMatrix]*tenantEntry
+	batchSolves uint64 // tenants actually solved (not served cached); observability + tests
 
 	mu sync.RWMutex
 	// m is the current matrix. It is mutated in place only while shared is
@@ -60,11 +69,12 @@ type engineCache struct {
 type EngineOption func(*engineSettings)
 
 type engineSettings struct {
-	method   string
-	base     []Option
-	cold     bool
-	shards   int
-	poolSize int
+	method    string
+	base      []Option
+	cold      bool
+	shards    int
+	poolSize  int
+	batchSize int
 }
 
 // WithMethod selects the registered ranking method the engine serves
@@ -124,10 +134,11 @@ func NewEngine(m *ResponseMatrix, opts ...EngineOption) (*Engine, error) {
 		mat.SetPoolSize(s.poolSize)
 	}
 	return &Engine{
-		method: s.method,
-		base:   s.base,
-		warm:   !s.cold,
-		m:      m.Clone(),
+		method:    s.method,
+		base:      s.base,
+		warm:      !s.cold,
+		batchSize: s.batchSize,
+		m:         m.Clone(),
 	}, nil
 }
 
@@ -317,6 +328,222 @@ func (e *Engine) rank(ctx context.Context, needSnapshot bool) (Result, uint64, *
 	out := res
 	out.Scores = append([]float64(nil), res.Scores...)
 	return out, version, snapshot, nil
+}
+
+// tenantEntry caches one tenant matrix's last batched result, keyed by the
+// matrix generation it was solved at. The cached score slice doubles as the
+// warm start for the tenant's next re-solve.
+type tenantEntry struct {
+	gen uint64
+	res Result // Scores owned by the cache; copied out per caller
+}
+
+// RankBatch scores several caller-owned tenant matrices with the engine's
+// method and options, one Result per tenant in input order. Stale tenants
+// are solved together: their matrices are packed into one block-diagonal
+// system (core.BatchRanker), so every power step services all of them with
+// a single pass through the persistent kernel worker pool instead of one
+// fan-out per tenant. WithBatchSize caps how many tenants one packed solve
+// takes.
+//
+// Results are cached per tenant, keyed by the matrix pointer and its
+// write-generation counter (ResponseMatrix.Generation): a tenant that was
+// not written since its last RankBatch is served from the cache, and a
+// re-written tenant is re-solved warm-started from its previous scores.
+// The cache retains entries only for the tenants of the most recent call.
+//
+// The tenant matrices must not be written while RankBatch runs (the same
+// contract as Ranker.Rank); writes between calls are what the generation
+// key tracks. With serial kernels the results are bitwise identical to
+// ranking each tenant alone. Concurrent RankBatch calls serialize.
+func (e *Engine) RankBatch(ctx context.Context, tenants []*ResponseMatrix) ([]Result, error) {
+	if len(tenants) == 0 {
+		return nil, nil
+	}
+	e.batchMu.Lock()
+	defer e.batchMu.Unlock()
+
+	// Resolve unique tenants in first-seen order; duplicates of a pointer
+	// share one solve and one cache entry.
+	order := make([]*ResponseMatrix, 0, len(tenants))
+	slots := make(map[*ResponseMatrix]*batchSlot, len(tenants))
+	for i, m := range tenants {
+		if m == nil {
+			return nil, fmt.Errorf("hitsndiffs: RankBatch tenant %d is nil", i)
+		}
+		sl, ok := slots[m]
+		if !ok {
+			sl = &batchSlot{gen: m.Generation()}
+			if ent := e.tenants[m]; ent != nil && ent.gen == sl.gen {
+				sl.ent = ent
+			}
+			slots[m] = sl
+			order = append(order, m)
+		}
+		sl.idxs = append(sl.idxs, i)
+	}
+	var stale []*ResponseMatrix
+	for _, m := range order {
+		if slots[m].ent == nil {
+			stale = append(stale, m)
+		}
+	}
+	if err := e.solveTenants(ctx, stale, slots); err != nil {
+		return nil, err
+	}
+
+	results := make([]Result, len(tenants))
+	next := make(map[*ResponseMatrix]*tenantEntry, len(order))
+	for _, m := range order {
+		sl := slots[m]
+		next[m] = sl.ent
+		for _, i := range sl.idxs {
+			out := sl.ent.res
+			out.Scores = append(mat.Vector(nil), sl.ent.res.Scores...)
+			results[i] = out
+		}
+	}
+	e.tenants = next
+	return results, nil
+}
+
+// batchSlot is RankBatch's per-unique-tenant bookkeeping: the result
+// indices the tenant fills, the generation it was read at, and the cache
+// entry serving it.
+type batchSlot struct {
+	idxs []int
+	gen  uint64
+	ent  *tenantEntry
+}
+
+// solveTenants ranks the stale tenants — batched through the block-diagonal
+// solver when the engine's method supports it, sequentially through the
+// registry otherwise — and installs fresh cache entries into slots. The
+// slots map is keyed by tenant; its entries carry the generation each
+// tenant was read at. Callers hold batchMu.
+func (e *Engine) solveTenants(ctx context.Context, stale []*ResponseMatrix, slots map[*ResponseMatrix]*batchSlot) error {
+	if len(stale) == 0 {
+		return nil
+	}
+	warmFor := func(m *ResponseMatrix) mat.Vector {
+		if !e.warm {
+			return nil
+		}
+		if old := e.tenants[m]; old != nil && len(old.res.Scores) == m.Users() {
+			return old.res.Scores
+		}
+		return nil
+	}
+	if e.method == batchableMethod {
+		items := make([]core.BatchItem, len(stale))
+		for k, m := range stale {
+			items[k] = core.BatchItem{M: m, WarmStart: warmFor(m)}
+		}
+		return runBatches(ctx, e.base, e.batchSize, items,
+			func(k int) string {
+				return fmt.Sprintf("RankBatch tenant %d", slots[stale[k]].idxs[0])
+			},
+			func(k int, res Result) {
+				e.batchSolves++
+				slots[stale[k]].ent = &tenantEntry{gen: slots[stale[k]].gen, res: res}
+			})
+	}
+	// Methods without a batched form keep the same caching contract, one
+	// tenant at a time.
+	for _, m := range stale {
+		opts := e.base
+		if warm := warmFor(m); warm != nil {
+			opts = append(append([]Option(nil), e.base...), WithWarmStart(warm))
+		}
+		r, err := New(e.method, opts...)
+		if err != nil {
+			return err
+		}
+		res, err := r.Rank(ctx, m)
+		if err != nil {
+			return err
+		}
+		e.batchSolves++
+		slots[m].ent = &tenantEntry{gen: slots[m].gen, res: res}
+	}
+	return nil
+}
+
+// batchableMethod is the registered method with a block-diagonal batched
+// solve path (core.BatchRanker implements exactly the HND power iteration).
+const batchableMethod = "HnD-power"
+
+// runBatches drives core.BatchRanker over the stale tenants in chunks of at
+// most batchSize (≤ 0 = one batch), delivering each result through install
+// with the tenant's index into items. Per-tenant failures are remapped from
+// chunk-local positions to the caller's naming via label. It is the one
+// chunking loop behind Engine.RankBatch and ShardedEngine.RankAll.
+func runBatches(ctx context.Context, base []Option, batchSize int, items []core.BatchItem,
+	label func(k int) string, install func(k int, res Result)) error {
+	br := core.BatchRanker{Opts: newSettings(base).coreOptions()}
+	chunk := batchSize
+	if chunk <= 0 || chunk > len(items) {
+		chunk = len(items)
+	}
+	for lo := 0; lo < len(items); lo += chunk {
+		hi := min(lo+chunk, len(items))
+		solved, err := br.RankBatch(ctx, items[lo:hi])
+		if err != nil {
+			var te *core.TenantError
+			if errors.As(err, &te) {
+				return fmt.Errorf("hitsndiffs: %s: %w", label(lo+te.Tenant), te.Err)
+			}
+			return err
+		}
+		for j, res := range solved {
+			install(lo+j, res)
+		}
+	}
+	return nil
+}
+
+// peekCached returns a copy of the cached ranking when it is fresh for the
+// engine's current version, without solving, snapshotting, or poisoning the
+// copy-on-write state. The sharded router uses it to collect warm shards
+// before batch-solving the stale ones.
+func (e *Engine) peekCached() (Result, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if c := e.cached; c != nil && c.version == e.version {
+		res := c.res
+		res.Scores = append(mat.Vector(nil), c.res.Scores...)
+		return res, true
+	}
+	return Result{}, false
+}
+
+// solveInput snapshots what an external solver needs to rank this engine's
+// matrix: the O(1) copy-on-write view, the version it corresponds to, and
+// the warm-start vector (nil when cold-starting). Like View, it marks the
+// matrix shared.
+func (e *Engine) solveInput() (m *ResponseMatrix, version uint64, warm mat.Vector) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	m, version = e.m, e.version
+	e.shared.Store(true)
+	if e.warm && len(e.lastScores) == e.m.Users() {
+		warm = append(mat.Vector(nil), e.lastScores...)
+	}
+	return m, version, warm
+}
+
+// storeSolved installs an externally computed ranking for the matrix
+// version it was solved at: the scores become the next warm start, and the
+// result is cached unless the engine has been written since.
+func (e *Engine) storeSolved(version uint64, res Result) {
+	e.mu.Lock()
+	e.lastScores = append([]float64(nil), res.Scores...)
+	if e.version == version {
+		cres := res
+		cres.Scores = append(mat.Vector(nil), res.Scores...)
+		e.cached = &engineCache{version: version, res: cres}
+	}
+	e.mu.Unlock()
 }
 
 // InferLabels serves the truth-discovery direction: it ranks (or reuses

@@ -195,6 +195,83 @@ func ExampleShardedEngine() {
 	// ranked 6 users, converged: true
 }
 
+// Rank many small tenant matrices in one batched block-diagonal solve:
+// stale tenants are packed and solved together, unchanged tenants are
+// served from the per-tenant cache keyed by their write generation.
+func ExampleEngine_RankBatch() {
+	classroomA := hitsndiffs.FromChoices([][]int{
+		{0, 0, 0},
+		{0, 0, 2},
+		{0, 1, 2},
+		{1, 2, 2},
+	}, 3)
+	classroomB := hitsndiffs.FromChoices([][]int{
+		{0, 0},
+		{0, 1},
+		{1, 1},
+	}, 2)
+	eng, err := hitsndiffs.NewEngine(hitsndiffs.NewResponseMatrix(2, 1, 2),
+		hitsndiffs.WithRankOptions(hitsndiffs.WithSeed(1)))
+	if err != nil {
+		panic(err)
+	}
+
+	tenants := []*hitsndiffs.ResponseMatrix{classroomA, classroomB}
+	results, err := eng.RankBatch(context.Background(), tenants)
+	if err != nil {
+		panic(err)
+	}
+	for i, res := range results {
+		fmt.Println("tenant", i, "order:", res.Order())
+	}
+
+	// Re-ranking with no writes in between serves every tenant from the
+	// cache — same orders, no solve.
+	cached, err := eng.RankBatch(context.Background(), tenants)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cached tenant 0 order:", cached[0].Order())
+	// Output:
+	// tenant 0 order: [0 1 2 3]
+	// tenant 1 order: [0 1 2]
+	// cached tenant 0 order: [0 1 2 3]
+}
+
+// Read the raw per-shard rankings: stale shards are batch-solved together
+// in one block-diagonal system, warm shards answer from their caches, and
+// scores come back in shard-local indexing.
+func ExampleShardedEngine_RankAll() {
+	m := hitsndiffs.FromChoices([][]int{
+		{0, 0, 0}, // user 0: best option everywhere
+		{0, 0, 1},
+		{0, 1, 1},
+		{0, 1, 2},
+		{1, 1, 2},
+		{1, 2, 2}, // user 5: weakest
+	}, 3)
+	eng, err := hitsndiffs.NewShardedEngine(m,
+		hitsndiffs.WithShards(2),
+		hitsndiffs.WithRankOptions(hitsndiffs.WithSeed(1)),
+	)
+	if err != nil {
+		panic(err)
+	}
+	results, err := eng.RankAll(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	for sh, res := range results {
+		// UsersOf translates the shard-local score indices back to global
+		// user indices.
+		fmt.Printf("shard %d serves users %v (%d scores, converged %v)\n",
+			sh, eng.UsersOf(sh), len(res.Scores), res.Converged)
+	}
+	// Output:
+	// shard 0 serves users [0 2 3 4 5] (5 scores, converged true)
+	// shard 1 serves users [1] (1 scores, converged true)
+}
+
 // Serve a live workload: observe a new response, re-rank, infer labels.
 func ExampleEngine() {
 	m := hitsndiffs.FromChoices([][]int{

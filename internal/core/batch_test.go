@@ -1,0 +1,166 @@
+package core
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"hitsndiffs/internal/irt"
+	"hitsndiffs/internal/mat"
+	"hitsndiffs/internal/response"
+)
+
+// batchWorkload generates one noisy tenant matrix.
+func batchWorkload(t *testing.T, users, items int, seed int64) *response.Matrix {
+	t.Helper()
+	cfg := irt.DefaultConfig(irt.ModelSamejima)
+	cfg.Users, cfg.Items, cfg.Seed = users, items, seed
+	d, err := irt.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Responses
+}
+
+func scoresBitwiseEqual(a, b mat.Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBatchRankerMatchesSequentialHNDPower is the core batched-solve
+// contract: with serial kernels, the lockstep block-diagonal solve is
+// bitwise identical, tenant by tenant, to running HNDPower on each matrix
+// alone — same scores, same iteration counts, same convergence flags. The
+// tenants deliberately differ in size and convergence speed so the
+// freeze-and-repack path is exercised.
+func TestBatchRankerMatchesSequentialHNDPower(t *testing.T) {
+	opts := Options{Seed: 3, Workers: 1}
+	tenants := []*response.Matrix{
+		batchWorkload(t, 60, 40, 1),
+		batchWorkload(t, 25, 30, 2),
+		batchWorkload(t, 90, 20, 3),
+		batchWorkload(t, 40, 40, 4),
+	}
+	items := make([]BatchItem, len(tenants))
+	for i, m := range tenants {
+		items[i] = BatchItem{M: m}
+	}
+	got, err := BatchRanker{Opts: opts}.RankBatch(context.Background(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range tenants {
+		want, err := (HNDPower{Opts: opts}).Rank(context.Background(), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !scoresBitwiseEqual(got[i].Scores, want.Scores) {
+			t.Fatalf("tenant %d: batched scores differ from sequential HNDPower", i)
+		}
+		if got[i].Iterations != want.Iterations || got[i].Converged != want.Converged || got[i].Flipped != want.Flipped {
+			t.Fatalf("tenant %d: metadata differs: batched %+v, sequential %+v",
+				i, got[i], want)
+		}
+	}
+}
+
+// TestBatchRankerWarmStartMatchesSequential checks the per-tenant warm
+// start is honored identically to Options.WarmStart on a solo solve.
+func TestBatchRankerWarmStartMatchesSequential(t *testing.T) {
+	opts := Options{Seed: 5, Workers: 1}
+	m := batchWorkload(t, 50, 30, 9)
+	cold, err := (HNDPower{Opts: opts}).Rank(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetAnswer(1, 2, 0) // perturb, then warm re-rank both ways
+
+	warmOpts := opts
+	warmOpts.WarmStart = cold.Scores
+	want, err := (HNDPower{Opts: warmOpts}).Rank(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := BatchRanker{Opts: opts}.RankBatch(context.Background(),
+		[]BatchItem{{M: m, WarmStart: cold.Scores}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scoresBitwiseEqual(got[0].Scores, want.Scores) || got[0].Iterations != want.Iterations {
+		t.Fatal("warm-started batched solve differs from warm-started HNDPower")
+	}
+	if want.Iterations >= cold.Iterations {
+		t.Fatalf("warm start did not converge faster (%d vs %d)", want.Iterations, cold.Iterations)
+	}
+}
+
+// TestBatchRankerDegenerateTenants packs a two-user tenant and an
+// annihilated (identical-answers) tenant next to a healthy one.
+func TestBatchRankerDegenerateTenants(t *testing.T) {
+	two := response.New(2, 3, 2)
+	for i := 0; i < 3; i++ {
+		two.SetAnswer(0, i, 0)
+	}
+	two.SetAnswer(1, 0, 1)
+
+	same := response.New(4, 3, 2)
+	for u := 0; u < 4; u++ {
+		for i := 0; i < 3; i++ {
+			same.SetAnswer(u, i, 0)
+		}
+	}
+
+	healthy := batchWorkload(t, 30, 20, 7)
+	opts := Options{Seed: 1, Workers: 1}
+	got, err := BatchRanker{Opts: opts}.RankBatch(context.Background(),
+		[]BatchItem{{M: two}, {M: same}, {M: healthy}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range []*response.Matrix{two, same, healthy} {
+		want, err := (HNDPower{Opts: opts}).Rank(context.Background(), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !scoresBitwiseEqual(got[i].Scores, want.Scores) {
+			t.Fatalf("tenant %d: batched scores differ from sequential", i)
+		}
+	}
+}
+
+func TestBatchRankerRejectsUnrankableTenant(t *testing.T) {
+	sparse := response.New(5, 3, 2) // nobody answered anything
+	_, err := BatchRanker{Opts: Options{Workers: 1}}.RankBatch(context.Background(),
+		[]BatchItem{{M: batchWorkload(t, 20, 10, 1)}, {M: sparse}})
+	if err == nil || !strings.Contains(err.Error(), "tenant 1") {
+		t.Fatalf("want error naming tenant 1, got %v", err)
+	}
+	if _, err := (BatchRanker{}).RankBatch(context.Background(), []BatchItem{{M: nil}}); err == nil {
+		t.Fatal("want error for nil tenant matrix")
+	}
+}
+
+func TestBatchRankerHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := BatchRanker{Opts: Options{Workers: 1}}.RankBatch(ctx,
+		[]BatchItem{{M: batchWorkload(t, 40, 30, 2)}})
+	if err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestBatchRankerEmptyBatch(t *testing.T) {
+	res, err := (BatchRanker{}).RankBatch(context.Background(), nil)
+	if err != nil || res != nil {
+		t.Fatalf("empty batch: got %v, %v", res, err)
+	}
+}

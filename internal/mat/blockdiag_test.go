@@ -1,0 +1,185 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// csrEqual reports whether two CSR matrices are bitwise identical in shape,
+// structure and values.
+func csrEqual(a, b *CSR) bool {
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for r := 0; r < a.Rows(); r++ {
+		ac, av := a.RowNNZ(r)
+		bc, bv := b.RowNNZ(r)
+		if len(ac) != len(bc) {
+			return false
+		}
+		for i := range ac {
+			if ac[i] != bc[i] || av[i] != bv[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestBlockDiagMatchesDenseConstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	blocks := []*CSR{
+		randomCSR(rng, 4, 7, 0.4),
+		randomCSR(rng, 1, 3, 0.9),
+		randomCSR(rng, 6, 2, 0.3),
+		randomCSR(rng, 3, 5, 0), // empty block
+	}
+	packed := BlockDiag(blocks)
+
+	rows, cols := 0, 0
+	var entries []Coord
+	for _, b := range blocks {
+		for r := 0; r < b.Rows(); r++ {
+			bc, bv := b.RowNNZ(r)
+			for i := range bc {
+				entries = append(entries, Coord{Row: rows + r, Col: cols + bc[i], Val: bv[i]})
+			}
+		}
+		rows += b.Rows()
+		cols += b.Cols()
+	}
+	want := NewCSR(rows, cols, entries)
+	if !csrEqual(packed, want) {
+		t.Fatal("BlockDiag disagrees with coordinate assembly")
+	}
+}
+
+// The packed matvec must equal the concatenation of per-block matvecs —
+// the property the batched multi-tenant solve rests on.
+func TestBlockDiagMulVecIsPerBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	blocks := []*CSR{
+		randomCSR(rng, 10, 8, 0.5),
+		randomCSR(rng, 7, 12, 0.4),
+		randomCSR(rng, 5, 5, 0.6),
+	}
+	packed := BlockDiag(blocks)
+	x := NewVector(packed.Cols())
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+
+	got := NewVector(packed.Rows())
+	packed.MulVec(got, x)
+	gotT := NewVector(packed.Cols())
+	packed.MulVecT(gotT, got)
+
+	rowOff, colOff := 0, 0
+	for _, b := range blocks {
+		dst := NewVector(b.Rows())
+		b.MulVec(dst, x[colOff:colOff+b.Cols()])
+		for r, v := range dst {
+			if got[rowOff+r] != v {
+				t.Fatalf("row %d of block: packed %v, per-block %v", r, got[rowOff+r], v)
+			}
+		}
+		dstT := NewVector(b.Cols())
+		b.MulVecT(dstT, got[rowOff:rowOff+b.Rows()])
+		for c, v := range dstT {
+			if gotT[colOff+c] != v {
+				t.Fatalf("col %d of block: packed %v, per-block %v", c, gotT[colOff+c], v)
+			}
+		}
+		rowOff += b.Rows()
+		colOff += b.Cols()
+	}
+}
+
+func TestReplaceRowsMatchesScratchRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	old := randomCSR(rng, 20, 15, 0.3)
+
+	// New contents for a few rows, including an emptied row and a row of a
+	// previously empty matrix region.
+	repl := map[int][]Coord{
+		2:  {{Col: 1, Val: 2}, {Col: 9, Val: -1}},
+		7:  {}, // emptied
+		8:  {{Col: 0, Val: 5}},
+		19: {{Col: 3, Val: 1}, {Col: 4, Val: 1}, {Col: 14, Val: 7}},
+	}
+	rows := []int{2, 7, 8, 19}
+	got := old.ReplaceRows(rows, func(r int, emit func(col int, val float64)) {
+		for _, e := range repl[r] {
+			emit(e.Col, e.Val)
+		}
+	})
+
+	var entries []Coord
+	for r := 0; r < old.Rows(); r++ {
+		if rep, ok := repl[r]; ok {
+			for _, e := range rep {
+				entries = append(entries, Coord{Row: r, Col: e.Col, Val: e.Val})
+			}
+			continue
+		}
+		rc, rv := old.RowNNZ(r)
+		for i := range rc {
+			entries = append(entries, Coord{Row: r, Col: rc[i], Val: rv[i]})
+		}
+	}
+	want := NewCSR(old.Rows(), old.Cols(), entries)
+	if !csrEqual(got, want) {
+		t.Fatal("ReplaceRows disagrees with from-scratch assembly")
+	}
+
+	// The receiver must be untouched (COW safety).
+	if !csrEqual(old, randomCSR(rand.New(rand.NewSource(3)), 20, 15, 0.3)) {
+		t.Fatal("ReplaceRows mutated its receiver")
+	}
+}
+
+func TestReplaceRowsRejectsBadInput(t *testing.T) {
+	m := randomCSR(rand.New(rand.NewSource(1)), 5, 5, 0.5)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("unsorted rows", func() {
+		m.ReplaceRows([]int{3, 1}, func(int, func(int, float64)) {})
+	})
+	mustPanic("row out of range", func() {
+		m.ReplaceRows([]int{5}, func(int, func(int, float64)) {})
+	})
+	mustPanic("columns out of order", func() {
+		m.ReplaceRows([]int{1}, func(_ int, emit func(int, float64)) {
+			emit(3, 1)
+			emit(2, 1)
+		})
+	})
+	mustPanic("zero value", func() {
+		m.ReplaceRows([]int{1}, func(_ int, emit func(int, float64)) {
+			emit(0, 0)
+		})
+	})
+}
+
+// BenchmarkBlockDiag tracks the packing cost of the batched solve path.
+func BenchmarkBlockDiag(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	blocks := make([]*CSR, 16)
+	for i := range blocks {
+		blocks[i] = randomCSR(rng, 120, 300, 0.3)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m := BlockDiag(blocks); m == nil {
+			b.Fatal("nil")
+		}
+	}
+}

@@ -157,6 +157,60 @@ func NewCSR(rows, cols int, entries []Coord) *CSR {
 	return m
 }
 
+// ReplaceRows returns a new CSR equal to m except that every row listed in
+// rows (sorted ascending, no duplicates) is replaced by the entries the
+// fill callback emits for it. fill must call emit with strictly increasing
+// in-range column indices and non-zero values. Untouched rows are
+// bulk-copied from m in contiguous runs, so the cost is O(nnz) with
+// memmove-speed constants — the kernel behind delta-aware rebuilds of
+// memoized encodings. m itself is never modified.
+func (m *CSR) ReplaceRows(rows []int, fill func(r int, emit func(col int, val float64))) *CSR {
+	out := &CSR{rows: m.rows, cols: m.cols, rowPtr: make([]int, m.rows+1)}
+	colIdx := make([]int, 0, len(m.colIdx))
+	val := make([]float64, 0, len(m.val))
+	prevCol := -1
+	emit := func(col int, v float64) {
+		if col <= prevCol || col >= m.cols {
+			panic(fmt.Sprintf("mat: ReplaceRows emit column %d out of order or range (prev %d, cols %d)", col, prevCol, m.cols))
+		}
+		if v == 0 {
+			panic("mat: ReplaceRows emit zero value")
+		}
+		prevCol = col
+		colIdx = append(colIdx, col)
+		val = append(val, v)
+	}
+	done := 0 // rows of m already carried over
+	for k, r := range rows {
+		if r < 0 || r >= m.rows {
+			panic(fmt.Sprintf("mat: ReplaceRows row %d outside %d rows", r, m.rows))
+		}
+		if k > 0 && r <= rows[k-1] {
+			panic("mat: ReplaceRows rows not sorted ascending without duplicates")
+		}
+		// Copy the run of clean rows [done, r) in one append each.
+		lo, hi := m.rowPtr[done], m.rowPtr[r]
+		colIdx = append(colIdx, m.colIdx[lo:hi]...)
+		val = append(val, m.val[lo:hi]...)
+		for i := done; i < r; i++ {
+			out.rowPtr[i+1] = out.rowPtr[i] + (m.rowPtr[i+1] - m.rowPtr[i])
+		}
+		prevCol = -1
+		fill(r, emit)
+		out.rowPtr[r+1] = len(colIdx)
+		done = r + 1
+	}
+	lo, hi := m.rowPtr[done], m.rowPtr[m.rows]
+	colIdx = append(colIdx, m.colIdx[lo:hi]...)
+	val = append(val, m.val[lo:hi]...)
+	for i := done; i < m.rows; i++ {
+		out.rowPtr[i+1] = out.rowPtr[i] + (m.rowPtr[i+1] - m.rowPtr[i])
+	}
+	out.colIdx = colIdx
+	out.val = val
+	return out
+}
+
 // CSRFromDense converts a dense matrix to CSR, dropping zeros.
 func CSRFromDense(d *Dense) *CSR {
 	var entries []Coord

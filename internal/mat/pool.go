@@ -105,9 +105,9 @@ type poolTask struct {
 // dispatch currently targets (see the lifecycle note at the top of the
 // file).
 type workerPool struct {
-	mu     sync.Mutex   // guards growth of chans
-	chans  atomic.Value // []chan poolTask, copy-on-grow
-	active atomic.Int64 // how many of chans dispatch may target
+	mu     sync.Mutex    // guards growth of chans
+	chans  atomic.Value  // []chan poolTask, copy-on-grow
+	active atomic.Int64  // how many of chans dispatch may target
 	next   atomic.Uint64 // round-robin cursor over active workers
 }
 

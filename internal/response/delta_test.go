@@ -1,0 +1,155 @@
+package response
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hitsndiffs/internal/mat"
+)
+
+// csrBitwiseEqual reports exact structural and bit-level value equality.
+func csrBitwiseEqual(a, b *mat.CSR) bool {
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for r := 0; r < a.Rows(); r++ {
+		ac, av := a.RowNNZ(r)
+		bc, bv := b.RowNNZ(r)
+		if len(ac) != len(bc) {
+			return false
+		}
+		for i := range ac {
+			if ac[i] != bc[i] || math.Float64bits(av[i]) != math.Float64bits(bv[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// scratchBinary builds the one-hot encoding from scratch on an independent
+// copy whose memo has never been populated.
+func scratchBinary(m *Matrix) *mat.CSR {
+	fresh := New(m.Users(), m.Items(), m.options...)
+	for u := 0; u < m.Users(); u++ {
+		for i := 0; i < m.Items(); i++ {
+			fresh.SetAnswer(u, i, m.Answer(u, i))
+		}
+	}
+	return fresh.Binary()
+}
+
+// TestDeltaRebuildBitwiseIdentical drives random write bursts through the
+// memoized encoding and asserts every delta rebuild is bitwise identical to
+// a from-scratch assembly — answers changed, added (previously unanswered)
+// and retracted.
+func TestDeltaRebuildBitwiseIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := randomMatrix(rng, 50, 30, 4, 0.7)
+	m.Binary() // populate the memo
+
+	for round := 0; round < 20; round++ {
+		writes := 1 + rng.Intn(5)
+		for w := 0; w < writes; w++ {
+			u, i := rng.Intn(m.Users()), rng.Intn(m.Items())
+			if rng.Float64() < 0.2 {
+				m.SetAnswer(u, i, Unanswered) // retraction empties row entries
+			} else {
+				m.SetAnswer(u, i, rng.Intn(4))
+			}
+		}
+		got := m.Binary()
+		if want := scratchBinary(m); !csrBitwiseEqual(got, want) {
+			t.Fatalf("round %d: delta rebuild differs from scratch rebuild", round)
+		}
+	}
+	full, delta := m.CSRRebuilds()
+	if full != 1 {
+		t.Fatalf("expected exactly 1 full build, got %d", full)
+	}
+	if delta != 20 {
+		t.Fatalf("expected 20 delta rebuilds, got %d", delta)
+	}
+}
+
+// TestDeltaRebuildUnderOutstandingSnapshot is the copy-on-write contract:
+// a clone taken while the memo is populated (what Engine.Observe does under
+// an outstanding View) must leave the snapshot's encoding untouched, and
+// the clone's next Binary() must be a delta rebuild that is bitwise
+// identical to a from-scratch assembly of the written matrix.
+func TestDeltaRebuildUnderOutstandingSnapshot(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	snapshot := randomMatrix(rng, 40, 25, 3, 0.8)
+	before := snapshot.Binary()
+	beforeCopy := before.Clone()
+
+	clone := snapshot.Clone()
+	clone.SetAnswer(3, 5, 2)
+	clone.SetAnswer(17, 0, Unanswered)
+
+	got := clone.Binary()
+	if want := scratchBinary(clone); !csrBitwiseEqual(got, want) {
+		t.Fatal("clone's delta rebuild differs from scratch rebuild")
+	}
+	if _, delta := clone.CSRRebuilds(); delta != 1 {
+		t.Fatal("clone should have paid a delta rebuild, not a full one")
+	}
+
+	// The snapshot never observes the rebuild: same pointer, same bits.
+	if snapshot.Binary() != before {
+		t.Fatal("snapshot's memoized encoding was replaced")
+	}
+	if !csrBitwiseEqual(before, beforeCopy) {
+		t.Fatal("snapshot's memoized encoding was mutated in place")
+	}
+}
+
+// TestCloneCarriesPendingDirtyRows clones between a write and the rebuild:
+// the pending delta must travel with the clone.
+func TestCloneCarriesPendingDirtyRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := randomMatrix(rng, 20, 10, 3, 0.9)
+	m.Binary()
+	m.SetAnswer(4, 4, 1) // dirty, not yet rebuilt
+	clone := m.Clone()
+	if want := scratchBinary(clone); !csrBitwiseEqual(clone.Binary(), want) {
+		t.Fatal("clone lost the pending dirty row")
+	}
+	if want := scratchBinary(m); !csrBitwiseEqual(m.Binary(), want) {
+		t.Fatal("parent lost the pending dirty row")
+	}
+}
+
+func TestGenerationCountsWrites(t *testing.T) {
+	m := New(4, 3, 2)
+	if m.Generation() != 0 {
+		t.Fatal("fresh matrix should be at generation 0")
+	}
+	m.SetAnswer(0, 0, 1)
+	m.SetAnswer(1, 2, 0)
+	if g := m.Generation(); g != 2 {
+		t.Fatalf("generation = %d, want 2", g)
+	}
+	clone := m.Clone()
+	if clone.Generation() != 2 {
+		t.Fatal("clone should inherit its parent's generation")
+	}
+	clone.SetAnswer(0, 0, 0)
+	if m.Generation() != 2 || clone.Generation() != 3 {
+		t.Fatal("clone writes must not move the parent's generation")
+	}
+}
+
+// TestPermuteUsersDropsMemo guards the one transform that rewrites rows
+// behind the memo's back.
+func TestPermuteUsersDropsMemo(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := randomMatrix(rng, 10, 6, 3, 0.9)
+	m.Binary()
+	perm := rng.Perm(10)
+	p := m.PermuteUsers(perm)
+	if want := scratchBinary(p); !csrBitwiseEqual(p.Binary(), want) {
+		t.Fatal("PermuteUsers served a stale memoized encoding")
+	}
+}

@@ -6,6 +6,7 @@ package response
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"hitsndiffs/internal/mat"
@@ -25,11 +26,27 @@ type Matrix struct {
 	offsets []int // offsets[i] = first column of item i in the flat encoding
 	choices []int // users×items row-major; Unanswered for no response
 
-	// binMu guards bin, the memoized one-hot CSR encoding. Concurrent
-	// readers of an otherwise-immutable Matrix (e.g. several Engine ranks on
-	// one snapshot) share a single build; any SetAnswer invalidates it.
+	// binMu guards the memoized one-hot CSR encoding and its delta state
+	// below. Concurrent readers of an otherwise-immutable Matrix (e.g.
+	// several Engine ranks on one snapshot) share a single build.
 	binMu sync.Mutex
-	bin   *mat.CSR
+	// bin is the memoized one-hot CSR. It is immutable once published:
+	// SetAnswer never touches it (it only records the written row in dirty),
+	// and a delta rebuild swaps in a freshly assembled CSR instead of
+	// patching in place — so a clone or snapshot sharing the pointer can
+	// never observe a partial rebuild.
+	bin *mat.CSR
+	// dirty is the set of user rows written since bin was assembled. The
+	// next Binary() call re-encodes only these rows and bulk-copies the
+	// rest (see mat.ReplaceRows), which is what makes a single-user write
+	// cheap to absorb under sparse write traffic.
+	dirty map[int]struct{}
+	// gen counts every SetAnswer — the freshness key per-tenant result
+	// caches use (see Generation).
+	gen uint64
+	// fullBuilds and deltaBuilds count how often Binary() assembled the
+	// CSR from scratch vs. by touched-rows rebuild (see CSRRebuilds).
+	fullBuilds, deltaBuilds uint64
 }
 
 // New creates an empty response matrix for m users, n items, and the given
@@ -133,15 +150,45 @@ func (m *Matrix) Column(item, option int) int {
 }
 
 // SetAnswer records that user u chose option h for item i. Passing
-// Unanswered clears the response.
+// Unanswered clears the response. A write does not discard the memoized
+// one-hot CSR: it marks row u dirty, and the next Binary() call rebuilds
+// only the touched rows.
 func (m *Matrix) SetAnswer(u, i, h int) {
 	if h != Unanswered && (h < 0 || h >= m.options[i]) {
 		panic(fmt.Sprintf("response: SetAnswer option %d out of range for item %d (k=%d)", h, i, m.options[i]))
 	}
 	m.choices[u*m.items+i] = h
 	m.binMu.Lock()
-	m.bin = nil
+	m.gen++
+	if m.bin != nil {
+		if m.dirty == nil {
+			m.dirty = make(map[int]struct{})
+		}
+		m.dirty[u] = struct{}{}
+	}
 	m.binMu.Unlock()
+}
+
+// Generation returns a counter bumped by every SetAnswer. It is the
+// freshness key for result caches over caller-owned matrices (equal
+// generations on the same Matrix imply identical responses); a Clone
+// starts from its parent's generation.
+func (m *Matrix) Generation() uint64 {
+	m.binMu.Lock()
+	defer m.binMu.Unlock()
+	return m.gen
+}
+
+// CSRRebuilds reports how many times Binary() assembled the memoized
+// one-hot CSR from scratch (full) and how many times it rebuilt only the
+// rows touched since the previous build (delta). Clones inherit their
+// parent's counts, so the pair is a cumulative observability signal for a
+// copy-on-write engine matrix: under sparse write traffic, full must stop
+// growing after the first build while delta tracks the write rate.
+func (m *Matrix) CSRRebuilds() (full, delta uint64) {
+	m.binMu.Lock()
+	defer m.binMu.Unlock()
+	return m.fullBuilds, m.deltaBuilds
 }
 
 // Answer returns the option user u chose for item i, or Unanswered.
@@ -158,36 +205,77 @@ func (m *Matrix) AnswerCount(u int) int {
 	return c
 }
 
-// Clone returns a deep copy of m.
+// Clone returns a deep copy of m. The memoized one-hot CSR travels with
+// the clone: the memo is immutable by construction (delta rebuilds swap,
+// never patch), so parent and clone can share it safely, and a clone taken
+// by a copy-on-write engine pays only a touched-rows rebuild on its next
+// Binary() instead of a from-scratch assembly. Pending dirty rows and the
+// generation counter travel too.
 func (m *Matrix) Clone() *Matrix {
-	return &Matrix{
+	out := &Matrix{
 		users:   m.users,
 		items:   m.items,
 		options: append([]int(nil), m.options...),
 		offsets: append([]int(nil), m.offsets...),
 		choices: append([]int(nil), m.choices...),
 	}
+	m.binMu.Lock()
+	out.bin = m.bin
+	if len(m.dirty) > 0 {
+		out.dirty = make(map[int]struct{}, len(m.dirty))
+		for u := range m.dirty {
+			out.dirty[u] = struct{}{}
+		}
+	}
+	out.gen = m.gen
+	out.fullBuilds, out.deltaBuilds = m.fullBuilds, m.deltaBuilds
+	m.binMu.Unlock()
+	return out
 }
 
 // Binary returns the (m × Σkᵢ) one-hot CSR response matrix C of the paper.
-// The encoding is memoized until the next SetAnswer, so repeated solves on
-// an unchanged matrix (Engine re-ranks, method comparisons) build it once;
-// callers must treat the returned CSR as read-only.
+// The encoding is memoized, so repeated solves on an unchanged matrix
+// (Engine re-ranks, method comparisons) build it once; callers must treat
+// the returned CSR as read-only. After writes, only the touched user rows
+// are re-encoded — the remaining rows are bulk-copied from the previous
+// memo — and the rebuild swaps in a new CSR, so any previously returned
+// encoding stays valid and fully consistent forever.
 func (m *Matrix) Binary() *mat.CSR {
 	m.binMu.Lock()
 	defer m.binMu.Unlock()
-	if m.bin != nil {
+	if m.bin != nil && len(m.dirty) == 0 {
 		return m.bin
 	}
-	entries := make([]mat.Coord, 0, m.users*m.items)
-	for u := 0; u < m.users; u++ {
-		for i := 0; i < m.items; i++ {
-			if h := m.Answer(u, i); h != Unanswered {
-				entries = append(entries, mat.Coord{Row: u, Col: m.Column(i, h), Val: 1})
+	if m.bin == nil {
+		m.fullBuilds++
+		entries := make([]mat.Coord, 0, m.users*m.items)
+		for u := 0; u < m.users; u++ {
+			for i := 0; i < m.items; i++ {
+				if h := m.Answer(u, i); h != Unanswered {
+					entries = append(entries, mat.Coord{Row: u, Col: m.Column(i, h), Val: 1})
+				}
 			}
 		}
+		m.bin = mat.NewCSR(m.users, m.TotalOptions(), entries)
+		m.dirty = nil
+		return m.bin
 	}
-	m.bin = mat.NewCSR(m.users, m.TotalOptions(), entries)
+	m.deltaBuilds++
+	rows := make([]int, 0, len(m.dirty))
+	for u := range m.dirty {
+		rows = append(rows, u)
+	}
+	sort.Ints(rows)
+	// Item offsets grow with the item index, so emitting in item order
+	// satisfies ReplaceRows' increasing-column contract.
+	m.bin = m.bin.ReplaceRows(rows, func(u int, emit func(col int, val float64)) {
+		for i := 0; i < m.items; i++ {
+			if h := m.Answer(u, i); h != Unanswered {
+				emit(m.Column(i, h), 1)
+			}
+		}
+	})
+	m.dirty = nil
 	return m.bin
 }
 
@@ -200,6 +288,10 @@ func (m *Matrix) PermuteUsers(perm []int) *Matrix {
 	for u, src := range perm {
 		copy(out.choices[u*m.items:(u+1)*m.items], m.choices[src*m.items:(src+1)*m.items])
 	}
+	// The rows were rewritten wholesale behind the memo's back: drop the
+	// cloned encoding and delta state instead of marking every row dirty.
+	out.bin, out.dirty = nil, nil
+	out.gen++
 	return out
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"hitsndiffs/internal/core"
 	"hitsndiffs/internal/mat"
 	"hitsndiffs/internal/shard"
 )
@@ -38,10 +39,12 @@ import (
 // Construct with NewShardedEngine; the zero value is not usable. All
 // methods are safe for concurrent use.
 type ShardedEngine struct {
-	method  string
-	engines []*Engine
-	users   *shard.Map
-	options []int // per-item option counts, identical across shards
+	method    string
+	base      []Option
+	batchSize int
+	engines   []*Engine
+	users     *shard.Map
+	options   []int // per-item option counts, identical across shards
 
 	// mu guards the router's two memos: sparse, the per-shard
 	// too-few-users verdict keyed by shard version (recomputing it per
@@ -98,11 +101,13 @@ func NewShardedEngine(m *ResponseMatrix, opts ...EngineOption) (*ShardedEngine, 
 	}
 
 	se := &ShardedEngine{
-		method:  s.method,
-		engines: make([]*Engine, n),
-		users:   users,
-		options: options,
-		sparse:  make([]sparseMemo, n),
+		method:    s.method,
+		base:      s.base,
+		batchSize: s.batchSize,
+		engines:   make([]*Engine, n),
+		users:     users,
+		options:   options,
+		sparse:    make([]sparseMemo, n),
 	}
 	for sh := 0; sh < n; sh++ {
 		// shardMapFor guarantees every shard owns at least one user, so
@@ -335,14 +340,59 @@ func (s *ShardedEngine) Rank(ctx context.Context) (Result, error) {
 	return merged, nil
 }
 
-// RankAll runs every shard's Rank concurrently and returns the raw
-// per-shard results in shard order, scores in shard-local user indexing
-// (translate with LocalFor / UsersOf). Shards left
-// with fewer than two answering users — possible under hash imbalance on
-// tiny populations — report a flat, converged result instead of failing the
-// whole fan-out. On error, the first failing shard in index order wins,
-// deterministically.
+// RankAll ranks every shard and returns the raw per-shard results in shard
+// order, scores in shard-local user indexing (translate with LocalFor /
+// UsersOf). Shards whose version is unchanged answer from their caches;
+// the stale shards are solved together in one batched block-diagonal
+// system (core.BatchRanker, warm-started per shard), so each power step
+// services every stale shard's matvec with a single pass through the
+// persistent kernel worker pool instead of one goroutine fan-out per
+// shard. WithBatchSize caps how many shards one packed solve takes;
+// methods without a batched form rank their shards concurrently instead.
+// Shards left with fewer than two answering users — possible under hash
+// imbalance on tiny populations — report a flat, converged result instead
+// of failing the whole call. On error, the first failing shard in index
+// order wins, deterministically.
 func (s *ShardedEngine) RankAll(ctx context.Context) ([]Result, error) {
+	if s.method != batchableMethod {
+		return s.rankAllFanOut(ctx)
+	}
+	results := make([]Result, len(s.engines))
+	var items []core.BatchItem
+	var stale []int
+	var versions []uint64
+	for i, eng := range s.engines {
+		if len(s.engines) > 1 && s.shardTooSparse(i) {
+			results[i] = Result{Scores: mat.NewVector(eng.Users()), Converged: true}
+			continue
+		}
+		if res, ok := eng.peekCached(); ok {
+			results[i] = res
+			continue
+		}
+		m, version, warm := eng.solveInput()
+		items = append(items, core.BatchItem{M: m, WarmStart: warm})
+		stale = append(stale, i)
+		versions = append(versions, version)
+	}
+	if len(items) == 0 {
+		return results, nil
+	}
+	err := runBatches(ctx, s.base, s.batchSize, items,
+		func(k int) string { return fmt.Sprintf("RankAll shard %d", stale[k]) },
+		func(k int, res Result) {
+			s.engines[stale[k]].storeSolved(versions[k], res)
+			results[stale[k]] = res
+		})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// rankAllFanOut ranks every shard concurrently through its own Engine —
+// the path for methods the block-diagonal batcher cannot express.
+func (s *ShardedEngine) rankAllFanOut(ctx context.Context) ([]Result, error) {
 	results := make([]Result, len(s.engines))
 	errs := make([]error, len(s.engines))
 	var wg sync.WaitGroup
@@ -392,4 +442,3 @@ func (s *ShardedEngine) shardTooSparse(i int) bool {
 	s.mu.Unlock()
 	return sparse
 }
-
