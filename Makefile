@@ -1,5 +1,5 @@
 # Development entry points. CI runs `make check`; `make bench` regenerates
-# the performance-trajectory baseline committed as BENCH_pr4.json.
+# the performance-trajectory baseline committed as BENCH_pr5.json.
 
 # pipefail so a failing benchmark run fails the bench target instead of
 # being masked by tee's exit status.
@@ -11,11 +11,13 @@ GO ?= go
 # Benchmarks tracked as the perf baseline: the Figure 5 scaling workloads
 # (serial vs parallel kernels), the isolated zero-alloc power-loop body,
 # the pooled parallel dispatch path, CSR and block-diagonal assembly, the
-# Engine serving paths, the sharded-router scaling curves, and the batched
-# multi-tenant ranking path.
-BENCH_PATTERN ?= Fig5aScaleUsers|Fig5bScaleQuestions|HNDPowerInnerLoop|EngineSnapshot|EngineWarmVsCold|NewCSRAssembly|MulVecParallel|ParallelDoPooled|ShardedObserve|ShardedRank|BatchedRank|BlockDiag
+# Engine serving paths, the sharded-router scaling curves, the batched
+# multi-tenant ranking path, and the warm re-rank allocation profile under
+# the generation-keyed Update cache (vs. its WithUpdateCache(false)
+# escape-hatch baseline).
+BENCH_PATTERN ?= Fig5aScaleUsers|Fig5bScaleQuestions|HNDPowerInnerLoop|EngineSnapshot|EngineWarmVsCold|NewCSRAssembly|MulVecParallel|ParallelDoPooled|ShardedObserve|ShardedRank|BatchedRank|BlockDiag|WarmRerankAllocs
 BENCH_TIME ?= 1x
-BENCH_OUT ?= BENCH_pr4.json
+BENCH_OUT ?= BENCH_pr5.json
 
 .PHONY: build test check bench clean
 
@@ -28,7 +30,7 @@ test:
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race ./...
+	$(GO) test -count=2 -race ./...
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_TIME) -timeout 30m . ./internal/mat/ | tee bench.out

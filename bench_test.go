@@ -644,6 +644,68 @@ func BenchmarkBatchedRank(b *testing.B) {
 	})
 }
 
+// BenchmarkWarmRerankAllocs quantifies the generation-keyed normalization
+// and Update caches on the steady-state serving path: each op is one
+// single-user Observe followed by a warm Rank (under an outstanding view,
+// as serving traffic would have it).
+//
+//   - cache=on is the default: the write splices the one-hot CSR and its
+//     normalized forms (touched rows + affected column scales only) and the
+//     engine reuses its per-version Update machinery — no full O(nnz)
+//     normalization rebuild anywhere on the warm path.
+//   - cache=off is the WithUpdateCache(false) escape hatch — the previous
+//     rebuild-per-rank behaviour and the acceptance baseline the committed
+//     BENCH_pr5.json records the allocation drop against.
+//   - normalized-memo-hit isolates the solve-input fetch on an unchanged
+//     matrix — the pure cache-hit body, CI-guarded at 0 allocs/op.
+func BenchmarkWarmRerankAllocs(b *testing.B) {
+	cfg := irt.DefaultConfig(irt.ModelSamejima)
+	cfg.Users, cfg.Items, cfg.Seed = 500, 150, 42
+	cfg.DiscriminationMax = 2
+	d, err := irt.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+
+	for _, cache := range []bool{true, false} {
+		b.Run(fmt.Sprintf("cache=%v", cache), func(b *testing.B) {
+			eng, err := NewEngine(d.Responses, WithRankOptions(WithSeed(1)), WithUpdateCache(cache))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Rank(ctx); err != nil { // common cold start
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.View() // serving reader holds a snapshot across the write
+				user, item := i%cfg.Users, i%cfg.Items
+				k := d.Responses.OptionCount(item)
+				if err := eng.Observe(user, item, i%k); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Rank(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	b.Run("normalized-memo-hit", func(b *testing.B) {
+		m := d.Responses.Clone()
+		m.Normalized()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, crow, _ := m.Normalized(); crow == nil {
+				b.Fatal("lost the memo")
+			}
+		}
+	})
+}
+
 // BenchmarkEngineSnapshot quantifies the copy-on-write snapshot redesign:
 // under unchanged-matrix traffic the serving paths take O(1) views instead
 // of the O(mn) deep clone Rank used to pay per call. "view" vs "deep-clone"

@@ -39,6 +39,12 @@ type Engine struct {
 	base      []Option
 	warm      bool
 	batchSize int
+	updCache  bool
+	// updateBacked is the served method's MethodInfo.UpdateBacked flag,
+	// resolved at construction: only those methods receive the cached (or
+	// escape-hatch scratch) Update machinery.
+	updateBacked bool
+	workers      int // kernel fan-out from the base options, applied to cached Updates
 
 	// batchMu serializes RankBatch calls and guards the per-tenant result
 	// cache behind them.
@@ -56,6 +62,16 @@ type Engine struct {
 	version    uint64
 	lastScores []float64
 	cached     *engineCache
+
+	// upd caches the AVGHITS update machinery for the matrix identified by
+	// (updFor, updGen) — the solve input the update-backed methods would
+	// otherwise reconstruct per rank. An Update is immutable, so handing the
+	// cached one to concurrent solves (and building it over COW snapshots
+	// other ranks still hold) is safe; a write simply makes the key miss and
+	// the next rank splice-rebuilds through the matrix's normalization memo.
+	upd    *core.Update
+	updFor *ResponseMatrix
+	updGen uint64
 }
 
 // engineCache holds the results computed for one matrix version.
@@ -69,12 +85,20 @@ type engineCache struct {
 type EngineOption func(*engineSettings)
 
 type engineSettings struct {
-	method    string
-	base      []Option
-	cold      bool
-	shards    int
-	poolSize  int
-	batchSize int
+	method      string
+	base        []Option
+	cold        bool
+	shards      int
+	poolSize    int
+	batchSize   int
+	updateCache bool
+}
+
+// defaultEngineSettings seeds the option-merge state NewEngine and
+// NewShardedEngine share: HnD-power with the generation-keyed Update cache
+// enabled.
+func defaultEngineSettings() engineSettings {
+	return engineSettings{method: "HnD-power", updateCache: true}
 }
 
 // WithMethod selects the registered ranking method the engine serves
@@ -121,24 +145,28 @@ func NewEngine(m *ResponseMatrix, opts ...EngineOption) (*Engine, error) {
 	if m == nil {
 		return nil, fmt.Errorf("hitsndiffs: NewEngine needs a response matrix")
 	}
-	s := engineSettings{method: "HnD-power"}
+	s := defaultEngineSettings()
 	for _, o := range opts {
 		if o != nil {
 			o(&s)
 		}
 	}
-	if _, ok := Describe(s.method); !ok {
+	info, ok := Describe(s.method)
+	if !ok {
 		return nil, fmt.Errorf("hitsndiffs: NewEngine: unknown method %q (known: %v)", s.method, MethodNames())
 	}
 	if s.poolSize > 0 {
 		mat.SetPoolSize(s.poolSize)
 	}
 	return &Engine{
-		method:    s.method,
-		base:      s.base,
-		warm:      !s.cold,
-		batchSize: s.batchSize,
-		m:         m.Clone(),
+		method:       s.method,
+		base:         s.base,
+		warm:         !s.cold,
+		batchSize:    s.batchSize,
+		updCache:     s.updateCache,
+		updateBacked: info.UpdateBacked,
+		workers:      newSettings(s.base).workers,
+		m:            m.Clone(),
 	}, nil
 }
 
@@ -305,9 +333,20 @@ func (e *Engine) rank(ctx context.Context, needSnapshot bool) (Result, uint64, *
 	}
 	e.mu.RUnlock()
 
-	opts := e.base
+	var extra []Option
 	if warmScores != nil {
-		opts = append(append([]Option(nil), e.base...), WithWarmStart(warmScores))
+		extra = append(extra, WithWarmStart(warmScores))
+	}
+	if e.updateBacked {
+		if e.updCache {
+			extra = append(extra, withUpdate(e.preparedUpdate(snapshot)))
+		} else {
+			extra = append(extra, withScratchUpdate())
+		}
+	}
+	opts := e.base
+	if len(extra) > 0 {
+		opts = append(append([]Option(nil), e.base...), extra...)
 	}
 	r, err := New(e.method, opts...)
 	if err != nil {
@@ -439,7 +478,7 @@ func (e *Engine) solveTenants(ctx context.Context, stale []*ResponseMatrix, slot
 		for k, m := range stale {
 			items[k] = core.BatchItem{M: m, WarmStart: warmFor(m)}
 		}
-		return runBatches(ctx, e.base, e.batchSize, items,
+		return runBatches(ctx, e.base, e.updCache, e.batchSize, items,
 			func(k int) string {
 				return fmt.Sprintf("RankBatch tenant %d", slots[stale[k]].idxs[0])
 			},
@@ -449,11 +488,21 @@ func (e *Engine) solveTenants(ctx context.Context, stale []*ResponseMatrix, slot
 			})
 	}
 	// Methods without a batched form keep the same caching contract, one
-	// tenant at a time.
+	// tenant at a time. With the update cache off, the solves fall back to
+	// from-scratch normalized-matrix construction; tenant matrices are
+	// caller-owned, so with it on, each tenant's generation-keyed memo is
+	// its cache.
 	for _, m := range stale {
-		opts := e.base
+		var extra []Option
 		if warm := warmFor(m); warm != nil {
-			opts = append(append([]Option(nil), e.base...), WithWarmStart(warm))
+			extra = append(extra, WithWarmStart(warm))
+		}
+		if !e.updCache && e.updateBacked {
+			extra = append(extra, withScratchUpdate())
+		}
+		opts := e.base
+		if len(extra) > 0 {
+			opts = append(append([]Option(nil), e.base...), extra...)
 		}
 		r, err := New(e.method, opts...)
 		if err != nil {
@@ -475,12 +524,16 @@ const batchableMethod = "HnD-power"
 
 // runBatches drives core.BatchRanker over the stale tenants in chunks of at
 // most batchSize (≤ 0 = one batch), delivering each result through install
-// with the tenant's index into items. Per-tenant failures are remapped from
-// chunk-local positions to the caller's naming via label. It is the one
-// chunking loop behind Engine.RankBatch and ShardedEngine.RankAll.
-func runBatches(ctx context.Context, base []Option, batchSize int, items []core.BatchItem,
+// with the tenant's index into items. updateCache false forces from-scratch
+// normalized-matrix construction per tenant (the WithUpdateCache escape
+// hatch); true lets each tenant's generation-keyed memo serve. Per-tenant
+// failures are remapped from chunk-local positions to the caller's naming
+// via label. It is the one chunking loop behind Engine.RankBatch and
+// ShardedEngine.RankAll.
+func runBatches(ctx context.Context, base []Option, updateCache bool, batchSize int, items []core.BatchItem,
 	label func(k int) string, install func(k int, res Result)) error {
 	br := core.BatchRanker{Opts: newSettings(base).coreOptions()}
+	br.Opts.ScratchUpdate = !updateCache
 	chunk := batchSize
 	if chunk <= 0 || chunk > len(items) {
 		chunk = len(items)
@@ -530,6 +583,31 @@ func (e *Engine) solveInput() (m *ResponseMatrix, version uint64, warm mat.Vecto
 		warm = append(mat.Vector(nil), e.lastScores...)
 	}
 	return m, version, warm
+}
+
+// preparedUpdate returns the AVGHITS update machinery for the given
+// copy-on-write snapshot, serving the engine's per-version cache when the
+// (matrix, generation) key matches and rebuilding through the matrix's
+// generation-keyed normalization memo otherwise — a touched-rows splice
+// after sparse writes, never a from-scratch normalization. Snapshots are
+// immutable, so the generation read here cannot move underneath the solve,
+// and concurrent ranks may race to install the same entry harmlessly (the
+// machinery is immutable; last store wins).
+func (e *Engine) preparedUpdate(m *ResponseMatrix) *core.Update {
+	gen := m.Generation()
+	e.mu.RLock()
+	if e.upd != nil && e.updFor == m && e.updGen == gen {
+		u := e.upd
+		e.mu.RUnlock()
+		return u
+	}
+	e.mu.RUnlock()
+	u := core.NewUpdate(m)
+	u.SetWorkers(e.workers)
+	e.mu.Lock()
+	e.upd, e.updFor, e.updGen = u, m, gen
+	e.mu.Unlock()
+	return u
 }
 
 // storeSolved installs an externally computed ranking for the matrix

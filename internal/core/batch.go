@@ -127,9 +127,16 @@ func (b BatchRanker) RankBatch(ctx context.Context, items []BatchItem) ([]Result
 		topts.WarmStart = it.WarmStart
 		t.sdiff = initialDiff(users, topts, 101)
 		t.next = mat.NewVector(users - 1)
-		c := it.M.Binary()
-		t.crow = c.RowNormalized()
-		t.ccol = c.ColNormalized()
+		if opts.ScratchUpdate {
+			c := it.M.Binary()
+			t.crow = c.RowNormalized()
+			t.ccol = c.ColNormalized()
+		} else {
+			// Per-tenant C_row/C_col come from the tenant matrix's
+			// generation-keyed memo: an unchanged tenant contributes its
+			// cached forms, a re-written one pays a touched-rows splice.
+			_, t.crow, t.ccol = it.M.Normalized()
+		}
 		active = append(active, t)
 	}
 

@@ -66,12 +66,41 @@ type Options struct {
 	// 1 forces the serial kernels, 0 (the default) tracks
 	// mat.DefaultWorkers() — GOMAXPROCS unless overridden process-wide.
 	Workers int
+	// Update, when non-nil, supplies prebuilt AVGHITS machinery for the
+	// matrix being ranked, skipping construction entirely — the engine-level
+	// per-version Update cache sets it. The caller guarantees it was built
+	// from the same matrix state (Update is immutable, so sharing across
+	// concurrent solves and snapshots is safe); a dimension mismatch falls
+	// back to a fresh build.
+	Update *Update
+	// ScratchUpdate forces from-scratch normalization when building the
+	// update machinery, bypassing the matrix's generation-keyed memo — the
+	// WithUpdateCache(false) escape hatch and the reference path the
+	// equivalence tests compare against. Ignored when Update is set.
+	ScratchUpdate bool
 }
 
-// newUpdate builds the AVGHITS update machinery for m with the option's
-// worker cap applied.
+// newUpdate builds (or adopts) the AVGHITS update machinery for m with the
+// option's worker cap applied.
 func (o Options) newUpdate(m *response.Matrix) *Update {
-	u := NewUpdate(m)
+	if u := o.Update; u != nil && u.Users() == m.Users() && u.C.Cols() == m.TotalOptions() {
+		w := o.Workers
+		if w < 0 {
+			w = 0
+		}
+		if u.Workers() == w {
+			return u
+		}
+		// Same matrices, different kernel fan-out: rewrap the immutable CSRs
+		// instead of mutating the shared Update behind concurrent appliers.
+		return &Update{C: u.C, Crow: u.Crow, Ccol: u.Ccol, workers: w}
+	}
+	var u *Update
+	if o.ScratchUpdate {
+		u = NewUpdateScratch(m)
+	} else {
+		u = NewUpdate(m)
+	}
 	u.SetWorkers(o.Workers)
 	return u
 }
@@ -161,12 +190,18 @@ func majorityAgreement(m *response.Matrix, users []int) float64 {
 }
 
 // groupEntropy returns the average Shannon entropy over items of the option
-// distribution chosen by the given users.
+// distribution chosen by the given users. One counts buffer (sized to the
+// widest item) serves every item, keeping the per-rank orientation pass at
+// O(1) allocations.
 func groupEntropy(m *response.Matrix, users []int) float64 {
 	var total float64
 	items := m.Items()
+	buf := make([]int, m.MaxOptions())
 	for i := 0; i < items; i++ {
-		counts := make([]int, m.OptionCount(i))
+		counts := buf[:m.OptionCount(i)]
+		for h := range counts {
+			counts[h] = 0
+		}
 		for _, u := range users {
 			if h := m.Answer(u, i); h != response.Unanswered {
 				counts[h]++

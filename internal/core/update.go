@@ -33,16 +33,28 @@ type Update struct {
 	pool sync.Pool
 }
 
-// NewUpdate precomputes the normalized matrices for m.
+// NewUpdate builds the update machinery for m through the matrix's
+// generation-keyed normalization memo (response.Matrix.Normalized): on an
+// unchanged matrix the three CSRs are served as-is, and after writes only
+// the touched rows (and affected column scales) are respliced — the path
+// that keeps a warm re-rank free of full O(nnz) normalization rebuilds.
 func NewUpdate(m *response.Matrix) *Update {
+	c, crow, ccol := m.Normalized()
+	return &Update{C: c, Crow: crow, Ccol: ccol}
+}
+
+// NewUpdateScratch builds the update machinery with from-scratch
+// normalization, bypassing (and leaving untouched) the matrix's normalized
+// memo. It is the reference construction behind Options.ScratchUpdate /
+// the WithUpdateCache(false) escape hatch, and the oracle the cached-vs-
+// scratch equivalence tests compare against.
+func NewUpdateScratch(m *response.Matrix) *Update {
 	c := m.Binary()
-	u := &Update{
+	return &Update{
 		C:    c,
 		Crow: c.RowNormalized(),
 		Ccol: c.ColNormalized(),
 	}
-	u.pool.New = func() any { return u.NewWorkspace() }
-	return u
 }
 
 // SetWorkers caps the chunks each sparse kernel apply splits into (the
@@ -100,8 +112,15 @@ func (w *Workspace) ApplyL(dst, s, d mat.Vector) {
 	w.u.C.MulVecDiagSub(dst, w.opt, d, s, w.u.workers)
 }
 
-// acquire fetches a pooled workspace for the convenience appliers.
-func (u *Update) acquire() *Workspace { return u.pool.Get().(*Workspace) }
+// acquire fetches a pooled workspace for the convenience appliers, growing
+// the pool on first use (no New closure: the Update struct stays a plain
+// three-pointer bundle, cheap to mint per matrix generation).
+func (u *Update) acquire() *Workspace {
+	if w, _ := u.pool.Get().(*Workspace); w != nil {
+		return w
+	}
+	return u.NewWorkspace()
+}
 
 // ApplyU computes dst = U·s like Workspace.ApplyU, drawing scratch space
 // from the internal pool so concurrent appliers of one Update are safe.

@@ -1,0 +1,200 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// csrExactlyEqual reports structural and bit-level value equality.
+func csrExactlyEqual(a, b *CSR) bool {
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for r := 0; r < a.Rows(); r++ {
+		ac, av := a.RowNNZ(r)
+		bc, bv := b.RowNNZ(r)
+		if len(ac) != len(bc) {
+			return false
+		}
+		for i := range ac {
+			if ac[i] != bc[i] || math.Float64bits(av[i]) != math.Float64bits(bv[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// randomRowEntries emits a random sparse row: each column present with
+// probability p, one-hot-style positive values (mostly 1, sometimes an
+// arbitrary positive float to exercise the generic arithmetic).
+func randomRowEntries(rng *rand.Rand, row, cols int, p float64) []Coord {
+	var out []Coord
+	for j := 0; j < cols; j++ {
+		if rng.Float64() < p {
+			v := 1.0
+			if rng.Float64() < 0.3 {
+				v = 0.25 + rng.Float64()
+			}
+			out = append(out, Coord{Row: row, Col: j, Val: v})
+		}
+	}
+	return out
+}
+
+// spliceCase builds an old/new base pair differing exactly in dirty, then
+// asserts both normalized splices are bitwise identical to from-scratch
+// normalization of the new base.
+func spliceCase(t *testing.T, rng *rand.Rand, rows, cols int, dirty []int, emptyDirty bool) {
+	t.Helper()
+	dirtySet := make(map[int]bool, len(dirty))
+	for _, r := range dirty {
+		dirtySet[r] = true
+	}
+	var oldEntries, newEntries []Coord
+	for r := 0; r < rows; r++ {
+		re := randomRowEntries(rng, r, cols, 0.4)
+		oldEntries = append(oldEntries, re...)
+		if !dirtySet[r] {
+			newEntries = append(newEntries, re...)
+		} else if !emptyDirty {
+			newEntries = append(newEntries, randomRowEntries(rng, r, cols, 0.4)...)
+		}
+	}
+	oldBase := NewCSR(rows, cols, oldEntries)
+	newBase := NewCSR(rows, cols, newEntries)
+
+	oldCrow := oldBase.RowNormalized()
+	gotCrow := oldCrow.ReplaceRowsNormalized(newBase, dirty)
+	if want := newBase.RowNormalized(); !csrExactlyEqual(gotCrow, want) {
+		t.Fatalf("spliced RowNormalized differs from scratch (dirty=%v empty=%v)", dirty, emptyDirty)
+	}
+
+	oldSums, newSums := oldBase.ColSums(), newBase.ColSums()
+	var affected []int
+	for j := range newSums {
+		if math.Float64bits(oldSums[j]) != math.Float64bits(newSums[j]) {
+			affected = append(affected, j)
+		}
+	}
+	oldCcol := oldBase.ColNormalized()
+	gotCcol := oldCcol.ReplaceRowsColNormalized(newBase, dirty, newSums, affected)
+	if want := newBase.ColNormalized(); !csrExactlyEqual(gotCcol, want) {
+		t.Fatalf("spliced ColNormalized differs from scratch (dirty=%v empty=%v)", dirty, emptyDirty)
+	}
+}
+
+// TestNormalizedSpliceMatchesScratch is the property test behind the
+// generation-keyed normalization memo: over random write sequences, spliced
+// RowNormalized/ColNormalized forms are bitwise identical to from-scratch
+// normalization.
+func TestNormalizedSpliceMatchesScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for round := 0; round < 60; round++ {
+		rows := 2 + rng.Intn(30)
+		cols := 1 + rng.Intn(40)
+		nd := rng.Intn(rows + 1)
+		dirty := rng.Perm(rows)[:nd]
+		sort.Ints(dirty)
+		spliceCase(t, rng, rows, cols, dirty, rng.Float64() < 0.15)
+	}
+}
+
+// TestNormalizedSpliceEdgeCases pins the three edge cases called out in the
+// cache protocol: every row dirty, no row dirty, and a write that empties
+// its row (a retracted answer), which may also empty columns.
+func TestNormalizedSpliceEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+
+	t.Run("all-dirty", func(t *testing.T) {
+		all := make([]int, 12)
+		for i := range all {
+			all[i] = i
+		}
+		spliceCase(t, rng, 12, 9, all, false)
+	})
+	t.Run("no-dirty", func(t *testing.T) {
+		spliceCase(t, rng, 12, 9, nil, false)
+		// The no-op splice may return the receiver itself; either way the
+		// bits must match, which spliceCase already asserted.
+	})
+	t.Run("row-emptying", func(t *testing.T) {
+		// Rows 0 and 5 lose every answer; with few rows this also empties
+		// columns, exercising the sum→0 bookkeeping.
+		spliceCase(t, rng, 6, 4, []int{0, 5}, true)
+	})
+	t.Run("single-row-matrix-nnz-growth", func(t *testing.T) {
+		// A dirty row growing from empty to full exercises the rowPtr shift
+		// between old and new structure.
+		old := NewCSR(3, 4, []Coord{{Row: 0, Col: 1, Val: 1}, {Row: 2, Col: 3, Val: 1}})
+		next := NewCSR(3, 4, []Coord{
+			{Row: 0, Col: 1, Val: 1},
+			{Row: 1, Col: 0, Val: 1}, {Row: 1, Col: 2, Val: 1},
+			{Row: 2, Col: 3, Val: 1},
+		})
+		got := old.RowNormalized().ReplaceRowsNormalized(next, []int{1})
+		if !csrExactlyEqual(got, next.RowNormalized()) {
+			t.Fatal("row growth splice differs from scratch")
+		}
+		sums := next.ColSums()
+		var affected []int
+		oldSums := old.ColSums()
+		for j := range sums {
+			if math.Float64bits(oldSums[j]) != math.Float64bits(sums[j]) {
+				affected = append(affected, j)
+			}
+		}
+		gotC := old.ColNormalized().ReplaceRowsColNormalized(next, []int{1}, sums, affected)
+		if !csrExactlyEqual(gotC, next.ColNormalized()) {
+			t.Fatal("column splice after row growth differs from scratch")
+		}
+	})
+}
+
+// TestNormalizedSpliceDoesNotMutateInputs is the immutable-swap contract:
+// snapshots holding the previous normalized forms must never observe a
+// splice.
+func TestNormalizedSpliceDoesNotMutateInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	var oldEntries, newEntries []Coord
+	for r := 0; r < 10; r++ {
+		re := randomRowEntries(rng, r, 8, 0.5)
+		oldEntries = append(oldEntries, re...)
+		if r != 4 {
+			newEntries = append(newEntries, re...)
+		}
+	}
+	newEntries = append(newEntries, Coord{Row: 4, Col: 2, Val: 1})
+	sort.Slice(newEntries, func(i, j int) bool {
+		a, b := newEntries[i], newEntries[j]
+		return a.Row < b.Row || (a.Row == b.Row && a.Col < b.Col)
+	})
+	oldBase := NewCSR(10, 8, oldEntries)
+	newBase := NewCSR(10, 8, newEntries)
+
+	crow := oldBase.RowNormalized()
+	crowCopy := crow.Clone()
+	ccol := oldBase.ColNormalized()
+	ccolCopy := ccol.Clone()
+	baseCopy := newBase.Clone()
+
+	crow.ReplaceRowsNormalized(newBase, []int{4})
+	sums := newBase.ColSums()
+	oldSums := oldBase.ColSums()
+	var affected []int
+	for j := range sums {
+		if math.Float64bits(oldSums[j]) != math.Float64bits(sums[j]) {
+			affected = append(affected, j)
+		}
+	}
+	ccol.ReplaceRowsColNormalized(newBase, []int{4}, sums, affected)
+
+	if !csrExactlyEqual(crow, crowCopy) || !csrExactlyEqual(ccol, ccolCopy) {
+		t.Fatal("splice mutated the previous normalized form")
+	}
+	if !csrExactlyEqual(newBase, baseCopy) {
+		t.Fatal("splice mutated the base")
+	}
+}

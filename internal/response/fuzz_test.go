@@ -6,6 +6,68 @@ import (
 	"testing"
 )
 
+// FuzzMemoInvariants drives an arbitrary byte-coded sequence of writes,
+// retractions, clones and memo reads through one matrix and asserts the
+// invariants of the generation-keyed caches: the generation counter bumps
+// exactly once per SetAnswer, the memoized one-hot encoding and its
+// normalized forms are never stale after SetAnswer or Clone (always bitwise
+// identical to from-scratch derivation), and a clone's writes never move its
+// parent's generation or memo.
+func FuzzMemoInvariants(f *testing.F) {
+	f.Add([]byte{0x00, 0x41, 0x13, 0x7f, 0x20})
+	f.Add([]byte("write-clone-write"))
+	f.Add([]byte{0xff, 0xff, 0x00, 0x00, 0x91, 0x55})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const users, items, k = 7, 5, 3
+		m := New(users, items, k)
+		if len(ops) > 64 {
+			ops = ops[:64]
+		}
+		gen := m.Generation()
+		for pc, op := range ops {
+			u, i := int(op>>4)%users, int(op>>2)%items
+			switch op % 4 {
+			case 0: // answer
+				m.SetAnswer(u, i, int(op)%k)
+				gen++
+			case 1: // retract
+				m.SetAnswer(u, i, Unanswered)
+				gen++
+			case 2: // materialize the memos mid-sequence
+				m.Binary()
+				m.Normalized()
+			case 3: // copy-on-write fork: clone writes must not leak back
+				clone := m.Clone()
+				if clone.Generation() != gen {
+					t.Fatalf("op %d: clone generation %d, want inherited %d", pc, clone.Generation(), gen)
+				}
+				clone.SetAnswer(u, i, int(op)%k)
+				if _, crow, ccol := clone.Normalized(); true {
+					wantRow, wantCol := scratchNormalized(clone)
+					if !csrBitwiseEqual(crow, wantRow) || !csrBitwiseEqual(ccol, wantCol) {
+						t.Fatalf("op %d: clone memo stale after write", pc)
+					}
+				}
+			}
+			if g := m.Generation(); g != gen {
+				t.Fatalf("op %d: generation %d, want %d", pc, g, gen)
+			}
+		}
+		if got, want := m.Binary(), scratchBinary(m); !csrBitwiseEqual(got, want) {
+			t.Fatal("memoized encoding stale at end of sequence")
+		}
+		_, crow, ccol := m.Normalized()
+		wantRow, wantCol := scratchNormalized(m)
+		if !csrBitwiseEqual(crow, wantRow) || !csrBitwiseEqual(ccol, wantCol) {
+			t.Fatal("memoized normalized forms stale at end of sequence")
+		}
+		if c, crow2, ccol2 := m.Normalized(); c != m.Binary() || crow2 != crow || ccol2 != ccol {
+			t.Fatal("unchanged matrix must serve the identical memo pointers")
+		}
+	})
+}
+
 // FuzzReadCSV asserts that arbitrary input never panics the parser and that
 // anything it accepts survives a write/read round trip.
 func FuzzReadCSV(f *testing.F) {

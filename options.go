@@ -46,6 +46,23 @@ type settings struct {
 	skipOrientation bool
 	warmStart       mat.Vector
 	workers         int
+	update          *core.Update
+	scratchUpdate   bool
+}
+
+// withUpdate threads a prebuilt AVGHITS update machinery into a solve — the
+// engine's per-version Update cache uses it; not part of the public option
+// surface because only the engine can guarantee the machinery matches the
+// matrix being ranked.
+func withUpdate(u *core.Update) Option {
+	return func(s *settings) { s.update = u }
+}
+
+// withScratchUpdate forces from-scratch normalized-matrix construction,
+// bypassing every generation-keyed memo — the solve-side half of the
+// WithUpdateCache(false) escape hatch.
+func withScratchUpdate() Option {
+	return func(s *settings) { s.scratchUpdate = true }
 }
 
 // WithTol sets the L2 convergence threshold of iterative methods. The
@@ -103,6 +120,19 @@ func WithBatchSize(n int) EngineOption {
 	return func(s *engineSettings) { s.batchSize = n }
 }
 
+// WithUpdateCache toggles the engine's generation-keyed solve-input caches
+// (default on): the per-version core.Update cache that lets a warm re-rank
+// reuse the previous solve's machinery, and the memoized normalized one-hot
+// matrices that delta-splice after writes instead of rebuilding from
+// scratch. Disabling it restores the always-rebuild construction — every
+// rank re-derives C_row/C_col from scratch — as an escape hatch and as the
+// reference path the cached-vs-scratch equivalence tests compare against.
+// Results are bitwise identical either way; the setting only trades memory
+// for per-re-rank work. Applies to Engine, ShardedEngine and RankBatch.
+func WithUpdateCache(enabled bool) EngineOption {
+	return func(s *engineSettings) { s.updateCache = enabled }
+}
+
 func newSettings(opts []Option) settings {
 	var s settings
 	for _, o := range opts {
@@ -123,6 +153,8 @@ func (s settings) coreOptions() core.Options {
 		SkipOrientation: s.skipOrientation,
 		WarmStart:       s.warmStart,
 		Workers:         s.workers,
+		Update:          s.update,
+		ScratchUpdate:   s.scratchUpdate,
 	}
 }
 

@@ -12,8 +12,23 @@ func TestMethodNamesSortedAndComplete(t *testing.T) {
 	if !sort.StringsAreSorted(names) {
 		t.Fatalf("MethodNames not sorted: %v", names)
 	}
-	if len(names) != 16 {
-		t.Fatalf("expected 16 built-in methods, got %d: %v", len(names), names)
+	// Check by name, not by count: the process-global registry may also
+	// hold custom methods registered by other tests in this run (or by a
+	// previous -count pass — registrations are permanent by design).
+	builtin := []string{
+		"ABH-direct", "ABH-lanczos", "ABH-power", "BL", "Dalvi-spectral",
+		"Dawid-Skene", "GLAD", "Ghosh-spectral", "HITS", "HnD-deflation",
+		"HnD-direct", "HnD-power", "Invest", "MajorityVote", "PooledInv",
+		"TruthFinder",
+	}
+	have := make(map[string]bool, len(names))
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, n := range builtin {
+		if !have[n] {
+			t.Fatalf("built-in method %q missing from %v", n, names)
+		}
 	}
 }
 
@@ -81,7 +96,10 @@ func (constRanker) Rank(ctx context.Context, m *ResponseMatrix) (Result, error) 
 func TestRegisterCustomMethod(t *testing.T) {
 	err := Register(MethodInfo{Name: "test-const", Summary: "index-ordered test stub"},
 		func(opts ...Option) Ranker { return constRanker{} })
-	if err != nil {
+	// Registrations are process-permanent, so under -count>1 the second run
+	// finds the method already registered; that duplicate error is the
+	// documented behaviour, not a failure.
+	if err != nil && !strings.Contains(err.Error(), "already registered") {
 		t.Fatal(err)
 	}
 	r, err := New("test-const")

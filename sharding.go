@@ -39,12 +39,13 @@ import (
 // Construct with NewShardedEngine; the zero value is not usable. All
 // methods are safe for concurrent use.
 type ShardedEngine struct {
-	method    string
-	base      []Option
-	batchSize int
-	engines   []*Engine
-	users     *shard.Map
-	options   []int // per-item option counts, identical across shards
+	method      string
+	base        []Option
+	batchSize   int
+	updateCache bool
+	engines     []*Engine
+	users       *shard.Map
+	options     []int // per-item option counts, identical across shards
 
 	// mu guards the router's two memos: sparse, the per-shard
 	// too-few-users verdict keyed by shard version (recomputing it per
@@ -87,7 +88,7 @@ func NewShardedEngine(m *ResponseMatrix, opts ...EngineOption) (*ShardedEngine, 
 	if m == nil {
 		return nil, fmt.Errorf("hitsndiffs: NewShardedEngine needs a response matrix")
 	}
-	s := engineSettings{method: "HnD-power"}
+	s := defaultEngineSettings()
 	for _, o := range opts {
 		if o != nil {
 			o(&s)
@@ -101,13 +102,14 @@ func NewShardedEngine(m *ResponseMatrix, opts ...EngineOption) (*ShardedEngine, 
 	}
 
 	se := &ShardedEngine{
-		method:    s.method,
-		base:      s.base,
-		batchSize: s.batchSize,
-		engines:   make([]*Engine, n),
-		users:     users,
-		options:   options,
-		sparse:    make([]sparseMemo, n),
+		method:      s.method,
+		base:        s.base,
+		batchSize:   s.batchSize,
+		updateCache: s.updateCache,
+		engines:     make([]*Engine, n),
+		users:       users,
+		options:     options,
+		sparse:      make([]sparseMemo, n),
 	}
 	for sh := 0; sh < n; sh++ {
 		// shardMapFor guarantees every shard owns at least one user, so
@@ -378,7 +380,7 @@ func (s *ShardedEngine) RankAll(ctx context.Context) ([]Result, error) {
 	if len(items) == 0 {
 		return results, nil
 	}
-	err := runBatches(ctx, s.base, s.batchSize, items,
+	err := runBatches(ctx, s.base, s.updateCache, s.batchSize, items,
 		func(k int) string { return fmt.Sprintf("RankAll shard %d", stale[k]) },
 		func(k int, res Result) {
 			s.engines[stale[k]].storeSolved(versions[k], res)
