@@ -19,7 +19,13 @@ BENCH_PATTERN ?= Fig5aScaleUsers|Fig5bScaleQuestions|HNDPowerInnerLoop|EngineSna
 BENCH_TIME ?= 1x
 BENCH_OUT ?= BENCH_pr5.json
 
-.PHONY: build test check bench clean
+# Serving-tier benchmark: scripts/serve_bench.sh starts hndserver, drives
+# it with the hndload closed-loop generator (zipfian tenants, mixed
+# read/write), converts the latency/throughput lines to JSON, and asserts
+# a clean SIGTERM drain. serve-smoke is the short CI variant.
+SERVE_BENCH_OUT ?= BENCH_serve6.json
+
+.PHONY: build test check bench serve-bench serve-smoke clean
 
 build:
 	$(GO) build ./...
@@ -38,5 +44,14 @@ bench:
 	@rm -f bench.out
 	@echo "wrote $(BENCH_OUT)"
 
+serve-bench:
+	scripts/serve_bench.sh $(SERVE_BENCH_OUT)
+
+serve-smoke:
+	DURATION=2s TENANTS=3 USERS=400 CONCURRENCY=16 scripts/serve_bench.sh serve_smoke.json
+	@python3 -c 'import json,sys; rows=json.load(open("serve_smoke.json"))["benchmarks"]; tp=[b["metrics"]["req/s"] for b in rows if "req/s" in b["metrics"]]; sys.exit(0 if tp and all(v>0 for v in tp) else ("serve-smoke: zero throughput: %s" % rows))' \
+	  && echo "serve-smoke: non-zero throughput + clean drain confirmed"
+	@rm -f serve_smoke.json
+
 clean:
-	rm -f bench.out
+	rm -f bench.out serve_smoke.json

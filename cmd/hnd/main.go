@@ -11,7 +11,9 @@
 //
 // Methods are resolved through the hitsndiffs registry; -list prints every
 // registered method with its applicability constraints. A -timeout bounds
-// the solve via context deadline, and Ctrl-C cancels it mid-iteration.
+// the solve via context deadline, and Ctrl-C cancels it mid-iteration;
+// both unwind cleanly (deferred cleanup runs) and exit 124 / 130
+// respectively, so callers can tell a stopped solve from a failed one.
 // -parallel caps the chunks each sparse kernel apply splits into, executed
 // on the persistent worker pool (0 = GOMAXPROCS, 1 = the serial kernels).
 // -shards N > 1 ranks through a ShardedEngine —
@@ -22,16 +24,26 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
+	"time"
 
 	"hitsndiffs"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain carries the whole run so deferred cleanup (file close, signal
+// unregistration, context cancel) executes before the process exits —
+// main's os.Exit would skip it. The exit code distinguishes how a solve
+// ended: 0 success, 1 failure, 2 usage, 124 deadline, 130 interrupted.
+func realMain() int {
 	method := flag.String("method", "HnD-power", "ranking method (see -list)")
 	list := flag.Bool("list", false, "list available methods and exit")
 	scores := flag.Bool("scores", false, "print raw scores alongside ranks")
@@ -46,24 +58,24 @@ func main() {
 
 	if *list {
 		fmt.Print(formatMethodList())
-		return
+		return 0
 	}
 	if *infer && *shards > 1 {
-		fatal(fmt.Errorf("-infer requires -shards=1: label inference needs the full matrix on one engine"))
+		return fail(fmt.Errorf("-infer requires -shards=1: label inference needs the full matrix on one engine"))
 	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hnd [flags] file.csv (see -h)")
-		os.Exit(2)
+		return 2
 	}
 
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	defer f.Close()
 	m, err := hitsndiffs.ReadCSV(f)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -87,20 +99,36 @@ func main() {
 			hitsndiffs.WithRankOptions(rankOpts...),
 		)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		if err := runSharded(ctx, os.Stdout, eng, *scores); err != nil {
-			fatal(err)
-		}
-		return
+		return report(ctx, runSharded(ctx, os.Stdout, eng, *scores), *timeout)
 	}
 
 	ranker, err := hitsndiffs.New(*method, rankOpts...)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	if err := run(ctx, os.Stdout, ranker, m, *scores, *infer); err != nil {
-		fatal(err)
+	return report(ctx, run(ctx, os.Stdout, ranker, m, *scores, *infer), *timeout)
+}
+
+// report turns a solve's outcome into an exit code, telling interruption
+// apart from timeout and real failure. Methods honor context cancellation
+// mid-iteration, so by the time the error surfaces here the solve has
+// already unwound cleanly — the job is only to say so: Ctrl-C exits 130
+// (the shell's SIGINT convention), a -timeout deadline exits 124 (the
+// timeout(1) convention), anything else is a plain failure.
+func report(ctx context.Context, err error, timeout time.Duration) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintf(os.Stderr, "hnd: solve stopped cleanly at the -timeout deadline (%v)\n", timeout)
+		return 124
+	case errors.Is(err, context.Canceled) && ctx.Err() != nil:
+		fmt.Fprintln(os.Stderr, "hnd: interrupted — solve canceled cleanly")
+		return 130
+	default:
+		return fail(err)
 	}
 }
 
@@ -172,7 +200,8 @@ func formatMethodList() string {
 	return out
 }
 
-func fatal(err error) {
+// fail prints err the standard way and returns the generic failure code.
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "hnd:", err)
-	os.Exit(1)
+	return 1
 }

@@ -1,0 +1,389 @@
+// Command hndload is a closed-loop load generator for hndserver: it
+// creates a fleet of tenants with a zipfian size distribution, seeds each
+// with a synthetic workload from the internal/irt generators, then drives
+// a configurable read/write mix over HTTP from N concurrent closed-loop
+// workers (each worker issues its next request only after the previous
+// one completes), and reports p50/p95/p99 latency and throughput.
+//
+// Usage:
+//
+//	hndload [-addr http://127.0.0.1:8788] [-tenants 8] [-users 2000]
+//	        [-minusers 32] [-items 64] [-options 3] [-zipf 1.2]
+//	        [-readratio 0.9] [-concurrency 64] [-duration 10s]
+//	        [-writebatch 1] [-seed 1] [-warm]
+//
+// Tenant t's user count follows a power law users/(t+1)^zipf (floored at
+// minusers) — a few big tenants, a long tail of small ones — and traffic
+// picks tenants zipfian too, so the hot tenants are also the big ones.
+// Reads POST /v1/rank; writes POST /v1/observe (or /v1/observebatch when
+// -writebatch > 1) with uniformly random responses.
+//
+// Results are printed to stdout in `go test -bench` format so the
+// existing cmd/bench2json converter archives them (the serve-bench Make
+// target pipes them into BENCH_serve6.json); a human-readable summary
+// goes to stderr. The exit status is non-zero if no request succeeded,
+// which lets CI's serve-smoke job assert non-zero throughput.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"hitsndiffs"
+	"hitsndiffs/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8788", "hndserver base URL")
+	tenants := flag.Int("tenants", 8, "number of tenants to create")
+	users := flag.Int("users", 2000, "largest tenant's user count (tenant sizes decay zipfian from it)")
+	minUsers := flag.Int("minusers", 32, "smallest tenant size the zipfian decay is floored at")
+	items := flag.Int("items", 64, "items per tenant")
+	options := flag.Int("options", 3, "options per item")
+	zipf := flag.Float64("zipf", 1.2, "zipf exponent for tenant sizes and tenant pick distribution (<=1 picks uniformly)")
+	readRatio := flag.Float64("readratio", 0.9, "fraction of requests that are ranks (the rest are writes)")
+	concurrency := flag.Int("concurrency", 64, "closed-loop worker count")
+	duration := flag.Duration("duration", 10*time.Second, "measured load duration")
+	writeBatch := flag.Int("writebatch", 1, "observations per write request (>1 uses /v1/observebatch)")
+	seed := flag.Int64("seed", 1, "seed for workload synthesis and traffic choices")
+	warm := flag.Bool("warm", true, "rank every tenant once before measuring (excludes cold-start solves)")
+	reqTimeout := flag.Duration("reqtimeout", 30*time.Second, "per-request timeout")
+	flag.Parse()
+
+	c := &client{
+		base: *addr,
+		http: &http.Client{
+			Timeout: *reqTimeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        *concurrency * 2,
+				MaxIdleConnsPerHost: *concurrency * 2,
+			},
+		},
+	}
+
+	sizes := tenantSizes(*tenants, *users, *minUsers, *zipf)
+	names := make([]string, *tenants)
+	total := 0
+	for i, n := range sizes {
+		names[i] = fmt.Sprintf("t%d", i)
+		total += n
+	}
+	fmt.Fprintf(os.Stderr, "hndload: creating %d tenants, %d users total (sizes %v)\n", *tenants, total, sizes)
+	if err := c.setup(names, sizes, *items, *options, *seed, *warm); err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "hndload: driving %d workers for %v (read ratio %.2f, write batch %d)\n",
+		*concurrency, *duration, *readRatio, *writeBatch)
+	before, err := c.metrics()
+	if err != nil {
+		fatal(err)
+	}
+	stats := drive(c, names, sizes, *items, *options, *zipf, *readRatio, *concurrency, *duration, *writeBatch, *seed)
+	after, err := c.metrics()
+	if err != nil {
+		fatal(err)
+	}
+
+	report(os.Stdout, os.Stderr, stats, *duration, before, after)
+	if stats.ok() == 0 {
+		fmt.Fprintln(os.Stderr, "hndload: no request succeeded")
+		os.Exit(1)
+	}
+}
+
+// tenantSizes returns the zipfian tenant-size ladder: tenant t gets
+// base/(t+1)^s users, floored at minSize.
+func tenantSizes(tenants, base, minSize int, s float64) []int {
+	if minSize < 2 {
+		minSize = 2
+	}
+	sizes := make([]int, tenants)
+	for t := range sizes {
+		n := base
+		if s > 0 {
+			n = int(float64(base) / math.Pow(float64(t+1), s))
+		}
+		if n < minSize {
+			n = minSize
+		}
+		sizes[t] = n
+	}
+	return sizes
+}
+
+// client is the minimal JSON HTTP client over the serve wire types.
+type client struct {
+	base string
+	http *http.Client
+}
+
+// post sends a JSON body and decodes a JSON response into out (out may be
+// nil to discard). It returns the HTTP status code; statuses >= 400 are
+// not errors here — the caller classifies them.
+func (c *client) post(path string, body, out any) (int, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// metrics fetches the server's /metrics snapshot.
+func (c *client) metrics() (serve.Snapshot, error) {
+	var snap serve.Snapshot
+	resp, err := c.http.Get(c.base + "/metrics")
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	return snap, json.NewDecoder(resp.Body).Decode(&snap)
+}
+
+// setup creates and seeds every tenant: tenant i is filled with an
+// internal/irt synthetic workload of its size (Samejima model, paper
+// defaults otherwise), applied through /v1/observebatch in chunks. With
+// warm set it then ranks each tenant once, so the measured run starts
+// from the steady warm-started state.
+func (c *client) setup(names []string, sizes []int, items, options int, seed int64, warm bool) error {
+	for i, name := range names {
+		code, err := c.post("/v1/tenants", serve.CreateTenantRequest{
+			Name: name, Users: sizes[i], Items: items, Options: []int{options},
+		}, nil)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", name, err)
+		}
+		if code != http.StatusCreated {
+			return fmt.Errorf("create %s: HTTP %d", name, code)
+		}
+		cfg := hitsndiffs.DefaultGeneratorConfig(hitsndiffs.ModelSamejima)
+		cfg.Users, cfg.Items, cfg.Options = sizes[i], items, options
+		cfg.Seed = seed + int64(i)
+		d, err := hitsndiffs.Generate(cfg)
+		if err != nil {
+			return fmt.Errorf("generate %s: %w", name, err)
+		}
+		var obs []serve.Observation
+		for u := 0; u < sizes[i]; u++ {
+			for it := 0; it < items; it++ {
+				if h := d.Responses.Answer(u, it); h != hitsndiffs.Unanswered {
+					obs = append(obs, serve.Observation{User: u, Item: it, Option: h})
+				}
+			}
+		}
+		const chunk = 8192
+		for lo := 0; lo < len(obs); lo += chunk {
+			hi := min(lo+chunk, len(obs))
+			code, err := c.post("/v1/observebatch", serve.ObserveBatchRequest{Tenant: name, Observations: obs[lo:hi]}, nil)
+			if err != nil {
+				return fmt.Errorf("seed %s: %w", name, err)
+			}
+			if code != http.StatusOK {
+				return fmt.Errorf("seed %s: HTTP %d", name, code)
+			}
+		}
+		if warm {
+			code, err := c.post("/v1/rank", serve.RankRequest{Tenant: name}, nil)
+			if err != nil {
+				return fmt.Errorf("warm rank %s: %w", name, err)
+			}
+			if code != http.StatusOK {
+				return fmt.Errorf("warm rank %s: HTTP %d", name, code)
+			}
+		}
+	}
+	return nil
+}
+
+// opKind indexes the per-operation stats buckets.
+type opKind int
+
+// The two measured operation kinds.
+const (
+	opRank opKind = iota
+	opWrite
+	opKinds
+)
+
+// stats accumulates one run's measurements across workers.
+type stats struct {
+	lat      [opKinds][]time.Duration // successful-request latencies
+	rejected [opKinds]int             // 429 backpressure rejections
+	failed   [opKinds]int             // transport errors and non-2xx, non-429
+}
+
+// ok returns the number of successful requests across kinds.
+func (st *stats) ok() int { return len(st.lat[opRank]) + len(st.lat[opWrite]) }
+
+// merge folds o into st.
+func (st *stats) merge(o *stats) {
+	for k := opKind(0); k < opKinds; k++ {
+		st.lat[k] = append(st.lat[k], o.lat[k]...)
+		st.rejected[k] += o.rejected[k]
+		st.failed[k] += o.failed[k]
+	}
+}
+
+// drive runs the closed loop: each of the workers repeatedly picks a
+// tenant (zipfian when s > 1, uniform otherwise), flips the read/write
+// coin, issues the request, and records its latency — until the deadline.
+func drive(c *client, names []string, sizes []int, items, options int, s, readRatio float64,
+	concurrency int, duration time.Duration, writeBatch int, seed int64) *stats {
+	deadline := time.Now().Add(duration)
+	perWorker := make([]*stats, concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		st := &stats{}
+		perWorker[w] = st
+		wg.Add(1)
+		go func(w int, st *stats) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + 7919*int64(w+1)))
+			var zf *rand.Zipf
+			if s > 1 && len(names) > 1 {
+				zf = rand.NewZipf(rng, s, 1, uint64(len(names)-1))
+			}
+			for time.Now().Before(deadline) {
+				t := 0
+				if zf != nil {
+					t = int(zf.Uint64())
+				} else if len(names) > 1 {
+					t = rng.Intn(len(names))
+				}
+				if rng.Float64() < readRatio {
+					d, code, err := c.rank(names[t])
+					st.record(opRank, d, code, err)
+				} else {
+					d, code, err := c.write(rng, names[t], sizes[t], items, options, writeBatch)
+					st.record(opWrite, d, code, err)
+				}
+			}
+		}(w, st)
+	}
+	wg.Wait()
+	total := &stats{}
+	for _, st := range perWorker {
+		total.merge(st)
+	}
+	return total
+}
+
+// record classifies one request outcome into the stats buckets.
+func (st *stats) record(k opKind, d time.Duration, code int, err error) {
+	switch {
+	case err != nil:
+		st.failed[k]++
+	case code == http.StatusTooManyRequests:
+		st.rejected[k]++
+	case code >= 300:
+		st.failed[k]++
+	default:
+		st.lat[k] = append(st.lat[k], d)
+	}
+}
+
+// rank times one /v1/rank call.
+func (c *client) rank(tenant string) (time.Duration, int, error) {
+	start := time.Now()
+	code, err := c.post("/v1/rank", serve.RankRequest{Tenant: tenant}, nil)
+	return time.Since(start), code, err
+}
+
+// write times one write: a single /v1/observe, or an /v1/observebatch of
+// batch uniformly random responses.
+func (c *client) write(rng *rand.Rand, tenant string, users, items, options, batch int) (time.Duration, int, error) {
+	if batch <= 1 {
+		start := time.Now()
+		code, err := c.post("/v1/observe", serve.ObserveRequest{
+			Tenant: tenant, User: rng.Intn(users), Item: rng.Intn(items), Option: rng.Intn(options),
+		}, nil)
+		return time.Since(start), code, err
+	}
+	obs := make([]serve.Observation, batch)
+	for i := range obs {
+		obs[i] = serve.Observation{User: rng.Intn(users), Item: rng.Intn(items), Option: rng.Intn(options)}
+	}
+	start := time.Now()
+	code, err := c.post("/v1/observebatch", serve.ObserveBatchRequest{Tenant: tenant, Observations: obs}, nil)
+	return time.Since(start), code, err
+}
+
+// percentile returns the q-quantile of sorted latencies (nearest-rank).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// report prints go-bench-format result lines to bench (one per operation
+// kind plus the mixed total, each carrying p50/p95/p99 ns/op, throughput
+// and the rejection/coalescing counters) and a human summary to human.
+func report(bench, human io.Writer, st *stats, duration time.Duration, before, after serve.Snapshot) {
+	secs := duration.Seconds()
+	coalesced := after.RankCoalesced - before.RankCoalesced
+	// Actual solves are the engines' cache misses; flight leaders that hit
+	// a version-keyed engine cache never solve.
+	var solves, hits uint64
+	misses := func(snap serve.Snapshot) (m, h uint64) {
+		for _, t := range snap.Tenants {
+			m += t.Engine.CacheMisses
+			h += t.Engine.CacheHits
+		}
+		return m, h
+	}
+	mb, hb := misses(before)
+	ma, ha := misses(after)
+	solves, hits = ma-mb, ha-hb
+
+	line := func(name string, lat []time.Duration, extra string) {
+		if len(lat) == 0 {
+			return
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		fmt.Fprintf(bench, "Benchmark%s %d %d p50-ns/op %d p95-ns/op %d p99-ns/op %.1f req/s%s\n",
+			name, len(lat),
+			percentile(lat, 0.50).Nanoseconds(),
+			percentile(lat, 0.95).Nanoseconds(),
+			percentile(lat, 0.99).Nanoseconds(),
+			float64(len(lat))/secs, extra)
+		fmt.Fprintf(human, "%-14s %8d ok  p50 %-10v p95 %-10v p99 %-10v %.1f req/s\n",
+			name, len(lat),
+			percentile(lat, 0.50), percentile(lat, 0.95), percentile(lat, 0.99),
+			float64(len(lat))/secs)
+	}
+	line("ServeRank", st.lat[opRank],
+		fmt.Sprintf(" %d solves %d cache-hits %d coalesced", solves, hits, coalesced))
+	line("ServeObserve", st.lat[opWrite],
+		fmt.Sprintf(" %d rejected-429", st.rejected[opWrite]))
+	mixed := append(append([]time.Duration(nil), st.lat[opRank]...), st.lat[opWrite]...)
+	line("ServeMixed", mixed,
+		fmt.Sprintf(" %d rejected-429 %d failed", st.rejected[opRank]+st.rejected[opWrite], st.failed[opRank]+st.failed[opWrite]))
+	fmt.Fprintf(human, "ranks: %d engine solves, %d engine cache hits, %d coalesced; writes rejected 429: %d; failures: %d\n",
+		solves, hits, coalesced, st.rejected[opRank]+st.rejected[opWrite], st.failed[opRank]+st.failed[opWrite])
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hndload:", err)
+	os.Exit(1)
+}

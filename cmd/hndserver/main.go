@@ -1,0 +1,133 @@
+// Command hndserver serves the hitsndiffs engines over HTTP JSON — the
+// network face of the library. It hosts named tenants (each an
+// independent response matrix behind an Engine, or a ShardedEngine when
+// -shards > 1) and exposes observe / rank / label-inference traffic with
+// request coalescing, per-tenant admission control and graceful drain.
+//
+// Usage:
+//
+//	hndserver [-addr :8788] [-method HnD-power] [-shards 1] [-parallel 0]
+//	          [-batch 0] [-tol 1e-5] [-maxiter 20000] [-seed 0]
+//	          [-maxwrites 64] [-maxlag 0] [-maxtenants 1024]
+//	          [-drain-timeout 15s]
+//
+// Endpoints (JSON bodies; see internal/serve for the wire types):
+//
+//	POST /v1/tenants       create a tenant {name, users, items, options}
+//	GET  /v1/tenants       list tenants
+//	POST /v1/observe       record one response {tenant, user, item, option}
+//	POST /v1/observebatch  record a burst {tenant, observations:[...]}
+//	POST /v1/rank          rank a tenant's users {tenant}
+//	POST /v1/rankbatch     rank several tenants {tenants:[...]}
+//	POST /v1/inferlabels   infer correct options {tenant} (unsharded only)
+//	GET  /metrics          serve + engine counter snapshot
+//	GET  /healthz          200 "ok" serving / 503 "draining"
+//
+// Concurrent ranks of one tenant at one write version coalesce into a
+// single solve. Writes are admission-controlled: -maxwrites bounds
+// in-flight writes per tenant and -maxlag bounds how far a tenant's write
+// version may outrun its last served rank; both reject with 429 +
+// Retry-After. On SIGINT/SIGTERM the server drains: /healthz flips to
+// 503, new requests are rejected, in-flight solves finish (bounded by
+// -drain-timeout), then the process exits 0. A second signal hard-stops.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hitsndiffs"
+	"hitsndiffs/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8788", "listen address")
+	method := flag.String("method", "HnD-power", "ranking method every tenant serves (see hnd -list)")
+	shards := flag.Int("shards", 1, "engine shards per tenant (>1 hashes each tenant's users across a ShardedEngine)")
+	parallel := flag.Int("parallel", 0, "chunks per sparse kernel apply, run on the worker pool (0 = GOMAXPROCS, 1 = serial)")
+	batch := flag.Int("batch", 0, "max tenants/shards per packed block-diagonal solve (0 = unbounded)")
+	tol := flag.Float64("tol", 1e-5, "convergence tolerance for iterative methods")
+	maxIter := flag.Int("maxiter", 20000, "iteration budget for iterative methods")
+	seed := flag.Int64("seed", 0, "random seed for the spectral starting vector")
+	maxWrites := flag.Int("maxwrites", 64, "max in-flight writes per tenant before 429 (0 = unbounded)")
+	maxLag := flag.Int("maxlag", 0, "max write versions a tenant may outrun its last served rank before writes 429 (0 = unbounded)")
+	maxTenants := flag.Int("maxtenants", serve.DefaultMaxTenants, "max hosted tenants")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "max time to wait for in-flight requests on shutdown")
+	flag.Parse()
+
+	if *parallel > 0 {
+		hitsndiffs.SetParallelism(*parallel)
+	}
+	srv, err := serve.New(serve.Config{
+		Method:    *method,
+		Shards:    *shards,
+		BatchSize: *batch,
+		RankOptions: []hitsndiffs.Option{
+			hitsndiffs.WithTol(*tol),
+			hitsndiffs.WithMaxIter(*maxIter),
+			hitsndiffs.WithSeed(*seed),
+		},
+		MaxInflightWrites: *maxWrites,
+		MaxLag:            *maxLag,
+		MaxTenants:        *maxTenants,
+	})
+	if err != nil {
+		log.Fatal("hndserver: ", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal("hndserver: ", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	log.Printf("hndserver: serving method=%s shards=%d on %s", *method, *shards, ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal("hndserver: ", err)
+	case sig := <-sigc:
+		log.Printf("hndserver: %v — draining (in-flight solves finish, new requests get 503)", sig)
+	}
+
+	// Graceful drain: reject new work, let http.Server.Shutdown wait for
+	// in-flight handlers (and the solves coalesced behind them). A second
+	// signal — or the drain timeout — hard-stops via srv.Close, which
+	// cancels the solve context mid-iteration.
+	srv.StartDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	go func() {
+		select {
+		case sig := <-sigc:
+			log.Printf("hndserver: second %v — hard stop", sig)
+			srv.Close()
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		srv.Close()
+		_ = httpSrv.Close()
+		fmt.Fprintln(os.Stderr, "hndserver: drain incomplete:", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "hndserver:", err)
+		os.Exit(1)
+	}
+	log.Print("hndserver: drained cleanly")
+}

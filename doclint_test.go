@@ -24,6 +24,7 @@ var doclintPackages = []string{
 	"internal/mat",
 	"internal/rank",
 	"internal/response",
+	"internal/serve",
 	"internal/shard",
 	"internal/truth",
 }

@@ -52,6 +52,13 @@ type Engine struct {
 	tenants     map[*ResponseMatrix]*tenantEntry
 	batchSolves uint64 // tenants actually solved (not served cached); observability + tests
 
+	// cacheHits / cacheMisses feed Metrics: requests served from the
+	// version-keyed result cache vs solves actually started. Atomics so
+	// the read paths (rank's RLock section, peekCached) can bump them
+	// without upgrading to the write lock.
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+
 	mu sync.RWMutex
 	// m is the current matrix. It is mutated in place only while shared is
 	// false; once a reader has taken it as a snapshot (shared true), the
@@ -322,8 +329,10 @@ func (e *Engine) rank(ctx context.Context, needSnapshot bool) (Result, uint64, *
 		}
 		version := c.version
 		e.mu.RUnlock()
+		e.cacheHits.Add(1)
 		return res, version, snapshot, nil
 	}
+	e.cacheMisses.Add(1)
 	version := e.version
 	snapshot := e.m
 	e.shared.Store(true)
@@ -565,6 +574,7 @@ func (e *Engine) peekCached() (Result, bool) {
 	if c := e.cached; c != nil && c.version == e.version {
 		res := c.res
 		res.Scores = append(mat.Vector(nil), c.res.Scores...)
+		e.cacheHits.Add(1)
 		return res, true
 	}
 	return Result{}, false
@@ -575,6 +585,7 @@ func (e *Engine) peekCached() (Result, bool) {
 // the warm-start vector (nil when cold-starting). Like View, it marks the
 // matrix shared.
 func (e *Engine) solveInput() (m *ResponseMatrix, version uint64, warm mat.Vector) {
+	e.cacheMisses.Add(1) // callers only reach here to solve (peekCached missed)
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	m, version = e.m, e.version
@@ -634,6 +645,7 @@ func (e *Engine) InferLabels(ctx context.Context) ([]int, error) {
 	if c := e.cached; c != nil && c.version == e.version && c.labels != nil {
 		out := append([]int(nil), c.labels...)
 		e.mu.RUnlock()
+		e.cacheHits.Add(1)
 		return out, nil
 	}
 	e.mu.RUnlock()
@@ -652,4 +664,33 @@ func (e *Engine) InferLabels(ctx context.Context) ([]int, error) {
 	}
 	e.mu.Unlock()
 	return labels, nil
+}
+
+// Metrics returns a consistent point-in-time snapshot of the engine's
+// observability counters. The matrix-derived counters (CSR and normalized
+// rebuilds) are read under the engine's read lock, so the snapshot never
+// races a concurrent Observe swapping the matrix; the request counters are
+// atomics and may lag a bump that is in flight, but never tear. Safe for
+// concurrent use — it is the accessor the serving tier's /metrics endpoint
+// scrapes per request.
+func (e *Engine) Metrics() EngineMetrics {
+	e.batchMu.Lock()
+	batchSolves := e.batchSolves
+	e.batchMu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	cf, cd := e.m.CSRRebuilds()
+	nf, nd := e.m.NormRebuilds()
+	return EngineMetrics{
+		Version:           e.version,
+		Users:             e.m.Users(),
+		Items:             e.m.Items(),
+		CacheHits:         e.cacheHits.Load(),
+		CacheMisses:       e.cacheMisses.Load(),
+		BatchSolves:       batchSolves,
+		CSRFullRebuilds:   cf,
+		CSRDeltaRebuilds:  cd,
+		NormFullRebuilds:  nf,
+		NormDeltaRebuilds: nd,
+	}
 }

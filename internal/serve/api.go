@@ -1,0 +1,157 @@
+package serve
+
+// This file holds the wire types of the HTTP JSON API — the request and
+// response bodies of every /v1 endpoint. They are shared by the server
+// handlers, the hndload closed-loop load generator, and the tests, so the
+// three can never drift apart.
+
+// CreateTenantRequest is the body of POST /v1/tenants: it declares a new
+// tenant's response-matrix geometry. Options follows the variadic contract
+// of NewResponseMatrix: one entry gives every item that option count, and
+// a full per-item list pins each item individually.
+type CreateTenantRequest struct {
+	// Name identifies the tenant in every subsequent request.
+	Name string `json:"name"`
+	// Users is the number of users the tenant tracks.
+	Users int `json:"users"`
+	// Items is the number of multiple-choice items.
+	Items int `json:"items"`
+	// Options holds the per-item option counts (len 1 = uniform).
+	Options []int `json:"options"`
+}
+
+// TenantInfo describes one tenant in create/list responses.
+type TenantInfo struct {
+	// Name is the tenant identifier.
+	Name string `json:"name"`
+	// Users and Items give the tenant's matrix geometry.
+	Users int `json:"users"`
+	// Items is the item count (see Users).
+	Items int `json:"items"`
+	// Shards is the number of engine shards serving the tenant (1 = a
+	// plain Engine).
+	Shards int `json:"shards"`
+	// Method is the registered ranking method the tenant serves.
+	Method string `json:"method"`
+	// Version is the tenant's current write-version counter.
+	Version uint64 `json:"version"`
+}
+
+// ListTenantsResponse is the body of GET /v1/tenants.
+type ListTenantsResponse struct {
+	// Tenants lists every tenant in name order.
+	Tenants []TenantInfo `json:"tenants"`
+}
+
+// Observation is one (user, item, option) response on the wire. Option
+// follows the library contract: the chosen option index, or -1
+// (hitsndiffs.Unanswered) to retract an earlier answer.
+type Observation struct {
+	// User is the responding user's index.
+	User int `json:"user"`
+	// Item is the answered item's index.
+	Item int `json:"item"`
+	// Option is the chosen option index, or -1 to retract.
+	Option int `json:"option"`
+}
+
+// ObserveRequest is the body of POST /v1/observe: one observation applied
+// to one tenant under admission control.
+type ObserveRequest struct {
+	// Tenant names the target tenant.
+	Tenant string `json:"tenant"`
+	// User, Item, Option are the observation (see Observation).
+	User int `json:"user"`
+	// Item is the answered item's index.
+	Item int `json:"item"`
+	// Option is the chosen option index, or -1 to retract.
+	Option int `json:"option"`
+}
+
+// ObserveBatchRequest is the body of POST /v1/observebatch: several
+// observations applied to one tenant under one admission permit, one lock
+// acquisition and one version bump — the cheap way to absorb a burst.
+type ObserveBatchRequest struct {
+	// Tenant names the target tenant.
+	Tenant string `json:"tenant"`
+	// Observations is the batch, validated before anything is applied.
+	Observations []Observation `json:"observations"`
+}
+
+// ObserveResponse is the body of a successful observe/observebatch call.
+type ObserveResponse struct {
+	// Version is the tenant's write version after the batch applied.
+	Version uint64 `json:"version"`
+	// Applied is the number of observations recorded.
+	Applied int `json:"applied"`
+}
+
+// RankRequest is the body of POST /v1/rank.
+type RankRequest struct {
+	// Tenant names the tenant to rank.
+	Tenant string `json:"tenant"`
+}
+
+// RankResponse carries one tenant's ranking. Scores are encoded as JSON
+// float64s, which round-trip bitwise (encoding/json emits the shortest
+// representation that decodes back to the same value) — the property the
+// golden equivalence tests pin.
+type RankResponse struct {
+	// Tenant echoes the ranked tenant's name (set in batch responses).
+	Tenant string `json:"tenant,omitempty"`
+	// Version is the write version the scores correspond to.
+	Version uint64 `json:"version"`
+	// Scores holds one ability score per user; higher is better.
+	Scores []float64 `json:"scores"`
+	// Iterations and Converged mirror hitsndiffs.Result.
+	Iterations int `json:"iterations"`
+	// Converged reports whether the solve met its tolerance.
+	Converged bool `json:"converged"`
+	// Coalesced reports whether this request piggybacked on another
+	// in-flight solve of the same (tenant, version) instead of starting
+	// its own.
+	Coalesced bool `json:"coalesced"`
+}
+
+// RankBatchRequest is the body of POST /v1/rankbatch: rank several tenants
+// in one request. Each tenant resolves through the same coalesced path as
+// a single rank, so concurrent batches share in-flight solves.
+type RankBatchRequest struct {
+	// Tenants names the tenants to rank, in response order.
+	Tenants []string `json:"tenants"`
+}
+
+// RankBatchResponse is the body of a successful rankbatch call.
+type RankBatchResponse struct {
+	// Results holds one ranking per requested tenant, in request order.
+	Results []RankResponse `json:"results"`
+}
+
+// InferLabelsRequest is the body of POST /v1/inferlabels.
+type InferLabelsRequest struct {
+	// Tenant names the tenant whose item labels to infer.
+	Tenant string `json:"tenant"`
+}
+
+// InferLabelsResponse is the body of a successful inferlabels call.
+type InferLabelsResponse struct {
+	// Version is the write version the labels correspond to.
+	Version uint64 `json:"version"`
+	// Labels holds each item's estimated correct option index.
+	Labels []int `json:"labels"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	// Error is the human-readable failure description.
+	Error string `json:"error"`
+}
+
+// HealthResponse is the body of GET /healthz: 200/"ok" while serving,
+// 503/"draining" once graceful shutdown has begun.
+type HealthResponse struct {
+	// Status is "ok" or "draining".
+	Status string `json:"status"`
+	// Tenants is the number of tenants currently hosted.
+	Tenants int `json:"tenants"`
+}

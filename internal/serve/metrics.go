@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"hitsndiffs"
+)
+
+// counters holds the serve-layer atomics behind /metrics. All values are
+// cumulative since server construction.
+type counters struct {
+	requests          atomic.Uint64
+	errors            atomic.Uint64
+	observations      atomic.Uint64
+	rankLeaders       atomic.Uint64
+	rankCoalesced     atomic.Uint64
+	rejectedSaturated atomic.Uint64
+	rejectedLagging   atomic.Uint64
+}
+
+// Snapshot is the point-in-time /metrics document: the serve-layer
+// counters plus one consistent engine snapshot per tenant. Assemble with
+// Server.Snapshot.
+type Snapshot struct {
+	// Draining reports whether graceful shutdown has begun.
+	Draining bool `json:"draining"`
+	// Requests counts /v1 requests accepted by the router (including
+	// ones later rejected); Errors counts non-2xx responses.
+	Requests uint64 `json:"requests"`
+	// Errors counts non-2xx responses (see Requests).
+	Errors uint64 `json:"errors"`
+	// Observations counts observations applied across all tenants.
+	Observations uint64 `json:"observations"`
+	// RankLeaders counts solves started on behalf of rank requests;
+	// RankCoalesced counts rank requests that shared an in-flight solve
+	// instead of starting one. leaders + coalesced = rank requests that
+	// reached the solve path.
+	RankLeaders uint64 `json:"rank_leaders"`
+	// RankCoalesced counts coalesced rank requests (see RankLeaders).
+	RankCoalesced uint64 `json:"rank_coalesced"`
+	// WritesRejectedSaturated counts 429s from the in-flight write bound;
+	// WritesRejectedLagging counts 429s from the refresh-lag bound.
+	WritesRejectedSaturated uint64 `json:"writes_rejected_saturated"`
+	// WritesRejectedLagging counts lag-bound 429s (see
+	// WritesRejectedSaturated).
+	WritesRejectedLagging uint64 `json:"writes_rejected_lagging"`
+	// Tenants holds one entry per tenant, in name order.
+	Tenants []TenantSnapshot `json:"tenants"`
+}
+
+// TenantSnapshot is one tenant's slice of the /metrics document.
+type TenantSnapshot struct {
+	// Name identifies the tenant.
+	Name string `json:"name"`
+	// Shards is the engine shard count serving the tenant.
+	Shards int `json:"shards"`
+	// ServedVersion is the refresh watermark: the highest write version a
+	// rank has been served at. Version − ServedVersion is the refresh lag
+	// the admission controller bounds.
+	ServedVersion uint64 `json:"served_version"`
+	// Engine is the engine-level counter snapshot (aggregated across
+	// shards for sharded tenants), taken under the engine's locks.
+	Engine hitsndiffs.EngineMetrics `json:"engine"`
+}
+
+// Snapshot assembles the /metrics document. Serve-layer counters are
+// atomic loads; each tenant's engine counters are read under that
+// engine's locks (hitsndiffs.Engine.Metrics), so the scrape never races
+// engine internals.
+func (s *Server) Snapshot() Snapshot {
+	s.mu.RLock()
+	tenants := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.mu.RUnlock()
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
+
+	snap := Snapshot{
+		Draining:                s.draining.Load(),
+		Requests:                s.ctr.requests.Load(),
+		Errors:                  s.ctr.errors.Load(),
+		Observations:            s.ctr.observations.Load(),
+		RankLeaders:             s.ctr.rankLeaders.Load(),
+		RankCoalesced:           s.ctr.rankCoalesced.Load(),
+		WritesRejectedSaturated: s.ctr.rejectedSaturated.Load(),
+		WritesRejectedLagging:   s.ctr.rejectedLagging.Load(),
+		Tenants:                 make([]TenantSnapshot, len(tenants)),
+	}
+	for i, t := range tenants {
+		snap.Tenants[i] = TenantSnapshot{
+			Name:          t.name,
+			Shards:        t.shards,
+			ServedVersion: t.served.Load(),
+			Engine:        t.backend.Metrics(),
+		}
+	}
+	return snap
+}

@@ -1,0 +1,580 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"hitsndiffs"
+	"hitsndiffs/internal/irt"
+	"hitsndiffs/internal/serve"
+)
+
+// testClient drives a serve.Server over real HTTP (httptest listens on a
+// localhost TCP socket), decoding JSON like a real client would.
+type testClient struct {
+	t    *testing.T
+	base string
+	http *http.Client
+}
+
+// newTestServer starts a server with cfg behind httptest and returns it
+// with a client; both are torn down with the test.
+func newTestServer(t *testing.T, cfg serve.Config) (*serve.Server, *testClient) {
+	t.Helper()
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+	return srv, &testClient{t: t, base: hs.URL, http: hs.Client()}
+}
+
+// post sends a JSON body and decodes the response into out when 2xx; it
+// returns the status code and, for error statuses, the error body text.
+func (c *testClient) post(path string, body, out any) (int, string) {
+	c.t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	if resp.StatusCode < 300 && out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			c.t.Fatalf("%s: decode: %v (body %q)", path, err, raw)
+		}
+	}
+	return resp.StatusCode, string(raw)
+}
+
+// get fetches path and decodes the JSON response into out.
+func (c *testClient) get(path string, out any) int {
+	c.t.Helper()
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil && resp.StatusCode < 300 {
+			c.t.Fatalf("%s: decode: %v", path, err)
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode
+}
+
+// mustCreate creates a tenant and fails the test on any error.
+func (c *testClient) mustCreate(name string, users, items int, options ...int) {
+	c.t.Helper()
+	code, body := c.post("/v1/tenants", serve.CreateTenantRequest{Name: name, Users: users, Items: items, Options: options}, nil)
+	if code != http.StatusCreated {
+		c.t.Fatalf("create %s: HTTP %d: %s", name, code, body)
+	}
+}
+
+// mustObserve applies a batch and fails the test on any error.
+func (c *testClient) mustObserve(tenant string, obs []serve.Observation) {
+	c.t.Helper()
+	code, body := c.post("/v1/observebatch", serve.ObserveBatchRequest{Tenant: tenant, Observations: obs}, nil)
+	if code != http.StatusOK {
+		c.t.Fatalf("observebatch %s: HTTP %d: %s", tenant, code, body)
+	}
+}
+
+// tenantEngine returns the named tenant's engine counter snapshot from
+// /metrics.
+func (c *testClient) tenantEngine(name string) hitsndiffs.EngineMetrics {
+	c.t.Helper()
+	var snap serve.Snapshot
+	if code := c.get("/metrics", &snap); code != http.StatusOK {
+		c.t.Fatalf("/metrics: HTTP %d", code)
+	}
+	for _, ts := range snap.Tenants {
+		if ts.Name == name {
+			return ts.Engine
+		}
+	}
+	c.t.Fatalf("/metrics: tenant %q missing", name)
+	return hitsndiffs.EngineMetrics{}
+}
+
+// observationsOf flattens a dataset's matrix into wire observations.
+func observationsOf(m *hitsndiffs.ResponseMatrix) []serve.Observation {
+	var obs []serve.Observation
+	for u := 0; u < m.Users(); u++ {
+		for i := 0; i < m.Items(); i++ {
+			if h := m.Answer(u, i); h != hitsndiffs.Unanswered {
+				obs = append(obs, serve.Observation{User: u, Item: i, Option: h})
+			}
+		}
+	}
+	return obs
+}
+
+// goldenDataset picks the workload a method's constraints admit: the
+// consistent C1P dataset for consistent-only methods, a binary workload
+// for binary-only ones, and the default 3-option noisy workload otherwise
+// (every dataset is homogeneous, so homogeneous-only methods take all).
+func goldenDataset(t *testing.T, info hitsndiffs.MethodInfo) *hitsndiffs.ResponseMatrix {
+	t.Helper()
+	cfg := irt.DefaultConfig(irt.ModelSamejima)
+	cfg.Users, cfg.Items, cfg.Seed = 40, 25, 11
+	gen := irt.Generate
+	if info.ConsistentOnly {
+		gen = irt.GenerateC1P
+	}
+	if info.BinaryOnly {
+		cfg.Options = 2
+	}
+	d, err := gen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Responses
+}
+
+// TestHTTPGoldenEquivalence pins the serving tier's core contract: for
+// every registered method, the scores served over HTTP are bitwise equal
+// to a direct Engine.Rank over the same responses and options —
+// encoding/json's shortest-round-trip float encoding loses nothing, and
+// the serve layer adds nothing. Methods that reject a workload must
+// reject it identically through HTTP.
+func TestHTTPGoldenEquivalence(t *testing.T) {
+	opts := []hitsndiffs.Option{hitsndiffs.WithSeed(42)}
+	for _, info := range hitsndiffs.MethodInfos() {
+		t.Run(info.Name, func(t *testing.T) {
+			m := goldenDataset(t, info)
+
+			eng, err := hitsndiffs.NewEngine(m, hitsndiffs.WithMethod(info.Name), hitsndiffs.WithRankOptions(opts...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, directErr := eng.Rank(context.Background())
+
+			_, c := newTestServer(t, serve.Config{Method: info.Name, RankOptions: opts})
+			options := make([]int, m.Items())
+			for i := range options {
+				options[i] = m.OptionCount(i)
+			}
+			c.mustCreate("g", m.Users(), m.Items(), options...)
+			c.mustObserve("g", observationsOf(m))
+			var got serve.RankResponse
+			code, body := c.post("/v1/rank", serve.RankRequest{Tenant: "g"}, &got)
+
+			if directErr != nil {
+				if code < 400 {
+					t.Fatalf("direct Rank failed (%v) but HTTP returned %d", directErr, code)
+				}
+				return
+			}
+			if code != http.StatusOK {
+				t.Fatalf("HTTP rank failed %d (%s); direct succeeded", code, body)
+			}
+			if len(got.Scores) != len(want.Scores) {
+				t.Fatalf("score length %d != %d", len(got.Scores), len(want.Scores))
+			}
+			for u := range want.Scores {
+				if got.Scores[u] != want.Scores[u] {
+					t.Fatalf("user %d: HTTP score %v != direct %v", u, got.Scores[u], want.Scores[u])
+				}
+			}
+			if got.Iterations != want.Iterations || got.Converged != want.Converged {
+				t.Fatalf("metadata drifted: HTTP (%d, %v) != direct (%d, %v)",
+					got.Iterations, got.Converged, want.Iterations, want.Converged)
+			}
+		})
+	}
+}
+
+// TestHTTPShardedEquivalence is the sharded twin of the golden test: a
+// 4-shard tenant's HTTP scores must be bitwise equal to a direct
+// ShardedEngine.Rank over the same responses.
+func TestHTTPShardedEquivalence(t *testing.T) {
+	cfg := irt.DefaultConfig(irt.ModelSamejima)
+	cfg.Users, cfg.Items, cfg.Seed = 120, 30, 5
+	d, err := irt.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []hitsndiffs.Option{hitsndiffs.WithSeed(7)}
+	se, err := hitsndiffs.NewShardedEngine(d.Responses, hitsndiffs.WithShards(4), hitsndiffs.WithRankOptions(opts...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := se.Rank(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, c := newTestServer(t, serve.Config{Shards: 4, RankOptions: opts})
+	c.mustCreate("s", cfg.Users, cfg.Items, cfg.Options)
+	c.mustObserve("s", observationsOf(d.Responses))
+	var got serve.RankResponse
+	if code, body := c.post("/v1/rank", serve.RankRequest{Tenant: "s"}, &got); code != http.StatusOK {
+		t.Fatalf("rank: HTTP %d: %s", code, body)
+	}
+	for u := range want.Scores {
+		if got.Scores[u] != want.Scores[u] {
+			t.Fatalf("user %d: HTTP score %v != direct sharded %v", u, got.Scores[u], want.Scores[u])
+		}
+	}
+}
+
+// TestHTTPInferLabelsEquivalence checks the truth-discovery endpoint
+// against direct Engine.InferLabels, and that sharded tenants reject it.
+func TestHTTPInferLabelsEquivalence(t *testing.T) {
+	cfg := irt.DefaultConfig(irt.ModelSamejima)
+	cfg.Users, cfg.Items, cfg.Seed = 40, 20, 9
+	d, err := irt.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := hitsndiffs.NewEngine(d.Responses, hitsndiffs.WithRankOptions(hitsndiffs.WithSeed(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.InferLabels(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, c := newTestServer(t, serve.Config{RankOptions: []hitsndiffs.Option{hitsndiffs.WithSeed(3)}})
+	c.mustCreate("l", cfg.Users, cfg.Items, cfg.Options)
+	c.mustObserve("l", observationsOf(d.Responses))
+	var got serve.InferLabelsResponse
+	if code, body := c.post("/v1/inferlabels", serve.InferLabelsRequest{Tenant: "l"}, &got); code != http.StatusOK {
+		t.Fatalf("inferlabels: HTTP %d: %s", code, body)
+	}
+	if len(got.Labels) != len(want) {
+		t.Fatalf("label count %d != %d", len(got.Labels), len(want))
+	}
+	for i := range want {
+		if got.Labels[i] != want[i] {
+			t.Fatalf("item %d: HTTP label %d != direct %d", i, got.Labels[i], want[i])
+		}
+	}
+
+	_, cs := newTestServer(t, serve.Config{Shards: 4})
+	cs.mustCreate("l", cfg.Users, cfg.Items, cfg.Options)
+	if code, _ := cs.post("/v1/inferlabels", serve.InferLabelsRequest{Tenant: "l"}, nil); code != http.StatusUnprocessableEntity {
+		t.Fatalf("sharded inferlabels: HTTP %d, want 422", code)
+	}
+}
+
+// TestConcurrentRanksCoalesceToOneSolve is the coalescing proof: K
+// concurrent Ranks of one tenant at one write generation cost exactly one
+// engine solve. The engines' cache-miss counter is the ground truth — a
+// request either rides the in-flight solve (coalesced), leads it, or
+// arrives after it finished and hits the version-keyed result cache; none
+// of those solves twice.
+func TestConcurrentRanksCoalesceToOneSolve(t *testing.T) {
+	cfg := irt.DefaultConfig(irt.ModelSamejima)
+	cfg.Users, cfg.Items, cfg.Seed = 400, 60, 17
+	d, err := irt.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, c := newTestServer(t, serve.Config{RankOptions: []hitsndiffs.Option{hitsndiffs.WithSeed(1)}})
+	c.mustCreate("big", cfg.Users, cfg.Items, cfg.Options)
+	c.mustObserve("big", observationsOf(d.Responses))
+
+	before := c.tenantEngine("big")
+	if before.CacheMisses != 0 {
+		t.Fatalf("engine solved before any rank: %+v", before)
+	}
+
+	const K = 16
+	var (
+		start   = make(chan struct{})
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		results []serve.RankResponse
+	)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			var rr serve.RankResponse
+			code, body := c.post("/v1/rank", serve.RankRequest{Tenant: "big"}, &rr)
+			if code != http.StatusOK {
+				t.Errorf("rank: HTTP %d: %s", code, body)
+				return
+			}
+			mu.Lock()
+			results = append(results, rr)
+			mu.Unlock()
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	after := c.tenantEngine("big")
+	if solves := after.CacheMisses - before.CacheMisses; solves != 1 {
+		t.Fatalf("%d concurrent same-generation ranks cost %d solves, want exactly 1", K, solves)
+	}
+	snap := srv.Snapshot()
+	if snap.RankLeaders+snap.RankCoalesced != K {
+		t.Fatalf("flight accounting: %d leaders + %d coalesced != %d requests",
+			snap.RankLeaders, snap.RankCoalesced, K)
+	}
+	for _, rr := range results[1:] {
+		if rr.Version != results[0].Version {
+			t.Fatalf("versions diverged: %d vs %d", rr.Version, results[0].Version)
+		}
+		for u := range results[0].Scores {
+			if rr.Scores[u] != results[0].Scores[u] {
+				t.Fatalf("coalesced scores diverged at user %d", u)
+			}
+		}
+	}
+}
+
+// TestWriteBackpressure429 exercises the refresh-lag admission bound: once
+// a tenant's write version runs maxLag ahead of its last served rank,
+// writes get 429 (with a Retry-After hint) until a rank catches the
+// watermark up.
+func TestWriteBackpressure429(t *testing.T) {
+	cfg := irt.DefaultConfig(irt.ModelSamejima)
+	cfg.Users, cfg.Items, cfg.Seed = 30, 15, 23
+	d, err := irt.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, c := newTestServer(t, serve.Config{MaxLag: 3})
+	c.mustCreate("bp", cfg.Users, cfg.Items, cfg.Options)
+	c.mustObserve("bp", observationsOf(d.Responses)) // version 1
+	if code, body := c.post("/v1/rank", serve.RankRequest{Tenant: "bp"}, nil); code != http.StatusOK {
+		t.Fatalf("rank: HTTP %d: %s", code, body) // served watermark = 1
+	}
+
+	write := func() (int, string) {
+		return c.post("/v1/observe", serve.ObserveRequest{Tenant: "bp", User: 0, Item: 0, Option: 1}, nil)
+	}
+	for i := 0; i < 3; i++ {
+		if code, body := write(); code != http.StatusOK {
+			t.Fatalf("write %d within lag bound: HTTP %d: %s", i, code, body)
+		}
+	}
+	// Version is now 4, served watermark 1: lag 3 hits the bound.
+	req, _ := json.Marshal(serve.ObserveRequest{Tenant: "bp", User: 0, Item: 0, Option: 1})
+	resp, err := c.http.Post(c.base+"/v1/observe", "application/json", bytes.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("write beyond lag bound: HTTP %d (%s), want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After hint")
+	}
+	if got := srv.Snapshot().WritesRejectedLagging; got != 1 {
+		t.Fatalf("writes_rejected_lagging = %d, want 1", got)
+	}
+
+	// A rank advances the watermark and re-admits writes.
+	if code, body := c.post("/v1/rank", serve.RankRequest{Tenant: "bp"}, nil); code != http.StatusOK {
+		t.Fatalf("catch-up rank: HTTP %d: %s", code, body)
+	}
+	if code, body := write(); code != http.StatusOK {
+		t.Fatalf("write after catch-up rank: HTTP %d: %s", code, body)
+	}
+}
+
+// TestDrain verifies the graceful-shutdown handshake: after StartDrain,
+// /healthz flips to 503 "draining", new /v1 requests are rejected with
+// 503, and /metrics stays readable for whoever is watching the drain.
+func TestDrain(t *testing.T) {
+	cfg := irt.DefaultConfig(irt.ModelSamejima)
+	cfg.Users, cfg.Items, cfg.Seed = 30, 15, 29
+	d, err := irt.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, c := newTestServer(t, serve.Config{})
+	c.mustCreate("d", cfg.Users, cfg.Items, cfg.Options)
+	c.mustObserve("d", observationsOf(d.Responses))
+
+	var health serve.HealthResponse
+	if code := c.get("/healthz", &health); code != http.StatusOK || health.Status != "ok" {
+		t.Fatalf("healthz before drain: %d %q", code, health.Status)
+	}
+	srv.StartDrain()
+	if code := c.get("/healthz", &health); code != http.StatusServiceUnavailable || health.Status != "draining" {
+		t.Fatalf("healthz during drain: %d %q, want 503 draining", code, health.Status)
+	}
+	if code, _ := c.post("/v1/rank", serve.RankRequest{Tenant: "d"}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("rank during drain: HTTP %d, want 503", code)
+	}
+	if code, _ := c.post("/v1/observe", serve.ObserveRequest{Tenant: "d", User: 0, Item: 0, Option: 1}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("observe during drain: HTTP %d, want 503", code)
+	}
+	var snap serve.Snapshot
+	if code := c.get("/metrics", &snap); code != http.StatusOK || !snap.Draining {
+		t.Fatalf("metrics during drain: %d draining=%v, want 200 true", code, snap.Draining)
+	}
+}
+
+// TestRankBatchHTTP ranks several tenants in one request and checks each
+// result matches its single-tenant rank bitwise.
+func TestRankBatchHTTP(t *testing.T) {
+	_, c := newTestServer(t, serve.Config{RankOptions: []hitsndiffs.Option{hitsndiffs.WithSeed(4)}})
+	names := []string{"a", "b", "c"}
+	for i, name := range names {
+		cfg := irt.DefaultConfig(irt.ModelSamejima)
+		cfg.Users, cfg.Items, cfg.Seed = 30+10*i, 15, int64(31+i)
+		d, err := irt.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.mustCreate(name, cfg.Users, cfg.Items, cfg.Options)
+		c.mustObserve(name, observationsOf(d.Responses))
+	}
+	singles := make(map[string]serve.RankResponse)
+	for _, name := range names {
+		var rr serve.RankResponse
+		if code, body := c.post("/v1/rank", serve.RankRequest{Tenant: name}, &rr); code != http.StatusOK {
+			t.Fatalf("rank %s: HTTP %d: %s", name, code, body)
+		}
+		singles[name] = rr
+	}
+	var batch serve.RankBatchResponse
+	if code, body := c.post("/v1/rankbatch", serve.RankBatchRequest{Tenants: names}, &batch); code != http.StatusOK {
+		t.Fatalf("rankbatch: HTTP %d: %s", code, body)
+	}
+	if len(batch.Results) != len(names) {
+		t.Fatalf("rankbatch returned %d results, want %d", len(batch.Results), len(names))
+	}
+	for i, name := range names {
+		got, want := batch.Results[i], singles[name]
+		if got.Tenant != name || got.Version != want.Version {
+			t.Fatalf("result %d: tenant %q version %d, want %q %d", i, got.Tenant, got.Version, name, want.Version)
+		}
+		for u := range want.Scores {
+			if got.Scores[u] != want.Scores[u] {
+				t.Fatalf("tenant %s user %d: batch score %v != single %v", name, u, got.Scores[u], want.Scores[u])
+			}
+		}
+	}
+	if code, _ := c.post("/v1/rankbatch", serve.RankBatchRequest{Tenants: []string{"a", "nope"}}, nil); code != http.StatusNotFound {
+		t.Fatalf("rankbatch with unknown tenant: HTTP %d, want 404", code)
+	}
+}
+
+// TestHTTPErrorStatuses sweeps the client-error surface: bad JSON,
+// unknown tenants, duplicate creation, bad geometry, out-of-range
+// observations.
+func TestHTTPErrorStatuses(t *testing.T) {
+	_, c := newTestServer(t, serve.Config{})
+	c.mustCreate("e", 10, 5, 3)
+
+	resp, err := c.http.Post(c.base+"/v1/rank", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON: HTTP %d, want 400", resp.StatusCode)
+	}
+	if code, _ := c.post("/v1/rank", serve.RankRequest{Tenant: "nope"}, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown tenant: HTTP %d, want 404", code)
+	}
+	if code, _ := c.post("/v1/tenants", serve.CreateTenantRequest{Name: "e", Users: 4, Items: 2, Options: []int{2}}, nil); code != http.StatusConflict {
+		t.Fatalf("duplicate tenant: HTTP %d, want 409", code)
+	}
+	if code, _ := c.post("/v1/tenants", serve.CreateTenantRequest{Name: "bad", Users: 0, Items: 2, Options: []int{2}}, nil); code != http.StatusBadRequest {
+		t.Fatalf("zero users: HTTP %d, want 400", code)
+	}
+	if code, _ := c.post("/v1/observe", serve.ObserveRequest{Tenant: "e", User: 99, Item: 0, Option: 0}, nil); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range observation: HTTP %d, want 400", code)
+	}
+}
+
+// TestStressMixedTrafficRace hammers one server with concurrent mixed
+// traffic — observes, ranks, batch ranks, label inference, metrics
+// scrapes — over real HTTP. Its job is to give the race detector surface
+// area across the serve layer, the coalescing map, the admission
+// controller and the engines; any data race fails the run under
+// `go test -race`.
+func TestStressMixedTrafficRace(t *testing.T) {
+	cfg := irt.DefaultConfig(irt.ModelSamejima)
+	cfg.Users, cfg.Items, cfg.Seed = 60, 20, 37
+	d, err := irt.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c := newTestServer(t, serve.Config{
+		RankOptions:       []hitsndiffs.Option{hitsndiffs.WithSeed(2), hitsndiffs.WithTol(1e-3)},
+		MaxInflightWrites: 4,
+		MaxLag:            64,
+	})
+	for _, name := range []string{"s0", "s1"} {
+		c.mustCreate(name, cfg.Users, cfg.Items, cfg.Options)
+		c.mustObserve(name, observationsOf(d.Responses))
+	}
+
+	allowed := map[int]bool{
+		http.StatusOK:              true,
+		http.StatusTooManyRequests: true, // admission backpressure
+	}
+	deadline := time.Now().Add(400 * time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for time.Now().Before(deadline) {
+				name := fmt.Sprintf("s%d", rng.Intn(2))
+				var code int
+				switch rng.Intn(5) {
+				case 0:
+					code, _ = c.post("/v1/observe", serve.ObserveRequest{
+						Tenant: name, User: rng.Intn(cfg.Users), Item: rng.Intn(cfg.Items), Option: rng.Intn(cfg.Options),
+					}, nil)
+				case 1:
+					code, _ = c.post("/v1/rankbatch", serve.RankBatchRequest{Tenants: []string{"s0", "s1"}}, nil)
+				case 2:
+					code, _ = c.post("/v1/inferlabels", serve.InferLabelsRequest{Tenant: name}, nil)
+				case 3:
+					code = c.get("/metrics", nil)
+				default:
+					code, _ = c.post("/v1/rank", serve.RankRequest{Tenant: name}, nil)
+				}
+				if !allowed[code] {
+					t.Errorf("worker %d: unexpected HTTP %d", w, code)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

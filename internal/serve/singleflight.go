@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"hitsndiffs"
+)
+
+// flightKey identifies one coalescable unit of ranking work: a tenant at a
+// write version. Every concurrent Rank that arrives while a solve for the
+// same key is in flight waits for that solve instead of starting its own —
+// the serving tier's request coalescing, riding the generation counters
+// the engine caches are already keyed by.
+type flightKey struct {
+	tenant  string
+	version uint64
+}
+
+// flightCall is one in-flight solve. done closes when res/err are final;
+// after that the fields are immutable, so waiters read them without the
+// group lock. The Result's score slice is shared by every coalesced waiter
+// and must be treated as read-only (the HTTP handlers only encode it).
+type flightCall struct {
+	done chan struct{}
+	res  hitsndiffs.Result
+	err  error
+}
+
+// flightGroup deduplicates concurrent solves per flightKey — a minimal
+// singleflight (the stdlib-only stand-in for golang.org/x/sync/singleflight)
+// specialized to ranking results. The zero value is ready to use.
+type flightGroup struct {
+	mu       sync.Mutex
+	inflight map[flightKey]*flightCall
+}
+
+// do runs fn for key, coalescing with an identical in-flight call if one
+// exists. The leader (coalesced=false) executes fn to completion —
+// deliberately not bound to the leader's request context, so a canceled
+// request never poisons the waiters sharing its solve; callers pass a fn
+// closed over the server's solve context instead. Waiters block until the
+// leader finishes or their own ctx is done, whichever is first; a waiter
+// abandoning the flight does not cancel it.
+func (g *flightGroup) do(ctx context.Context, key flightKey, fn func() (hitsndiffs.Result, error)) (res hitsndiffs.Result, coalesced bool, err error) {
+	g.mu.Lock()
+	if g.inflight == nil {
+		g.inflight = make(map[flightKey]*flightCall)
+	}
+	if c, ok := g.inflight[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.res, true, c.err
+		case <-ctx.Done():
+			return hitsndiffs.Result{}, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.inflight[key] = c
+	g.mu.Unlock()
+
+	c.res, c.err = fn()
+	g.mu.Lock()
+	delete(g.inflight, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.res, false, c.err
+}

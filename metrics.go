@@ -6,6 +6,59 @@ import (
 	"hitsndiffs/internal/rank"
 )
 
+// EngineMetrics is a point-in-time snapshot of one engine's observability
+// counters, assembled under the engine's locks so a reader (the serving
+// tier's /metrics endpoint, a test, a dashboard scraper) never races the
+// engine's internal state. All counters are cumulative since construction.
+//
+// For a ShardedEngine the snapshot is the aggregate over its shards:
+// Version is the cluster version (sum of shard versions, the same key
+// ShardedEngine.Version reports) and every counter is summed, with the
+// router's own merged-result cache hits folded into CacheHits. Use
+// ShardMetrics for the per-shard breakdown.
+type EngineMetrics struct {
+	// Version is the write-version counter results are cached under.
+	Version uint64 `json:"version"`
+	// Users and Items give the matrix geometry being served.
+	Users int `json:"users"`
+	// Items is the item count (see Users).
+	Items int `json:"items"`
+	// CacheHits counts Rank / InferLabels / batch-path requests served
+	// from a version-keyed result cache without solving.
+	CacheHits uint64 `json:"cache_hits"`
+	// CacheMisses counts solves actually started (cache cold or stale).
+	CacheMisses uint64 `json:"cache_misses"`
+	// BatchSolves counts tenants solved (not served cached) through
+	// Engine.RankBatch's block-diagonal batching path.
+	BatchSolves uint64 `json:"batch_solves"`
+	// CSRFullRebuilds / CSRDeltaRebuilds mirror ResponseMatrix.CSRRebuilds
+	// for the engine's current matrix: from-scratch one-hot encodings vs
+	// touched-row splices. Under sparse write traffic full must stop
+	// growing after the first build.
+	CSRFullRebuilds uint64 `json:"csr_full_rebuilds"`
+	// CSRDeltaRebuilds counts touched-row CSR splices (see CSRFullRebuilds).
+	CSRDeltaRebuilds uint64 `json:"csr_delta_rebuilds"`
+	// NormFullRebuilds / NormDeltaRebuilds mirror
+	// ResponseMatrix.NormRebuilds: from-scratch normalized-triple
+	// derivations vs generation-keyed splices.
+	NormFullRebuilds uint64 `json:"norm_full_rebuilds"`
+	// NormDeltaRebuilds counts normalized-triple splices (see
+	// NormFullRebuilds).
+	NormDeltaRebuilds uint64 `json:"norm_delta_rebuilds"`
+}
+
+// add accumulates o into m for the sharded aggregate view.
+func (m *EngineMetrics) add(o EngineMetrics) {
+	m.Version += o.Version
+	m.CacheHits += o.CacheHits
+	m.CacheMisses += o.CacheMisses
+	m.BatchSolves += o.BatchSolves
+	m.CSRFullRebuilds += o.CSRFullRebuilds
+	m.CSRDeltaRebuilds += o.CSRDeltaRebuilds
+	m.NormFullRebuilds += o.NormFullRebuilds
+	m.NormDeltaRebuilds += o.NormDeltaRebuilds
+}
+
 // Spearman returns Spearman's rank correlation between two score vectors
 // (the paper's accuracy measure), handling ties by average ranks.
 func Spearman(x, y []float64) float64 { return rank.Spearman(mat.Vector(x), mat.Vector(y)) }

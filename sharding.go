@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"hitsndiffs/internal/core"
 	"hitsndiffs/internal/mat"
@@ -54,6 +55,10 @@ type ShardedEngine struct {
 	mu     sync.Mutex
 	sparse []sparseMemo
 	cached *shardedCache
+
+	// routerHits counts Ranks served from the merged-result cache without
+	// touching any shard; Metrics folds it into the aggregate CacheHits.
+	routerHits atomic.Uint64
 }
 
 // shardedCache holds the merged ranking computed at one cluster version.
@@ -314,6 +319,7 @@ func (s *ShardedEngine) Rank(ctx context.Context) (Result, error) {
 		out := c.res
 		out.Scores = append(mat.Vector(nil), c.res.Scores...)
 		s.mu.Unlock()
+		s.routerHits.Add(1)
 		return out, nil
 	}
 	s.mu.Unlock()
@@ -423,6 +429,34 @@ func (s *ShardedEngine) rankShard(ctx context.Context, i int) (Result, error) {
 		return Result{Scores: mat.NewVector(eng.Users()), Converged: true}, nil
 	}
 	return eng.Rank(ctx)
+}
+
+// Metrics returns the aggregate observability snapshot of the cluster: the
+// cluster version (sum of shard versions, the same freshness key Version
+// and the merged-result cache use), the total user count, and every shard
+// counter summed, with the router's own merged-cache hits folded into
+// CacheHits. Each shard's slice of the snapshot is internally consistent
+// (taken under that shard's locks); shards are visited in index order, so
+// a write racing the scrape can skew the cross-shard sums by at most the
+// writes in flight. Use ShardMetrics for the per-shard breakdown.
+func (s *ShardedEngine) Metrics() EngineMetrics {
+	agg := EngineMetrics{Users: s.Users(), Items: s.Items()}
+	for _, e := range s.engines {
+		agg.add(e.Metrics())
+	}
+	agg.CacheHits += s.routerHits.Load()
+	return agg
+}
+
+// ShardMetrics returns one EngineMetrics per shard, in shard order — the
+// per-shard breakdown behind the aggregate Metrics view. Each entry is
+// consistent under its shard's locks.
+func (s *ShardedEngine) ShardMetrics() []EngineMetrics {
+	out := make([]EngineMetrics, len(s.engines))
+	for i, e := range s.engines {
+		out[i] = e.Metrics()
+	}
+	return out
 }
 
 // shardTooSparse reports whether shard i has fewer than two answering users
