@@ -1,5 +1,5 @@
 # Development entry points. CI runs `make check`; `make bench` regenerates
-# the performance-trajectory baseline committed as BENCH_pr5.json.
+# the performance-trajectory baseline committed as BENCH_pr7.json.
 
 # pipefail so a failing benchmark run fails the bench target instead of
 # being masked by tee's exit status.
@@ -12,17 +12,19 @@ GO ?= go
 # (serial vs parallel kernels), the isolated zero-alloc power-loop body,
 # the pooled parallel dispatch path, CSR and block-diagonal assembly, the
 # Engine serving paths, the sharded-router scaling curves, the batched
-# multi-tenant ranking path, and the warm re-rank allocation profile under
+# multi-tenant ranking path, the warm re-rank allocation profile under
 # the generation-keyed Update cache (vs. its WithUpdateCache(false)
-# escape-hatch baseline).
-BENCH_PATTERN ?= Fig5aScaleUsers|Fig5bScaleQuestions|HNDPowerInnerLoop|EngineSnapshot|EngineWarmVsCold|NewCSRAssembly|MulVecParallel|ParallelDoPooled|ShardedObserve|ShardedRank|BatchedRank|BlockDiag|WarmRerankAllocs
+# escape-hatch baseline), and the durable WAL append path per fsync
+# policy (always / interval / off) — the write-path overhead record.
+BENCH_PATTERN ?= Fig5aScaleUsers|Fig5bScaleQuestions|HNDPowerInnerLoop|EngineSnapshot|EngineWarmVsCold|NewCSRAssembly|MulVecParallel|ParallelDoPooled|ShardedObserve|ShardedRank|BatchedRank|BlockDiag|WarmRerankAllocs|WALAppend
 BENCH_TIME ?= 1x
-BENCH_OUT ?= BENCH_pr5.json
+BENCH_OUT ?= BENCH_pr7.json
 
 # Serving-tier benchmark: scripts/serve_bench.sh starts hndserver, drives
 # it with the hndload closed-loop generator (zipfian tenants, mixed
 # read/write), converts the latency/throughput lines to JSON, and asserts
-# a clean SIGTERM drain. serve-smoke is the short CI variant.
+# a clean SIGTERM drain. serve-smoke is the short CI variant; it also runs
+# scripts/serve_crash.sh, the kill-9-and-recover leg for durable mode.
 SERVE_BENCH_OUT ?= BENCH_serve6.json
 
 .PHONY: build test check bench serve-bench serve-smoke clean
@@ -39,7 +41,7 @@ check:
 	$(GO) test -count=2 -race ./...
 
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_TIME) -timeout 30m . ./internal/mat/ | tee bench.out
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_TIME) -timeout 30m . ./internal/mat/ ./internal/durable/ | tee bench.out
 	$(GO) run ./cmd/bench2json < bench.out > $(BENCH_OUT)
 	@rm -f bench.out
 	@echo "wrote $(BENCH_OUT)"
@@ -52,6 +54,7 @@ serve-smoke:
 	@python3 -c 'import json,sys; rows=json.load(open("serve_smoke.json"))["benchmarks"]; tp=[b["metrics"]["req/s"] for b in rows if "req/s" in b["metrics"]]; sys.exit(0 if tp and all(v>0 for v in tp) else ("serve-smoke: zero throughput: %s" % rows))' \
 	  && echo "serve-smoke: non-zero throughput + clean drain confirmed"
 	@rm -f serve_smoke.json
+	scripts/serve_crash.sh
 
 clean:
 	rm -f bench.out serve_smoke.json

@@ -10,13 +10,20 @@
 //	hndload [-addr http://127.0.0.1:8788] [-tenants 8] [-users 2000]
 //	        [-minusers 32] [-items 64] [-options 3] [-zipf 1.2]
 //	        [-readratio 0.9] [-concurrency 64] [-duration 10s]
-//	        [-writebatch 1] [-seed 1] [-warm]
+//	        [-writebatch 1] [-seed 1] [-warm] [-retries 3]
 //
 // Tenant t's user count follows a power law users/(t+1)^zipf (floored at
 // minusers) — a few big tenants, a long tail of small ones — and traffic
 // picks tenants zipfian too, so the hot tenants are also the big ones.
 // Reads POST /v1/rank; writes POST /v1/observe (or /v1/observebatch when
 // -writebatch > 1) with uniformly random responses.
+//
+// Backpressure responses (429 from admission control, 503 during drain)
+// are retried up to -retries times, sleeping the server's Retry-After
+// hint when it sends one and a capped exponential backoff otherwise,
+// jittered either way so workers don't re-arrive in lockstep. Latency
+// percentiles cover the final attempt only — backoff sleep is not
+// service time — and retry counts appear in the bench output.
 //
 // Results are printed to stdout in `go test -bench` format so the
 // existing cmd/bench2json converter archives them (the serve-bench Make
@@ -36,6 +43,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -58,10 +66,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for workload synthesis and traffic choices")
 	warm := flag.Bool("warm", true, "rank every tenant once before measuring (excludes cold-start solves)")
 	reqTimeout := flag.Duration("reqtimeout", 30*time.Second, "per-request timeout")
+	retries := flag.Int("retries", 3, "max retries per request on 429/503 backpressure (honors Retry-After, capped exponential backoff otherwise)")
 	flag.Parse()
 
 	c := &client{
-		base: *addr,
+		base:    *addr,
+		retries: *retries,
 		http: &http.Client{
 			Timeout: *reqTimeout,
 			Transport: &http.Transport{
@@ -124,28 +134,98 @@ func tenantSizes(tenants, base, minSize int, s float64) []int {
 
 // client is the minimal JSON HTTP client over the serve wire types.
 type client struct {
-	base string
-	http *http.Client
+	base    string
+	retries int
+	http    *http.Client
 }
 
+// Backoff bounds for backpressure retries: the exponential ladder starts
+// at retryBase when the server sends no Retry-After, and no sleep —
+// hinted or computed — exceeds retryCap, so a misbehaving hint cannot
+// stall a closed-loop worker.
+const (
+	retryBase = 25 * time.Millisecond
+	retryCap  = 2 * time.Second
+)
+
 // post sends a JSON body and decodes a JSON response into out (out may be
-// nil to discard). It returns the HTTP status code; statuses >= 400 are
-// not errors here — the caller classifies them.
-func (c *client) post(path string, body, out any) (int, error) {
+// nil to discard). It returns the HTTP status code and the server's
+// Retry-After hint (0 when absent); statuses >= 400 are not errors here —
+// the caller classifies them.
+func (c *client) post(path string, body, out any) (int, time.Duration, error) {
 	buf, err := json.Marshal(body)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(buf))
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer resp.Body.Close()
+	ra := parseRetryAfter(resp.Header.Get("Retry-After"))
 	if out != nil && resp.StatusCode < 300 {
-		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+		return resp.StatusCode, ra, json.NewDecoder(resp.Body).Decode(out)
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, nil
+	return resp.StatusCode, ra, nil
+}
+
+// parseRetryAfter decodes a Retry-After header: delay seconds or an HTTP
+// date, 0 for anything absent or unusable.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// backpressured reports whether a status invites a retry: 429 from the
+// admission controller or 503 from a draining server.
+func backpressured(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// backoff picks the sleep before retry number attempt (0-based): the
+// server's hint when it gave one, else retryBase doubled per attempt,
+// capped at retryCap, plus up to 50% jitter when rng is non-nil.
+func backoff(rng *rand.Rand, attempt int, hinted time.Duration) time.Duration {
+	d := hinted
+	if d <= 0 {
+		d = retryBase << attempt
+	}
+	if d > retryCap {
+		d = retryCap
+	}
+	if rng != nil {
+		d += time.Duration(rng.Int63n(int64(d)/2 + 1))
+	}
+	return d
+}
+
+// retryPost issues one logical request, retrying backpressure responses
+// up to c.retries times with backoff. The returned latency covers only
+// the final attempt — backoff sleep is not service time — and retries
+// reports how many attempts were re-issued.
+func (c *client) retryPost(rng *rand.Rand, path string, body, out any) (d time.Duration, code, retries int, err error) {
+	for {
+		start := time.Now()
+		var ra time.Duration
+		code, ra, err = c.post(path, body, out)
+		d = time.Since(start)
+		if err != nil || !backpressured(code) || retries >= c.retries {
+			return d, code, retries, err
+		}
+		time.Sleep(backoff(rng, retries, ra))
+		retries++
+	}
 }
 
 // metrics fetches the server's /metrics snapshot.
@@ -166,7 +246,7 @@ func (c *client) metrics() (serve.Snapshot, error) {
 // from the steady warm-started state.
 func (c *client) setup(names []string, sizes []int, items, options int, seed int64, warm bool) error {
 	for i, name := range names {
-		code, err := c.post("/v1/tenants", serve.CreateTenantRequest{
+		code, _, err := c.post("/v1/tenants", serve.CreateTenantRequest{
 			Name: name, Users: sizes[i], Items: items, Options: []int{options},
 		}, nil)
 		if err != nil {
@@ -193,7 +273,7 @@ func (c *client) setup(names []string, sizes []int, items, options int, seed int
 		const chunk = 8192
 		for lo := 0; lo < len(obs); lo += chunk {
 			hi := min(lo+chunk, len(obs))
-			code, err := c.post("/v1/observebatch", serve.ObserveBatchRequest{Tenant: name, Observations: obs[lo:hi]}, nil)
+			_, code, _, err := c.retryPost(nil, "/v1/observebatch", serve.ObserveBatchRequest{Tenant: name, Observations: obs[lo:hi]}, nil)
 			if err != nil {
 				return fmt.Errorf("seed %s: %w", name, err)
 			}
@@ -202,7 +282,7 @@ func (c *client) setup(names []string, sizes []int, items, options int, seed int
 			}
 		}
 		if warm {
-			code, err := c.post("/v1/rank", serve.RankRequest{Tenant: name}, nil)
+			_, code, _, err := c.retryPost(nil, "/v1/rank", serve.RankRequest{Tenant: name}, nil)
 			if err != nil {
 				return fmt.Errorf("warm rank %s: %w", name, err)
 			}
@@ -227,8 +307,9 @@ const (
 // stats accumulates one run's measurements across workers.
 type stats struct {
 	lat      [opKinds][]time.Duration // successful-request latencies
-	rejected [opKinds]int             // 429 backpressure rejections
-	failed   [opKinds]int             // transport errors and non-2xx, non-429
+	rejected [opKinds]int             // 429/503 rejections that survived all retries
+	retried  [opKinds]int             // backpressured attempts re-issued after backoff
+	failed   [opKinds]int             // transport errors and non-2xx, non-backpressure
 }
 
 // ok returns the number of successful requests across kinds.
@@ -239,6 +320,7 @@ func (st *stats) merge(o *stats) {
 	for k := opKind(0); k < opKinds; k++ {
 		st.lat[k] = append(st.lat[k], o.lat[k]...)
 		st.rejected[k] += o.rejected[k]
+		st.retried[k] += o.retried[k]
 		st.failed[k] += o.failed[k]
 	}
 }
@@ -270,11 +352,11 @@ func drive(c *client, names []string, sizes []int, items, options int, s, readRa
 					t = rng.Intn(len(names))
 				}
 				if rng.Float64() < readRatio {
-					d, code, err := c.rank(names[t])
-					st.record(opRank, d, code, err)
+					d, code, retries, err := c.rank(rng, names[t])
+					st.record(opRank, d, code, retries, err)
 				} else {
-					d, code, err := c.write(rng, names[t], sizes[t], items, options, writeBatch)
-					st.record(opWrite, d, code, err)
+					d, code, retries, err := c.write(rng, names[t], sizes[t], items, options, writeBatch)
+					st.record(opWrite, d, code, retries, err)
 				}
 			}
 		}(w, st)
@@ -288,11 +370,12 @@ func drive(c *client, names []string, sizes []int, items, options int, s, readRa
 }
 
 // record classifies one request outcome into the stats buckets.
-func (st *stats) record(k opKind, d time.Duration, code int, err error) {
+func (st *stats) record(k opKind, d time.Duration, code, retries int, err error) {
+	st.retried[k] += retries
 	switch {
 	case err != nil:
 		st.failed[k]++
-	case code == http.StatusTooManyRequests:
+	case backpressured(code):
 		st.rejected[k]++
 	case code >= 300:
 		st.failed[k]++
@@ -301,30 +384,24 @@ func (st *stats) record(k opKind, d time.Duration, code int, err error) {
 	}
 }
 
-// rank times one /v1/rank call.
-func (c *client) rank(tenant string) (time.Duration, int, error) {
-	start := time.Now()
-	code, err := c.post("/v1/rank", serve.RankRequest{Tenant: tenant}, nil)
-	return time.Since(start), code, err
+// rank times one /v1/rank call (retrying backpressure).
+func (c *client) rank(rng *rand.Rand, tenant string) (time.Duration, int, int, error) {
+	return c.retryPost(rng, "/v1/rank", serve.RankRequest{Tenant: tenant}, nil)
 }
 
 // write times one write: a single /v1/observe, or an /v1/observebatch of
-// batch uniformly random responses.
-func (c *client) write(rng *rand.Rand, tenant string, users, items, options, batch int) (time.Duration, int, error) {
+// batch uniformly random responses (retrying backpressure).
+func (c *client) write(rng *rand.Rand, tenant string, users, items, options, batch int) (time.Duration, int, int, error) {
 	if batch <= 1 {
-		start := time.Now()
-		code, err := c.post("/v1/observe", serve.ObserveRequest{
+		return c.retryPost(rng, "/v1/observe", serve.ObserveRequest{
 			Tenant: tenant, User: rng.Intn(users), Item: rng.Intn(items), Option: rng.Intn(options),
 		}, nil)
-		return time.Since(start), code, err
 	}
 	obs := make([]serve.Observation, batch)
 	for i := range obs {
 		obs[i] = serve.Observation{User: rng.Intn(users), Item: rng.Intn(items), Option: rng.Intn(options)}
 	}
-	start := time.Now()
-	code, err := c.post("/v1/observebatch", serve.ObserveBatchRequest{Tenant: tenant, Observations: obs}, nil)
-	return time.Since(start), code, err
+	return c.retryPost(rng, "/v1/observebatch", serve.ObserveBatchRequest{Tenant: tenant, Observations: obs}, nil)
 }
 
 // percentile returns the q-quantile of sorted latencies (nearest-rank).
@@ -375,12 +452,15 @@ func report(bench, human io.Writer, st *stats, duration time.Duration, before, a
 	line("ServeRank", st.lat[opRank],
 		fmt.Sprintf(" %d solves %d cache-hits %d coalesced", solves, hits, coalesced))
 	line("ServeObserve", st.lat[opWrite],
-		fmt.Sprintf(" %d rejected-429", st.rejected[opWrite]))
+		fmt.Sprintf(" %d rejected-429 %d retried", st.rejected[opWrite], st.retried[opWrite]))
 	mixed := append(append([]time.Duration(nil), st.lat[opRank]...), st.lat[opWrite]...)
 	line("ServeMixed", mixed,
-		fmt.Sprintf(" %d rejected-429 %d failed", st.rejected[opRank]+st.rejected[opWrite], st.failed[opRank]+st.failed[opWrite]))
-	fmt.Fprintf(human, "ranks: %d engine solves, %d engine cache hits, %d coalesced; writes rejected 429: %d; failures: %d\n",
-		solves, hits, coalesced, st.rejected[opRank]+st.rejected[opWrite], st.failed[opRank]+st.failed[opWrite])
+		fmt.Sprintf(" %d rejected-429 %d retried %d failed",
+			st.rejected[opRank]+st.rejected[opWrite], st.retried[opRank]+st.retried[opWrite],
+			st.failed[opRank]+st.failed[opWrite]))
+	fmt.Fprintf(human, "ranks: %d engine solves, %d engine cache hits, %d coalesced; rejected after retries: %d; retried: %d; failures: %d\n",
+		solves, hits, coalesced, st.rejected[opRank]+st.rejected[opWrite],
+		st.retried[opRank]+st.retried[opWrite], st.failed[opRank]+st.failed[opWrite])
 }
 
 func fatal(err error) {

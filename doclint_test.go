@@ -17,6 +17,7 @@ var doclintPackages = []string{
 	"internal/c1p",
 	"internal/core",
 	"internal/dataset",
+	"internal/durable",
 	"internal/eigen",
 	"internal/experiments",
 	"internal/grmest",

@@ -59,6 +59,10 @@ type Engine struct {
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
 
+	// persist, when set, receives every validated write batch before it
+	// commits (see SetDurability). Guarded by mu.
+	persist WriteHook
+
 	mu sync.RWMutex
 	// m is the current matrix. It is mutated in place only while shared is
 	// false; once a reader has taken it as a snapshot (shared true), the
@@ -247,6 +251,57 @@ type Observation struct {
 	User, Item, Option int
 }
 
+// WriteHook is the engine's durability hook: it receives every validated
+// write batch together with the matrix write generation the batch applies
+// at (each observation advances the generation by one), before the
+// in-memory mutation commits. A non-nil error aborts the batch with the
+// matrix untouched — the WAL-before-state protocol: a write the hook
+// could not make durable is never visible to readers. The hook runs under
+// the engine's write lock, so implementations must not call back into the
+// engine.
+type WriteHook func(gen uint64, obs []Observation) error
+
+// SetDurability installs (or, with nil, removes) the engine's write hook.
+// Install it before traffic: batches observed earlier were not offered to
+// the hook.
+func (e *Engine) SetDurability(hook WriteHook) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.persist = hook
+}
+
+// Restore replaces the engine's matrix with recovered state, preserving
+// the matrix's write-generation counter (the key durability is stamped
+// with). It refuses geometry mismatches and engines that already absorbed
+// writes — recovery happens at startup, before traffic. The matrix is
+// deep-copied; the caller's copy stays independent.
+func (e *Engine) Restore(m *ResponseMatrix) error {
+	if m == nil {
+		return fmt.Errorf("hitsndiffs: Restore needs a response matrix")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.version != 0 {
+		return fmt.Errorf("hitsndiffs: Restore on an engine that already absorbed %d writes", e.version)
+	}
+	if m.Users() != e.m.Users() || m.Items() != e.m.Items() {
+		return fmt.Errorf("hitsndiffs: Restore matrix is %dx%d, engine serves %dx%d",
+			m.Users(), m.Items(), e.m.Users(), e.m.Items())
+	}
+	for i := 0; i < e.m.Items(); i++ {
+		if m.OptionCount(i) != e.m.OptionCount(i) {
+			return fmt.Errorf("hitsndiffs: Restore matrix item %d has %d options, engine serves %d",
+				i, m.OptionCount(i), e.m.OptionCount(i))
+		}
+	}
+	e.m = m.Clone()
+	e.shared.Store(false)
+	e.cached = nil
+	e.lastScores = nil
+	e.upd, e.updFor, e.updGen = nil, nil, 0
+	return nil
+}
+
 // validateObservation rejects an observation outside the given matrix
 // geometry — the one validation rule shared by Engine and the sharded
 // router, so both report identical errors for identical bad input.
@@ -284,6 +339,14 @@ func (e *Engine) ObserveBatch(obs []Observation) error {
 	for _, o := range obs {
 		if err := validateObservation(o, e.m.Users(), e.m.Items(), e.m.OptionCount); err != nil {
 			return err
+		}
+	}
+	// WAL-before-state: the batch must be durable (per the hook's fsync
+	// policy) before any reader can observe it. A hook failure aborts the
+	// batch with the matrix untouched.
+	if e.persist != nil {
+		if err := e.persist(e.m.Generation(), obs); err != nil {
+			return fmt.Errorf("hitsndiffs: durability hook rejected write: %w", err)
 		}
 	}
 	// Copy-on-write: if any reader holds the current matrix as a snapshot,
@@ -683,6 +746,7 @@ func (e *Engine) Metrics() EngineMetrics {
 	nf, nd := e.m.NormRebuilds()
 	return EngineMetrics{
 		Version:           e.version,
+		Generation:        e.m.Generation(),
 		Users:             e.m.Users(),
 		Items:             e.m.Items(),
 		CacheHits:         e.cacheHits.Load(),

@@ -1,0 +1,47 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWriteFuzzCorpus regenerates the committed FuzzWALReplay seed corpus
+// under testdata/. It is a maintenance tool, skipped unless
+// HND_WRITE_CORPUS=1 — run it after changing the WAL framing so the
+// checked-in seeds stay representative.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("HND_WRITE_CORPUS") != "1" {
+		t.Skip("set HND_WRITE_CORPUS=1 to regenerate the fuzz seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzWALReplay")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	var clean []byte
+	gen := uint64(0)
+	for _, b := range testBatches() {
+		clean = appendFrame(clean, Record{Gen: gen, Ops: b})
+		gen += uint64(len(b))
+	}
+	torn := clean[:len(clean)-5]
+	flipped := append([]byte(nil), clean...)
+	flipped[frameHeaderLen+1] ^= 0x41
+	empty := appendFrame(nil, Record{Gen: 7, Ops: []Op{{User: 0, Item: 0, Option: -1}}})
+
+	seeds := map[string][]byte{
+		"clean-multi-record": clean,
+		"torn-tail":          torn,
+		"bit-flip-mid-file":  flipped,
+		"retraction-record":  empty,
+		"garbage":            {0xff, 0xff, 0xff, 0xff, 0x00, 0x01, 0x02},
+	}
+	for name, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,502 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hitsndiffs/internal/response"
+)
+
+// ErrFailpoint is the injected append failure the crash-fault tests use:
+// the WAL writer stops mid-frame as if the process died at that byte.
+var ErrFailpoint = errors.New("durable: failpoint tripped mid-append")
+
+// ErrBroken reports an append on a log whose earlier append failed; the
+// log refuses further writes so in-memory state can never silently outrun
+// a WAL with a hole in it.
+var ErrBroken = errors.New("durable: log broken by earlier append failure")
+
+// Geometry declares the response matrix a Log persists: recovery
+// validates snapshots against it and builds the empty matrix from it when
+// the directory is fresh.
+type Geometry struct {
+	// Users and Items give the matrix shape.
+	Users int
+	// Items is the item count (see Users).
+	Items int
+	// Options holds per-item option counts (len 1 = uniform, the
+	// response.New contract).
+	Options []int
+}
+
+// check validates a recovered matrix against the declared geometry.
+func (g Geometry) check(m *response.Matrix) error {
+	if m.Users() != g.Users || m.Items() != g.Items {
+		return fmt.Errorf("durable: snapshot shape %dx%d, want %dx%d", m.Users(), m.Items(), g.Users, g.Items)
+	}
+	for i := 0; i < g.Items; i++ {
+		if m.OptionCount(i) != g.optionCount(i) {
+			return fmt.Errorf("durable: snapshot item %d has %d options, want %d", i, m.OptionCount(i), g.optionCount(i))
+		}
+	}
+	return nil
+}
+
+// optionCount returns item i's option count under the variadic contract.
+func (g Geometry) optionCount(i int) int {
+	if len(g.Options) == 1 {
+		return g.Options[0]
+	}
+	return g.Options[i]
+}
+
+// empty builds the fresh matrix for a directory with no recovered state.
+func (g Geometry) empty() *response.Matrix {
+	return response.New(g.Users, g.Items, g.Options...)
+}
+
+// segment is one WAL file on disk with the generation it starts at.
+type segment struct {
+	start uint64
+	path  string
+}
+
+// Log is the durability handle for one response matrix: an append-only
+// WAL plus generation-stamped snapshots in one directory. Open recovers
+// the matrix; Append persists each write batch before the in-memory
+// mutation commits; WriteSnapshot checkpoints a copy-on-write view and
+// prunes the WAL behind it. All methods are safe for concurrent use.
+type Log struct {
+	dir    string
+	geom   Geometry
+	policy Policy
+
+	mu     sync.Mutex
+	f      *os.File  // active WAL segment (last of segs)
+	segs   []segment // on-disk segments, ascending start generation
+	buf    []byte    // append marshal scratch, reused
+	gen    uint64    // generation after the last append
+	broken error     // sticky first append failure
+
+	snapGen   atomic.Uint64 // newest durable snapshot's generation
+	appends   atomic.Uint64
+	bytes     atomic.Uint64
+	fsyncs    atomic.Uint64
+	snapshots atomic.Uint64
+	dirty     atomic.Bool  // appended since last sync (interval mode)
+	failAfter atomic.Int64 // failpoint byte budget; < 0 disabled
+
+	recovery RecoveryStats
+
+	stop chan struct{} // closes the interval syncer
+	done chan struct{}
+}
+
+// Open recovers the matrix persisted in dir (creating the directory on
+// first use) and returns the log ready for appends, the recovered matrix,
+// and what recovery found. The sequence is: load the newest snapshot that
+// passes its checksum, replay WAL records past its generation in segment
+// order, truncate a torn trailing record, then checkpoint the recovered
+// state as a fresh snapshot and reset the WAL behind it — so every
+// process starts from a compact (snapshot, empty-tail) pair. Mid-file WAL
+// corruption, generation gaps, and out-of-range ops fail loudly with no
+// log returned.
+func Open(dir string, geom Geometry, policy Policy) (*Log, *response.Matrix, RecoveryStats, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, RecoveryStats{}, fmt.Errorf("durable: create log dir: %w", err)
+	}
+	removeStaleTemp(dir)
+
+	l := &Log{dir: dir, geom: geom, policy: policy}
+	l.failAfter.Store(-1)
+
+	m, err := l.recover()
+	if err != nil {
+		return nil, nil, RecoveryStats{}, err
+	}
+	l.gen = m.Generation()
+	l.recovery.RecoveredGeneration = l.gen
+
+	// Compact: checkpoint the recovered state, then drop every older
+	// snapshot and all replayed WAL segments, and start a fresh tail. A
+	// crash anywhere in this sequence is safe — the old files only go
+	// away after the new snapshot is durably in place.
+	if _, err := l.checkpoint(m); err != nil {
+		return nil, nil, RecoveryStats{}, err
+	}
+	if err := l.openSegment(l.gen); err != nil {
+		return nil, nil, RecoveryStats{}, err
+	}
+
+	if policy.Mode == FsyncInterval {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.syncLoop(policy.intervalOrDefault())
+	}
+	return l, m, l.recovery, nil
+}
+
+// recover loads the newest valid snapshot and replays the WAL tail,
+// truncating a torn final record. It returns the recovered matrix.
+func (l *Log) recover() (*response.Matrix, error) {
+	snaps, err := listGens(l.dir, "snap-", ".hnds")
+	if err != nil {
+		return nil, fmt.Errorf("durable: list snapshots: %w", err)
+	}
+	var m *response.Matrix
+	for i := len(snaps) - 1; i >= 0; i-- {
+		cand, err := readSnapshotFile(l.dir, snaps[i], l.geom)
+		if err != nil {
+			l.recovery.SnapshotsSkipped++
+			continue
+		}
+		m = cand
+		l.recovery.SnapshotGeneration = snaps[i]
+		break
+	}
+	if m == nil {
+		if l.recovery.SnapshotsSkipped > 0 {
+			// Snapshots existed but none decoded. Starting empty here could
+			// silently replay the full WAL onto the wrong base; refuse.
+			return nil, fmt.Errorf("durable: all %d snapshots in %s are corrupt", l.recovery.SnapshotsSkipped, l.dir)
+		}
+		m = l.geom.empty()
+	}
+
+	segGens, err := listGens(l.dir, "wal-", ".hndw")
+	if err != nil {
+		return nil, fmt.Errorf("durable: list WAL segments: %w", err)
+	}
+	for i, start := range segGens {
+		path := filepath.Join(l.dir, segmentName(start))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("durable: read WAL segment: %w", err)
+		}
+		recs, valid, scanErr := ScanRecords(data)
+		if scanErr != nil {
+			return nil, fmt.Errorf("durable: segment %s: %w", segmentName(start), scanErr)
+		}
+		if valid < len(data) && i != len(segGens)-1 {
+			// A torn tail is only possible in the segment appends last ran
+			// in; damage in an older, rotated-away segment is corruption.
+			return nil, fmt.Errorf("durable: segment %s: %w (torn record in non-final segment)", segmentName(start), ErrCorrupt)
+		}
+		for _, rec := range recs {
+			applied, err := l.apply(m, rec)
+			if err != nil {
+				return nil, err
+			}
+			if applied {
+				l.recovery.ReplayedRecords++
+				l.recovery.ReplayedOps += len(rec.Ops)
+			}
+		}
+		if valid < len(data) {
+			l.recovery.TruncatedBytes = int64(len(data) - valid)
+			if err := os.Truncate(path, int64(valid)); err != nil {
+				return nil, fmt.Errorf("durable: truncate torn WAL tail: %w", err)
+			}
+		}
+	}
+	return m, nil
+}
+
+// apply replays one record onto the recovering matrix, enforcing the
+// generation chain: records at or before the matrix's generation are
+// stale (covered by the snapshot) and skipped, the record at exactly the
+// current generation applies, and anything else is a gap or overlap —
+// evidence of lost or reordered writes — and fails loudly.
+func (l *Log) apply(m *response.Matrix, rec Record) (applied bool, err error) {
+	gen := m.Generation()
+	switch {
+	case rec.end() <= gen:
+		return false, nil // fully covered by the snapshot (or an earlier segment)
+	case rec.Gen == gen:
+		for _, op := range rec.Ops {
+			if op.User < 0 || op.User >= m.Users() || op.Item < 0 || op.Item >= m.Items() ||
+				(op.Option != response.Unanswered && (op.Option < 0 || op.Option >= m.OptionCount(op.Item))) {
+				return false, fmt.Errorf("durable: WAL op (%d,%d,%d) outside matrix geometry", op.User, op.Item, op.Option)
+			}
+			m.SetAnswer(op.User, op.Item, op.Option)
+		}
+		return true, nil
+	case rec.Gen > gen:
+		return false, fmt.Errorf("durable: WAL generation gap: record at %d but recovered state at %d (lost writes)", rec.Gen, gen)
+	default:
+		return false, fmt.Errorf("durable: WAL record [%d,%d) straddles recovered generation %d", rec.Gen, rec.end(), gen)
+	}
+}
+
+// checkpoint writes m as the newest snapshot and prunes files it
+// obsoletes: older snapshots, and WAL segments whose records all precede
+// it. Callers must not hold mu (file IO under the write-path lock would
+// stall writers); the segment list mutation locks internally.
+func (l *Log) checkpoint(m *response.Matrix) (uint64, error) {
+	gen, err := writeSnapshotFile(l.dir, m)
+	if err != nil {
+		return 0, err
+	}
+	l.snapshots.Add(1)
+	if cur := l.snapGen.Load(); gen > cur {
+		l.snapGen.Store(gen)
+	}
+
+	snaps, err := listGens(l.dir, "snap-", ".hnds")
+	if err != nil {
+		return gen, nil // pruning is best-effort; the snapshot is in place
+	}
+	for _, g := range snaps {
+		if g < l.snapGen.Load() {
+			os.Remove(filepath.Join(l.dir, snapshotName(g)))
+		}
+	}
+	l.pruneSegments(gen)
+	return gen, nil
+}
+
+// pruneSegments deletes WAL segments wholly covered by a snapshot at gen:
+// a segment is removable when the next segment starts at or before gen
+// (so every record in it precedes the snapshot). The active segment is
+// never removed.
+func (l *Log) pruneSegments(gen uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	keep := l.segs[:0]
+	for i, seg := range l.segs {
+		if i+1 < len(l.segs) && l.segs[i+1].start <= gen {
+			os.Remove(seg.path)
+			continue
+		}
+		keep = append(keep, seg)
+	}
+	l.segs = keep
+}
+
+// openSegment starts a fresh active WAL segment at the given generation,
+// removing any replayed predecessors (Open's compaction path).
+func (l *Log) openSegment(gen uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, seg := range l.segs {
+		os.Remove(seg.path)
+	}
+	// Stale segments from before this process may still be on disk (Open
+	// replays them in place); the checkpoint that preceded us covers them.
+	old, err := listGens(l.dir, "wal-", ".hndw")
+	if err == nil {
+		for _, g := range old {
+			os.Remove(filepath.Join(l.dir, segmentName(g)))
+		}
+	}
+	path := filepath.Join(l.dir, segmentName(gen))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: create WAL segment: %w", err)
+	}
+	l.f = f
+	l.segs = []segment{{start: gen, path: path}}
+	return syncDir(l.dir)
+}
+
+// rotate closes the active segment and starts a new one at the current
+// append generation. Callers hold mu.
+func (l *Log) rotate() error {
+	if len(l.segs) > 0 && l.segs[len(l.segs)-1].start == l.gen {
+		return nil // active segment is empty; rotating would recreate it
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("durable: sync WAL on rotate: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("durable: close WAL on rotate: %w", err)
+	}
+	path := filepath.Join(l.dir, segmentName(l.gen))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: create WAL segment: %w", err)
+	}
+	l.f = f
+	l.segs = append(l.segs, segment{start: l.gen, path: path})
+	return syncDir(l.dir)
+}
+
+// Append durably logs one write batch applying at generation gen (the
+// matrix generation immediately before the batch). It must be called
+// before the in-memory mutation commits — the WAL-before-state contract —
+// and enforces the generation chain so a desynchronized caller fails
+// loudly instead of logging an unreplayable record. Under FsyncAlways the
+// record is on stable storage when Append returns. After any failure the
+// log is broken: every later Append returns ErrBroken, so state and WAL
+// can never silently diverge.
+func (l *Log) Append(gen uint64, ops []Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		return fmt.Errorf("%w: %v", ErrBroken, l.broken)
+	}
+	if gen != l.gen {
+		return fmt.Errorf("durable: append at generation %d, log at %d", gen, l.gen)
+	}
+	l.buf = appendFrame(l.buf[:0], Record{Gen: gen, Ops: ops})
+	frame := l.buf
+
+	// Failpoint: emulate the process dying k bytes into the write.
+	if budget := l.failAfter.Load(); budget >= 0 {
+		if int64(len(frame)) > budget {
+			if budget > 0 {
+				n, _ := l.f.Write(frame[:budget])
+				l.bytes.Add(uint64(n))
+			}
+			_ = l.f.Sync() // make the torn prefix durable, as a crash might
+			l.broken = ErrFailpoint
+			return ErrFailpoint
+		}
+		l.failAfter.Store(budget - int64(len(frame)))
+	}
+
+	n, err := l.f.Write(frame)
+	l.bytes.Add(uint64(n))
+	if err != nil {
+		l.broken = fmt.Errorf("durable: WAL append: %w", err)
+		return l.broken
+	}
+	if l.policy.Mode == FsyncAlways {
+		if err := l.f.Sync(); err != nil {
+			l.broken = fmt.Errorf("durable: WAL fsync: %w", err)
+			return l.broken
+		}
+		l.fsyncs.Add(1)
+	} else {
+		l.dirty.Store(true)
+	}
+	l.appends.Add(1)
+	l.gen = gen + uint64(len(ops))
+	return nil
+}
+
+// WriteSnapshot checkpoints a consistent view of the matrix (a COW
+// snapshot from Engine.View, or any matrix not being written) and prunes
+// the WAL behind it: the active segment rotates, and segments wholly
+// covered by the snapshot are deleted. Safe to run concurrently with
+// Append — writers are only blocked for the rotation, not the snapshot
+// serialization.
+func (l *Log) WriteSnapshot(m *response.Matrix) error {
+	gen, err := l.checkpoint(m)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	if l.broken == nil && l.f != nil {
+		if err := l.rotate(); err != nil {
+			l.mu.Unlock()
+			return err
+		}
+	}
+	l.mu.Unlock()
+	l.pruneSegments(gen)
+	return nil
+}
+
+// Sync forces the active WAL segment to stable storage — the manual
+// flush for FsyncInterval/FsyncOff policies.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+// syncLocked is Sync's body; callers hold mu.
+func (l *Log) syncLocked() error {
+	if l.f == nil || l.broken != nil {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("durable: WAL fsync: %w", err)
+	}
+	l.fsyncs.Add(1)
+	l.dirty.Store(false)
+	return nil
+}
+
+// syncLoop is the FsyncInterval timer: it flushes the WAL whenever
+// appends happened since the last flush.
+func (l *Log) syncLoop(interval time.Duration) {
+	defer close(l.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			if l.dirty.Swap(false) {
+				l.mu.Lock()
+				_ = l.syncLocked()
+				l.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Close flushes and closes the log. It does not snapshot; callers wanting
+// a final checkpoint call WriteSnapshot first. The log is unusable after.
+func (l *Log) Close() error {
+	if l.stop != nil {
+		close(l.stop)
+		<-l.done
+		l.stop = nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.syncLocked()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// FailAfterBytes arms the crash-fault injection hook: after n more bytes
+// of WAL writes, the next append stops mid-frame with ErrFailpoint and
+// the log breaks — the in-process stand-in for kill -9 at byte k. Negative
+// n disarms the hook.
+func (l *Log) FailAfterBytes(n int64) { l.failAfter.Store(n) }
+
+// Dir returns the directory the log persists into.
+func (l *Log) Dir() string { return l.dir }
+
+// Generation returns the matrix generation after the last append — the
+// durable write frontier.
+func (l *Log) Generation() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.gen
+}
+
+// Stats returns a point-in-time snapshot of the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	gen := l.gen
+	l.mu.Unlock()
+	return Stats{
+		Generation:         gen,
+		SnapshotGeneration: l.snapGen.Load(),
+		Appends:            l.appends.Load(),
+		AppendedBytes:      l.bytes.Load(),
+		Fsyncs:             l.fsyncs.Load(),
+		Snapshots:          l.snapshots.Load(),
+		Recovery:           l.recovery,
+	}
+}

@@ -1,0 +1,140 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hitsndiffs/internal/response"
+)
+
+// Snapshot and WAL segment file naming: both carry the write generation
+// they start at as a fixed-width hex field, so a lexical directory sort is
+// a generation sort.
+
+// snapshotName returns the snapshot filename for a generation.
+func snapshotName(gen uint64) string { return fmt.Sprintf("snap-%016x.hnds", gen) }
+
+// segmentName returns the WAL segment filename for its starting generation.
+func segmentName(gen uint64) string { return fmt.Sprintf("wal-%016x.hndw", gen) }
+
+// parseGen extracts the generation field from a snapshot or segment
+// filename produced by snapshotName/segmentName.
+func parseGen(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	hex := name[len(prefix) : len(name)-len(suffix)]
+	if len(hex) != 16 {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// listGens returns the generations of the directory entries matching
+// prefix/suffix, ascending.
+func listGens(dir, prefix, suffix string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var gens []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if gen, ok := parseGen(e.Name(), prefix, suffix); ok {
+			gens = append(gens, gen)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// writeSnapshotFile durably writes m's binary snapshot into dir under its
+// generation name: serialize to a temp file, fsync it, rename into place,
+// fsync the directory. A crash at any point leaves either the old state
+// or the complete new snapshot — never a half-written file under the
+// final name.
+func writeSnapshotFile(dir string, m *response.Matrix) (gen uint64, err error) {
+	gen = m.Generation()
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return 0, fmt.Errorf("durable: create snapshot temp: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = m.WriteBinary(tmp); err != nil {
+		return 0, err
+	}
+	if err = tmp.Sync(); err != nil {
+		return 0, fmt.Errorf("durable: sync snapshot: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return 0, fmt.Errorf("durable: close snapshot: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), filepath.Join(dir, snapshotName(gen))); err != nil {
+		return 0, fmt.Errorf("durable: publish snapshot: %w", err)
+	}
+	return gen, syncDir(dir)
+}
+
+// readSnapshotFile loads and validates one snapshot file against the
+// expected matrix geometry.
+func readSnapshotFile(dir string, gen uint64, geom Geometry) (*response.Matrix, error) {
+	f, err := os.Open(filepath.Join(dir, snapshotName(gen)))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := response.ReadBinary(f)
+	if err != nil {
+		return nil, err
+	}
+	if err := geom.check(m); err != nil {
+		return nil, err
+	}
+	if m.Generation() != gen {
+		return nil, fmt.Errorf("durable: snapshot %s carries generation %d", snapshotName(gen), m.Generation())
+	}
+	return m, nil
+}
+
+// syncDir fsyncs a directory, making renames and removals in it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("durable: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("durable: sync dir: %w", err)
+	}
+	return nil
+}
+
+// removeStaleTemp deletes leftover snapshot temp files — debris of a
+// crash mid-snapshot, never part of recovered state.
+func removeStaleTemp(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// WAL framing: each record is stored as
+//
+//	[u32le payload length][u32le CRC32-C of payload][payload]
+//
+// with the payload
+//
+//	byte    format version (walFormat)
+//	uvarint generation the batch applies at
+//	uvarint op count
+//	per op: uvarint user, uvarint item, uvarint option+1 (0 = retraction)
+//
+// The checksum makes torn appends (a crash mid-write) and bit rot
+// detectable; the scanner distinguishes a torn tail — truncatable, the
+// record was never acknowledged as durable — from corruption in front of
+// intact records, which is unrecoverable and must fail loudly.
+
+// walFormat is the record payload format version.
+const walFormat = 1
+
+// frameHeaderLen is the fixed byte length of the [len][crc] frame prefix.
+const frameHeaderLen = 8
+
+// maxRecordBytes bounds a single record's payload, so a corrupted length
+// prefix can never drive an absurd allocation during replay.
+const maxRecordBytes = 1 << 28
+
+// maxResyncScan bounds how far past a bad frame the scanner searches for
+// intact records when classifying the damage as torn-tail vs mid-file.
+const maxResyncScan = 1 << 16
+
+// crcWAL is the Castagnoli table used by the frame checksums.
+var crcWAL = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports WAL damage in front of intact records — a bit flip
+// or lost page in the middle of the file, not a torn final append.
+// Recovery refuses to proceed: replaying past a hole would serve silently
+// wrong state.
+var ErrCorrupt = errors.New("durable: WAL corrupt mid-file (intact records follow damage)")
+
+// appendFrame marshals rec as one framed record onto dst.
+func appendFrame(dst []byte, rec Record) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
+	body := len(dst)
+	dst = append(dst, walFormat)
+	dst = binary.AppendUvarint(dst, rec.Gen)
+	dst = binary.AppendUvarint(dst, uint64(len(rec.Ops)))
+	for _, op := range rec.Ops {
+		dst = binary.AppendUvarint(dst, uint64(op.User))
+		dst = binary.AppendUvarint(dst, uint64(op.Item))
+		dst = binary.AppendUvarint(dst, uint64(op.Option+1))
+	}
+	payload := dst[body:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(payload, crcWAL))
+	return dst
+}
+
+// parsePayload decodes one record payload (already CRC-verified).
+func parsePayload(p []byte) (Record, error) {
+	if len(p) == 0 || p[0] != walFormat {
+		return Record{}, fmt.Errorf("durable: unknown WAL record format")
+	}
+	p = p[1:]
+	next := func(what string) (uint64, error) {
+		v, n := binary.Uvarint(p)
+		if n <= 0 {
+			return 0, fmt.Errorf("durable: WAL record truncated reading %s", what)
+		}
+		p = p[n:]
+		return v, nil
+	}
+	gen, err := next("generation")
+	if err != nil {
+		return Record{}, err
+	}
+	count, err := next("op count")
+	if err != nil {
+		return Record{}, err
+	}
+	if count > maxRecordBytes {
+		return Record{}, fmt.Errorf("durable: WAL record declares %d ops", count)
+	}
+	rec := Record{Gen: gen, Ops: make([]Op, count)}
+	for i := range rec.Ops {
+		user, err := next("user")
+		if err != nil {
+			return Record{}, err
+		}
+		item, err := next("item")
+		if err != nil {
+			return Record{}, err
+		}
+		opt, err := next("option")
+		if err != nil {
+			return Record{}, err
+		}
+		if user > 1<<31 || item > 1<<31 || opt > 1<<31 {
+			return Record{}, fmt.Errorf("durable: WAL op out of range")
+		}
+		rec.Ops[i] = Op{User: int(user), Item: int(item), Option: int(opt) - 1}
+	}
+	if len(p) != 0 {
+		return Record{}, fmt.Errorf("durable: WAL record has %d trailing bytes", len(p))
+	}
+	return rec, nil
+}
+
+// frameAt tries to decode one framed record at data[off:]. ok reports a
+// fully intact frame; size is its total framed length when ok.
+func frameAt(data []byte, off int) (rec Record, size int, ok bool) {
+	if off+frameHeaderLen > len(data) {
+		return Record{}, 0, false
+	}
+	n := int(binary.LittleEndian.Uint32(data[off:]))
+	if n == 0 || n > maxRecordBytes || off+frameHeaderLen+n > len(data) {
+		return Record{}, 0, false
+	}
+	payload := data[off+frameHeaderLen : off+frameHeaderLen+n]
+	if crc32.Checksum(payload, crcWAL) != binary.LittleEndian.Uint32(data[off+4:]) {
+		return Record{}, 0, false
+	}
+	rec, err := parsePayload(payload)
+	if err != nil {
+		return Record{}, 0, false
+	}
+	return rec, frameHeaderLen + n, true
+}
+
+// ScanRecords walks the framed records in data. It returns the intact
+// prefix's records and its byte length. A bad frame ends the scan: if any
+// intact record can still be decoded after the damage (within
+// maxResyncScan bytes), the damage is mid-file corruption and ScanRecords
+// returns ErrCorrupt; otherwise the damage is a torn final append and the
+// caller may truncate the file to validLen and continue.
+func ScanRecords(data []byte) (recs []Record, validLen int, err error) {
+	off := 0
+	for off < len(data) {
+		rec, size, ok := frameAt(data, off)
+		if !ok {
+			limit := len(data)
+			if off+1+maxResyncScan < limit {
+				limit = off + 1 + maxResyncScan
+			}
+			for probe := off + 1; probe < limit; probe++ {
+				if _, _, ok := frameAt(data, probe); ok {
+					return recs, off, ErrCorrupt
+				}
+			}
+			return recs, off, nil
+		}
+		recs = append(recs, rec)
+		off += size
+	}
+	return recs, off, nil
+}

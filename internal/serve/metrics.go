@@ -62,6 +62,9 @@ type TenantSnapshot struct {
 	// Engine is the engine-level counter snapshot (aggregated across
 	// shards for sharded tenants), taken under the engine's locks.
 	Engine hitsndiffs.EngineMetrics `json:"engine"`
+	// Durability reports the tenant's WAL/snapshot counters and startup
+	// recovery stats; nil when the server runs without a data dir.
+	Durability *TenantDurabilitySnapshot `json:"durability,omitempty"`
 }
 
 // Snapshot assembles the /metrics document. Serve-layer counters are
@@ -94,6 +97,13 @@ func (s *Server) Snapshot() Snapshot {
 			Shards:        t.shards,
 			ServedVersion: t.served.Load(),
 			Engine:        t.backend.Metrics(),
+		}
+		if t.dur != nil {
+			snap.Tenants[i].Durability = &TenantDurabilitySnapshot{
+				Fsync:          s.cfg.Fsync.String(),
+				SnapshotErrors: t.dur.snapErrors.Load(),
+				Stats:          t.dur.stats(),
+			}
 		}
 	}
 	return snap

@@ -35,11 +35,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"hitsndiffs"
+	"hitsndiffs/internal/durable"
 )
 
 // maxBodyBytes bounds request bodies (observebatch bursts dominate); a
@@ -73,6 +76,19 @@ type Config struct {
 	MaxLag int
 	// MaxTenants bounds tenant creation (default DefaultMaxTenants).
 	MaxTenants int
+	// DataDir, when non-empty, makes every tenant durable: writes are
+	// appended to per-shard write-ahead logs under DataDir/<tenant>/
+	// before they commit, snapshots bound the logs, and New recovers
+	// every tenant from disk at startup. Empty = in-memory only.
+	DataDir string
+	// Fsync is the WAL flush policy in effect under DataDir (the zero
+	// value is durable.FsyncAlways: an acknowledged write is on stable
+	// storage). Parse flag values with durable.ParsePolicy.
+	Fsync durable.Policy
+	// SnapshotEvery is the background snapshot cadence in observations
+	// (default DefaultSnapshotEvery; negative disables background
+	// snapshots, leaving only the open-time checkpoint).
+	SnapshotEvery int
 }
 
 // Server hosts the tenants and implements the HTTP API. Construct with
@@ -86,6 +102,10 @@ type Server struct {
 	// only by Close (hard stop).
 	solveCtx    context.Context
 	solveCancel context.CancelFunc
+
+	// createMu serializes tenant creation so the durable path's
+	// directory/manifest handshake never races a same-name create.
+	createMu sync.Mutex
 
 	mu      sync.RWMutex
 	tenants map[string]*tenant
@@ -116,7 +136,12 @@ type tenant struct {
 	// engine is the unsharded backend, nil for sharded tenants; label
 	// inference needs the full matrix on one engine.
 	engine *hitsndiffs.Engine
-	adm    admission
+	// sharded is the sharded backend, nil for unsharded tenants; the
+	// durability layer needs per-shard views and restore access.
+	sharded *hitsndiffs.ShardedEngine
+	// dur is the tenant's persistence state, nil without Config.DataDir.
+	dur *tenantDurability
+	adm admission
 	// served is the highest write version a rank has been served at — the
 	// refresh watermark the lag bound compares against.
 	served atomic.Uint64
@@ -157,12 +182,23 @@ func New(cfg Config) (*Server, error) {
 		cfg.MaxTenants = DefaultMaxTenants
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cfg:         cfg,
 		solveCtx:    ctx,
 		solveCancel: cancel,
 		tenants:     make(map[string]*tenant),
-	}, nil
+	}
+	if cfg.DataDir != "" {
+		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			cancel()
+			return nil, fmt.Errorf("serve: create data dir: %w", err)
+		}
+		if err := s.recoverTenants(); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // StartDrain begins graceful shutdown: /healthz flips to 503 "draining"
@@ -174,12 +210,22 @@ func (s *Server) StartDrain() { s.draining.Store(true) }
 // Draining reports whether StartDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Close hard-stops the server: it drains and cancels the solve context,
-// aborting any in-flight solves mid-iteration. Only for tests and
-// last-resort shutdown; prefer StartDrain + http.Server.Shutdown.
+// Close hard-stops the server: it drains, cancels the solve context
+// (aborting any in-flight solves mid-iteration), and flushes and closes
+// every tenant's durable logs. Prefer StartDrain + http.Server.Shutdown
+// for the graceful path, then Close to release durability resources.
 func (s *Server) Close() {
 	s.StartDrain()
 	s.solveCancel()
+	s.mu.RLock()
+	tenants := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.mu.RUnlock()
+	for _, t := range tenants {
+		t.dur.close()
+	}
 }
 
 // CreateTenant registers a new tenant with an empty response matrix of
@@ -203,6 +249,51 @@ func (s *Server) CreateTenant(req CreateTenantRequest) (TenantInfo, error) {
 				fmt.Sprintf("every item needs at least 2 options, got %d", k)}
 		}
 	}
+	s.createMu.Lock()
+	defer s.createMu.Unlock()
+	s.mu.RLock()
+	_, exists := s.tenants[req.Name]
+	atCapacity := len(s.tenants) >= s.cfg.MaxTenants
+	s.mu.RUnlock()
+	if exists {
+		return TenantInfo{}, &apiError{http.StatusConflict, fmt.Sprintf("tenant %q already exists", req.Name)}
+	}
+	if atCapacity {
+		return TenantInfo{}, &apiError{http.StatusTooManyRequests,
+			fmt.Sprintf("tenant capacity %d reached", s.cfg.MaxTenants)}
+	}
+	if s.cfg.DataDir != "" {
+		if err := s.reserveTenantDir(req.Name); err != nil {
+			return TenantInfo{}, err
+		}
+	}
+	t, err := s.buildTenant(req, s.cfg.Shards)
+	if err != nil {
+		return TenantInfo{}, &apiError{http.StatusBadRequest, err.Error()}
+	}
+	if s.cfg.DataDir != "" {
+		man := manifest{Name: req.Name, Users: req.Users, Items: req.Items, Options: req.Options, Shards: t.shards}
+		if err := s.attachDurability(t, man); err != nil {
+			return TenantInfo{}, &apiError{http.StatusInternalServerError, err.Error()}
+		}
+		// The manifest publishes last: a crash anywhere earlier leaves a
+		// manifest-less directory that the next create simply reuses.
+		if err := writeManifest(filepath.Join(s.cfg.DataDir, req.Name), man); err != nil {
+			t.dur.close()
+			return TenantInfo{}, &apiError{http.StatusInternalServerError, err.Error()}
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tenants[req.Name] = t
+	return t.info(), nil
+}
+
+// buildTenant constructs the engine(s) of one tenant with an empty matrix
+// of the requested geometry — shared by CreateTenant and startup
+// recovery, which restores durable state into the engines afterwards.
+func (s *Server) buildTenant(req CreateTenantRequest, shards int) (*tenant, error) {
 	m := hitsndiffs.NewResponseMatrix(req.Users, req.Items, req.Options...)
 	opts := []hitsndiffs.EngineOption{
 		hitsndiffs.WithMethod(s.cfg.Method),
@@ -212,31 +303,20 @@ func (s *Server) CreateTenant(req CreateTenantRequest) (TenantInfo, error) {
 		opts = append(opts, hitsndiffs.WithBatchSize(s.cfg.BatchSize))
 	}
 	t := &tenant{name: req.Name, shards: 1, adm: newAdmission(s.cfg.MaxInflightWrites, s.cfg.MaxLag)}
-	if s.cfg.Shards > 1 {
-		se, err := hitsndiffs.NewShardedEngine(m, append(opts, hitsndiffs.WithShards(s.cfg.Shards))...)
+	if shards > 1 {
+		se, err := hitsndiffs.NewShardedEngine(m, append(opts, hitsndiffs.WithShards(shards))...)
 		if err != nil {
-			return TenantInfo{}, &apiError{http.StatusBadRequest, err.Error()}
+			return nil, err
 		}
-		t.backend, t.shards = se, se.Shards()
+		t.backend, t.sharded, t.shards = se, se, se.Shards()
 	} else {
 		eng, err := hitsndiffs.NewEngine(m, opts...)
 		if err != nil {
-			return TenantInfo{}, &apiError{http.StatusBadRequest, err.Error()}
+			return nil, err
 		}
 		t.backend, t.engine = eng, eng
 	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.tenants[req.Name]; ok {
-		return TenantInfo{}, &apiError{http.StatusConflict, fmt.Sprintf("tenant %q already exists", req.Name)}
-	}
-	if len(s.tenants) >= s.cfg.MaxTenants {
-		return TenantInfo{}, &apiError{http.StatusTooManyRequests,
-			fmt.Sprintf("tenant capacity %d reached", s.cfg.MaxTenants)}
-	}
-	s.tenants[req.Name] = t
-	return t.info(), nil
+	return t, nil
 }
 
 // lookup resolves a tenant by name.
@@ -265,9 +345,15 @@ func (s *Server) observe(t *tenant, obs []hitsndiffs.Observation) (ObserveRespon
 	}
 	defer release()
 	if err := t.backend.ObserveBatch(obs); err != nil {
+		// A write the WAL could not persist is a server fault, not a bad
+		// request — the engine refused to apply it, so no state diverged.
+		if de := durabilityError(err); de != nil {
+			return ObserveResponse{}, de
+		}
 		return ObserveResponse{}, &apiError{http.StatusBadRequest, err.Error()}
 	}
 	s.ctr.observations.Add(uint64(len(obs)))
+	t.noteApplied(len(obs))
 	return ObserveResponse{Version: t.backend.Version(), Applied: len(obs)}, nil
 }
 
@@ -553,8 +639,10 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError renders err as a JSON error body, counting it; 429s carry a
-// Retry-After hint so well-behaved clients back off.
+// writeError renders err as a JSON error body, counting it; 429s
+// (admission backpressure) and 503s (draining, solve canceled) carry a
+// Retry-After hint so well-behaved clients back off instead of
+// hammering — hndload honors it with capped exponential backoff.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	s.ctr.errors.Add(1)
 	code := http.StatusInternalServerError
@@ -562,7 +650,7 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	if errors.As(err, &ae) {
 		code = ae.code
 	}
-	if code == http.StatusTooManyRequests {
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
 	writeJSON(w, code, ErrorResponse{Error: err.Error()})

@@ -430,11 +430,22 @@ func TestDrain(t *testing.T) {
 	if code := c.get("/healthz", &health); code != http.StatusServiceUnavailable || health.Status != "draining" {
 		t.Fatalf("healthz during drain: %d %q, want 503 draining", code, health.Status)
 	}
-	if code, _ := c.post("/v1/rank", serve.RankRequest{Tenant: "d"}, nil); code != http.StatusServiceUnavailable {
-		t.Fatalf("rank during drain: HTTP %d, want 503", code)
-	}
-	if code, _ := c.post("/v1/observe", serve.ObserveRequest{Tenant: "d", User: 0, Item: 0, Option: 1}, nil); code != http.StatusServiceUnavailable {
-		t.Fatalf("observe during drain: HTTP %d, want 503", code)
+	// Drain rejections carry Retry-After so clients back off and retry
+	// against the replacement instance instead of hammering the drain.
+	for _, path := range []string{"/v1/rank", "/v1/observe"} {
+		body, _ := json.Marshal(serve.RankRequest{Tenant: "d"})
+		resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s during drain: HTTP %d, want 503", path, resp.StatusCode)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra == "" {
+			t.Fatalf("%s during drain: 503 without Retry-After header", path)
+		}
 	}
 	var snap serve.Snapshot
 	if code := c.get("/metrics", &snap); code != http.StatusOK || !snap.Draining {

@@ -19,6 +19,13 @@ import (
 type EngineMetrics struct {
 	// Version is the write-version counter results are cached under.
 	Version uint64 `json:"version"`
+	// Generation is the matrix's write-generation counter — one tick per
+	// observation ever applied, the key durability records are stamped
+	// with. Unlike Version it survives restarts: a recovered engine
+	// resumes at the generation its durable log reached, so comparing
+	// Generation across a crash proves no acknowledged write was lost.
+	// For a ShardedEngine it is the sum over shards.
+	Generation uint64 `json:"generation"`
 	// Users and Items give the matrix geometry being served.
 	Users int `json:"users"`
 	// Items is the item count (see Users).
@@ -50,6 +57,7 @@ type EngineMetrics struct {
 // add accumulates o into m for the sharded aggregate view.
 func (m *EngineMetrics) add(o EngineMetrics) {
 	m.Version += o.Version
+	m.Generation += o.Generation
 	m.CacheHits += o.CacheHits
 	m.CacheMisses += o.CacheMisses
 	m.BatchSolves += o.BatchSolves

@@ -227,6 +227,31 @@ func (s *ShardedEngine) View() ([]*ResponseMatrix, []uint64) {
 	return ms, vs
 }
 
+// SetShardDurability installs (or removes) the write hook of one shard's
+// engine — see Engine.SetDurability. A sharded deployment persists one
+// log per shard: the hook receives shard-local user indices (the row
+// indexing of the shard's own matrix), so each shard's WAL replays
+// against its own geometry with no cross-shard coordination.
+func (s *ShardedEngine) SetShardDurability(sh int, hook WriteHook) error {
+	if sh < 0 || sh >= len(s.engines) {
+		return fmt.Errorf("hitsndiffs: SetShardDurability shard %d out of range [0,%d)", sh, len(s.engines))
+	}
+	s.engines[sh].SetDurability(hook)
+	return nil
+}
+
+// RestoreShard replaces one shard engine's matrix with recovered state —
+// see Engine.Restore. The matrix must match the shard's geometry
+// (UsersOf(sh) rows, the cluster's items and options), which is
+// deterministic across processes: the user partition depends only on
+// (user count, shard count).
+func (s *ShardedEngine) RestoreShard(sh int, m *ResponseMatrix) error {
+	if sh < 0 || sh >= len(s.engines) {
+		return fmt.Errorf("hitsndiffs: RestoreShard shard %d out of range [0,%d)", sh, len(s.engines))
+	}
+	return s.engines[sh].Restore(m)
+}
+
 // validate rejects an observation no shard could apply, using the router's
 // own copy of the item/option geometry (and global user indices, which the
 // shard engines cannot report) so a bad batch is refused before any shard
