@@ -1,5 +1,5 @@
 # Development entry points. CI runs `make check`; `make bench` regenerates
-# the performance-trajectory baseline committed as BENCH_pr7.json.
+# the performance-trajectory baseline committed as BENCH_pr8.json.
 
 # pipefail so a failing benchmark run fails the bench target instead of
 # being masked by tee's exit status.
@@ -14,17 +14,21 @@ GO ?= go
 # Engine serving paths, the sharded-router scaling curves, the batched
 # multi-tenant ranking path, the warm re-rank allocation profile under
 # the generation-keyed Update cache (vs. its WithUpdateCache(false)
-# escape-hatch baseline), and the durable WAL append path per fsync
-# policy (always / interval / off) — the write-path overhead record.
-BENCH_PATTERN ?= Fig5aScaleUsers|Fig5bScaleQuestions|HNDPowerInnerLoop|EngineSnapshot|EngineWarmVsCold|NewCSRAssembly|MulVecParallel|ParallelDoPooled|ShardedObserve|ShardedRank|BatchedRank|BlockDiag|WarmRerankAllocs|WALAppend
+# escape-hatch baseline), the durable WAL append path per fsync
+# policy (always / interval / off) — the write-path overhead record —
+# and the staleness-bounded read path under steady writes (StaleRank:
+# bound=0 inline baseline vs bounded stale serving).
+BENCH_PATTERN ?= Fig5aScaleUsers|Fig5bScaleQuestions|HNDPowerInnerLoop|EngineSnapshot|EngineWarmVsCold|NewCSRAssembly|MulVecParallel|ParallelDoPooled|ShardedObserve|ShardedRank|BatchedRank|BlockDiag|WarmRerankAllocs|WALAppend|StaleRank
 BENCH_TIME ?= 1x
-BENCH_OUT ?= BENCH_pr7.json
+BENCH_OUT ?= BENCH_pr8.json
 
 # Serving-tier benchmark: scripts/serve_bench.sh starts hndserver, drives
 # it with the hndload closed-loop generator (zipfian tenants, mixed
 # read/write), converts the latency/throughput lines to JSON, and asserts
-# a clean SIGTERM drain. serve-smoke is the short CI variant; it also runs
-# scripts/serve_crash.sh, the kill-9-and-recover leg for durable mode.
+# a clean SIGTERM drain. serve-smoke is the short CI variant; it adds a
+# write-burst leg under -max-staleness 16 (stale-ratio must be > 0 and the
+# bound must hold) and runs scripts/serve_crash.sh, the kill-9-and-recover
+# leg for durable mode.
 SERVE_BENCH_OUT ?= BENCH_serve6.json
 
 .PHONY: build test check bench serve-bench serve-smoke clean
@@ -54,6 +58,14 @@ serve-smoke:
 	@python3 -c 'import json,sys; rows=json.load(open("serve_smoke.json"))["benchmarks"]; tp=[b["metrics"]["req/s"] for b in rows if "req/s" in b["metrics"]]; sys.exit(0 if tp and all(v>0 for v in tp) else ("serve-smoke: zero throughput: %s" % rows))' \
 	  && echo "serve-smoke: non-zero throughput + clean drain confirmed"
 	@rm -f serve_smoke.json
+	# Write-burst leg under a staleness bound: a write-heavy mix must
+	# actually serve stale (ratio > 0) while hndload's own -max-staleness
+	# assertion proves the bound is never exceeded.
+	MAX_STALENESS=16 DURATION=2s TENANTS=3 USERS=400 CONCURRENCY=16 READRATIO=0.5 \
+	  scripts/serve_bench.sh serve_smoke_stale.json
+	@python3 -c 'import json,sys; rows=json.load(open("serve_smoke_stale.json"))["benchmarks"]; sr=[b["metrics"]["stale-ratio"] for b in rows if "stale-ratio" in b["metrics"]]; sys.exit(0 if sr and all(v>0 for v in sr) else ("serve-smoke: write burst served no stale ranks: %s" % rows))' \
+	  && echo "serve-smoke: stale serving under write burst + bound held confirmed"
+	@rm -f serve_smoke_stale.json
 	scripts/serve_crash.sh
 
 clean:

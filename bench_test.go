@@ -764,3 +764,49 @@ func BenchmarkEngineSnapshot(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkStaleRank measures the read path under steady write pressure
+// with and without a staleness bound: every operation writes one response
+// and ranks. bound=0 is the inline baseline (each rank re-solves);
+// positive bounds serve the cached scores until the bound trips, which is
+// the read-tail flattening WithMaxStaleness buys — the reported
+// stale-serves/op is the fraction of reads that skipped the solve.
+func BenchmarkStaleRank(b *testing.B) {
+	cfg := irt.DefaultConfig(irt.ModelSamejima)
+	cfg.Users, cfg.Items, cfg.Seed = 500, 150, 42
+	cfg.DiscriminationMax = 2 // noisy: narrow spectral gap, many iterations
+	d, err := irt.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, bound := range []uint64{0, 16, 256} {
+		b.Run(fmt.Sprintf("bound=%d", bound), func(b *testing.B) {
+			eng, err := NewEngine(d.Responses, WithMaxStaleness(bound), WithRankOptions(WithSeed(1)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Rank(ctx); err != nil { // common cold start
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				user, item := i%cfg.Users, i%cfg.Items
+				k := d.Responses.OptionCount(item)
+				if err := eng.Observe(user, item, (d.Responses.Answer(user, item)+1+k)%k); err != nil {
+					b.Fatal(err)
+				}
+				res, err := eng.Rank(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Staleness > bound {
+					b.Fatalf("staleness %d exceeds bound %d", res.Staleness, bound)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(eng.Metrics().StaleServes)/float64(b.N), "stale-serves/op")
+		})
+	}
+}

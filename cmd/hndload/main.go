@@ -11,12 +11,19 @@
 //	        [-minusers 32] [-items 64] [-options 3] [-zipf 1.2]
 //	        [-readratio 0.9] [-concurrency 64] [-duration 10s]
 //	        [-writebatch 1] [-seed 1] [-warm] [-retries 3]
+//	        [-max-staleness -1]
 //
 // Tenant t's user count follows a power law users/(t+1)^zipf (floored at
 // minusers) — a few big tenants, a long tail of small ones — and traffic
 // picks tenants zipfian too, so the hot tenants are also the big ones.
 // Reads POST /v1/rank; writes POST /v1/observe (or /v1/observebatch when
 // -writebatch > 1) with uniformly random responses.
+//
+// Every rank response's generation/staleness tags are tracked: the bench
+// output reports how many ranks were served stale (the server's
+// -max-staleness fast path) and the stale-serve ratio. Passing
+// -max-staleness N additionally asserts no response's staleness exceeded
+// N, exiting non-zero on a violation — the serve-smoke invariant check.
 //
 // Backpressure responses (429 from admission control, 503 during drain)
 // are retried up to -retries times, sleeping the server's Retry-After
@@ -48,6 +55,7 @@ import (
 	"time"
 
 	"hitsndiffs"
+	"hitsndiffs/internal/refresh"
 	"hitsndiffs/internal/serve"
 )
 
@@ -67,6 +75,7 @@ func main() {
 	warm := flag.Bool("warm", true, "rank every tenant once before measuring (excludes cold-start solves)")
 	reqTimeout := flag.Duration("reqtimeout", 30*time.Second, "per-request timeout")
 	retries := flag.Int("retries", 3, "max retries per request on 429/503 backpressure (honors Retry-After, capped exponential backoff otherwise)")
+	maxStale := flag.Int64("max-staleness", -1, "assert every rank's staleness stays within this bound and exit non-zero on a violation (-1 = no assertion)")
 	flag.Parse()
 
 	c := &client{
@@ -108,6 +117,11 @@ func main() {
 	report(os.Stdout, os.Stderr, stats, *duration, before, after)
 	if stats.ok() == 0 {
 		fmt.Fprintln(os.Stderr, "hndload: no request succeeded")
+		os.Exit(1)
+	}
+	if *maxStale >= 0 && stats.maxStaleSeen > uint64(*maxStale) {
+		fmt.Fprintf(os.Stderr, "hndload: staleness bound violated: a rank was served %d generations stale, bound %d\n",
+			stats.maxStaleSeen, *maxStale)
 		os.Exit(1)
 	}
 }
@@ -310,6 +324,9 @@ type stats struct {
 	rejected [opKinds]int             // 429/503 rejections that survived all retries
 	retried  [opKinds]int             // backpressured attempts re-issued after backoff
 	failed   [opKinds]int             // transport errors and non-2xx, non-backpressure
+
+	staleServes  int    // ranks answered behind the write frontier
+	maxStaleSeen uint64 // worst staleness any rank response carried
 }
 
 // ok returns the number of successful requests across kinds.
@@ -322,6 +339,10 @@ func (st *stats) merge(o *stats) {
 		st.rejected[k] += o.rejected[k]
 		st.retried[k] += o.retried[k]
 		st.failed[k] += o.failed[k]
+	}
+	st.staleServes += o.staleServes
+	if o.maxStaleSeen > st.maxStaleSeen {
+		st.maxStaleSeen = o.maxStaleSeen
 	}
 }
 
@@ -352,8 +373,16 @@ func drive(c *client, names []string, sizes []int, items, options int, s, readRa
 					t = rng.Intn(len(names))
 				}
 				if rng.Float64() < readRatio {
-					d, code, retries, err := c.rank(rng, names[t])
+					d, code, retries, stale, err := c.rank(rng, names[t])
 					st.record(opRank, d, code, retries, err)
+					if err == nil && code < 300 {
+						if stale > 0 {
+							st.staleServes++
+						}
+						if stale > st.maxStaleSeen {
+							st.maxStaleSeen = stale
+						}
+					}
 				} else {
 					d, code, retries, err := c.write(rng, names[t], sizes[t], items, options, writeBatch)
 					st.record(opWrite, d, code, retries, err)
@@ -384,9 +413,12 @@ func (st *stats) record(k opKind, d time.Duration, code, retries int, err error)
 	}
 }
 
-// rank times one /v1/rank call (retrying backpressure).
-func (c *client) rank(rng *rand.Rand, tenant string) (time.Duration, int, int, error) {
-	return c.retryPost(rng, "/v1/rank", serve.RankRequest{Tenant: tenant}, nil)
+// rank times one /v1/rank call (retrying backpressure) and reports the
+// staleness the response was served at (0 = exact).
+func (c *client) rank(rng *rand.Rand, tenant string) (time.Duration, int, int, uint64, error) {
+	var resp serve.RankResponse
+	d, code, retries, err := c.retryPost(rng, "/v1/rank", serve.RankRequest{Tenant: tenant}, &resp)
+	return d, code, retries, resp.Staleness, err
 }
 
 // write times one write: a single /v1/observe, or an /v1/observebatch of
@@ -449,8 +481,13 @@ func report(bench, human io.Writer, st *stats, duration time.Duration, before, a
 			percentile(lat, 0.50), percentile(lat, 0.95), percentile(lat, 0.99),
 			float64(len(lat))/secs)
 	}
+	staleRatio := 0.0
+	if n := len(st.lat[opRank]); n > 0 {
+		staleRatio = float64(st.staleServes) / float64(n)
+	}
 	line("ServeRank", st.lat[opRank],
-		fmt.Sprintf(" %d solves %d cache-hits %d coalesced", solves, hits, coalesced))
+		fmt.Sprintf(" %d solves %d cache-hits %d coalesced %d stale-serves %.4f stale-ratio",
+			solves, hits, coalesced, st.staleServes, staleRatio))
 	line("ServeObserve", st.lat[opWrite],
 		fmt.Sprintf(" %d rejected-429 %d retried", st.rejected[opWrite], st.retried[opWrite]))
 	mixed := append(append([]time.Duration(nil), st.lat[opRank]...), st.lat[opWrite]...)
@@ -461,6 +498,21 @@ func report(bench, human io.Writer, st *stats, duration time.Duration, before, a
 	fmt.Fprintf(human, "ranks: %d engine solves, %d engine cache hits, %d coalesced; rejected after retries: %d; retried: %d; failures: %d\n",
 		solves, hits, coalesced, st.rejected[opRank]+st.rejected[opWrite],
 		st.retried[opRank]+st.retried[opWrite], st.failed[opRank]+st.failed[opWrite])
+	if st.staleServes > 0 || after.Refresh != nil {
+		fmt.Fprintf(human, "staleness: %d ranks served stale (ratio %.4f), worst %d generations behind\n",
+			st.staleServes, staleRatio, st.maxStaleSeen)
+	}
+	if r := after.Refresh; r != nil {
+		delta := func(a, b uint64) uint64 { return a - b }
+		var rb refresh.Metrics
+		if before.Refresh != nil {
+			rb = *before.Refresh
+		}
+		fmt.Fprintf(human, "refresh: %d rounds, %d refreshes (%d packed, %d solo), queue depth %d, %d errors\n",
+			delta(r.Rounds, rb.Rounds), delta(r.Refreshes, rb.Refreshes),
+			delta(r.PackedRefreshes, rb.PackedRefreshes), delta(r.SoloRefreshes, rb.SoloRefreshes),
+			r.QueueDepth, delta(r.Errors, rb.Errors))
+	}
 }
 
 func fatal(err error) {

@@ -9,6 +9,7 @@
 //	hndserver [-addr :8788] [-method HnD-power] [-shards 1] [-parallel 0]
 //	          [-batch 0] [-tol 1e-5] [-maxiter 20000] [-seed 0]
 //	          [-maxwrites 64] [-maxlag 0] [-maxtenants 1024]
+//	          [-max-staleness 0] [-refresh-interval 25ms]
 //	          [-drain-timeout 15s]
 //	          [-data-dir ""] [-fsync always] [-snapshot-every 4096]
 //
@@ -28,7 +29,17 @@
 // single solve. Writes are admission-controlled: -maxwrites bounds
 // in-flight writes per tenant and -maxlag bounds how far a tenant's write
 // version may outrun its last served rank; both reject with 429 +
-// Retry-After. On SIGINT/SIGTERM the server drains: /healthz flips to
+// Retry-After.
+//
+// With -max-staleness N ranks serve the last solved scores while a
+// tenant's matrix is at most N write generations ahead — decoupling reads
+// from solves, so write bursts stop spiking read tails — while a
+// background refresh scheduler re-solves stale tenants by staleness ×
+// request traffic every -refresh-interval. Responses carry "generation"
+// and "staleness" fields; staleness never exceeds the bound. The default
+// 0 keeps every rank exact.
+//
+// On SIGINT/SIGTERM the server drains: /healthz flips to
 // 503 (with Retry-After), new requests are rejected, in-flight solves
 // finish (bounded by -drain-timeout), then the process exits 0. A second
 // signal hard-stops.
@@ -56,6 +67,7 @@ import (
 
 	"hitsndiffs"
 	"hitsndiffs/internal/durable"
+	"hitsndiffs/internal/refresh"
 	"hitsndiffs/internal/serve"
 )
 
@@ -71,6 +83,8 @@ func main() {
 	maxWrites := flag.Int("maxwrites", 64, "max in-flight writes per tenant before 429 (0 = unbounded)")
 	maxLag := flag.Int("maxlag", 0, "max write versions a tenant may outrun its last served rank before writes 429 (0 = unbounded)")
 	maxTenants := flag.Int("maxtenants", serve.DefaultMaxTenants, "max hosted tenants")
+	maxStaleness := flag.Uint64("max-staleness", 0, "max write generations a served rank may trail the matrix, refreshed in the background (0 = every rank exact)")
+	refreshInterval := flag.Duration("refresh-interval", 0, "background refresh round cadence under -max-staleness (0 = default 25ms)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "max time to wait for in-flight requests on shutdown")
 	dataDir := flag.String("data-dir", "", "durability directory: per-tenant WAL + snapshots, recovered at startup (empty = in-memory only)")
 	fsync := flag.String("fsync", "always", "WAL fsync policy: always, interval[=duration], off")
@@ -96,6 +110,8 @@ func main() {
 		MaxInflightWrites: *maxWrites,
 		MaxLag:            *maxLag,
 		MaxTenants:        *maxTenants,
+		MaxStaleness:      *maxStaleness,
+		RefreshInterval:   *refreshInterval,
 		DataDir:           *dataDir,
 		Fsync:             policy,
 		SnapshotEvery:     *snapshotEvery,
@@ -105,6 +121,13 @@ func main() {
 	}
 	if *dataDir != "" {
 		log.Printf("hndserver: durable: data-dir=%s fsync=%s", *dataDir, policy)
+	}
+	if *maxStaleness > 0 {
+		iv := *refreshInterval
+		if iv <= 0 {
+			iv = refresh.DefaultInterval
+		}
+		log.Printf("hndserver: staleness-bounded serving: max-staleness=%d refresh-interval=%s", *maxStaleness, iv)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -24,9 +24,11 @@ var doclintPackages = []string{
 	"internal/irt",
 	"internal/mat",
 	"internal/rank",
+	"internal/refresh",
 	"internal/response",
 	"internal/serve",
 	"internal/shard",
+	"internal/testclock",
 	"internal/truth",
 }
 

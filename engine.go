@@ -44,7 +44,8 @@ type Engine struct {
 	// resolved at construction: only those methods receive the cached (or
 	// escape-hatch scratch) Update machinery.
 	updateBacked bool
-	workers      int // kernel fan-out from the base options, applied to cached Updates
+	workers      int    // kernel fan-out from the base options, applied to cached Updates
+	maxStale     uint64 // WithMaxStaleness bound in write generations; 0 = always exact
 
 	// batchMu serializes RankBatch calls and guards the per-tenant result
 	// cache behind them.
@@ -58,6 +59,14 @@ type Engine struct {
 	// without upgrading to the write lock.
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
+
+	// staleServes counts results served behind the write frontier under a
+	// WithMaxStaleness bound; servedGen is the monotone watermark of the
+	// highest generation this engine's own matrix was served at (CAS-max —
+	// RankBatch's caller-owned tenant matrices live in their own generation
+	// spaces and do not move it).
+	staleServes atomic.Uint64
+	servedGen   atomic.Uint64
 
 	// persist, when set, receives every validated write batch before it
 	// commits (see SetDurability). Guarded by mu.
@@ -85,11 +94,26 @@ type Engine struct {
 	updGen uint64
 }
 
-// engineCache holds the results computed for one matrix version.
+// engineCache holds the results computed for one matrix version, together
+// with the matrix write generation they were solved at — the key staleness
+// is measured against when a WithMaxStaleness bound lets the entry outlive
+// its version.
 type engineCache struct {
 	version uint64
+	gen     uint64
 	res     Result
 	labels  []int // nil until InferLabels fills it
+}
+
+// casMax raises a to at least v (monotone watermark update; concurrent
+// raisers may interleave, the maximum wins).
+func casMax(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // EngineOption configures NewEngine.
@@ -103,6 +127,7 @@ type engineSettings struct {
 	poolSize    int
 	batchSize   int
 	updateCache bool
+	maxStale    uint64
 }
 
 // defaultEngineSettings seeds the option-merge state NewEngine and
@@ -177,6 +202,7 @@ func NewEngine(m *ResponseMatrix, opts ...EngineOption) (*Engine, error) {
 		updCache:     s.updateCache,
 		updateBacked: info.UpdateBacked,
 		workers:      newSettings(s.base).workers,
+		maxStale:     s.maxStale,
 		m:            m.Clone(),
 	}, nil
 }
@@ -203,6 +229,21 @@ func (e *Engine) Version() uint64 {
 	defer e.mu.RUnlock()
 	return e.version
 }
+
+// Generation returns the matrix's write-generation counter — one tick per
+// observation ever applied (ResponseMatrix.Generation), the unit the
+// WithMaxStaleness bound is measured in. Unlike Version, which ticks once
+// per Observe/ObserveBatch call, it also survives restarts through the
+// durable log.
+func (e *Engine) Generation() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.m.Generation()
+}
+
+// MaxStaleness returns the configured WithMaxStaleness bound in write
+// generations; zero means every rank is exact.
+func (e *Engine) MaxStaleness() uint64 { return e.maxStale }
 
 // Method returns the name of the registered method the engine serves.
 func (e *Engine) Method() string { return e.method }
@@ -360,40 +401,70 @@ func (e *Engine) ObserveBatch(obs []Observation) error {
 		e.m.SetAnswer(o.User, o.Item, o.Option)
 	}
 	e.version++
-	e.cached = nil
+	// The cached result is now behind the write frontier but is kept: its
+	// version key no longer matches (so exact paths miss, same as the old
+	// e.cached = nil), while a WithMaxStaleness bound may still serve it as
+	// the last solved scores.
 	return nil
 }
 
 // Rank scores the users of the current matrix with the engine's method.
 // Between updates the cached result is served in O(m); after an Observe
-// the solve re-runs, warm-started from the previous scores. Rank honors
-// ctx cancellation and deadlines mid-iteration. The returned Result owns
-// its score slice; callers may mutate it freely.
+// the solve re-runs, warm-started from the previous scores — unless a
+// WithMaxStaleness bound lets the previous scores keep serving, in which
+// case the result returns immediately tagged with its Generation and
+// Staleness and a refresher (see Refresh) re-solves in the background.
+// Rank honors ctx cancellation and deadlines mid-iteration. The returned
+// Result owns its score slice; callers may mutate it freely.
 func (e *Engine) Rank(ctx context.Context) (Result, error) {
-	res, _, _, err := e.rank(ctx, false)
+	res, _, _, err := e.rank(ctx, false, false)
 	return res, err
 }
 
-// rank is the shared solve path behind Rank and InferLabels. It returns
-// the result (with caller-owned scores), the matrix version the scores
-// correspond to, and — when needSnapshot is set — the exact copy-on-write
-// view they were computed from, so label inference never mixes scores of
-// one version with responses of another. No path through rank copies the
-// matrix: snapshots are O(1) COW views.
-func (e *Engine) rank(ctx context.Context, needSnapshot bool) (Result, uint64, *ResponseMatrix, error) {
+// Refresh ranks with the staleness bound ignored: it re-solves (or
+// confirms, when the version-keyed cache is already exact) the current
+// matrix, pushing the served watermark to the write frontier. It is the
+// path the background refresh scheduler (internal/refresh) drives; under a
+// zero bound it is identical to Rank.
+func (e *Engine) Refresh(ctx context.Context) (Result, error) {
+	res, _, _, err := e.rank(ctx, false, true)
+	return res, err
+}
+
+// rank is the shared solve path behind Rank, Refresh and InferLabels. It
+// returns the result (with caller-owned scores), the matrix version the
+// scores correspond to, and — when needSnapshot is set — the exact
+// copy-on-write view they were computed from, so label inference never
+// mixes scores of one version with responses of another; needSnapshot
+// therefore also forces exactness, as does exact (the Refresh entry). No
+// path through rank copies the matrix: snapshots are O(1) COW views.
+func (e *Engine) rank(ctx context.Context, needSnapshot, exact bool) (Result, uint64, *ResponseMatrix, error) {
 	e.mu.RLock()
-	if c := e.cached; c != nil && c.version == e.version {
-		res := c.res
-		res.Scores = append([]float64(nil), c.res.Scores...)
-		var snapshot *ResponseMatrix
-		if needSnapshot {
-			snapshot = e.m
-			e.shared.Store(true)
+	if c := e.cached; c != nil {
+		fresh := c.version == e.version
+		stale := uint64(0)
+		if !fresh && !exact && !needSnapshot && e.maxStale > 0 {
+			stale = e.m.Generation() - c.gen
 		}
-		version := c.version
-		e.mu.RUnlock()
-		e.cacheHits.Add(1)
-		return res, version, snapshot, nil
+		if fresh || (stale > 0 && stale <= e.maxStale) {
+			res := c.res
+			res.Scores = append([]float64(nil), c.res.Scores...)
+			res.Generation = c.gen
+			res.Staleness = stale
+			var snapshot *ResponseMatrix
+			if needSnapshot {
+				snapshot = e.m
+				e.shared.Store(true)
+			}
+			version := c.version
+			e.mu.RUnlock()
+			e.cacheHits.Add(1)
+			if stale > 0 {
+				e.staleServes.Add(1)
+			}
+			casMax(&e.servedGen, c.gen)
+			return res, version, snapshot, nil
+		}
 	}
 	e.cacheMisses.Add(1)
 	version := e.version
@@ -428,13 +499,16 @@ func (e *Engine) rank(ctx context.Context, needSnapshot bool) (Result, uint64, *
 	if err != nil {
 		return Result{}, 0, nil, err
 	}
+	res.Generation = snapshot.Generation()
+	res.Staleness = 0
 
 	e.mu.Lock()
 	e.lastScores = append([]float64(nil), res.Scores...)
 	if e.version == version {
-		e.cached = &engineCache{version: version, res: res}
+		e.cached = &engineCache{version: version, gen: res.Generation, res: res}
 	}
 	e.mu.Unlock()
+	casMax(&e.servedGen, res.Generation)
 
 	out := res
 	out.Scores = append([]float64(nil), res.Scores...)
@@ -465,9 +539,27 @@ type tenantEntry struct {
 //
 // The tenant matrices must not be written while RankBatch runs (the same
 // contract as Ranker.Rank); writes between calls are what the generation
-// key tracks. With serial kernels the results are bitwise identical to
-// ranking each tenant alone. Concurrent RankBatch calls serialize.
+// key tracks. Under a WithMaxStaleness bound a re-written tenant keeps
+// serving its previous solve — tagged with Generation and Staleness —
+// until its staleness exceeds the bound. With serial kernels the results
+// are bitwise identical to ranking each tenant alone. Concurrent
+// RankBatch calls serialize.
 func (e *Engine) RankBatch(ctx context.Context, tenants []*ResponseMatrix) ([]Result, error) {
+	return e.rankBatch(ctx, tenants, false)
+}
+
+// RefreshBatch is RankBatch with the staleness bound ignored: every tenant
+// written since its last solve is re-solved, pushing the per-tenant cache
+// to each matrix's current generation. It is the batched refresh path the
+// background scheduler feeds stale tenants into; under a zero bound it is
+// identical to RankBatch.
+func (e *Engine) RefreshBatch(ctx context.Context, tenants []*ResponseMatrix) ([]Result, error) {
+	return e.rankBatch(ctx, tenants, true)
+}
+
+// rankBatch is the shared body of RankBatch (exact false: a staleness
+// bound may serve previous solves) and RefreshBatch (exact true).
+func (e *Engine) rankBatch(ctx context.Context, tenants []*ResponseMatrix, exact bool) ([]Result, error) {
 	if len(tenants) == 0 {
 		return nil, nil
 	}
@@ -485,8 +577,10 @@ func (e *Engine) RankBatch(ctx context.Context, tenants []*ResponseMatrix) ([]Re
 		sl, ok := slots[m]
 		if !ok {
 			sl = &batchSlot{gen: m.Generation()}
-			if ent := e.tenants[m]; ent != nil && ent.gen == sl.gen {
-				sl.ent = ent
+			if ent := e.tenants[m]; ent != nil {
+				if ent.gen == sl.gen || (!exact && e.maxStale > 0 && sl.gen-ent.gen <= e.maxStale) {
+					sl.ent = ent
+				}
 			}
 			slots[m] = sl
 			order = append(order, m)
@@ -508,9 +602,14 @@ func (e *Engine) RankBatch(ctx context.Context, tenants []*ResponseMatrix) ([]Re
 	for _, m := range order {
 		sl := slots[m]
 		next[m] = sl.ent
+		staleness := sl.gen - sl.ent.gen
+		if staleness > 0 {
+			e.staleServes.Add(uint64(len(sl.idxs)))
+		}
 		for _, i := range sl.idxs {
 			out := sl.ent.res
 			out.Scores = append(mat.Vector(nil), sl.ent.res.Scores...)
+			out.Staleness = staleness
 			results[i] = out
 		}
 	}
@@ -556,7 +655,8 @@ func (e *Engine) solveTenants(ctx context.Context, stale []*ResponseMatrix, slot
 			},
 			func(k int, res Result) {
 				e.batchSolves++
-				slots[stale[k]].ent = &tenantEntry{gen: slots[stale[k]].gen, res: res}
+				res.Generation = slots[stale[k]].gen
+				slots[stale[k]].ent = &tenantEntry{gen: res.Generation, res: res}
 			})
 	}
 	// Methods without a batched form keep the same caching contract, one
@@ -585,7 +685,8 @@ func (e *Engine) solveTenants(ctx context.Context, stale []*ResponseMatrix, slot
 			return err
 		}
 		e.batchSolves++
-		slots[m].ent = &tenantEntry{gen: slots[m].gen, res: res}
+		res.Generation = slots[m].gen
+		slots[m].ent = &tenantEntry{gen: res.Generation, res: res}
 	}
 	return nil
 }
@@ -593,6 +694,67 @@ func (e *Engine) solveTenants(ctx context.Context, stale []*ResponseMatrix, slot
 // batchableMethod is the registered method with a block-diagonal batched
 // solve path (core.BatchRanker implements exactly the HND power iteration).
 const batchableMethod = "HnD-power"
+
+// RefreshEngines refreshes several independent Engines together: every
+// engine whose version moved since its last solve contributes its matrix
+// (an O(1) copy-on-write view, warm-started from its previous scores) to
+// one block-diagonal packed system, so a refresh round over N stale
+// tenants pays one lockstep power iteration instead of N kernel fan-outs —
+// the same protocol ShardedEngine.RankAll runs over its shards. Engines
+// already exact answer from their caches; engines serving a method without
+// a batched form refresh individually. batchSize caps tenants per packed
+// solve (0 = all in one). Results are returned per engine in input order
+// and installed into each engine's cache and warm-start state.
+//
+// The packed solve runs under the first stale engine's options, so the
+// engines should share their construction options — the contract the
+// serving tier's per-server configuration already guarantees. A failing
+// engine (e.g. one with fewer than two answering users) fails the call
+// with no cache poisoned; callers wanting per-engine isolation refresh
+// individually via Refresh. It is the bulk path the background refresh
+// scheduler (internal/refresh) feeds stale tenants into.
+func RefreshEngines(ctx context.Context, engines []*Engine, batchSize int) ([]Result, error) {
+	results := make([]Result, len(engines))
+	var items []core.BatchItem
+	var stale []int
+	var versions []uint64
+	for i, e := range engines {
+		if e == nil {
+			return nil, fmt.Errorf("hitsndiffs: RefreshEngines engine %d is nil", i)
+		}
+		if e.method != batchableMethod {
+			res, err := e.Refresh(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("hitsndiffs: RefreshEngines engine %d: %w", i, err)
+			}
+			results[i] = res
+			continue
+		}
+		if res, ok := e.peekCached(); ok {
+			results[i] = res
+			continue
+		}
+		m, version, warm := e.solveInput()
+		items = append(items, core.BatchItem{M: m, WarmStart: warm})
+		stale = append(stale, i)
+		versions = append(versions, version)
+	}
+	if len(items) == 0 {
+		return results, nil
+	}
+	first := engines[stale[0]]
+	err := runBatches(ctx, first.base, first.updCache, batchSize, items,
+		func(k int) string { return fmt.Sprintf("RefreshEngines engine %d", stale[k]) },
+		func(k int, res Result) {
+			res.Generation = items[k].M.Generation()
+			engines[stale[k]].storeSolved(versions[k], res)
+			results[stale[k]] = res
+		})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
 
 // runBatches drives core.BatchRanker over the stale tenants in chunks of at
 // most batchSize (≤ 0 = one batch), delivering each result through install
@@ -637,7 +799,10 @@ func (e *Engine) peekCached() (Result, bool) {
 	if c := e.cached; c != nil && c.version == e.version {
 		res := c.res
 		res.Scores = append(mat.Vector(nil), c.res.Scores...)
+		res.Generation = c.gen
+		res.Staleness = 0
 		e.cacheHits.Add(1)
+		casMax(&e.servedGen, c.gen)
 		return res, true
 	}
 	return Result{}, false
@@ -685,17 +850,19 @@ func (e *Engine) preparedUpdate(m *ResponseMatrix) *core.Update {
 }
 
 // storeSolved installs an externally computed ranking for the matrix
-// version it was solved at: the scores become the next warm start, and the
-// result is cached unless the engine has been written since.
+// version it was solved at (res.Generation carries the matching write
+// generation): the scores become the next warm start, and the result is
+// cached unless the engine has been written since.
 func (e *Engine) storeSolved(version uint64, res Result) {
 	e.mu.Lock()
 	e.lastScores = append([]float64(nil), res.Scores...)
 	if e.version == version {
 		cres := res
 		cres.Scores = append(mat.Vector(nil), res.Scores...)
-		e.cached = &engineCache{version: version, res: cres}
+		e.cached = &engineCache{version: version, gen: res.Generation, res: cres}
 	}
 	e.mu.Unlock()
+	casMax(&e.servedGen, res.Generation)
 }
 
 // InferLabels serves the truth-discovery direction: it ranks (or reuses
@@ -713,7 +880,7 @@ func (e *Engine) InferLabels(ctx context.Context) ([]int, error) {
 	}
 	e.mu.RUnlock()
 
-	res, version, snapshot, err := e.rank(ctx, true)
+	res, version, snapshot, err := e.rank(ctx, true, true)
 	if err != nil {
 		return nil, err
 	}
@@ -747,6 +914,9 @@ func (e *Engine) Metrics() EngineMetrics {
 	return EngineMetrics{
 		Version:           e.version,
 		Generation:        e.m.Generation(),
+		ServedGeneration:  e.servedGen.Load(),
+		StaleServes:       e.staleServes.Load(),
+		MaxStaleness:      e.maxStale,
 		Users:             e.m.Users(),
 		Items:             e.m.Items(),
 		CacheHits:         e.cacheHits.Load(),

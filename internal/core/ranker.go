@@ -29,6 +29,16 @@ type Result struct {
 	// Flipped reports whether symmetry breaking reversed the raw spectral
 	// ordering.
 	Flipped bool
+	// Generation is the response-matrix write generation the scores were
+	// solved at (response.Matrix.Generation — one tick per observation).
+	// The serving engines stamp it; direct Ranker.Rank calls leave it zero.
+	Generation uint64
+	// Staleness is how many write generations the serving engine's matrix
+	// had advanced past Generation when the result was served: zero for a
+	// fresh solve or an exact cache hit, positive when a WithMaxStaleness
+	// bound let the engine answer from a previous solve. Always ≤ the
+	// configured bound.
+	Staleness uint64
 }
 
 // Order returns user indices best-first.

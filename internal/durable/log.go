@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"hitsndiffs/internal/response"
+	"hitsndiffs/internal/testclock"
 )
 
 // ErrFailpoint is the injected append failure the crash-fault tests use:
@@ -75,6 +76,7 @@ type Log struct {
 	dir    string
 	geom   Geometry
 	policy Policy
+	clock  testclock.Clock // time source for the interval syncer
 
 	mu     sync.Mutex
 	f      *os.File  // active WAL segment (last of segs)
@@ -107,12 +109,22 @@ type Log struct {
 // corruption, generation gaps, and out-of-range ops fail loudly with no
 // log returned.
 func Open(dir string, geom Geometry, policy Policy) (*Log, *response.Matrix, RecoveryStats, error) {
+	return OpenClock(dir, geom, policy, testclock.System())
+}
+
+// OpenClock is Open with an injected time source for the interval-fsync
+// ticker — tests pass a testclock.Fake and drive flushes with Advance
+// instead of sleeping. A nil clock means the system clock.
+func OpenClock(dir string, geom Geometry, policy Policy, clk testclock.Clock) (*Log, *response.Matrix, RecoveryStats, error) {
+	if clk == nil {
+		clk = testclock.System()
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, RecoveryStats{}, fmt.Errorf("durable: create log dir: %w", err)
 	}
 	removeStaleTemp(dir)
 
-	l := &Log{dir: dir, geom: geom, policy: policy}
+	l := &Log{dir: dir, geom: geom, policy: policy, clock: clk}
 	l.failAfter.Store(-1)
 
 	m, err := l.recover()
@@ -431,13 +443,13 @@ func (l *Log) syncLocked() error {
 // appends happened since the last flush.
 func (l *Log) syncLoop(interval time.Duration) {
 	defer close(l.done)
-	t := time.NewTicker(interval)
+	t := l.clock.NewTicker(interval)
 	defer t.Stop()
 	for {
 		select {
 		case <-l.stop:
 			return
-		case <-t.C:
+		case <-t.C():
 			if l.dirty.Swap(false) {
 				l.mu.Lock()
 				_ = l.syncLocked()

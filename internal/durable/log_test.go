@@ -5,12 +5,29 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
 
 	"hitsndiffs/internal/response"
+	"hitsndiffs/internal/testclock"
 )
+
+// waitFsyncs waits for the interval syncer goroutine to drain the ticks a
+// fake-clock Advance delivered. The clock is deterministic; this only
+// bridges the goroutine handoff, so the deadline is generous and never
+// load-bearing.
+func waitFsyncs(t *testing.T, l *Log, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Stats().Fsyncs < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("interval syncer stuck at %d fsyncs, want %d", l.Stats().Fsyncs, want)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
 
 func testGeom() Geometry { return Geometry{Users: 6, Items: 4, Options: []int{3}} }
 
@@ -178,17 +195,28 @@ func TestWriteSnapshotRotatesAndPrunes(t *testing.T) {
 func TestFsyncPolicies(t *testing.T) {
 	t.Run("interval", func(t *testing.T) {
 		dir := t.TempDir()
-		l, m, _, err := Open(dir, testGeom(), Policy{Mode: FsyncInterval, Interval: 5 * time.Millisecond})
+		clk := testclock.NewFake()
+		l, m, _, err := OpenClock(dir, testGeom(), Policy{Mode: FsyncInterval, Interval: 5 * time.Millisecond}, clk)
 		if err != nil {
 			t.Fatal(err)
 		}
 		logBatch(t, l, m, testBatches()[0])
-		deadline := time.Now().Add(2 * time.Second)
-		for l.Stats().Fsyncs == 0 {
-			if time.Now().After(deadline) {
-				t.Fatal("interval syncer never fsynced")
-			}
-			time.Sleep(time.Millisecond)
+		// No wall time passes in this test: the syncer flushes exactly when
+		// the fake clock is advanced past its interval, never before.
+		if got := l.Stats().Fsyncs; got != 0 {
+			t.Fatalf("interval syncer fsynced %d times before any clock advance", got)
+		}
+		clk.BlockUntilTickers(1)
+		clk.Advance(5 * time.Millisecond)
+		waitFsyncs(t, l, 1)
+		// A tick with no appends since the last flush must not fsync again.
+		clk.Advance(5 * time.Millisecond)
+		clk.Advance(5 * time.Millisecond)
+		logBatch(t, l, m, testBatches()[1])
+		clk.Advance(5 * time.Millisecond)
+		waitFsyncs(t, l, 2)
+		if got := l.Stats().Fsyncs; got != 2 {
+			t.Fatalf("fsyncs = %d, want exactly 2 (idle ticks must not flush)", got)
 		}
 		if err := l.Close(); err != nil {
 			t.Fatal(err)
@@ -214,6 +242,40 @@ func TestFsyncPolicies(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
+}
+
+// TestIntervalSyncerExitsOnClose is the goroutine-leak regression test
+// for the interval-fsync ticker: opening and closing many interval-mode
+// logs must not strand syncLoop goroutines.
+func TestIntervalSyncerExitsOnClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		clk := testclock.NewFake()
+		l, m, _, err := OpenClock(t.TempDir(), testGeom(), Policy{Mode: FsyncInterval, Interval: time.Millisecond}, clk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logBatch(t, l, m, testBatches()[0])
+		clk.BlockUntilTickers(1)
+		clk.Advance(time.Millisecond)
+		// Close must wait the syncer out even with a tick possibly pending.
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The goroutine count is noisy (test runner, GC); allow slack but catch
+	// a leak of one goroutine per log.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if after := runtime.NumGoroutine(); after <= before+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines %d -> %d after 20 open/close cycles: interval syncer leaked", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 func TestParsePolicy(t *testing.T) {

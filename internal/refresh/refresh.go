@@ -1,0 +1,419 @@
+// Package refresh implements the staleness-bounded background refresh
+// scheduler that decouples writes from solves: serving engines configured
+// with hitsndiffs.WithMaxStaleness answer reads from their last solved
+// scores immediately, and the scheduler re-solves them in the background,
+// so a write burst turns into amortized refresh work instead of inline
+// read-tail spikes.
+//
+// Each scheduling round (one clock tick) computes, per registered target,
+//
+//	staleness = Generation() − generation last refreshed to
+//	priority  = staleness × (traffic + 1)
+//
+// where traffic is a per-round-halved decay of NoteTraffic ticks — hot
+// stale tenants refresh first, but idle stale tenants are never starved
+// (the +1). Stale targets are refreshed in priority order (descending,
+// ties broken by name ascending). Targets that expose a plain engine are
+// packed into one block-diagonal solve (hitsndiffs.RefreshEngines),
+// ordered by expected iteration count ascending so short solves are never
+// held hostage by long ones inside a chunk; targets whose last solve
+// exceeded the straggler threshold are evicted from the pack to solo
+// solves until a solve brings them back under it. A failed or canceled
+// refresh never advances the target's progress watermark.
+//
+// Time is injected through internal/testclock, so every scheduling test
+// drives rounds deterministically with a fake clock.
+package refresh
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hitsndiffs"
+	"hitsndiffs/internal/testclock"
+)
+
+// DefaultInterval is the scheduling round cadence when Config.Interval is
+// zero.
+const DefaultInterval = 25 * time.Millisecond
+
+// DefaultStragglerIters is the straggler-eviction threshold when
+// Config.StragglerIters is zero: a packed tenant whose solve exceeds this
+// many iterations is evicted to solo solves.
+const DefaultStragglerIters = 2000
+
+// Target is one refreshable serving engine. Both *hitsndiffs.Engine and
+// *hitsndiffs.ShardedEngine satisfy it; the serving tier registers
+// wrappers that also advance its admission watermark (see Completer).
+type Target interface {
+	// Generation returns the target's current write frontier in matrix
+	// write generations — the unit staleness is measured in.
+	Generation() uint64
+	// Refresh re-solves the target to its write frontier, ignoring any
+	// staleness bound (hitsndiffs.Engine.Refresh semantics).
+	Refresh(ctx context.Context) (hitsndiffs.Result, error)
+}
+
+// PackedTarget is an optional Target refinement: a target that exposes a
+// plain engine joins the scheduler's block-diagonal packed refresh rounds
+// (hitsndiffs.RefreshEngines) instead of solo Refresh calls. Return nil to
+// decline packing (e.g. a sharded backend, whose Refresh already packs its
+// own shards).
+type PackedTarget interface {
+	Target
+	// PackedEngine returns the engine to pack, or nil.
+	PackedEngine() *hitsndiffs.Engine
+}
+
+// Completer is an optional Target refinement: after every successful
+// scheduler-driven refresh — solo or packed — RefreshDone is called with
+// the refreshed result from the scheduling goroutine. The serving tier
+// uses it to ride its admission refresh-lag watermark on the scheduler's
+// progress. It is never called for a failed or canceled refresh, so a
+// poisoned solve cannot advance a watermark.
+type Completer interface {
+	RefreshDone(res hitsndiffs.Result)
+}
+
+// Config configures a Scheduler. The zero value runs on the system clock
+// at DefaultInterval with defaults throughout.
+type Config struct {
+	// Clock is the time source rounds tick on; nil means the system clock.
+	// Tests inject a testclock.Fake and drive rounds with Advance.
+	Clock testclock.Clock
+	// Interval is the scheduling round cadence (default DefaultInterval).
+	Interval time.Duration
+	// BatchSize caps tenants per packed block-diagonal solve, forwarded to
+	// hitsndiffs.RefreshEngines (0 = all in one).
+	BatchSize int
+	// MaxPerRound caps how many targets one round refreshes — the rest
+	// stay queued (and counted in Metrics.QueueDepth) for later rounds.
+	// Zero or negative = unlimited.
+	MaxPerRound int
+	// StragglerIters is the eviction threshold: a packed target whose last
+	// solve exceeded this many iterations solves solo until it comes back
+	// under. Zero = DefaultStragglerIters; negative = never evict.
+	StragglerIters int
+}
+
+// Scheduler runs the background refresh loop. Construct with New; the
+// zero value is not usable. All methods are safe for concurrent use.
+type Scheduler struct {
+	clock          testclock.Clock
+	interval       time.Duration
+	batchSize      int
+	maxPerRound    int
+	stragglerIters int
+
+	// ctx is the context refreshes solve under: canceled only by Close,
+	// after the in-flight round has been waited out.
+	ctx    context.Context
+	cancel context.CancelFunc
+	stop   chan struct{}
+	done   chan struct{}
+	once   sync.Once
+
+	mu      sync.RWMutex
+	targets map[string]*target
+
+	rounds       atomic.Uint64
+	refreshes    atomic.Uint64
+	packedCount  atomic.Uint64
+	soloCount    atomic.Uint64
+	evictions    atomic.Uint64
+	errCount     atomic.Uint64
+	queueDepth   atomic.Int64
+	lastRoundNs  atomic.Int64
+	totalRoundNs atomic.Int64
+}
+
+// target is one registered Target with the scheduler's bookkeeping. The
+// non-atomic fields are owned by the scheduling goroutine.
+type target struct {
+	name string
+	t    Target
+	eng  *hitsndiffs.Engine // packable engine; nil = always solo
+
+	pending atomic.Uint64 // NoteTraffic ticks since the last round
+
+	traffic   uint64 // decayed request traffic (halved per round)
+	lastGen   uint64 // generation last refreshed to — the progress watermark
+	lastIters int    // iterations of the last solve — the expected cost
+	evicted   bool   // straggler: solo solves until back under threshold
+}
+
+// New builds a Scheduler and starts its background round loop. Callers
+// must Close it to stop the loop.
+func New(cfg Config) *Scheduler {
+	clk := cfg.Clock
+	if clk == nil {
+		clk = testclock.System()
+	}
+	interval := cfg.Interval
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	straggler := cfg.StragglerIters
+	if straggler == 0 {
+		straggler = DefaultStragglerIters
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		clock:          clk,
+		interval:       interval,
+		batchSize:      cfg.BatchSize,
+		maxPerRound:    cfg.MaxPerRound,
+		stragglerIters: straggler,
+		ctx:            ctx,
+		cancel:         cancel,
+		stop:           make(chan struct{}),
+		done:           make(chan struct{}),
+		targets:        make(map[string]*target),
+	}
+	go s.loop()
+	return s
+}
+
+// Register adds (or replaces) a named target. Targets implementing
+// PackedTarget with a non-nil engine join packed refresh rounds. A
+// replaced name restarts its progress watermark, so the next round
+// refreshes it.
+func (s *Scheduler) Register(name string, t Target) {
+	tg := &target{name: name, t: t}
+	if pt, ok := t.(PackedTarget); ok {
+		tg.eng = pt.PackedEngine()
+	}
+	s.mu.Lock()
+	s.targets[name] = tg
+	s.mu.Unlock()
+}
+
+// Deregister removes a named target; unknown names are a no-op. A round
+// already in flight may still refresh it once.
+func (s *Scheduler) Deregister(name string) {
+	s.mu.Lock()
+	delete(s.targets, name)
+	s.mu.Unlock()
+}
+
+// NoteTraffic records one served request against a target, feeding the
+// round's staleness × traffic priority. Unknown names are a no-op.
+func (s *Scheduler) NoteTraffic(name string) {
+	s.mu.RLock()
+	tg := s.targets[name]
+	s.mu.RUnlock()
+	if tg != nil {
+		tg.pending.Add(1)
+	}
+}
+
+// Close stops the scheduler: the round loop exits after finishing any
+// round already in flight — so callers can flush durable state knowing no
+// background solve is still running — and only then is the solve context
+// canceled. Idempotent.
+func (s *Scheduler) Close() {
+	s.once.Do(func() {
+		close(s.stop)
+		<-s.done
+		s.cancel()
+	})
+}
+
+// loop ticks rounds until Close.
+func (s *Scheduler) loop() {
+	defer close(s.done)
+	tk := s.clock.NewTicker(s.interval)
+	defer tk.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tk.C():
+			s.runRound(s.ctx)
+		}
+	}
+}
+
+// roundPlan is one round's refresh schedule: the packed group in solve
+// order (expected iterations ascending) and the solo group in priority
+// order, with depth the total stale-target count before MaxPerRound
+// capping.
+type roundPlan struct {
+	packed []*target
+	solo   []*target
+	depth  int
+}
+
+// plan computes the current round's schedule: decay traffic, measure
+// staleness, order by priority = staleness × (traffic+1) descending (name
+// ascending on ties), cap at MaxPerRound, and split packed from solo.
+func (s *Scheduler) plan() roundPlan {
+	s.mu.RLock()
+	all := make([]*target, 0, len(s.targets))
+	for _, tg := range s.targets {
+		all = append(all, tg)
+	}
+	s.mu.RUnlock()
+
+	type cand struct {
+		tg       *target
+		priority uint64
+	}
+	var stale []cand
+	for _, tg := range all {
+		tg.traffic = tg.traffic/2 + tg.pending.Swap(0)
+		gen := tg.t.Generation()
+		if gen <= tg.lastGen {
+			continue
+		}
+		stale = append(stale, cand{tg: tg, priority: (gen - tg.lastGen) * (tg.traffic + 1)})
+	}
+	sort.Slice(stale, func(i, j int) bool {
+		if stale[i].priority != stale[j].priority {
+			return stale[i].priority > stale[j].priority
+		}
+		return stale[i].tg.name < stale[j].tg.name
+	})
+	plan := roundPlan{depth: len(stale)}
+	if s.maxPerRound > 0 && len(stale) > s.maxPerRound {
+		stale = stale[:s.maxPerRound]
+	}
+	for _, c := range stale {
+		if c.tg.eng != nil && !c.tg.evicted {
+			plan.packed = append(plan.packed, c.tg)
+		} else {
+			plan.solo = append(plan.solo, c.tg)
+		}
+	}
+	// Inside the packed system, order by expected iteration count (the
+	// last observed solve cost) ascending so WithBatchSize chunks group
+	// cheap solves together instead of padding every chunk to its slowest
+	// member.
+	sort.SliceStable(plan.packed, func(i, j int) bool {
+		if plan.packed[i].lastIters != plan.packed[j].lastIters {
+			return plan.packed[i].lastIters < plan.packed[j].lastIters
+		}
+		return plan.packed[i].name < plan.packed[j].name
+	})
+	return plan
+}
+
+// runRound executes one scheduling round: plan, packed solve, solo solves.
+func (s *Scheduler) runRound(ctx context.Context) {
+	start := s.clock.Now()
+	plan := s.plan()
+	s.queueDepth.Store(int64(plan.depth))
+
+	solo := plan.solo
+	if len(plan.packed) > 0 {
+		engines := make([]*hitsndiffs.Engine, len(plan.packed))
+		for i, tg := range plan.packed {
+			engines[i] = tg.eng
+		}
+		results, err := hitsndiffs.RefreshEngines(ctx, engines, s.batchSize)
+		if err != nil {
+			// The packed solve is all-or-nothing; demote the pack to solo
+			// refreshes so one failing tenant cannot starve the round.
+			s.errCount.Add(1)
+			solo = append(append([]*target(nil), solo...), plan.packed...)
+		} else {
+			for i, tg := range plan.packed {
+				s.finish(tg, results[i], true)
+			}
+		}
+	}
+	for _, tg := range solo {
+		res, err := tg.t.Refresh(ctx)
+		if err != nil {
+			// The watermark stays put: a failed or canceled solve is retried
+			// at full staleness next round, never recorded as progress.
+			s.errCount.Add(1)
+			continue
+		}
+		s.finish(tg, res, false)
+	}
+
+	elapsed := s.clock.Now().Sub(start).Nanoseconds()
+	s.lastRoundNs.Store(elapsed)
+	s.totalRoundNs.Add(elapsed)
+	s.rounds.Add(1)
+}
+
+// finish records one successful refresh: watermark, expected cost,
+// straggler state, counters, and the target's completion hook.
+func (s *Scheduler) finish(tg *target, res hitsndiffs.Result, packed bool) {
+	if res.Generation > tg.lastGen {
+		tg.lastGen = res.Generation
+	}
+	tg.lastIters = res.Iterations
+	if s.stragglerIters > 0 {
+		switch {
+		case !tg.evicted && res.Iterations > s.stragglerIters:
+			tg.evicted = true
+			s.evictions.Add(1)
+		case tg.evicted && res.Iterations <= s.stragglerIters:
+			tg.evicted = false
+		}
+	}
+	s.refreshes.Add(1)
+	if packed {
+		s.packedCount.Add(1)
+	} else {
+		s.soloCount.Add(1)
+	}
+	if c, ok := tg.t.(Completer); ok {
+		c.RefreshDone(res)
+	}
+}
+
+// Metrics is a point-in-time snapshot of the scheduler's counters, shaped
+// for the serving tier's /metrics endpoint.
+type Metrics struct {
+	// Targets is the number of registered targets.
+	Targets int `json:"targets"`
+	// QueueDepth is the stale-target count at the last round's plan —
+	// how much refresh work was pending, before MaxPerRound capping.
+	QueueDepth int64 `json:"queue_depth"`
+	// Rounds counts completed scheduling rounds.
+	Rounds uint64 `json:"rounds"`
+	// Refreshes counts successful target refreshes (packed + solo).
+	Refreshes uint64 `json:"refreshes"`
+	// PackedRefreshes counts refreshes served through the block-diagonal
+	// packed path.
+	PackedRefreshes uint64 `json:"packed_refreshes"`
+	// SoloRefreshes counts refreshes served through individual Refresh
+	// calls (sharded targets, evicted stragglers, packed-solve fallbacks).
+	SoloRefreshes uint64 `json:"solo_refreshes"`
+	// StragglerEvictions counts packed targets evicted to solo solves for
+	// exceeding the iteration threshold.
+	StragglerEvictions uint64 `json:"straggler_evictions"`
+	// Errors counts failed refresh attempts (the targets stay queued).
+	Errors uint64 `json:"errors"`
+	// LastRoundNanos is the wall time of the most recent round.
+	LastRoundNanos int64 `json:"last_round_ns"`
+	// TotalRoundNanos is the cumulative wall time of all rounds — with
+	// Rounds it gives the mean refresh-round latency.
+	TotalRoundNanos int64 `json:"total_round_ns"`
+}
+
+// Metrics returns a point-in-time snapshot of the scheduler's counters.
+func (s *Scheduler) Metrics() Metrics {
+	s.mu.RLock()
+	n := len(s.targets)
+	s.mu.RUnlock()
+	return Metrics{
+		Targets:            n,
+		QueueDepth:         s.queueDepth.Load(),
+		Rounds:             s.rounds.Load(),
+		Refreshes:          s.refreshes.Load(),
+		PackedRefreshes:    s.packedCount.Load(),
+		SoloRefreshes:      s.soloCount.Load(),
+		StragglerEvictions: s.evictions.Load(),
+		Errors:             s.errCount.Load(),
+		LastRoundNanos:     s.lastRoundNs.Load(),
+		TotalRoundNanos:    s.totalRoundNs.Load(),
+	}
+}

@@ -1,0 +1,509 @@
+package refresh
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hitsndiffs"
+	"hitsndiffs/internal/testclock"
+)
+
+// fakeTarget is a Target with a scriptable generation and refresh body.
+type fakeTarget struct {
+	gen     atomic.Uint64
+	calls   atomic.Int32
+	refresh func(ctx context.Context) (hitsndiffs.Result, error)
+}
+
+func (f *fakeTarget) Generation() uint64 { return f.gen.Load() }
+
+func (f *fakeTarget) Refresh(ctx context.Context) (hitsndiffs.Result, error) {
+	f.calls.Add(1)
+	if f.refresh != nil {
+		return f.refresh(ctx)
+	}
+	return hitsndiffs.Result{Generation: f.gen.Load()}, nil
+}
+
+// completerTarget additionally records RefreshDone calls.
+type completerTarget struct {
+	fakeTarget
+	done []hitsndiffs.Result
+}
+
+func (c *completerTarget) RefreshDone(res hitsndiffs.Result) { c.done = append(c.done, res) }
+
+// packedEngine adapts a real engine into a PackedTarget.
+type packedEngine struct {
+	eng *hitsndiffs.Engine
+}
+
+func (p *packedEngine) Generation() uint64 { return p.eng.Generation() }
+func (p *packedEngine) Refresh(ctx context.Context) (hitsndiffs.Result, error) {
+	return p.eng.Refresh(ctx)
+}
+func (p *packedEngine) PackedEngine() *hitsndiffs.Engine { return p.eng }
+
+// testEngine builds a small solvable engine with every user answering.
+func testEngine(t *testing.T, seed int64, opts ...hitsndiffs.EngineOption) *hitsndiffs.Engine {
+	t.Helper()
+	opts = append([]hitsndiffs.EngineOption{
+		hitsndiffs.WithRankOptions(hitsndiffs.WithSeed(seed), hitsndiffs.WithParallelism(1)),
+	}, opts...)
+	eng, err := hitsndiffs.NewEngine(hitsndiffs.NewResponseMatrix(5, 4, 3), opts...)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	for u := 0; u < 5; u++ {
+		for i := 0; i < 4; i++ {
+			if err := eng.Observe(u, i, (u+i+int(seed))%3); err != nil {
+				t.Fatalf("Observe: %v", err)
+			}
+		}
+	}
+	return eng
+}
+
+// newTestSched builds a scheduler on a fake clock (no rounds fire until the
+// clock advances) and waits for the loop's ticker to register.
+func newTestSched(t *testing.T, cfg Config) (*Scheduler, *testclock.Fake) {
+	t.Helper()
+	clk := testclock.NewFake()
+	cfg.Clock = clk
+	s := New(cfg)
+	t.Cleanup(s.Close)
+	clk.BlockUntilTickers(1)
+	return s, clk
+}
+
+// TestPlanPriorityOrdering pins the round ordering: priority is
+// staleness × (traffic + 1), descending, name-ascending on ties, and
+// traffic decays by half each round.
+func TestPlanPriorityOrdering(t *testing.T) {
+	s, _ := newTestSched(t, Config{})
+
+	a, b, c, d := &fakeTarget{}, &fakeTarget{}, &fakeTarget{}, &fakeTarget{}
+	a.gen.Store(3) // priority 3×(0+1) = 3
+	b.gen.Store(1) // priority 1×(5+1) = 6
+	c.gen.Store(2) // priority 2×(2+1) = 6 — ties with b, name breaks it
+	d.gen.Store(0) // not stale: skipped entirely
+	s.Register("a", a)
+	s.Register("b", b)
+	s.Register("c", c)
+	s.Register("d", d)
+	for i := 0; i < 5; i++ {
+		s.NoteTraffic("b")
+	}
+	for i := 0; i < 2; i++ {
+		s.NoteTraffic("c")
+	}
+
+	names := func(p roundPlan) []string {
+		var out []string
+		for _, tg := range p.solo {
+			out = append(out, tg.name)
+		}
+		return out
+	}
+	p := s.plan()
+	if got, want := names(p), []string{"b", "c", "a"}; !equal(got, want) {
+		t.Fatalf("round 1 order = %v, want %v", got, want)
+	}
+	if p.depth != 3 {
+		t.Fatalf("depth = %d, want 3", p.depth)
+	}
+
+	// Nothing refreshed; traffic decays: b 5→2 (priority 3), c 2→1
+	// (priority 4), a stays 3. Tie a/b breaks by name.
+	p = s.plan()
+	if got, want := names(p), []string{"c", "a", "b"}; !equal(got, want) {
+		t.Fatalf("round 2 order = %v, want %v", got, want)
+	}
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPlanPackedOrdering pins the packed-group ordering: expected
+// iteration count ascending, name ascending on ties, so batch chunks
+// group cheap solves together.
+func TestPlanPackedOrdering(t *testing.T) {
+	s, _ := newTestSched(t, Config{})
+	eng := testEngine(t, 1)
+
+	for _, name := range []string{"slow", "cheapB", "cheapA"} {
+		pt := &packedEngine{eng: eng}
+		s.Register(name, pt)
+	}
+	s.mu.Lock()
+	s.targets["slow"].lastIters = 50
+	s.targets["cheapB"].lastIters = 10
+	s.targets["cheapA"].lastIters = 10
+	s.mu.Unlock()
+
+	p := s.plan()
+	if len(p.solo) != 0 {
+		t.Fatalf("solo = %d targets, want 0", len(p.solo))
+	}
+	var got []string
+	for _, tg := range p.packed {
+		got = append(got, tg.name)
+	}
+	if want := []string{"cheapA", "cheapB", "slow"}; !equal(got, want) {
+		t.Fatalf("packed order = %v, want %v", got, want)
+	}
+}
+
+// TestPlanMaxPerRound checks the cap keeps the highest-priority targets
+// and that depth still reports the full stale backlog.
+func TestPlanMaxPerRound(t *testing.T) {
+	s, _ := newTestSched(t, Config{MaxPerRound: 2})
+	for _, tc := range []struct {
+		name string
+		gen  uint64
+	}{{"p1", 1}, {"p5", 5}, {"p3", 3}, {"p4", 4}, {"p2", 2}} {
+		f := &fakeTarget{}
+		f.gen.Store(tc.gen)
+		s.Register(tc.name, f)
+	}
+	p := s.plan()
+	if p.depth != 5 {
+		t.Fatalf("depth = %d, want 5", p.depth)
+	}
+	var got []string
+	for _, tg := range p.solo {
+		got = append(got, tg.name)
+	}
+	if want := []string{"p5", "p4"}; !equal(got, want) {
+		t.Fatalf("capped round = %v, want %v", got, want)
+	}
+}
+
+// TestStragglerEvictionSticky checks eviction fires above the iteration
+// threshold, stays (without recounting) while the target remains slow,
+// and lifts once a solve comes back under.
+func TestStragglerEvictionSticky(t *testing.T) {
+	s, _ := newTestSched(t, Config{StragglerIters: 100})
+	eng := testEngine(t, 2)
+	s.Register("x", &packedEngine{eng: eng})
+	s.mu.RLock()
+	tg := s.targets["x"]
+	s.mu.RUnlock()
+
+	if p := s.plan(); len(p.packed) != 1 {
+		t.Fatalf("fresh target not packed: %+v", p)
+	}
+	s.finish(tg, hitsndiffs.Result{Iterations: 150}, true)
+	if !tg.evicted {
+		t.Fatal("150 iters at threshold 100 did not evict")
+	}
+	if got := s.Metrics().StragglerEvictions; got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if p := s.plan(); len(p.packed) != 0 || len(p.solo) != 1 {
+		t.Fatalf("evicted target not solo: packed=%d solo=%d", len(p.packed), len(p.solo))
+	}
+
+	s.finish(tg, hitsndiffs.Result{Iterations: 150}, false)
+	if got := s.Metrics().StragglerEvictions; got != 1 {
+		t.Fatalf("sticky eviction recounted: %d", got)
+	}
+
+	s.finish(tg, hitsndiffs.Result{Iterations: 80}, false)
+	if tg.evicted {
+		t.Fatal("80 iters under threshold 100 did not un-evict")
+	}
+	if p := s.plan(); len(p.packed) != 1 {
+		t.Fatal("un-evicted target not packed again")
+	}
+}
+
+// TestStragglerNeverEvictsWhenDisabled checks a negative threshold
+// disables eviction entirely.
+func TestStragglerNeverEvictsWhenDisabled(t *testing.T) {
+	s, _ := newTestSched(t, Config{StragglerIters: -1})
+	eng := testEngine(t, 3)
+	s.Register("x", &packedEngine{eng: eng})
+	s.mu.RLock()
+	tg := s.targets["x"]
+	s.mu.RUnlock()
+	s.finish(tg, hitsndiffs.Result{Iterations: 1 << 20}, true)
+	if tg.evicted {
+		t.Fatal("eviction fired with StragglerIters < 0")
+	}
+}
+
+// TestFailedRefreshKeepsWatermark checks a failing solo refresh leaves the
+// progress watermark untouched (the target is retried at full staleness)
+// and counts an error; a later success advances it.
+func TestFailedRefreshKeepsWatermark(t *testing.T) {
+	s, _ := newTestSched(t, Config{})
+	boom := errors.New("boom")
+	f := &fakeTarget{}
+	f.gen.Store(5)
+	fail := atomic.Bool{}
+	fail.Store(true)
+	f.refresh = func(ctx context.Context) (hitsndiffs.Result, error) {
+		if fail.Load() {
+			return hitsndiffs.Result{}, boom
+		}
+		return hitsndiffs.Result{Generation: f.gen.Load()}, nil
+	}
+	s.Register("f", f)
+	s.mu.RLock()
+	tg := s.targets["f"]
+	s.mu.RUnlock()
+
+	s.runRound(context.Background())
+	if tg.lastGen != 0 {
+		t.Fatalf("failed refresh advanced watermark to %d", tg.lastGen)
+	}
+	m := s.Metrics()
+	if m.Errors != 1 || m.Refreshes != 0 {
+		t.Fatalf("errors=%d refreshes=%d, want 1/0", m.Errors, m.Refreshes)
+	}
+
+	fail.Store(false)
+	s.runRound(context.Background())
+	if tg.lastGen != 5 {
+		t.Fatalf("watermark = %d after success, want 5", tg.lastGen)
+	}
+	if p := s.plan(); p.depth != 0 {
+		t.Fatalf("refreshed target still planned: depth %d", p.depth)
+	}
+}
+
+// TestCanceledContextNeverPoisonsWatermark drives a real packed engine
+// through a round under a canceled context: the packed solve fails, the
+// solo fallback fails, and the watermark stays put — then a live context
+// refreshes it for real.
+func TestCanceledContextNeverPoisonsWatermark(t *testing.T) {
+	s, _ := newTestSched(t, Config{})
+	eng := testEngine(t, 4)
+	s.Register("x", &packedEngine{eng: eng})
+	s.mu.RLock()
+	tg := s.targets["x"]
+	s.mu.RUnlock()
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.runRound(canceled)
+	if tg.lastGen != 0 {
+		t.Fatalf("canceled round advanced watermark to %d", tg.lastGen)
+	}
+	m := s.Metrics()
+	// One error for the packed solve, one for the demoted solo retry.
+	if m.Errors != 2 || m.Refreshes != 0 {
+		t.Fatalf("errors=%d refreshes=%d, want 2/0", m.Errors, m.Refreshes)
+	}
+
+	s.runRound(context.Background())
+	if tg.lastGen != eng.Generation() {
+		t.Fatalf("watermark = %d, want %d", tg.lastGen, eng.Generation())
+	}
+	res, err := eng.Rank(context.Background())
+	if err != nil {
+		t.Fatalf("Rank after refresh: %v", err)
+	}
+	if res.Staleness != 0 {
+		t.Fatalf("Rank after refresh is stale by %d", res.Staleness)
+	}
+}
+
+// TestPackedRoundRefreshesEngines runs a real packed round over two
+// engines and checks both are refreshed through the block-diagonal path,
+// leaving their caches at the write frontier.
+func TestPackedRoundRefreshesEngines(t *testing.T) {
+	s, _ := newTestSched(t, Config{})
+	engA := testEngine(t, 5, hitsndiffs.WithMaxStaleness(1000))
+	engB := testEngine(t, 6, hitsndiffs.WithMaxStaleness(1000))
+	s.Register("a", &packedEngine{eng: engA})
+	s.Register("b", &packedEngine{eng: engB})
+
+	s.runRound(context.Background())
+	m := s.Metrics()
+	if m.PackedRefreshes != 2 || m.SoloRefreshes != 0 {
+		t.Fatalf("packed=%d solo=%d, want 2/0", m.PackedRefreshes, m.SoloRefreshes)
+	}
+	for name, eng := range map[string]*hitsndiffs.Engine{"a": engA, "b": engB} {
+		res, err := eng.Rank(context.Background())
+		if err != nil {
+			t.Fatalf("%s: Rank: %v", name, err)
+		}
+		if res.Staleness != 0 || res.Generation != eng.Generation() {
+			t.Fatalf("%s: served gen %d staleness %d, want frontier %d exact",
+				name, res.Generation, res.Staleness, eng.Generation())
+		}
+	}
+	if p := s.plan(); p.depth != 0 {
+		t.Fatalf("refreshed engines still stale: depth %d", p.depth)
+	}
+}
+
+// TestRefreshDoneOnSuccessOnly checks the Completer hook fires exactly
+// once per successful refresh and never for a failure.
+func TestRefreshDoneOnSuccessOnly(t *testing.T) {
+	s, _ := newTestSched(t, Config{})
+	boom := errors.New("boom")
+	c := &completerTarget{}
+	c.gen.Store(7)
+	fail := atomic.Bool{}
+	fail.Store(true)
+	c.refresh = func(ctx context.Context) (hitsndiffs.Result, error) {
+		if fail.Load() {
+			return hitsndiffs.Result{}, boom
+		}
+		return hitsndiffs.Result{Generation: 7, Iterations: 3}, nil
+	}
+	s.Register("c", c)
+
+	s.runRound(context.Background())
+	if len(c.done) != 0 {
+		t.Fatalf("RefreshDone fired %d times for a failed refresh", len(c.done))
+	}
+	fail.Store(false)
+	s.runRound(context.Background())
+	if len(c.done) != 1 || c.done[0].Generation != 7 {
+		t.Fatalf("RefreshDone calls = %+v, want one at generation 7", c.done)
+	}
+}
+
+// TestCloseWaitsOutInflightRound checks Close blocks until a refresh
+// already in flight finishes, so callers can tear down durable state
+// knowing no background solve is still writing.
+func TestCloseWaitsOutInflightRound(t *testing.T) {
+	clk := testclock.NewFake()
+	s := New(Config{Clock: clk, Interval: time.Second})
+	clk.BlockUntilTickers(1)
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	f := &fakeTarget{}
+	f.gen.Store(1)
+	f.refresh = func(ctx context.Context) (hitsndiffs.Result, error) {
+		close(entered)
+		<-release
+		return hitsndiffs.Result{Generation: 1}, nil
+	}
+	s.Register("f", f)
+
+	clk.Advance(time.Second)
+	<-entered
+
+	closed := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a refresh was in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return after the in-flight refresh finished")
+	}
+	s.Close() // idempotent
+}
+
+// TestFakeClockDrivesRounds is the end-to-end loop test: a stale real
+// engine registered with a running scheduler is refreshed when — and only
+// when — the fake clock crosses the interval.
+func TestFakeClockDrivesRounds(t *testing.T) {
+	s, clk := newTestSched(t, Config{Interval: 50 * time.Millisecond})
+	eng := testEngine(t, 7, hitsndiffs.WithMaxStaleness(1000))
+	s.Register("e", &packedEngine{eng: eng})
+
+	if got := s.Metrics().Rounds; got != 0 {
+		t.Fatalf("rounds before any tick = %d", got)
+	}
+	clk.Advance(50 * time.Millisecond)
+	waitFor(t, func() bool {
+		m := s.Metrics()
+		return m.Rounds >= 1 && m.Refreshes >= 1
+	})
+	res, err := eng.Rank(context.Background())
+	if err != nil {
+		t.Fatalf("Rank: %v", err)
+	}
+	if res.Staleness != 0 {
+		t.Fatalf("Rank stale by %d after scheduler refresh", res.Staleness)
+	}
+}
+
+// TestRegisterDeregisterNoteTraffic checks registry edge cases: traffic
+// against an unknown name is a no-op, deregistered targets leave the
+// plan, and re-registering restarts the watermark.
+func TestRegisterDeregisterNoteTraffic(t *testing.T) {
+	s, _ := newTestSched(t, Config{})
+	s.NoteTraffic("ghost") // must not panic
+	f := &fakeTarget{}
+	f.gen.Store(2)
+	s.Register("f", f)
+	if p := s.plan(); p.depth != 1 {
+		t.Fatalf("depth = %d, want 1", p.depth)
+	}
+	s.runRound(context.Background())
+	if p := s.plan(); p.depth != 0 {
+		t.Fatal("refreshed target still stale")
+	}
+	s.Register("f", f) // replace: watermark restarts
+	if p := s.plan(); p.depth != 1 {
+		t.Fatal("re-registered target not stale again")
+	}
+	s.Deregister("f")
+	s.Deregister("f") // idempotent
+	if p := s.plan(); p.depth != 0 {
+		t.Fatal("deregistered target still planned")
+	}
+	if got := s.Metrics().Targets; got != 0 {
+		t.Fatalf("targets = %d, want 0", got)
+	}
+}
+
+// TestQueueDepthMetric checks QueueDepth reports the full stale backlog
+// even when MaxPerRound leaves some of it for later rounds.
+func TestQueueDepthMetric(t *testing.T) {
+	s, _ := newTestSched(t, Config{MaxPerRound: 1})
+	for _, name := range []string{"a", "b", "c"} {
+		f := &fakeTarget{}
+		f.gen.Store(1)
+		s.Register(name, f)
+	}
+	s.runRound(context.Background())
+	m := s.Metrics()
+	if m.QueueDepth != 3 {
+		t.Fatalf("queue depth = %d, want 3", m.QueueDepth)
+	}
+	if m.Refreshes != 1 {
+		t.Fatalf("refreshes = %d, want 1 (MaxPerRound)", m.Refreshes)
+	}
+}
+
+// waitFor polls cond (work runs on the scheduler goroutine after a fake
+// clock advance) with a real-time deadline.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

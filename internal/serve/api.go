@@ -101,6 +101,12 @@ type RankResponse struct {
 	Tenant string `json:"tenant,omitempty"`
 	// Version is the write version the scores correspond to.
 	Version uint64 `json:"version"`
+	// Generation is the matrix write generation the scores were solved at.
+	Generation uint64 `json:"generation"`
+	// Staleness is how many write generations the matrix had advanced past
+	// Generation when the scores were served: 0 means exact, positive means
+	// the response rode the server's staleness bound and never exceeds it.
+	Staleness uint64 `json:"staleness"`
 	// Scores holds one ability score per user; higher is better.
 	Scores []float64 `json:"scores"`
 	// Iterations and Converged mirror hitsndiffs.Result.

@@ -228,6 +228,7 @@ func (s *Server) recoverTenants() error {
 			return err
 		}
 		s.tenants[t.name] = t
+		s.registerRefresh(t)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"hitsndiffs"
+	"hitsndiffs/internal/refresh"
 )
 
 // counters holds the serve-layer atomics behind /metrics. All values are
@@ -17,6 +18,7 @@ type counters struct {
 	rankCoalesced     atomic.Uint64
 	rejectedSaturated atomic.Uint64
 	rejectedLagging   atomic.Uint64
+	staleServes       atomic.Uint64
 }
 
 // Snapshot is the point-in-time /metrics document: the serve-layer
@@ -45,6 +47,14 @@ type Snapshot struct {
 	// WritesRejectedLagging counts lag-bound 429s (see
 	// WritesRejectedSaturated).
 	WritesRejectedLagging uint64 `json:"writes_rejected_lagging"`
+	// StaleServes counts rank responses served behind the write frontier
+	// under the server's staleness bound (Config.MaxStaleness); zero when
+	// every rank is exact.
+	StaleServes uint64 `json:"stale_serves"`
+	// Refresh is the background refresh scheduler's counter snapshot
+	// (queue depth, rounds, refresh latency); nil when the server runs
+	// without a staleness bound and therefore without a scheduler.
+	Refresh *refresh.Metrics `json:"refresh,omitempty"`
 	// Tenants holds one entry per tenant, in name order.
 	Tenants []TenantSnapshot `json:"tenants"`
 }
@@ -89,7 +99,12 @@ func (s *Server) Snapshot() Snapshot {
 		RankCoalesced:           s.ctr.rankCoalesced.Load(),
 		WritesRejectedSaturated: s.ctr.rejectedSaturated.Load(),
 		WritesRejectedLagging:   s.ctr.rejectedLagging.Load(),
+		StaleServes:             s.ctr.staleServes.Load(),
 		Tenants:                 make([]TenantSnapshot, len(tenants)),
+	}
+	if s.refresher != nil {
+		rm := s.refresher.Metrics()
+		snap.Refresh = &rm
 	}
 	for i, t := range tenants {
 		snap.Tenants[i] = TenantSnapshot{

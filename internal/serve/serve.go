@@ -40,9 +40,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hitsndiffs"
 	"hitsndiffs/internal/durable"
+	"hitsndiffs/internal/refresh"
+	"hitsndiffs/internal/testclock"
 )
 
 // maxBodyBytes bounds request bodies (observebatch bursts dominate); a
@@ -89,6 +92,21 @@ type Config struct {
 	// (default DefaultSnapshotEvery; negative disables background
 	// snapshots, leaving only the open-time checkpoint).
 	SnapshotEvery int
+	// MaxStaleness > 0 lets ranks serve the last solved scores while a
+	// tenant's matrix is at most that many write generations ahead
+	// (hitsndiffs.WithMaxStaleness), and starts the background refresh
+	// scheduler (internal/refresh) that re-solves stale tenants by
+	// staleness × request traffic — so write bursts stop spiking read
+	// tails. Responses carry their generation and staleness. Zero (the
+	// default) keeps every rank exact and runs no scheduler.
+	MaxStaleness uint64
+	// RefreshInterval is the scheduler's round cadence under MaxStaleness
+	// (default refresh.DefaultInterval).
+	RefreshInterval time.Duration
+	// RefreshClock injects the scheduler's time source; nil means the
+	// system clock. Tests pass a testclock.Fake to drive refresh rounds
+	// deterministically.
+	RefreshClock testclock.Clock
 }
 
 // Server hosts the tenants and implements the HTTP API. Construct with
@@ -110,6 +128,11 @@ type Server struct {
 	mu      sync.RWMutex
 	tenants map[string]*tenant
 
+	// refresher is the background staleness scheduler, nil when
+	// Config.MaxStaleness is zero (every rank is exact — nothing to
+	// refresh).
+	refresher *refresh.Scheduler
+
 	draining atomic.Bool
 	flights  flightGroup
 	ctr      counters
@@ -121,7 +144,9 @@ type backend interface {
 	Observe(user, item, option int) error
 	ObserveBatch(obs []hitsndiffs.Observation) error
 	Rank(ctx context.Context) (hitsndiffs.Result, error)
+	Refresh(ctx context.Context) (hitsndiffs.Result, error)
 	Version() uint64
+	Generation() uint64
 	Users() int
 	Items() int
 	Method() string
@@ -157,6 +182,34 @@ func (t *tenant) noteServed(version uint64) {
 	}
 }
 
+// refreshTarget adapts a tenant for the background refresh scheduler: it
+// exposes the backend's write frontier and exact re-solve, joins packed
+// block-diagonal rounds when the tenant is unsharded (a ShardedEngine's
+// Refresh already packs its own shards), and rides the admission
+// refresh-lag watermark on scheduler progress through RefreshDone.
+type refreshTarget struct {
+	t *tenant
+}
+
+// Generation implements refresh.Target.
+func (r refreshTarget) Generation() uint64 { return r.t.backend.Generation() }
+
+// Refresh implements refresh.Target.
+func (r refreshTarget) Refresh(ctx context.Context) (hitsndiffs.Result, error) {
+	return r.t.backend.Refresh(ctx)
+}
+
+// PackedEngine implements refresh.PackedTarget; sharded tenants decline.
+func (r refreshTarget) PackedEngine() *hitsndiffs.Engine { return r.t.engine }
+
+// RefreshDone implements refresh.Completer: a successful background
+// refresh advances the tenant's served watermark so the admission lag
+// bound tracks scheduler progress. The version is read after the solve,
+// which is slightly optimistic — writes that landed mid-solve are counted
+// as served — but the error is bounded by one solve's worth of writes and
+// the watermark only ever feeds backpressure, not correctness.
+func (r refreshTarget) RefreshDone(hitsndiffs.Result) { r.t.noteServed(r.t.backend.Version()) }
+
 // info snapshots the tenant for list/create responses.
 func (t *tenant) info() TenantInfo {
 	return TenantInfo{
@@ -188,12 +241,21 @@ func New(cfg Config) (*Server, error) {
 		solveCancel: cancel,
 		tenants:     make(map[string]*tenant),
 	}
+	if cfg.MaxStaleness > 0 {
+		s.refresher = refresh.New(refresh.Config{
+			Clock:     cfg.RefreshClock,
+			Interval:  cfg.RefreshInterval,
+			BatchSize: cfg.BatchSize,
+		})
+	}
 	if cfg.DataDir != "" {
 		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			s.closeRefresher()
 			cancel()
 			return nil, fmt.Errorf("serve: create data dir: %w", err)
 		}
 		if err := s.recoverTenants(); err != nil {
+			s.closeRefresher()
 			cancel()
 			return nil, err
 		}
@@ -210,12 +272,15 @@ func (s *Server) StartDrain() { s.draining.Store(true) }
 // Draining reports whether StartDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Close hard-stops the server: it drains, cancels the solve context
-// (aborting any in-flight solves mid-iteration), and flushes and closes
+// Close hard-stops the server: it drains, stops the refresh scheduler —
+// waiting out any background refresh already in flight, so the WAL flush
+// below never races a solve — then cancels the solve context (aborting
+// any in-flight request solves mid-iteration) and flushes and closes
 // every tenant's durable logs. Prefer StartDrain + http.Server.Shutdown
 // for the graceful path, then Close to release durability resources.
 func (s *Server) Close() {
 	s.StartDrain()
+	s.closeRefresher()
 	s.solveCancel()
 	s.mu.RLock()
 	tenants := make([]*tenant, 0, len(s.tenants))
@@ -225,6 +290,22 @@ func (s *Server) Close() {
 	s.mu.RUnlock()
 	for _, t := range tenants {
 		t.dur.close()
+	}
+}
+
+// closeRefresher stops the refresh scheduler if one is running, blocking
+// until its in-flight round finishes. Idempotent; a no-op without one.
+func (s *Server) closeRefresher() {
+	if s.refresher != nil {
+		s.refresher.Close()
+	}
+}
+
+// registerRefresh enrolls a tenant with the refresh scheduler (a no-op
+// when ranks are exact and no scheduler runs).
+func (s *Server) registerRefresh(t *tenant) {
+	if s.refresher != nil {
+		s.refresher.Register(t.name, refreshTarget{t: t})
 	}
 }
 
@@ -285,8 +366,9 @@ func (s *Server) CreateTenant(req CreateTenantRequest) (TenantInfo, error) {
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.tenants[req.Name] = t
+	s.mu.Unlock()
+	s.registerRefresh(t)
 	return t.info(), nil
 }
 
@@ -301,6 +383,9 @@ func (s *Server) buildTenant(req CreateTenantRequest, shards int) (*tenant, erro
 	}
 	if s.cfg.BatchSize > 0 {
 		opts = append(opts, hitsndiffs.WithBatchSize(s.cfg.BatchSize))
+	}
+	if s.cfg.MaxStaleness > 0 {
+		opts = append(opts, hitsndiffs.WithMaxStaleness(s.cfg.MaxStaleness))
 	}
 	t := &tenant{name: req.Name, shards: 1, adm: newAdmission(s.cfg.MaxInflightWrites, s.cfg.MaxLag)}
 	if shards > 1 {
@@ -372,7 +457,18 @@ func (s *Server) rankTenant(ctx context.Context, t *tenant) (res hitsndiffs.Resu
 		s.ctr.rankCoalesced.Add(1)
 	}
 	if err == nil {
-		t.noteServed(version)
+		// A stale serve is not refresh progress: only an exact result moves
+		// the served watermark the admission lag bound compares against —
+		// the background scheduler pushes it forward otherwise.
+		if res.Staleness == 0 {
+			t.noteServed(version)
+		}
+		if res.Staleness > 0 {
+			s.ctr.staleServes.Add(1)
+		}
+		if s.refresher != nil {
+			s.refresher.NoteTraffic(t.name)
+		}
 	}
 	return res, version, coalesced, err
 }
@@ -382,6 +478,8 @@ func rankResponse(name string, res hitsndiffs.Result, version uint64, coalesced 
 	return RankResponse{
 		Tenant:     name,
 		Version:    version,
+		Generation: res.Generation,
+		Staleness:  res.Staleness,
 		Scores:     res.Scores,
 		Iterations: res.Iterations,
 		Converged:  res.Converged,

@@ -1,0 +1,173 @@
+// Package testclock abstracts wall-clock time behind a minimal Clock
+// interface so every timing-dependent component — the interval-fsync
+// ticker of internal/durable, the background refresh scheduler of
+// internal/refresh — can run against a deterministic fake in tests.
+//
+// Production code takes a Clock (defaulting to System when nil) and uses
+// it for Now and NewTicker; tests construct a Fake and drive time forward
+// explicitly with Advance, turning "sleep and hope the goroutine ran"
+// waits into exact, race-free clock arithmetic. The fake's tickers follow
+// time.Ticker semantics: a one-slot channel, missed ticks coalesced.
+package testclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the time source timing-dependent components depend on instead
+// of the time package directly.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// NewTicker returns a ticker firing every d; d must be positive.
+	NewTicker(d time.Duration) Ticker
+}
+
+// Ticker is the clock-agnostic slice of time.Ticker the components use.
+type Ticker interface {
+	// C returns the channel ticks are delivered on.
+	C() <-chan time.Time
+	// Stop turns the ticker off. It does not close C.
+	Stop()
+}
+
+// System returns the real wall-clock Clock backed by the time package.
+func System() Clock { return systemClock{} }
+
+// systemClock adapts package time to the Clock interface.
+type systemClock struct{}
+
+// Now implements Clock.
+func (systemClock) Now() time.Time { return time.Now() }
+
+// NewTicker implements Clock.
+func (systemClock) NewTicker(d time.Duration) Ticker {
+	return systemTicker{time.NewTicker(d)}
+}
+
+// systemTicker wraps *time.Ticker (whose C is a struct field, not a
+// method) into the Ticker interface.
+type systemTicker struct{ t *time.Ticker }
+
+// C implements Ticker.
+func (s systemTicker) C() <-chan time.Time { return s.t.C }
+
+// Stop implements Ticker.
+func (s systemTicker) Stop() { s.t.Stop() }
+
+// Fake is a deterministic Clock for tests: time stands still until the
+// test calls Advance, which delivers every tick that became due — so a
+// test asserts "the ticker fired exactly twice" instead of sleeping and
+// hoping. The zero value is not usable; construct with NewFake. Safe for
+// concurrent use.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	tickers []*fakeTicker
+	created int // tickers ever created, for BlockUntilTickers
+	cond    *sync.Cond
+}
+
+// fakeEpoch is the fixed start instant of every Fake — arbitrary but
+// deterministic, so fake-clock tests never depend on the host's clock.
+var fakeEpoch = time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// NewFake returns a fake clock frozen at a fixed epoch.
+func NewFake() *Fake {
+	f := &Fake{now: fakeEpoch}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// Now implements Clock.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// NewTicker implements Clock. The ticker fires on Advance whenever one or
+// more periods elapsed; like time.Ticker it has a one-slot channel, so
+// ticks a slow receiver missed coalesce instead of queueing.
+func (f *Fake) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("testclock: non-positive ticker period")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := &fakeTicker{clock: f, period: d, next: f.now.Add(d), ch: make(chan time.Time, 1)}
+	f.tickers = append(f.tickers, t)
+	f.created++
+	f.cond.Broadcast()
+	return t
+}
+
+// Advance moves the fake time forward by d and delivers every tick that
+// became due, in due order. Delivery is non-blocking per ticker (the
+// one-slot coalescing contract), so Advance never deadlocks against a
+// busy receiver; it returns once the due ticks are in the channels, which
+// makes "Advance then wait for the observable effect" a deterministic
+// test idiom.
+func (f *Fake) Advance(d time.Duration) {
+	if d < 0 {
+		panic("testclock: negative Advance")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	target := f.now.Add(d)
+	for {
+		// Find the earliest pending tick at or before target; delivering in
+		// due order keeps multi-ticker tests deterministic.
+		var next *fakeTicker
+		for _, t := range f.tickers {
+			if t.stopped || t.next.After(target) {
+				continue
+			}
+			if next == nil || t.next.Before(next.next) {
+				next = t
+			}
+		}
+		if next == nil {
+			break
+		}
+		f.now = next.next
+		select {
+		case next.ch <- next.next:
+		default: // receiver still busy; the tick coalesces away
+		}
+		next.next = next.next.Add(next.period)
+	}
+	f.now = target
+}
+
+// BlockUntilTickers blocks until at least n tickers have ever been
+// created on this clock — the handshake a test performs before its first
+// Advance, so a component that starts its ticker goroutine asynchronously
+// cannot miss ticks delivered before the ticker existed.
+func (f *Fake) BlockUntilTickers(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for f.created < n {
+		f.cond.Wait()
+	}
+}
+
+// fakeTicker is one Fake ticker registration.
+type fakeTicker struct {
+	clock   *Fake
+	period  time.Duration
+	next    time.Time
+	ch      chan time.Time
+	stopped bool
+}
+
+// C implements Ticker.
+func (t *fakeTicker) C() <-chan time.Time { return t.ch }
+
+// Stop implements Ticker.
+func (t *fakeTicker) Stop() {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	t.stopped = true
+}

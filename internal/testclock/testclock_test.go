@@ -1,0 +1,142 @@
+package testclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFakeNowAdvances(t *testing.T) {
+	f := NewFake()
+	start := f.Now()
+	f.Advance(3 * time.Second)
+	if got := f.Now().Sub(start); got != 3*time.Second {
+		t.Fatalf("Now advanced by %v, want 3s", got)
+	}
+	f.Advance(0)
+	if got := f.Now().Sub(start); got != 3*time.Second {
+		t.Fatalf("zero Advance moved time: %v", got)
+	}
+}
+
+func TestFakeTickerFiresOnAdvance(t *testing.T) {
+	f := NewFake()
+	tk := f.NewTicker(10 * time.Millisecond)
+	defer tk.Stop()
+
+	select {
+	case <-tk.C():
+		t.Fatal("ticker fired before any Advance")
+	default:
+	}
+
+	f.Advance(9 * time.Millisecond)
+	select {
+	case <-tk.C():
+		t.Fatal("ticker fired before its period elapsed")
+	default:
+	}
+
+	f.Advance(time.Millisecond)
+	select {
+	case at := <-tk.C():
+		if want := f.Now(); !at.Equal(want) {
+			t.Fatalf("tick stamped %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("ticker did not fire after a full period")
+	}
+}
+
+func TestFakeTickerCoalescesMissedTicks(t *testing.T) {
+	f := NewFake()
+	tk := f.NewTicker(time.Millisecond)
+	defer tk.Stop()
+
+	// 5 periods with nobody receiving: like time.Ticker, at most one tick
+	// is pending afterward.
+	f.Advance(5 * time.Millisecond)
+	got := 0
+	for {
+		select {
+		case <-tk.C():
+			got++
+			continue
+		default:
+		}
+		break
+	}
+	if got != 1 {
+		t.Fatalf("%d ticks pending after coalescing window, want 1", got)
+	}
+}
+
+func TestFakeTickerStop(t *testing.T) {
+	f := NewFake()
+	tk := f.NewTicker(time.Millisecond)
+	tk.Stop()
+	f.Advance(10 * time.Millisecond)
+	select {
+	case <-tk.C():
+		t.Fatal("stopped ticker fired")
+	default:
+	}
+}
+
+func TestFakeMultipleTickersDueOrder(t *testing.T) {
+	f := NewFake()
+	slow := f.NewTicker(3 * time.Millisecond)
+	fast := f.NewTicker(2 * time.Millisecond)
+	defer slow.Stop()
+	defer fast.Stop()
+
+	f.Advance(3 * time.Millisecond)
+	select {
+	case <-fast.C():
+	default:
+		t.Fatal("fast ticker missing its tick")
+	}
+	select {
+	case <-slow.C():
+	default:
+		t.Fatal("slow ticker missing its tick")
+	}
+}
+
+func TestBlockUntilTickers(t *testing.T) {
+	f := NewFake()
+	done := make(chan struct{})
+	go func() {
+		f.BlockUntilTickers(1)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("BlockUntilTickers returned before any ticker existed")
+	case <-time.After(10 * time.Millisecond):
+	}
+	tk := f.NewTicker(time.Second)
+	defer tk.Stop()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("BlockUntilTickers never observed the new ticker")
+	}
+	// Already satisfied: must not block.
+	f.BlockUntilTickers(1)
+}
+
+func TestSystemClockBasics(t *testing.T) {
+	c := System()
+	before := time.Now()
+	now := c.Now()
+	if now.Before(before.Add(-time.Second)) {
+		t.Fatalf("system Now %v far behind wall clock %v", now, before)
+	}
+	tk := c.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.C():
+	case <-time.After(2 * time.Second):
+		t.Fatal("system ticker never fired")
+	}
+}

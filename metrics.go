@@ -26,6 +26,22 @@ type EngineMetrics struct {
 	// Generation across a crash proves no acknowledged write was lost.
 	// For a ShardedEngine it is the sum over shards.
 	Generation uint64 `json:"generation"`
+	// ServedGeneration is the watermark of the highest write generation a
+	// rank result has been served at — the refresh scheduler's progress
+	// measure. Generation − ServedGeneration is the engine's current
+	// serving lag; under WithMaxStaleness(0) the two converge after every
+	// rank. For a multi-shard ShardedEngine it is the router's merged-
+	// result watermark (a sum of shard generations, comparable to
+	// Generation); per-shard watermarks are in ShardMetrics.
+	ServedGeneration uint64 `json:"served_generation"`
+	// StaleServes counts results served behind the write frontier under a
+	// WithMaxStaleness bound (Rank cache entries and RankBatch tenant
+	// entries outliving their generation). Zero when the bound is zero.
+	StaleServes uint64 `json:"stale_serves"`
+	// MaxStaleness is the configured WithMaxStaleness bound in write
+	// generations; zero means every rank is exact. Aggregates report the
+	// maximum across shards.
+	MaxStaleness uint64 `json:"max_staleness"`
 	// Users and Items give the matrix geometry being served.
 	Users int `json:"users"`
 	// Items is the item count (see Users).
@@ -58,6 +74,11 @@ type EngineMetrics struct {
 func (m *EngineMetrics) add(o EngineMetrics) {
 	m.Version += o.Version
 	m.Generation += o.Generation
+	m.ServedGeneration += o.ServedGeneration
+	m.StaleServes += o.StaleServes
+	if o.MaxStaleness > m.MaxStaleness {
+		m.MaxStaleness = o.MaxStaleness
+	}
 	m.CacheHits += o.CacheHits
 	m.CacheMisses += o.CacheMisses
 	m.BatchSolves += o.BatchSolves

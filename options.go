@@ -120,6 +120,25 @@ func WithBatchSize(n int) EngineOption {
 	return func(s *engineSettings) { s.batchSize = n }
 }
 
+// WithMaxStaleness lets Rank and RankBatch serve the last solved scores
+// while the matrix is at most n write generations
+// (ResponseMatrix.Generation ticks, one per observation) ahead of the
+// generation they were solved at. Served results carry their Generation
+// and Staleness so callers can see how far behind they are; staleness
+// never exceeds the bound. Zero (the default) keeps today's inline
+// behavior: every rank reflects the latest write before returning.
+//
+// A positive bound decouples reads from solves — writes stop spiking read
+// tails — but someone must still push the served watermark forward:
+// Refresh / RefreshBatch ignore the bound and are the paths a background
+// refresher (internal/refresh) drives. InferLabels always serves exact
+// results: labels are inferred over the same snapshot the scores came
+// from, so it never mixes a stale ranking with current responses.
+// Applies to Engine, ShardedEngine and RankBatch.
+func WithMaxStaleness(n uint64) EngineOption {
+	return func(s *engineSettings) { s.maxStale = n }
+}
+
 // WithUpdateCache toggles the engine's generation-keyed solve-input caches
 // (default on): the per-version core.Update cache that lets a warm re-rank
 // reuse the previous solve's machinery, and the memoized normalized one-hot

@@ -7,9 +7,12 @@
 # Usage: scripts/serve_bench.sh [out.json]
 #
 # Tunables (env): SHARDS (4), TENANTS (6), USERS (1200), DURATION (5s),
-# CONCURRENCY (32), READRATIO (0.9), ADDR (127.0.0.1:8791). The defaults
-# are the committed-baseline workload: a 4-shard server under mixed
-# read/write traffic across zipfian-sized tenants.
+# CONCURRENCY (32), READRATIO (0.9), MAX_STALENESS (0),
+# ADDR (127.0.0.1:8791). The defaults are the committed-baseline
+# workload: a 4-shard server under mixed read/write traffic across
+# zipfian-sized tenants. With MAX_STALENESS > 0 the server serves
+# staleness-bounded ranks refreshed in the background, and hndload
+# asserts the bound is never exceeded (it exits non-zero on violation).
 set -euo pipefail
 
 OUT="${1:-BENCH_serve6.json}"
@@ -19,6 +22,7 @@ USERS="${USERS:-1200}"
 DURATION="${DURATION:-5s}"
 CONCURRENCY="${CONCURRENCY:-32}"
 READRATIO="${READRATIO:-0.9}"
+MAX_STALENESS="${MAX_STALENESS:-0}"
 ADDR="${ADDR:-127.0.0.1:8791}"
 
 cd "$(dirname "$0")/.."
@@ -29,6 +33,7 @@ go build -o "$workdir/hndserver" ./cmd/hndserver
 go build -o "$workdir/hndload" ./cmd/hndload
 
 "$workdir/hndserver" -addr "$ADDR" -shards "$SHARDS" -maxlag 256 \
+  -max-staleness "$MAX_STALENESS" \
   >"$workdir/server.log" 2>&1 &
 server_pid=$!
 # The server owns no state worth keeping; make sure it dies with the script.
@@ -46,6 +51,7 @@ curl -fsS "http://$ADDR/healthz" >/dev/null || {
 
 "$workdir/hndload" -addr "http://$ADDR" -tenants "$TENANTS" -users "$USERS" \
   -duration "$DURATION" -concurrency "$CONCURRENCY" -readratio "$READRATIO" \
+  -max-staleness "$MAX_STALENESS" \
   | tee "$workdir/load.out"
 
 go run ./cmd/bench2json < "$workdir/load.out" > "$OUT"

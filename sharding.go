@@ -44,6 +44,7 @@ type ShardedEngine struct {
 	base        []Option
 	batchSize   int
 	updateCache bool
+	maxStale    uint64 // WithMaxStaleness bound, enforced at the router's merged cache
 	engines     []*Engine
 	users       *shard.Map
 	options     []int // per-item option counts, identical across shards
@@ -58,14 +59,22 @@ type ShardedEngine struct {
 
 	// routerHits counts Ranks served from the merged-result cache without
 	// touching any shard; Metrics folds it into the aggregate CacheHits.
-	routerHits atomic.Uint64
+	// staleServes counts merged results served behind the cluster write
+	// frontier under the staleness bound, and servedGen is the router's
+	// served-generation watermark (sum-of-shard-generations units).
+	routerHits  atomic.Uint64
+	staleServes atomic.Uint64
+	servedGen   atomic.Uint64
 }
 
 // shardedCache holds the merged ranking computed at one cluster version.
 // Shard versions only grow, so their sum is a valid freshness key: equal
-// sums imply no shard has been written in between.
+// sums imply no shard has been written in between. gen is the sum of the
+// shard write generations the merge was solved at — the key router-level
+// staleness is measured against.
 type shardedCache struct {
 	version uint64
+	gen     uint64
 	res     Result
 }
 
@@ -111,19 +120,28 @@ func NewShardedEngine(m *ResponseMatrix, opts ...EngineOption) (*ShardedEngine, 
 		base:        s.base,
 		batchSize:   s.batchSize,
 		updateCache: s.updateCache,
+		maxStale:    s.maxStale,
 		engines:     make([]*Engine, n),
 		users:       users,
 		options:     options,
 		sparse:      make([]sparseMemo, n),
 	}
+	// Forward the caller's options so the shard engines see the full
+	// NewEngine option surface, present and future; NewEngine ignores the
+	// router-only WithShards. With several shards the staleness bound is
+	// enforced once, at the router's merged-result cache — the shard
+	// engines stay exact so the refresh fan-out (RankAll's peekCached /
+	// solveInput protocol) always observes each shard's true frontier. A
+	// single shard delegates Rank wholesale, so it keeps the bound.
+	shardOpts := opts
+	if n > 1 && s.maxStale > 0 {
+		shardOpts = append(append([]EngineOption(nil), opts...), WithMaxStaleness(0))
+	}
 	for sh := 0; sh < n; sh++ {
 		// shardMapFor guarantees every shard owns at least one user, so
 		// Subset's non-empty precondition always holds.
 		sub := m.Subset(users.GlobalsOf(sh))
-		// Forward the caller's options verbatim so the shard engines see
-		// the full NewEngine option surface, present and future; NewEngine
-		// ignores the router-only WithShards.
-		eng, err := NewEngine(sub, opts...)
+		eng, err := NewEngine(sub, shardOpts...)
 		if err != nil {
 			return nil, err
 		}
@@ -211,6 +229,22 @@ func (s *ShardedEngine) Version() uint64 {
 	}
 	return v
 }
+
+// Generation returns the sum of the shard matrices' write-generation
+// counters — the cluster analogue of Engine.Generation and the unit the
+// router-level staleness bound is measured in. Shard generations only
+// grow, so the sum is monotone.
+func (s *ShardedEngine) Generation() uint64 {
+	var g uint64
+	for _, e := range s.engines {
+		g += e.Generation()
+	}
+	return g
+}
+
+// MaxStaleness returns the configured WithMaxStaleness bound in write
+// generations; zero means every rank is exact.
+func (s *ShardedEngine) MaxStaleness() uint64 { return s.maxStale }
 
 // View returns O(1) copy-on-write views of every shard's response matrix
 // together with the matching shard versions, in shard order. Like
@@ -329,26 +363,81 @@ func (s *ShardedEngine) ObserveBatch(obs []Observation) error {
 // when written — and the per-shard scores are min-max normalized to [0, 1]
 // and merged into one global score vector. Between writes the merged
 // result itself is cached, so a read-heavy steady state pays one score
-// copy per Rank, no fan-out. The merge is deterministic: it visits shards
-// in index order and writes each user's score at its global index, so the
-// result is independent of shard completion order. Iterations sums the
-// shard iteration counts; Converged reports whether every shard converged.
-// The returned Result owns its score slice; callers may mutate it freely.
+// copy per Rank, no fan-out; under a WithMaxStaleness bound the cached
+// merge keeps serving past writes — tagged with its Generation and
+// Staleness in cluster units (sums of shard write generations) — until the
+// cluster moves more than the bound ahead (see Refresh). The merge is
+// deterministic: it visits shards in index order and writes each user's
+// score at its global index, so the result is independent of shard
+// completion order. Iterations sums the shard iteration counts; Converged
+// reports whether every shard converged. The returned Result owns its
+// score slice; callers may mutate it freely.
 func (s *ShardedEngine) Rank(ctx context.Context) (Result, error) {
 	if len(s.engines) == 1 {
 		return s.engines[0].Rank(ctx)
 	}
 	version := s.Version()
 	s.mu.Lock()
+	if c := s.cached; c != nil {
+		if c.version == version {
+			out := c.res
+			out.Scores = append(mat.Vector(nil), c.res.Scores...)
+			out.Generation = c.gen
+			out.Staleness = 0
+			s.mu.Unlock()
+			s.routerHits.Add(1)
+			casMax(&s.servedGen, c.gen)
+			return out, nil
+		}
+		if s.maxStale > 0 {
+			// Shard generations only grow, so the sum read here can only lag
+			// the true frontier — the reported staleness never under-counts
+			// relative to the instant the bound was checked.
+			if gen := s.Generation(); gen-c.gen <= s.maxStale {
+				out := c.res
+				out.Scores = append(mat.Vector(nil), c.res.Scores...)
+				out.Generation = c.gen
+				out.Staleness = gen - c.gen
+				s.mu.Unlock()
+				s.routerHits.Add(1)
+				s.staleServes.Add(1)
+				casMax(&s.servedGen, c.gen)
+				return out, nil
+			}
+		}
+	}
+	s.mu.Unlock()
+	return s.solveMerged(ctx, version)
+}
+
+// Refresh is Rank with the staleness bound ignored: it re-solves the stale
+// shards and re-merges, pushing the router's served watermark to the
+// cluster write frontier — the path the background refresh scheduler
+// drives. Under a zero bound it is identical to Rank.
+func (s *ShardedEngine) Refresh(ctx context.Context) (Result, error) {
+	if len(s.engines) == 1 {
+		return s.engines[0].Refresh(ctx)
+	}
+	version := s.Version()
+	s.mu.Lock()
 	if c := s.cached; c != nil && c.version == version {
 		out := c.res
 		out.Scores = append(mat.Vector(nil), c.res.Scores...)
+		out.Generation = c.gen
+		out.Staleness = 0
 		s.mu.Unlock()
 		s.routerHits.Add(1)
+		casMax(&s.servedGen, c.gen)
 		return out, nil
 	}
 	s.mu.Unlock()
+	return s.solveMerged(ctx, version)
+}
 
+// solveMerged is the merged-cache miss path shared by Rank and Refresh:
+// rank every shard (cached or batch-solved), normalize, merge, and install
+// the merged result keyed by the cluster version read before the fan-out.
+func (s *ShardedEngine) solveMerged(ctx context.Context, version uint64) (Result, error) {
 	results, err := s.RankAll(ctx)
 	if err != nil {
 		return Result{}, err
@@ -361,10 +450,12 @@ func (s *ShardedEngine) Rank(ctx context.Context) (Result, error) {
 		}
 		merged.Iterations += res.Iterations
 		merged.Converged = merged.Converged && res.Converged
+		merged.Generation += res.Generation
 	}
+	casMax(&s.servedGen, merged.Generation)
 	if s.Version() == version {
 		s.mu.Lock()
-		s.cached = &shardedCache{version: version, res: merged}
+		s.cached = &shardedCache{version: version, gen: merged.Generation, res: merged}
 		s.mu.Unlock()
 		out := merged
 		out.Scores = append(mat.Vector(nil), merged.Scores...)
@@ -396,7 +487,7 @@ func (s *ShardedEngine) RankAll(ctx context.Context) ([]Result, error) {
 	var versions []uint64
 	for i, eng := range s.engines {
 		if len(s.engines) > 1 && s.shardTooSparse(i) {
-			results[i] = Result{Scores: mat.NewVector(eng.Users()), Converged: true}
+			results[i] = Result{Scores: mat.NewVector(eng.Users()), Converged: true, Generation: eng.Generation()}
 			continue
 		}
 		if res, ok := eng.peekCached(); ok {
@@ -414,6 +505,7 @@ func (s *ShardedEngine) RankAll(ctx context.Context) ([]Result, error) {
 	err := runBatches(ctx, s.base, s.updateCache, s.batchSize, items,
 		func(k int) string { return fmt.Sprintf("RankAll shard %d", stale[k]) },
 		func(k int, res Result) {
+			res.Generation = items[k].M.Generation()
 			s.engines[stale[k]].storeSolved(versions[k], res)
 			results[stale[k]] = res
 		})
@@ -451,7 +543,7 @@ func (s *ShardedEngine) rankAllFanOut(ctx context.Context) ([]Result, error) {
 func (s *ShardedEngine) rankShard(ctx context.Context, i int) (Result, error) {
 	eng := s.engines[i]
 	if len(s.engines) > 1 && s.shardTooSparse(i) {
-		return Result{Scores: mat.NewVector(eng.Users()), Converged: true}, nil
+		return Result{Scores: mat.NewVector(eng.Users()), Converged: true, Generation: eng.Generation()}, nil
 	}
 	return eng.Rank(ctx)
 }
@@ -470,6 +562,14 @@ func (s *ShardedEngine) Metrics() EngineMetrics {
 		agg.add(e.Metrics())
 	}
 	agg.CacheHits += s.routerHits.Load()
+	if len(s.engines) > 1 {
+		// Staleness is enforced at the router's merged cache, not in the
+		// (always-exact) shard engines: report the router's watermark,
+		// bound, and stale-serve count.
+		agg.StaleServes += s.staleServes.Load()
+		agg.ServedGeneration = s.servedGen.Load()
+		agg.MaxStaleness = s.maxStale
+	}
 	return agg
 }
 
