@@ -31,7 +31,7 @@ BENCH_OUT ?= BENCH_pr8.json
 # leg for durable mode.
 SERVE_BENCH_OUT ?= BENCH_serve6.json
 
-.PHONY: build test check bench serve-bench serve-smoke clean
+.PHONY: build test check bench serve-bench serve-smoke handoff-smoke clean
 
 build:
 	$(GO) build ./...
@@ -42,7 +42,7 @@ test:
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -count=2 -race ./...
+	$(GO) test -count=2 -race -shuffle=on ./...
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_TIME) -timeout 30m . ./internal/mat/ ./internal/durable/ | tee bench.out
@@ -67,6 +67,13 @@ serve-smoke:
 	  && echo "serve-smoke: stale serving under write burst + bound held confirmed"
 	@rm -f serve_smoke_stale.json
 	scripts/serve_crash.sh
+
+# Cross-process shard-handoff smoke: the headline crash-matrix and
+# bitwise-equivalence tests under -race, then the two-server HTTP
+# migration with a kill -9 mid-fence (scripts/serve_handoff.sh).
+handoff-smoke:
+	$(GO) test -run Handoff -count=1 -race ./internal/handoff/ ./internal/serve/
+	scripts/serve_handoff.sh
 
 clean:
 	rm -f bench.out serve_smoke.json

@@ -12,6 +12,7 @@
 //	        [-readratio 0.9] [-concurrency 64] [-duration 10s]
 //	        [-writebatch 1] [-seed 1] [-warm] [-retries 3]
 //	        [-max-staleness -1]
+//	        [-handoff-peer ""] [-handoff-shard 0] [-handoff-bundle ""]
 //
 // Tenant t's user count follows a power law users/(t+1)^zipf (floored at
 // minusers) — a few big tenants, a long tail of small ones — and traffic
@@ -31,6 +32,17 @@
 // jittered either way so workers don't re-arrive in lockstep. Latency
 // percentiles cover the final attempt only — backoff sleep is not
 // service time — and retry counts appear in the bench output.
+//
+// With -handoff-peer the run exercises a live shard migration: hndload
+// creates the same tenant fleet (empty) on the peer server, and halfway
+// through the measured window migrates shard -handoff-shard of the
+// largest tenant from -addr to the peer through the two servers' admin
+// handoff endpoints, using -handoff-bundle as the shared bundle
+// directory. Writes bounced by the fence ride the normal 429 retry
+// path; writes arriving after the commit follow the source's 307
+// redirect to the new owner transparently. The run fails (non-zero
+// exit) if the handoff does not commit, and the summary reports the
+// fenced and redirected write counts from the source's /metrics.
 //
 // Results are printed to stdout in `go test -bench` format so the
 // existing cmd/bench2json converter archives them (the serve-bench Make
@@ -76,6 +88,9 @@ func main() {
 	reqTimeout := flag.Duration("reqtimeout", 30*time.Second, "per-request timeout")
 	retries := flag.Int("retries", 3, "max retries per request on 429/503 backpressure (honors Retry-After, capped exponential backoff otherwise)")
 	maxStale := flag.Int64("max-staleness", -1, "assert every rank's staleness stays within this bound and exit non-zero on a violation (-1 = no assertion)")
+	handoffPeer := flag.String("handoff-peer", "", "second hndserver base URL: migrate one shard of the largest tenant to it mid-run (both servers durable, sharing -handoff-bundle)")
+	handoffShard := flag.Int("handoff-shard", 0, "shard of the largest tenant to migrate under -handoff-peer")
+	handoffBundle := flag.String("handoff-bundle", "", "bundle directory reachable by both servers (required with -handoff-peer)")
 	flag.Parse()
 
 	c := &client{
@@ -102,6 +117,32 @@ func main() {
 		fatal(err)
 	}
 
+	var peer *client
+	handoffErr := make(chan error, 1)
+	if *handoffPeer != "" {
+		if *handoffBundle == "" {
+			fatal(fmt.Errorf("-handoff-peer requires -handoff-bundle"))
+		}
+		peer = &client{base: *handoffPeer, retries: *retries, http: c.http}
+		// The peer hosts the same tenant fleet, empty: the import splices
+		// the moving shard's state into its same-named tenant.
+		for i, name := range names {
+			code, _, err := peer.post("/v1/tenants", serve.CreateTenantRequest{
+				Name: name, Users: sizes[i], Items: *items, Options: []int{*options},
+			}, nil)
+			if err != nil {
+				fatal(fmt.Errorf("create %s on peer: %w", name, err))
+			}
+			if code != http.StatusCreated {
+				fatal(fmt.Errorf("create %s on peer: HTTP %d", name, code))
+			}
+		}
+		go func() {
+			time.Sleep(*duration / 2)
+			handoffErr <- runHandoff(c, peer, names[0], *handoffShard, *handoffBundle)
+		}()
+	}
+
 	fmt.Fprintf(os.Stderr, "hndload: driving %d workers for %v (read ratio %.2f, write batch %d)\n",
 		*concurrency, *duration, *readRatio, *writeBatch)
 	before, err := c.metrics()
@@ -115,6 +156,14 @@ func main() {
 	}
 
 	report(os.Stdout, os.Stderr, stats, *duration, before, after)
+	if peer != nil {
+		if err := <-handoffErr; err != nil {
+			fatal(fmt.Errorf("handoff: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "handoff: shard %d of %s moved to %s under load; %d writes fenced (429), %d redirected (307)\n",
+			*handoffShard, names[0], *handoffPeer,
+			after.WritesFenced-before.WritesFenced, after.WritesRedirected-before.WritesRedirected)
+	}
 	if stats.ok() == 0 {
 		fmt.Fprintln(os.Stderr, "hndload: no request succeeded")
 		os.Exit(1)
@@ -240,6 +289,37 @@ func (c *client) retryPost(rng *rand.Rand, path string, body, out any) (d time.D
 		time.Sleep(backoff(rng, retries, ra))
 		retries++
 	}
+}
+
+// runHandoff migrates one shard of a tenant from src to dst through the
+// admin handoff endpoints: export on the source (fence up), import +
+// commit on the target, then verify the committed owner. Load keeps
+// running throughout — that is the point.
+func runHandoff(src, dst *client, tenant string, shard int, bundle string) error {
+	var exp serve.HandoffResponse
+	code, _, err := src.post("/v1/admin/handoff", serve.HandoffRequest{
+		Tenant: tenant, Shard: shard, Action: "export", BundleDir: bundle, Target: dst.base,
+	}, &exp)
+	if err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("export: HTTP %d", code)
+	}
+	var imp serve.HandoffResponse
+	code, _, err = dst.post("/v1/admin/handoff", serve.HandoffRequest{
+		Tenant: tenant, Shard: shard, Action: "import", BundleDir: bundle, Owner: dst.base,
+	}, &imp)
+	if err != nil {
+		return fmt.Errorf("import: %w", err)
+	}
+	if code != http.StatusOK || !imp.Committed {
+		return fmt.Errorf("import: HTTP %d, committed=%v", code, imp.Committed)
+	}
+	if imp.FencedGeneration != exp.FencedGeneration {
+		return fmt.Errorf("fenced frontier moved: export %d, import %d", exp.FencedGeneration, imp.FencedGeneration)
+	}
+	return nil
 }
 
 // metrics fetches the server's /metrics snapshot.

@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	hndserver [-addr :8788] [-method HnD-power] [-shards 1] [-parallel 0]
-//	          [-batch 0] [-tol 1e-5] [-maxiter 20000] [-seed 0]
+//	hndserver [-addr :8788] [-method HnD-power] [-shards 1] [-ring]
+//	          [-parallel 0] [-batch 0] [-tol 1e-5] [-maxiter 20000] [-seed 0]
 //	          [-maxwrites 64] [-maxlag 0] [-maxtenants 1024]
 //	          [-max-staleness 0] [-refresh-interval 25ms]
 //	          [-drain-timeout 15s]
@@ -22,6 +22,8 @@
 //	POST /v1/rank          rank a tenant's users {tenant}
 //	POST /v1/rankbatch     rank several tenants {tenants:[...]}
 //	POST /v1/inferlabels   infer correct options {tenant} (unsharded only)
+//	POST /v1/admin/handoff shard migration step {tenant, shard, action, ...}
+//	POST /v1/admin/partition  shard ownership map {tenant}
 //	GET  /metrics          serve + engine counter snapshot
 //	GET  /healthz          200 "ok" serving / 503 "draining"
 //
@@ -50,6 +52,18 @@
 // -snapshot-every observations, and a restarted server recovers every
 // tenant at exactly its durable write generation — after kill -9, the
 // recovered generation in /metrics equals the pre-crash one.
+//
+// Durable servers can migrate one shard of a tenant to another hndserver
+// through POST /v1/admin/handoff: the source exports the shard as a
+// bundle (snapshot + fenced WAL tail) into a directory both processes can
+// reach, rejecting that shard's writes with 429 + Retry-After while the
+// move is pending; the target imports and commits; the source then
+// answers the moved shard's writes with 307 redirects to the new owner.
+// A crash at any point leaves exactly one authoritative owner, and a
+// restarted source recovers committed moves (still redirecting) while
+// retracting uncommitted exports (serving again). -ring switches sharded
+// tenants to a consistent-hash user partition, recorded per tenant in its
+// durable manifest.
 package main
 
 import (
@@ -75,6 +89,7 @@ func main() {
 	addr := flag.String("addr", ":8788", "listen address")
 	method := flag.String("method", "HnD-power", "ranking method every tenant serves (see hnd -list)")
 	shards := flag.Int("shards", 1, "engine shards per tenant (>1 hashes each tenant's users across a ShardedEngine)")
+	ring := flag.Bool("ring", false, "partition sharded tenants by consistent-hash ring instead of contiguous ranges (recorded per tenant; affects new tenants only)")
 	parallel := flag.Int("parallel", 0, "chunks per sparse kernel apply, run on the worker pool (0 = GOMAXPROCS, 1 = serial)")
 	batch := flag.Int("batch", 0, "max tenants/shards per packed block-diagonal solve (0 = unbounded)")
 	tol := flag.Float64("tol", 1e-5, "convergence tolerance for iterative methods")
@@ -99,9 +114,10 @@ func main() {
 		hitsndiffs.SetParallelism(*parallel)
 	}
 	srv, err := serve.New(serve.Config{
-		Method:    *method,
-		Shards:    *shards,
-		BatchSize: *batch,
+		Method:        *method,
+		Shards:        *shards,
+		RingPartition: *ring,
+		BatchSize:     *batch,
 		RankOptions: []hitsndiffs.Option{
 			hitsndiffs.WithTol(*tol),
 			hitsndiffs.WithMaxIter(*maxIter),

@@ -21,6 +21,7 @@ var doclintPackages = []string{
 	"internal/eigen",
 	"internal/experiments",
 	"internal/grmest",
+	"internal/handoff",
 	"internal/irt",
 	"internal/mat",
 	"internal/rank",

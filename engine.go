@@ -9,6 +9,7 @@ import (
 
 	"hitsndiffs/internal/core"
 	"hitsndiffs/internal/mat"
+	"hitsndiffs/internal/shard"
 	"hitsndiffs/internal/truth"
 )
 
@@ -72,6 +73,10 @@ type Engine struct {
 	// commits (see SetDurability). Guarded by mu.
 	persist WriteHook
 
+	// fenced rejects writes with ErrFenced while a shard handoff drains
+	// the WAL tail; reads keep serving the frozen state (see SetFenced).
+	fenced atomic.Bool
+
 	mu sync.RWMutex
 	// m is the current matrix. It is mutated in place only while shared is
 	// false; once a reader has taken it as a snapshot (shared true), the
@@ -120,14 +125,15 @@ func casMax(a *atomic.Uint64, v uint64) {
 type EngineOption func(*engineSettings)
 
 type engineSettings struct {
-	method      string
-	base        []Option
-	cold        bool
-	shards      int
-	poolSize    int
-	batchSize   int
-	updateCache bool
-	maxStale    uint64
+	method       string
+	base         []Option
+	cold         bool
+	shards       int
+	poolSize     int
+	batchSize    int
+	updateCache  bool
+	maxStale     uint64
+	ringReplicas int
 }
 
 // defaultEngineSettings seeds the option-merge state NewEngine and
@@ -161,6 +167,23 @@ func WithColdStart() EngineOption {
 // count is capped at the number of users). Plain NewEngine ignores it.
 func WithShards(n int) EngineOption {
 	return func(s *engineSettings) { s.shards = n }
+}
+
+// WithRingPartition makes NewShardedEngine partition users with a
+// consistent-hash ring (shard.Ring) of the given virtual-node replica
+// count per shard instead of the default modular hash, so re-partitioning
+// the same population at shards±1 reassigns only ~1/shards of the users —
+// the property cross-process shard rebalancing relies on. Pass replicas
+// <= 0 for the ring's default. The two partitions assign users
+// differently, so switching an existing durable deployment between them
+// is a re-shard, not a restart. Plain NewEngine ignores it.
+func WithRingPartition(replicas int) EngineOption {
+	return func(s *engineSettings) {
+		if replicas <= 0 {
+			replicas = shard.DefaultRingReplicas
+		}
+		s.ringReplicas = replicas
+	}
 }
 
 // WithPoolSize sizes the persistent kernel worker pool at engine
@@ -311,6 +334,69 @@ func (e *Engine) SetDurability(hook WriteHook) {
 	e.persist = hook
 }
 
+// ErrFenced reports a write rejected because the engine (or the shard the
+// write routes to) is fenced for a handoff: the WAL tail is being shipped
+// to the new owner and accepting the write would either lose it or apply
+// it twice. Callers should retry after a short delay — the serving tier
+// maps the error to HTTP 429 with Retry-After — or follow the redirect to
+// the new owner once the move commits.
+var ErrFenced = errors.New("hitsndiffs: shard fenced for handoff")
+
+// SetFenced fences (true) or unfences (false) the engine's write path.
+// While fenced, Observe and ObserveBatch fail with ErrFenced and nothing
+// reaches the durability hook or the matrix; reads — Rank, View,
+// InferLabels — keep serving the frozen state. Fencing is the middle
+// phase of a shard handoff: the exporter fences, ships the final WAL
+// tail, and either commits (the engine stays fenced, now owned elsewhere)
+// or aborts (unfence resumes writes with nothing lost).
+//
+// SetFenced(true) acquires the engine's write lock for the store, so it
+// returns only after every in-flight write has fully committed (matrix
+// and WAL) — the write generation is final the moment the fence is up,
+// which is what lets the exporter read the WAL tail once and know it is
+// complete.
+func (e *Engine) SetFenced(on bool) {
+	e.mu.Lock()
+	e.fenced.Store(on)
+	e.mu.Unlock()
+}
+
+// Fenced reports whether the engine currently rejects writes with
+// ErrFenced.
+func (e *Engine) Fenced() bool { return e.fenced.Load() }
+
+// Adopt replaces the engine's matrix with state imported from another
+// process — the commit step of a shard handoff on the receiving side.
+// Unlike Restore it is legal on an engine that already absorbed writes:
+// the version counter bumps so every cached result keyed to the old
+// matrix invalidates, and the write-generation counter continues from the
+// adopted matrix. Geometry must match. The matrix is deep-copied; the
+// caller's copy stays independent.
+func (e *Engine) Adopt(m *ResponseMatrix) error {
+	if m == nil {
+		return fmt.Errorf("hitsndiffs: Adopt needs a response matrix")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if m.Users() != e.m.Users() || m.Items() != e.m.Items() {
+		return fmt.Errorf("hitsndiffs: Adopt matrix is %dx%d, engine serves %dx%d",
+			m.Users(), m.Items(), e.m.Users(), e.m.Items())
+	}
+	for i := 0; i < e.m.Items(); i++ {
+		if m.OptionCount(i) != e.m.OptionCount(i) {
+			return fmt.Errorf("hitsndiffs: Adopt matrix item %d has %d options, engine serves %d",
+				i, m.OptionCount(i), e.m.OptionCount(i))
+		}
+	}
+	e.m = m.Clone()
+	e.shared.Store(false)
+	e.version++
+	e.cached = nil
+	e.lastScores = nil
+	e.upd, e.updFor, e.updGen = nil, nil, 0
+	return nil
+}
+
 // Restore replaces the engine's matrix with recovered state, preserving
 // the matrix's write-generation counter (the key durability is stamped
 // with). It refuses geometry mismatches and engines that already absorbed
@@ -377,6 +463,12 @@ func (e *Engine) ObserveBatch(obs []Observation) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// Fenced engines reject writes before validation and before the WAL:
+	// a fenced shard's log is mid-handoff, and a record appended past the
+	// shipped tail would be silently lost on the new owner.
+	if e.fenced.Load() {
+		return ErrFenced
+	}
 	for _, o := range obs {
 		if err := validateObservation(o, e.m.Users(), e.m.Items(), e.m.OptionCount); err != nil {
 			return err

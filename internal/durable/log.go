@@ -95,8 +95,9 @@ type Log struct {
 
 	recovery RecoveryStats
 
-	stop chan struct{} // closes the interval syncer
-	done chan struct{}
+	stop  chan struct{} // closes the interval syncer
+	done  chan struct{}
+	syncc chan struct{} // interval mode: 1-buffered completion signal per timer flush (test handshake)
 }
 
 // Open recovers the matrix persisted in dir (creating the directory on
@@ -148,6 +149,7 @@ func OpenClock(dir string, geom Geometry, policy Policy, clk testclock.Clock) (*
 	if policy.Mode == FsyncInterval {
 		l.stop = make(chan struct{})
 		l.done = make(chan struct{})
+		l.syncc = make(chan struct{}, 1)
 		go l.syncLoop(policy.intervalOrDefault())
 	}
 	return l, m, l.recovery, nil
@@ -454,6 +456,13 @@ func (l *Log) syncLoop(interval time.Duration) {
 				l.mu.Lock()
 				_ = l.syncLocked()
 				l.mu.Unlock()
+				// Completion handshake: tests advance the fake clock and then
+				// block here instead of polling the fsync counter. Non-blocking
+				// so an unread signal never stalls the syncer.
+				select {
+				case l.syncc <- struct{}{}:
+				default:
+				}
 			}
 		}
 	}
@@ -495,6 +504,74 @@ func (l *Log) Generation() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.gen
+}
+
+// TailSince returns every WAL record from generation gen (inclusive) to
+// the log's current frontier, verifying the chain is gapless: the first
+// returned record applies at exactly gen (unless the tail is empty
+// because the frontier IS gen) and each record starts where the previous
+// one ended. It is the export half of a shard handoff: the caller pairs a
+// snapshot at gen with this tail and the importer replays to the exact
+// frontier. The log must be healthy (no failed append) and gen must not
+// be ahead of the frontier; records from segments are re-read from disk,
+// so the caller sees exactly what a recovering process would.
+//
+// TailSince holds the log's lock only to copy the segment list and flush
+// the active segment, so concurrent appends are blocked just for the
+// flush — but callers moving a shard fence writes first, so the frontier
+// read here is final.
+func (l *Log) TailSince(gen uint64) ([]Record, error) {
+	l.mu.Lock()
+	if l.broken != nil {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", ErrBroken, l.broken)
+	}
+	// Flush buffered writes so the files below contain every appended
+	// record (interval/off policies may have dirty OS buffers; Sync also
+	// covers the metadata a reader of the same path needs).
+	if err := l.syncLocked(); err != nil {
+		l.mu.Unlock()
+		return nil, err
+	}
+	frontier := l.gen
+	segs := append([]segment(nil), l.segs...)
+	l.mu.Unlock()
+
+	if gen > frontier {
+		return nil, fmt.Errorf("durable: TailSince(%d) ahead of frontier %d", gen, frontier)
+	}
+	var tail []Record
+	next := gen
+	for _, seg := range segs {
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			return nil, fmt.Errorf("durable: read WAL segment: %w", err)
+		}
+		recs, valid, scanErr := ScanRecords(data)
+		if scanErr != nil || valid < len(data) {
+			// The live log wrote every frame fully (a torn append breaks the
+			// log and was excluded above), so any unparseable byte is
+			// corruption, not a torn tail.
+			return nil, fmt.Errorf("durable: segment %s: %w", filepath.Base(seg.path), ErrCorrupt)
+		}
+		for _, rec := range recs {
+			switch {
+			case rec.end() <= gen:
+				continue // covered by the caller's snapshot
+			case rec.Gen == next:
+				tail = append(tail, rec)
+				next = rec.end()
+			case rec.Gen < gen:
+				return nil, fmt.Errorf("durable: WAL record [%d,%d) straddles tail start %d", rec.Gen, rec.end(), gen)
+			default:
+				return nil, fmt.Errorf("durable: WAL tail gap: record at %d, expected %d", rec.Gen, next)
+			}
+		}
+	}
+	if next != frontier {
+		return nil, fmt.Errorf("durable: WAL tail ends at %d, frontier is %d (lost writes)", next, frontier)
+	}
+	return tail, nil
 }
 
 // Stats returns a point-in-time snapshot of the log's counters.

@@ -15,17 +15,17 @@ import (
 )
 
 // waitFsyncs waits for the interval syncer goroutine to drain the ticks a
-// fake-clock Advance delivered. The clock is deterministic; this only
-// bridges the goroutine handoff, so the deadline is generous and never
-// load-bearing.
+// fake-clock Advance delivered, blocking on the syncer's flush handshake
+// channel instead of polling. The clock is deterministic; the timeout is
+// generous and never load-bearing.
 func waitFsyncs(t *testing.T, l *Log, want uint64) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
 	for l.Stats().Fsyncs < want {
-		if time.Now().After(deadline) {
+		select {
+		case <-l.syncc:
+		case <-time.After(5 * time.Second):
 			t.Fatalf("interval syncer stuck at %d fsyncs, want %d", l.Stats().Fsyncs, want)
 		}
-		time.Sleep(100 * time.Microsecond)
 	}
 }
 
@@ -263,8 +263,11 @@ func TestIntervalSyncerExitsOnClose(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// The goroutine count is noisy (test runner, GC); allow slack but catch
-	// a leak of one goroutine per log.
+	// Close joins the syncer goroutine, but runtime.NumGoroutine may briefly
+	// still count an exiting goroutine — a runtime-internal teardown with no
+	// handshake to wait on, so this is the one place a bounded poll is the
+	// honest tool. The count is also noisy (test runner, GC); allow slack
+	// but catch a leak of one goroutine per log.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		runtime.GC()
@@ -506,6 +509,45 @@ func TestCrashRecoveryMatrix(t *testing.T) {
 			t.Fatalf("recovery with every snapshot corrupt: err = %v, want loud refusal", err)
 		}
 	})
+}
+
+// TestRecoveryFromSnapshotAheadOfTail pins the shard-handoff rebase
+// shape: a directory whose newest snapshot is AHEAD of every WAL record —
+// what an importing owner's log dir looks like after the transferred
+// state is written as its seed snapshot over an older local history.
+// Recovery must trust the snapshot, skip the entire (covered) tail, and
+// resume appends at the snapshot's generation.
+func TestRecoveryFromSnapshotAheadOfTail(t *testing.T) {
+	dir := t.TempDir()
+	l, m, _, err := Open(dir, testGeom(), Policy{Mode: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range testBatches() {
+		logBatch(t, l, m, b)
+	}
+	l.Close()
+	ahead := m.Clone()
+	ahead.SetAnswer(0, 1, 2)
+	ahead.SetAnswer(1, 1, 0)
+	if _, err := writeSnapshotFile(dir, ahead); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, m2, rs, err := Open(dir, testGeom(), Policy{Mode: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	sameMatrix(t, m2, ahead)
+	if rs.RecoveredGeneration != ahead.Generation() || rs.ReplayedRecords != 0 {
+		t.Fatalf("recovery stats %+v, want generation %d with 0 replayed records", rs, ahead.Generation())
+	}
+	// The chain continues from the snapshot generation.
+	logBatch(t, l2, m2, []Op{{User: 2, Item: 0, Option: 1}})
+	if got := l2.Stats().Generation; got != ahead.Generation()+1 {
+		t.Fatalf("post-rebase append reached generation %d, want %d", got, ahead.Generation()+1)
+	}
 }
 
 // TestRecoveryRefusesWrongGeometry pins that a log directory cannot be

@@ -111,6 +111,43 @@ func readSnapshotFile(dir string, gen uint64, geom Geometry) (*response.Matrix, 
 	return m, nil
 }
 
+// WriteSnapshotInto durably writes m's binary snapshot into dir (created
+// if missing) under its generation-stamped name, with the same
+// temp+fsync+rename+dirsync discipline the log's own checkpoints use. It
+// is the building block shard handoff shares with the Log: the exporter
+// writes a COW view into the transfer bundle, and the importer seeds the
+// new owner's log directory so a subsequent Open recovers at exactly the
+// transferred generation.
+func WriteSnapshotInto(dir string, m *response.Matrix) (uint64, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("durable: create snapshot dir: %w", err)
+	}
+	return writeSnapshotFile(dir, m)
+}
+
+// ReadSnapshotAt loads the snapshot at one generation from dir and
+// validates it against the expected geometry — checksum, shape, and the
+// generation stamped inside the file must all agree.
+func ReadSnapshotAt(dir string, gen uint64, geom Geometry) (*response.Matrix, error) {
+	return readSnapshotFile(dir, gen, geom)
+}
+
+// ListSnapshotGens returns the generations of every snapshot file in dir,
+// ascending. It only parses names; the files may still fail checksum on
+// read.
+func ListSnapshotGens(dir string) ([]uint64, error) {
+	return listGens(dir, "snap-", ".hnds")
+}
+
+// SegmentFileName returns the on-disk name of a WAL segment starting at
+// gen — exported so the handoff bundle can reuse the log's naming and a
+// bundle directory reads like a log directory.
+func SegmentFileName(gen uint64) string { return segmentName(gen) }
+
+// SnapshotFileName returns the on-disk name of a snapshot at gen (see
+// SegmentFileName).
+func SnapshotFileName(gen uint64) string { return snapshotName(gen) }
+
 // syncDir fsyncs a directory, making renames and removals in it durable.
 func syncDir(dir string) error {
 	d, err := os.Open(dir)

@@ -65,6 +65,14 @@ func appendFrame(dst []byte, rec Record) []byte {
 	return dst
 }
 
+// EncodeRecord marshals rec as one framed WAL record onto dst and returns
+// the extended slice — the exported counterpart of the log's own append
+// framing, so a shard-handoff bundle can ship a WAL tail in exactly the
+// format ScanRecords reads back.
+func EncodeRecord(dst []byte, rec Record) []byte {
+	return appendFrame(dst, rec)
+}
+
 // parsePayload decodes one record payload (already CRC-verified).
 func parsePayload(p []byte) (Record, error) {
 	if len(p) == 0 || p[0] != walFormat {

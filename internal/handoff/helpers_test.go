@@ -1,0 +1,116 @@
+package handoff_test
+
+import (
+	"math"
+	"testing"
+
+	"hitsndiffs"
+	"hitsndiffs/internal/durable"
+	"hitsndiffs/internal/response"
+)
+
+// walHook adapts a durable.Log to the engine write hook — the same
+// adapter the serving tier installs. Sharded engines hand the hook
+// shard-local user indices, so each shard's WAL replays against its own
+// geometry.
+func walHook(l *durable.Log) hitsndiffs.WriteHook {
+	return func(gen uint64, obs []hitsndiffs.Observation) error {
+		ops := make([]durable.Op, len(obs))
+		for i, o := range obs {
+			ops[i] = durable.Op{User: o.User, Item: o.Item, Option: o.Option}
+		}
+		return l.Append(gen, ops)
+	}
+}
+
+// scriptedBatches is a deterministic write history over a users×items
+// matrix with k options per item, including retractions. Batch b is a
+// pure function of (b, users, items, k), so every engine fed the same
+// prefix holds bitwise-identical state.
+func scriptedBatches(n, users, items, k int) [][]hitsndiffs.Observation {
+	batches := make([][]hitsndiffs.Observation, n)
+	for b := range batches {
+		var obs []hitsndiffs.Observation
+		for j := 0; j < 5; j++ {
+			obs = append(obs, hitsndiffs.Observation{
+				User:   (b*13 + j*7) % users,
+				Item:   (b + 3*j) % items,
+				Option: (b*j + b + 2*j) % k,
+			})
+		}
+		if b%5 == 4 {
+			obs = append(obs, hitsndiffs.Observation{User: (b * 11) % users, Item: b % items, Option: hitsndiffs.Unanswered})
+		}
+		batches[b] = obs
+	}
+	return batches
+}
+
+// csrForm is the read surface shared by the one-hot and normalized CSRs.
+type csrForm interface {
+	Rows() int
+	Cols() int
+	RowNNZ(int) ([]int, []float64)
+}
+
+// requireSameCSR fails t unless the two CSRs agree bitwise.
+func requireSameCSR(t *testing.T, name string, a, b csrForm) {
+	t.Helper()
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() {
+		t.Fatalf("%s: CSR shape mismatch", name)
+	}
+	for r := 0; r < a.Rows(); r++ {
+		ca, va := a.RowNNZ(r)
+		cb, vb := b.RowNNZ(r)
+		if len(ca) != len(cb) {
+			t.Fatalf("%s: row %d nnz %d != %d", name, r, len(ca), len(cb))
+		}
+		for j := range ca {
+			if ca[j] != cb[j] || math.Float64bits(va[j]) != math.Float64bits(vb[j]) {
+				t.Fatalf("%s: row %d entry %d differs", name, r, j)
+			}
+		}
+	}
+}
+
+// requireSameMatrix fails t unless the two matrices agree on every cell,
+// on the write generation, and on the bitwise content of their memoized
+// one-hot and normalized forms — the transferred-shard proof obligation.
+func requireSameMatrix(t *testing.T, name string, got, want *response.Matrix) {
+	t.Helper()
+	if got.Users() != want.Users() || got.Items() != want.Items() {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", name, got.Users(), got.Items(), want.Users(), want.Items())
+	}
+	for u := 0; u < want.Users(); u++ {
+		for i := 0; i < want.Items(); i++ {
+			if got.Answer(u, i) != want.Answer(u, i) {
+				t.Fatalf("%s: cell (%d,%d) = %d, want %d", name, u, i, got.Answer(u, i), want.Answer(u, i))
+			}
+		}
+	}
+	if got.Generation() != want.Generation() {
+		t.Fatalf("%s: generation %d, want %d", name, got.Generation(), want.Generation())
+	}
+	requireSameCSR(t, name+"/binary", got.Binary(), want.Binary())
+	_, gRow, gCol := got.Normalized()
+	_, wRow, wCol := want.Normalized()
+	requireSameCSR(t, name+"/norm-row", gRow, wRow)
+	requireSameCSR(t, name+"/norm-col", gCol, wCol)
+}
+
+// requireSameScores fails t unless two rankings are bitwise identical,
+// including the solve trace.
+func requireSameScores(t *testing.T, got, want hitsndiffs.Result) {
+	t.Helper()
+	if len(got.Scores) != len(want.Scores) {
+		t.Fatalf("score length %d, want %d", len(got.Scores), len(want.Scores))
+	}
+	for i := range want.Scores {
+		if math.Float64bits(got.Scores[i]) != math.Float64bits(want.Scores[i]) {
+			t.Fatalf("score %d = %x, want %x", i, math.Float64bits(got.Scores[i]), math.Float64bits(want.Scores[i]))
+		}
+	}
+	if got.Iterations != want.Iterations || got.Converged != want.Converged {
+		t.Fatalf("solve trace (%d, %v), want (%d, %v)", got.Iterations, got.Converged, want.Iterations, want.Converged)
+	}
+}

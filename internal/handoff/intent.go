@@ -1,0 +1,89 @@
+package handoff
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Intent is the source-side durable record of an in-flight handoff,
+// written into the source's tenant directory when the fence goes up and
+// before the bundle manifest publishes. On restart the source scans its
+// intents and resolves each against the bundle's owner record: committed
+// means the shard moved (stay fenced, redirect writes to the owner);
+// uncommitted means the handoff died mid-flight (drop the intent and
+// serve normally — the in-memory fence died with the process, and the
+// bundle without an owner record is debris).
+type Intent struct {
+	// Shard is the moving shard's index within the tenant.
+	Shard int `json:"shard"`
+	// BundleDir is the bundle directory the export writes into — the
+	// rendezvous the owner record is resolved from.
+	BundleDir string `json:"bundle_dir"`
+	// Target is the intended new owner (the serving tier records the
+	// target's base URL).
+	Target string `json:"target"`
+}
+
+// intentName returns the intent filename for a shard, zero-padded so a
+// directory listing sorts by shard.
+func intentName(shard int) string { return fmt.Sprintf("handoff-%03d.json", shard) }
+
+// WriteIntent durably records an in-flight handoff of one shard in dir
+// (the source's tenant directory), with the same atomic-publish
+// discipline as the bundle manifest.
+func WriteIntent(dir string, in Intent) error {
+	data, err := json.MarshalIndent(in, "", "  ")
+	if err != nil {
+		return fmt.Errorf("handoff: marshal intent: %w", err)
+	}
+	if err := writeFileAtomic(dir, intentName(in.Shard), data); err != nil {
+		return fmt.Errorf("handoff: write intent: %w", err)
+	}
+	return nil
+}
+
+// RemoveIntent deletes a shard's intent record — the end of an aborted
+// handoff. Removing a missing intent is not an error.
+func RemoveIntent(dir string, shard int) error {
+	if err := os.Remove(filepath.Join(dir, intentName(shard))); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("handoff: remove intent: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// ListIntents returns every intent recorded in dir, ordered by shard. An
+// unparsable intent file is an error: intents are written atomically, so
+// damage means filesystem trouble, not a crash window.
+func ListIntents(dir string) ([]Intent, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("handoff: list intents: %w", err)
+	}
+	var out []Intent
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "handoff-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		if _, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "handoff-"), ".json")); err != nil {
+			continue // not an intent record (e.g. a temp file)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("handoff: read intent %s: %w", name, err)
+		}
+		var in Intent
+		if err := json.Unmarshal(data, &in); err != nil {
+			return nil, fmt.Errorf("handoff: intent %s unparsable: %w", name, err)
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}

@@ -6,7 +6,6 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
-	"time"
 
 	"hitsndiffs"
 	"hitsndiffs/internal/mat"
@@ -103,6 +102,17 @@ func TestFlightGroupCoalesces(t *testing.T) {
 			}
 		}
 	}
+	// The onWait seam signals once every follower is parked at the
+	// coalescing select, so the leader finishes only after all of them
+	// are committed to sharing its flight — no timing assumption; a
+	// straggler re-running fn would still trip the exact-count assertion.
+	var parked atomic.Int64
+	allParked := make(chan struct{})
+	g.onWait = func() {
+		if parked.Add(1) == followers {
+			close(allParked)
+		}
+	}
 	wg.Add(1)
 	go run() // the leader: blocks inside fn until finish closes
 	<-entered
@@ -110,10 +120,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 		wg.Add(1)
 		go run()
 	}
-	// Give the followers time to reach the coalescing select; a straggler
-	// arriving after the flight completes would re-run fn (a second
-	// "leader"), which the exact-count assertion below would catch.
-	time.Sleep(100 * time.Millisecond)
+	<-allParked
 	close(finish)
 	wg.Wait()
 	if calls.Load() != 1 || leaders.Load() != 1 {

@@ -147,6 +147,95 @@ type InferLabelsResponse struct {
 	Labels []int `json:"labels"`
 }
 
+// HandoffRequest is the body of POST /v1/admin/handoff — one step of the
+// cross-process shard migration protocol. Action selects the step:
+//
+//	"export"  (source) snapshot + fence the shard and publish the bundle;
+//	          the shard rejects writes with 429 until abort or commit
+//	"import"  (target) validate the bundle, adopt the state into this
+//	          server's same-named tenant, and publish the owner record
+//	"abort"   (source) cancel an in-flight export and resume writes
+//	"status"  resolve who owns the bundle's shard
+//
+// The bundle directory must be reachable from both processes (a shared
+// filesystem or a copied directory).
+type HandoffRequest struct {
+	// Tenant names the tenant whose shard is moving.
+	Tenant string `json:"tenant"`
+	// Shard is the moving shard's index (0 for unsharded tenants).
+	Shard int `json:"shard"`
+	// Action is one of "export", "import", "abort", "status".
+	Action string `json:"action"`
+	// BundleDir is the bundle directory the export writes and the import
+	// reads.
+	BundleDir string `json:"bundle_dir"`
+	// Target, on export, records the intended new owner (its base URL) in
+	// the source's durable intent — the address fenced writes redirect to
+	// once the move commits.
+	Target string `json:"target"`
+	// Owner, on import, is the identity the target commits as — its own
+	// base URL, which sources use as the redirect Location.
+	Owner string `json:"owner"`
+}
+
+// HandoffResponse is the body of a successful admin/handoff call.
+type HandoffResponse struct {
+	// Tenant and Shard echo the request.
+	Tenant string `json:"tenant"`
+	// Shard is the moving shard's index.
+	Shard int `json:"shard"`
+	// Phase reports the step completed: "exported", "imported",
+	// "aborted", or "status".
+	Phase string `json:"phase"`
+	// SnapshotGeneration and FencedGeneration are the bundle's generation
+	// bounds (export/import).
+	SnapshotGeneration uint64 `json:"snapshot_generation,omitempty"`
+	// FencedGeneration is the write frontier the shard was fenced at.
+	FencedGeneration uint64 `json:"fenced_generation,omitempty"`
+	// TailRecords counts the WAL records shipped after the snapshot.
+	TailRecords int `json:"tail_records,omitempty"`
+	// Owner is the committed owner identity (import/status), empty while
+	// uncommitted.
+	Owner string `json:"owner,omitempty"`
+	// Committed reports whether the owner record has been published.
+	Committed bool `json:"committed"`
+}
+
+// PartitionRequest is the body of POST /v1/admin/partition: report one
+// tenant's user-to-shard ownership map.
+type PartitionRequest struct {
+	// Tenant names the tenant to inspect.
+	Tenant string `json:"tenant"`
+}
+
+// ShardOwnershipInfo is one shard's row in a PartitionResponse.
+type ShardOwnershipInfo struct {
+	// Shard is the shard index.
+	Shard int `json:"shard"`
+	// Users is the number of users the shard owns.
+	Users int `json:"users"`
+	// Generation is the shard's write-generation frontier.
+	Generation uint64 `json:"generation"`
+	// Fenced reports whether the shard currently rejects writes for a
+	// handoff.
+	Fenced bool `json:"fenced"`
+	// MovedTo is the committed new owner's identity once the shard has
+	// migrated away; writes are redirected there with 307.
+	MovedTo string `json:"moved_to,omitempty"`
+}
+
+// PartitionResponse is the body of a successful admin/partition call.
+type PartitionResponse struct {
+	// Tenant echoes the inspected tenant.
+	Tenant string `json:"tenant"`
+	// Users is the tenant's total user count.
+	Users int `json:"users"`
+	// Shards is the tenant's shard count.
+	Shards int `json:"shards"`
+	// Partition holds one row per shard.
+	Partition []ShardOwnershipInfo `json:"partition"`
+}
+
 // ErrorResponse is the JSON body of every non-2xx response.
 type ErrorResponse struct {
 	// Error is the human-readable failure description.

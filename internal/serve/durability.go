@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"hitsndiffs"
@@ -46,18 +47,41 @@ type manifest struct {
 	// partition depends only on it and Users, so recovery rebuilds the
 	// exact same per-shard geometry).
 	Shards int `json:"shards"`
+	// Ring records whether the tenant's users are partitioned by the
+	// consistent-hash ring rather than contiguously. Persisted so recovery
+	// rebuilds the exact same user→shard map regardless of the server's
+	// current -ring flag (switching partitions is a re-shard, not a
+	// restart).
+	Ring bool `json:"ring,omitempty"`
 }
 
 // tenantDurability is one tenant's persistence state: one log per shard
-// plus the background-snapshot trigger.
+// plus the background-snapshot trigger. A shard handoff import swaps a
+// slot of logs for the spliced log, so every reader goes through mu.
 type tenantDurability struct {
+	mu    sync.RWMutex
 	logs  []*durable.Log // shard order; len 1 for unsharded tenants
 	every uint64         // observations between background snapshots
 
 	since        atomic.Uint64 // observations applied since the last snapshot
 	snapshotting atomic.Bool   // one background snapshot in flight at a time
+	snapWG       sync.WaitGroup
 	snapErrors   atomic.Uint64
 	recovery     durable.RecoveryStats // aggregated over shards at startup
+}
+
+// log returns one shard's durable log.
+func (d *tenantDurability) log(sh int) *durable.Log {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.logs[sh]
+}
+
+// setLog swaps one shard's durable log (the handoff import splice).
+func (d *tenantDurability) setLog(sh int, l *durable.Log) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.logs[sh] = l
 }
 
 // validTenantDirName reports whether a tenant name is safe to use as a
@@ -220,11 +244,17 @@ func (s *Server) recoverTenants() error {
 		}
 		t, err := s.buildTenant(CreateTenantRequest{
 			Name: man.Name, Users: man.Users, Items: man.Items, Options: man.Options,
-		}, man.Shards)
+		}, man.Shards, man.Ring)
 		if err != nil {
 			return fmt.Errorf("serve: recover tenant %q: %w", man.Name, err)
 		}
 		if err := s.attachDurability(t, man); err != nil {
+			return err
+		}
+		// Replay durable handoff intents: committed moves re-fence and
+		// redirect, uncommitted exports are retracted before writes resume.
+		if err := s.recoverHandoffState(t); err != nil {
+			t.dur.close()
 			return err
 		}
 		s.tenants[t.name] = t
@@ -249,7 +279,9 @@ func (t *tenant) noteApplied(n int) {
 		return
 	}
 	d.since.Store(0)
+	d.snapWG.Add(1)
 	go func() {
+		defer d.snapWG.Done()
 		defer d.snapshotting.Store(false)
 		t.snapshotNow()
 	}()
@@ -257,28 +289,35 @@ func (t *tenant) noteApplied(n int) {
 
 // snapshotNow checkpoints every shard of the tenant from copy-on-write
 // views. Failures are counted, not fatal: the WAL still holds every write.
+// Each shard's log is re-read under the slot lock so a concurrent handoff
+// splice never hands the snapshotter a closed log.
 func (t *tenant) snapshotNow() {
 	d := t.dur
 	if t.sharded != nil {
 		views, _ := t.sharded.View()
-		for sh, l := range d.logs {
-			if err := l.WriteSnapshot(views[sh]); err != nil {
+		for sh := range views {
+			if err := d.log(sh).WriteSnapshot(views[sh]); err != nil {
 				d.snapErrors.Add(1)
 			}
 		}
 		return
 	}
 	view, _ := t.engine.View()
-	if err := d.logs[0].WriteSnapshot(view); err != nil {
+	if err := d.log(0).WriteSnapshot(view); err != nil {
 		d.snapErrors.Add(1)
 	}
 }
 
-// close flushes and closes the tenant's logs (nil-safe).
+// close flushes and closes the tenant's logs (nil-safe), first waiting
+// out any background snapshot in flight so the close never races a
+// checkpoint's temp files.
 func (d *tenantDurability) close() {
 	if d == nil {
 		return
 	}
+	d.snapWG.Wait()
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	for _, l := range d.logs {
 		if l != nil {
 			l.Close()
@@ -288,6 +327,8 @@ func (d *tenantDurability) close() {
 
 // stats aggregates the per-shard log counters into one tenant view.
 func (d *tenantDurability) stats() durable.Stats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	var agg durable.Stats
 	for _, l := range d.logs {
 		st := l.Stats()

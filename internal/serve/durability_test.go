@@ -6,7 +6,6 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
-	"time"
 
 	"hitsndiffs"
 	"hitsndiffs/internal/durable"
@@ -141,26 +140,21 @@ func TestDurableBackgroundSnapshot(t *testing.T) {
 	dir := t.TempDir()
 	cfg := durableConfig(dir)
 	cfg.SnapshotEvery = 8
-	_, c := newTestServer(t, cfg)
+	srv, c := newTestServer(t, cfg)
 	c.mustCreate("snappy", 20, 6, 3)
 	for round := 0; round < 10; round++ {
 		c.mustObserve("snappy", durabilityBatch(round))
 	}
-	// Open wrote the first checkpoint; the write volume above must trigger
-	// at least one more, asynchronously.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		dur := tenantDurabilityOf(t, c, "snappy")
-		if dur.Stats.Snapshots >= 2 && dur.Stats.SnapshotGeneration > 0 {
-			if dur.SnapshotErrors != 0 {
-				t.Fatalf("background snapshotter reported %d errors", dur.SnapshotErrors)
-			}
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("background snapshot never landed: %+v", dur.Stats)
-		}
-		time.Sleep(10 * time.Millisecond)
+	// Open wrote the first checkpoint; the write volume above crossed the
+	// cadence, so at least one background snapshot was launched before the
+	// last observe returned — join it and assert, no polling.
+	srv.WaitBackgroundSnapshots("snappy")
+	dur := tenantDurabilityOf(t, c, "snappy")
+	if dur.Stats.Snapshots < 2 || dur.Stats.SnapshotGeneration == 0 {
+		t.Fatalf("background snapshot never landed: %+v", dur.Stats)
+	}
+	if dur.SnapshotErrors != 0 {
+		t.Fatalf("background snapshotter reported %d errors", dur.SnapshotErrors)
 	}
 }
 

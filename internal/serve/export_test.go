@@ -1,0 +1,16 @@
+package serve
+
+// WaitBackgroundSnapshots blocks until the named tenant has no background
+// snapshot in flight — the handshake the black-box tests use instead of
+// polling /metrics on a timer. The snapshot goroutine is registered with
+// the tenant's wait group synchronously inside the observe call that
+// trips the cadence, so a caller that has seen its writes acknowledged
+// waits on every checkpoint those writes triggered.
+func (s *Server) WaitBackgroundSnapshots(name string) {
+	s.mu.RLock()
+	t := s.tenants[name]
+	s.mu.RUnlock()
+	if t != nil && t.dur != nil {
+		t.dur.snapWG.Wait()
+	}
+}

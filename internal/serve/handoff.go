@@ -1,0 +1,482 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sync"
+
+	"hitsndiffs"
+	"hitsndiffs/internal/durable"
+	"hitsndiffs/internal/handoff"
+)
+
+// Shard handoff at the serving tier: POST /v1/admin/handoff drives the
+// internal/handoff protocol across two servers sharing the bundle
+// directory. The source exports (snapshot + fence + publish) and records
+// a durable intent in its tenant directory; the target imports (validate
+// + adopt + commit). Until the move commits, writes hitting the fenced
+// shard get 429 + Retry-After; once the owner record is published they
+// get 307 redirects to the new owner. A source restart replays its
+// intents: committed moves stay fenced and redirecting, uncommitted ones
+// are retracted and the shard serves normally — the same
+// exactly-one-authoritative-owner rule the handoff package's crash
+// matrix proves at the file level.
+
+// ownership is one tenant's shard-migration state. The zero value means
+// no shard is moving; maps are allocated lazily under mu.
+type ownership struct {
+	mu sync.Mutex
+	// exports holds in-flight exports by shard (this process is the
+	// source and the fence is up).
+	exports map[int]*handoff.Handoff
+	// intents mirrors the durable intent records by shard.
+	intents map[int]handoff.Intent
+	// moved records shards whose move has committed: shard → new owner.
+	moved map[int]string
+}
+
+// noteExport records an in-flight export and its durable intent.
+func (o *ownership) noteExport(sh int, h *handoff.Handoff, in handoff.Intent) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.exports == nil {
+		o.exports = make(map[int]*handoff.Handoff)
+		o.intents = make(map[int]handoff.Intent)
+	}
+	o.exports[sh] = h
+	o.intents[sh] = in
+}
+
+// noteMoved records a committed migration of one shard.
+func (o *ownership) noteMoved(sh int, owner string, in handoff.Intent) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.moved == nil {
+		o.moved = make(map[int]string)
+	}
+	o.moved[sh] = owner
+	if o.intents == nil {
+		o.intents = make(map[int]handoff.Intent)
+	}
+	o.intents[sh] = in
+}
+
+// clear drops a shard's export state after an abort.
+func (o *ownership) clear(sh int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	delete(o.exports, sh)
+	delete(o.intents, sh)
+}
+
+// export returns the in-flight export for a shard, if any.
+func (o *ownership) export(sh int) (*handoff.Handoff, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	h, ok := o.exports[sh]
+	return h, ok
+}
+
+// movedTo reports the committed new owner of a shard, if the move has
+// been observed. With the shard still pending (fenced, uncommitted) it
+// resolves the bundle's owner record — the commit may have landed from
+// the other process since the last write — and caches a commit it finds.
+func (o *ownership) movedTo(sh int) (string, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if owner, ok := o.moved[sh]; ok {
+		return owner, true
+	}
+	in, ok := o.intents[sh]
+	if !ok {
+		return "", false
+	}
+	owner, committed, err := handoff.Resolve(in.BundleDir)
+	if err != nil || !committed {
+		return "", false
+	}
+	if o.moved == nil {
+		o.moved = make(map[int]string)
+	}
+	o.moved[sh] = owner
+	return owner, true
+}
+
+// redirectError reports a write routed to a shard that has migrated away;
+// the HTTP layer renders it as 307 with the new owner in Location.
+type redirectError struct {
+	location string
+}
+
+// Error implements error.
+func (e *redirectError) Error() string {
+	return fmt.Sprintf("shard has moved; retry at %s", e.location)
+}
+
+// fencedError maps an ErrFenced write rejection to its client-facing
+// form: 307 to the new owner once the move has committed, 429 +
+// Retry-After while the fence is still pending (the client retries here
+// until the commit or abort settles it).
+func (s *Server) fencedError(t *tenant, path string, obs []hitsndiffs.Observation) error {
+	for sh := range t.shards {
+		if !t.shardFenced(sh) || !s.obsTouch(t, sh, obs) {
+			continue
+		}
+		if owner, ok := t.own.movedTo(sh); ok {
+			s.ctr.redirectedWrites.Add(1)
+			return &redirectError{location: owner + path}
+		}
+	}
+	s.ctr.fencedWrites.Add(1)
+	return &apiError{http.StatusTooManyRequests, "shard is fenced for migration; retry shortly"}
+}
+
+// shardFenced reports whether one shard of the tenant is fenced.
+func (t *tenant) shardFenced(sh int) bool {
+	if t.sharded != nil {
+		return t.sharded.ShardFenced(sh)
+	}
+	return t.engine.Fenced()
+}
+
+// obsTouch reports whether any observation in the batch routes to shard sh.
+func (s *Server) obsTouch(t *tenant, sh int, obs []hitsndiffs.Observation) bool {
+	if t.sharded == nil {
+		return true // one shard owns everything
+	}
+	for _, o := range obs {
+		if o.User >= 0 && o.User < t.backend.Users() && t.sharded.ShardFor(o.User) == sh {
+			return true
+		}
+	}
+	return false
+}
+
+// shardGeneration returns one shard's write frontier.
+func (t *tenant) shardGeneration(sh int) uint64 {
+	if t.sharded != nil {
+		g, _ := t.sharded.ShardGeneration(sh)
+		return g
+	}
+	return t.engine.Generation()
+}
+
+// handoffSource builds the exporter's Source for one shard of a tenant.
+func (t *tenant) handoffSource(sh int) handoff.Source {
+	if t.sharded != nil {
+		return handoff.ShardSource{Engine: t.sharded, Shard: sh, Log: t.dur.log(sh)}
+	}
+	return handoff.EngineSource{Engine: t.engine, Log: t.dur.log(0)}
+}
+
+// adminHandoffTenant resolves and validates the tenant/shard named by an
+// admin handoff request.
+func (s *Server) adminHandoffTenant(req HandoffRequest) (*tenant, error) {
+	t, err := s.lookup(req.Tenant)
+	if err != nil {
+		return nil, err
+	}
+	if t.dur == nil {
+		return nil, &apiError{http.StatusUnprocessableEntity,
+			"shard handoff requires a durable server (start with -data-dir)"}
+	}
+	if req.Shard < 0 || req.Shard >= t.shards {
+		return nil, &apiError{http.StatusBadRequest,
+			fmt.Sprintf("shard %d out of range [0,%d)", req.Shard, t.shards)}
+	}
+	if req.BundleDir == "" {
+		return nil, &apiError{http.StatusBadRequest, "bundle_dir must be non-empty"}
+	}
+	return t, nil
+}
+
+// handleAdminHandoff is POST /v1/admin/handoff.
+func (s *Server) handleAdminHandoff(w http.ResponseWriter, r *http.Request) {
+	var req HandoffRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	var resp HandoffResponse
+	var err error
+	switch req.Action {
+	case "export":
+		resp, err = s.handoffExport(req)
+	case "import":
+		resp, err = s.handoffImport(req)
+	case "abort":
+		resp, err = s.handoffAbort(req)
+	case "status":
+		resp, err = s.handoffStatus(req)
+	default:
+		err = &apiError{http.StatusBadRequest,
+			fmt.Sprintf("unknown handoff action %q (want export, import, abort, or status)", req.Action)}
+	}
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handoffExport runs the source side: prepare (snapshot off a COW view),
+// fence (final WAL tail + manifest publish), and the durable intent
+// record. On success the shard stays fenced — its writes 429 until the
+// target commits (redirects begin) or an abort resumes them.
+func (s *Server) handoffExport(req HandoffRequest) (HandoffResponse, error) {
+	t, err := s.adminHandoffTenant(req)
+	if err != nil {
+		return HandoffResponse{}, err
+	}
+	if _, busy := t.own.export(req.Shard); busy {
+		return HandoffResponse{}, &apiError{http.StatusConflict,
+			fmt.Sprintf("shard %d already has a handoff in flight", req.Shard)}
+	}
+	h := handoff.New(req.BundleDir, t.name, req.Shard, t.handoffSource(req.Shard))
+	if err := h.Prepare(); err != nil {
+		return HandoffResponse{}, &apiError{http.StatusInternalServerError, err.Error()}
+	}
+	if err := h.Fence(); err != nil {
+		return HandoffResponse{}, &apiError{http.StatusInternalServerError, err.Error()}
+	}
+	in := handoff.Intent{Shard: req.Shard, BundleDir: req.BundleDir, Target: req.Target}
+	if err := handoff.WriteIntent(filepath.Join(s.cfg.DataDir, t.name), in); err != nil {
+		// Without the durable intent a restart would forget the fence and
+		// fork history once the target commits; undo the export instead.
+		if aerr := h.Abort(); aerr != nil {
+			return HandoffResponse{}, &apiError{http.StatusInternalServerError,
+				fmt.Sprintf("%v (and abort failed: %v)", err, aerr)}
+		}
+		return HandoffResponse{}, &apiError{http.StatusInternalServerError, err.Error()}
+	}
+	t.own.noteExport(req.Shard, h, in)
+	man := h.Manifest()
+	return HandoffResponse{
+		Tenant: t.name, Shard: req.Shard, Phase: "exported",
+		SnapshotGeneration: man.SnapshotGeneration,
+		FencedGeneration:   man.FencedGeneration,
+		TailRecords:        man.TailRecords,
+	}, nil
+}
+
+// handoffImport runs the target side: validate the bundle, splice the
+// imported state into this server's same-named tenant as the shard's
+// newest snapshot, swap the shard's log and matrix, and publish the
+// owner record. The target shard must be empty (no divergent local
+// history) — adopting over independent writes would silently fork.
+func (s *Server) handoffImport(req HandoffRequest) (HandoffResponse, error) {
+	t, err := s.adminHandoffTenant(req)
+	if err != nil {
+		return HandoffResponse{}, err
+	}
+	if req.Owner == "" {
+		return HandoffResponse{}, &apiError{http.StatusBadRequest,
+			"import needs owner (this server's base URL, the redirect address)"}
+	}
+	m, man, err := handoff.Import(req.BundleDir)
+	switch {
+	case errors.Is(err, handoff.ErrNoBundle):
+		return HandoffResponse{}, &apiError{http.StatusConflict, err.Error()}
+	case errors.Is(err, handoff.ErrBundleCorrupt):
+		return HandoffResponse{}, &apiError{http.StatusUnprocessableEntity, err.Error()}
+	case err != nil:
+		return HandoffResponse{}, &apiError{http.StatusInternalServerError, err.Error()}
+	}
+	if man.Shard != req.Shard {
+		return HandoffResponse{}, &apiError{http.StatusBadRequest,
+			fmt.Sprintf("bundle holds shard %d, request names shard %d", man.Shard, req.Shard)}
+	}
+	shardUsers := t.backend.Users()
+	if t.sharded != nil {
+		shardUsers = len(t.sharded.UsersOf(req.Shard))
+	}
+	if man.Users != shardUsers || man.Items != t.backend.Items() {
+		return HandoffResponse{}, &apiError{http.StatusUnprocessableEntity,
+			fmt.Sprintf("bundle geometry %dx%d does not match target shard %dx%d",
+				man.Users, man.Items, shardUsers, t.backend.Items())}
+	}
+	if g := t.shardGeneration(req.Shard); g != 0 {
+		return HandoffResponse{}, &apiError{http.StatusConflict,
+			fmt.Sprintf("target shard has local history at generation %d; adopting would fork", g)}
+	}
+	// Swap under a fence so no write interleaves with the log exchange.
+	t.setShardFenced(req.Shard, true)
+	if err := s.spliceShard(t, req.Shard, m, man); err != nil {
+		t.setShardFenced(req.Shard, false)
+		return HandoffResponse{}, &apiError{http.StatusInternalServerError, err.Error()}
+	}
+	t.setShardFenced(req.Shard, false)
+	if err := handoff.Commit(req.BundleDir, req.Owner, man.FencedGeneration); err != nil {
+		return HandoffResponse{}, &apiError{http.StatusInternalServerError, err.Error()}
+	}
+	return HandoffResponse{
+		Tenant: t.name, Shard: req.Shard, Phase: "imported",
+		SnapshotGeneration: man.SnapshotGeneration,
+		FencedGeneration:   man.FencedGeneration,
+		TailRecords:        man.TailRecords,
+		Owner:              req.Owner, Committed: true,
+	}, nil
+}
+
+// setShardFenced fences or unfences one shard of the tenant.
+func (t *tenant) setShardFenced(sh int, on bool) {
+	if t.sharded != nil {
+		_ = t.sharded.FenceShard(sh, on)
+	} else {
+		t.engine.SetFenced(on)
+	}
+}
+
+// spliceShard installs an imported matrix as one shard's durable state:
+// close the shard's log, seed its directory with the matrix as the
+// newest snapshot, reopen (recovery lands exactly on the imported
+// generation), and swap the engine matrix and write hook.
+func (s *Server) spliceShard(t *tenant, sh int, m *hitsndiffs.ResponseMatrix, man handoff.Manifest) error {
+	dir := shardLogDir(filepath.Join(s.cfg.DataDir, t.name), t.shards, sh)
+	old := t.dur.log(sh)
+	if err := old.Close(); err != nil {
+		return fmt.Errorf("serve: close shard log: %w", err)
+	}
+	if _, err := durable.WriteSnapshotInto(dir, m); err != nil {
+		return err
+	}
+	geom := durable.Geometry{Users: m.Users(), Items: m.Items(), Options: man.Options}
+	l, rec, rs, err := durable.Open(dir, geom, s.cfg.Fsync)
+	if err != nil {
+		return err
+	}
+	if rs.RecoveredGeneration != man.FencedGeneration {
+		l.Close()
+		return fmt.Errorf("serve: spliced shard recovered at generation %d, want %d", rs.RecoveredGeneration, man.FencedGeneration)
+	}
+	if t.sharded != nil {
+		if err := t.sharded.AdoptShard(sh, rec); err != nil {
+			l.Close()
+			return err
+		}
+		if err := t.sharded.SetShardDurability(sh, walHook(l)); err != nil {
+			l.Close()
+			return err
+		}
+	} else {
+		if err := t.engine.Adopt(rec); err != nil {
+			l.Close()
+			return err
+		}
+		t.engine.SetDurability(walHook(l))
+	}
+	t.dur.setLog(sh, l)
+	return nil
+}
+
+// handoffAbort cancels an in-flight export: unfence the shard, retract
+// the bundle, drop the intent. Refused once the move has committed.
+func (s *Server) handoffAbort(req HandoffRequest) (HandoffResponse, error) {
+	t, err := s.adminHandoffTenant(req)
+	if err != nil {
+		return HandoffResponse{}, err
+	}
+	h, ok := t.own.export(req.Shard)
+	if !ok {
+		return HandoffResponse{}, &apiError{http.StatusNotFound,
+			fmt.Sprintf("no handoff in flight for shard %d", req.Shard)}
+	}
+	if err := h.Abort(); err != nil {
+		if errors.Is(err, handoff.ErrCommitted) {
+			return HandoffResponse{}, &apiError{http.StatusConflict, err.Error()}
+		}
+		return HandoffResponse{}, &apiError{http.StatusInternalServerError, err.Error()}
+	}
+	if err := handoff.RemoveIntent(filepath.Join(s.cfg.DataDir, t.name), req.Shard); err != nil {
+		return HandoffResponse{}, &apiError{http.StatusInternalServerError, err.Error()}
+	}
+	t.own.clear(req.Shard)
+	return HandoffResponse{Tenant: t.name, Shard: req.Shard, Phase: "aborted"}, nil
+}
+
+// handoffStatus resolves the bundle's owner record.
+func (s *Server) handoffStatus(req HandoffRequest) (HandoffResponse, error) {
+	t, err := s.adminHandoffTenant(req)
+	if err != nil {
+		return HandoffResponse{}, err
+	}
+	owner, committed, err := handoff.Resolve(req.BundleDir)
+	if err != nil {
+		return HandoffResponse{}, &apiError{http.StatusInternalServerError, err.Error()}
+	}
+	return HandoffResponse{
+		Tenant: t.name, Shard: req.Shard, Phase: "status",
+		Owner: owner, Committed: committed,
+	}, nil
+}
+
+// handleAdminPartition is POST /v1/admin/partition.
+func (s *Server) handleAdminPartition(w http.ResponseWriter, r *http.Request) {
+	var req PartitionRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	t, err := s.lookup(req.Tenant)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp := PartitionResponse{
+		Tenant: t.name,
+		Users:  t.backend.Users(),
+		Shards: t.shards,
+	}
+	for sh := 0; sh < t.shards; sh++ {
+		row := ShardOwnershipInfo{
+			Shard:      sh,
+			Users:      t.backend.Users(),
+			Generation: t.shardGeneration(sh),
+			Fenced:     t.shardFenced(sh),
+		}
+		if t.sharded != nil {
+			row.Users = len(t.sharded.UsersOf(sh))
+		}
+		if owner, ok := t.own.movedTo(sh); ok {
+			row.MovedTo = owner
+		}
+		resp.Partition = append(resp.Partition, row)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// recoverHandoffState replays a tenant's durable handoff intents at
+// startup: a committed move re-fences the shard and records the redirect
+// target; an uncommitted one is retracted — the bundle manifest is
+// withdrawn before the intent is dropped, so a stale bundle can never be
+// imported after the source resumed writing.
+func (s *Server) recoverHandoffState(t *tenant) error {
+	dir := filepath.Join(s.cfg.DataDir, t.name)
+	intents, err := handoff.ListIntents(dir)
+	if err != nil {
+		return fmt.Errorf("serve: tenant %q: %w", t.name, err)
+	}
+	for _, in := range intents {
+		if in.Shard < 0 || in.Shard >= t.shards {
+			return fmt.Errorf("serve: tenant %q: intent names shard %d of %d", t.name, in.Shard, t.shards)
+		}
+		owner, committed, err := handoff.Resolve(in.BundleDir)
+		if err != nil {
+			return fmt.Errorf("serve: tenant %q shard %d: %w", t.name, in.Shard, err)
+		}
+		if committed {
+			t.setShardFenced(in.Shard, true)
+			t.own.noteMoved(in.Shard, owner, in)
+			continue
+		}
+		if err := handoff.Retract(in.BundleDir); err != nil {
+			return fmt.Errorf("serve: tenant %q shard %d: %w", t.name, in.Shard, err)
+		}
+		if err := handoff.RemoveIntent(dir, in.Shard); err != nil {
+			return fmt.Errorf("serve: tenant %q shard %d: %w", t.name, in.Shard, err)
+		}
+	}
+	return nil
+}

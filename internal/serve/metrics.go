@@ -19,6 +19,8 @@ type counters struct {
 	rejectedSaturated atomic.Uint64
 	rejectedLagging   atomic.Uint64
 	staleServes       atomic.Uint64
+	fencedWrites      atomic.Uint64
+	redirectedWrites  atomic.Uint64
 }
 
 // Snapshot is the point-in-time /metrics document: the serve-layer
@@ -51,6 +53,12 @@ type Snapshot struct {
 	// under the server's staleness bound (Config.MaxStaleness); zero when
 	// every rank is exact.
 	StaleServes uint64 `json:"stale_serves"`
+	// WritesFenced counts writes rejected with 429 because their shard was
+	// fenced for an in-flight handoff; WritesRedirected counts writes
+	// answered with 307 to a shard's committed new owner.
+	WritesFenced uint64 `json:"writes_fenced"`
+	// WritesRedirected counts 307s to migrated shards (see WritesFenced).
+	WritesRedirected uint64 `json:"writes_redirected"`
 	// Refresh is the background refresh scheduler's counter snapshot
 	// (queue depth, rounds, refresh latency); nil when the server runs
 	// without a staleness bound and therefore without a scheduler.
@@ -100,6 +108,8 @@ func (s *Server) Snapshot() Snapshot {
 		WritesRejectedSaturated: s.ctr.rejectedSaturated.Load(),
 		WritesRejectedLagging:   s.ctr.rejectedLagging.Load(),
 		StaleServes:             s.ctr.staleServes.Load(),
+		WritesFenced:            s.ctr.fencedWrites.Load(),
+		WritesRedirected:        s.ctr.redirectedWrites.Load(),
 		Tenants:                 make([]TenantSnapshot, len(tenants)),
 	}
 	if s.refresher != nil {

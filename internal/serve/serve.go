@@ -107,6 +107,12 @@ type Config struct {
 	// system clock. Tests pass a testclock.Fake to drive refresh rounds
 	// deterministically.
 	RefreshClock testclock.Clock
+	// RingPartition switches sharded tenants from the contiguous user
+	// partition to the consistent-hash ring (hitsndiffs.WithRingPartition),
+	// so shard counts can change without remapping most users. The choice
+	// is recorded in each tenant's manifest — switching the flag on an
+	// existing durable deployment does not re-partition recovered tenants.
+	RingPartition bool
 }
 
 // Server hosts the tenants and implements the HTTP API. Construct with
@@ -166,6 +172,9 @@ type tenant struct {
 	sharded *hitsndiffs.ShardedEngine
 	// dur is the tenant's persistence state, nil without Config.DataDir.
 	dur *tenantDurability
+	// own is the tenant's shard-migration state (in-flight exports,
+	// committed moves); its zero value means nothing is moving.
+	own ownership
 	adm admission
 	// served is the highest write version a rank has been served at — the
 	// refresh watermark the lag bound compares against.
@@ -348,12 +357,13 @@ func (s *Server) CreateTenant(req CreateTenantRequest) (TenantInfo, error) {
 			return TenantInfo{}, err
 		}
 	}
-	t, err := s.buildTenant(req, s.cfg.Shards)
+	t, err := s.buildTenant(req, s.cfg.Shards, s.cfg.RingPartition)
 	if err != nil {
 		return TenantInfo{}, &apiError{http.StatusBadRequest, err.Error()}
 	}
 	if s.cfg.DataDir != "" {
-		man := manifest{Name: req.Name, Users: req.Users, Items: req.Items, Options: req.Options, Shards: t.shards}
+		man := manifest{Name: req.Name, Users: req.Users, Items: req.Items, Options: req.Options,
+			Shards: t.shards, Ring: s.cfg.RingPartition}
 		if err := s.attachDurability(t, man); err != nil {
 			return TenantInfo{}, &apiError{http.StatusInternalServerError, err.Error()}
 		}
@@ -375,7 +385,7 @@ func (s *Server) CreateTenant(req CreateTenantRequest) (TenantInfo, error) {
 // buildTenant constructs the engine(s) of one tenant with an empty matrix
 // of the requested geometry — shared by CreateTenant and startup
 // recovery, which restores durable state into the engines afterwards.
-func (s *Server) buildTenant(req CreateTenantRequest, shards int) (*tenant, error) {
+func (s *Server) buildTenant(req CreateTenantRequest, shards int, ring bool) (*tenant, error) {
 	m := hitsndiffs.NewResponseMatrix(req.Users, req.Items, req.Options...)
 	opts := []hitsndiffs.EngineOption{
 		hitsndiffs.WithMethod(s.cfg.Method),
@@ -389,7 +399,11 @@ func (s *Server) buildTenant(req CreateTenantRequest, shards int) (*tenant, erro
 	}
 	t := &tenant{name: req.Name, shards: 1, adm: newAdmission(s.cfg.MaxInflightWrites, s.cfg.MaxLag)}
 	if shards > 1 {
-		se, err := hitsndiffs.NewShardedEngine(m, append(opts, hitsndiffs.WithShards(shards))...)
+		opts = append(opts, hitsndiffs.WithShards(shards))
+		if ring {
+			opts = append(opts, hitsndiffs.WithRingPartition(0))
+		}
+		se, err := hitsndiffs.NewShardedEngine(m, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -416,8 +430,9 @@ func (s *Server) lookup(name string) (*tenant, error) {
 }
 
 // observe applies a batch to one tenant under admission control and
-// returns the post-write version.
-func (s *Server) observe(t *tenant, obs []hitsndiffs.Observation) (ObserveResponse, error) {
+// returns the post-write version; path is the request path, echoed in
+// the redirect Location when the batch hits a shard that has moved away.
+func (s *Server) observe(t *tenant, path string, obs []hitsndiffs.Observation) (ObserveResponse, error) {
 	release, err := t.adm.acquire(t.backend.Version(), t.served.Load())
 	if err != nil {
 		switch {
@@ -430,6 +445,11 @@ func (s *Server) observe(t *tenant, obs []hitsndiffs.Observation) (ObserveRespon
 	}
 	defer release()
 	if err := t.backend.ObserveBatch(obs); err != nil {
+		// A fenced shard is mid-migration: 429 + Retry-After while the move
+		// is pending, 307 to the new owner once it committed.
+		if errors.Is(err, hitsndiffs.ErrFenced) {
+			return ObserveResponse{}, s.fencedError(t, path, obs)
+		}
 		// A write the WAL could not persist is a server fault, not a bad
 		// request — the engine refused to apply it, so no state diverged.
 		if de := durabilityError(err); de != nil {
@@ -499,6 +519,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/rank", s.guard(s.handleRank))
 	mux.HandleFunc("POST /v1/rankbatch", s.guard(s.handleRankBatch))
 	mux.HandleFunc("POST /v1/inferlabels", s.guard(s.handleInferLabels))
+	mux.HandleFunc("POST /v1/admin/handoff", s.guard(s.handleAdminHandoff))
+	mux.HandleFunc("POST /v1/admin/partition", s.guard(s.handleAdminPartition))
 	return mux
 }
 
@@ -574,7 +596,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	resp, err := s.observe(t, []hitsndiffs.Observation{{User: req.User, Item: req.Item, Option: req.Option}})
+	resp, err := s.observe(t, r.URL.Path, []hitsndiffs.Observation{{User: req.User, Item: req.Item, Option: req.Option}})
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -597,7 +619,7 @@ func (s *Server) handleObserveBatch(w http.ResponseWriter, r *http.Request) {
 	for i, o := range req.Observations {
 		obs[i] = hitsndiffs.Observation{User: o.User, Item: o.Item, Option: o.Option}
 	}
-	resp, err := s.observe(t, obs)
+	resp, err := s.observe(t, r.URL.Path, obs)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -743,6 +765,14 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // hammering — hndload honors it with capped exponential backoff.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	s.ctr.errors.Add(1)
+	var re *redirectError
+	if errors.As(err, &re) {
+		// 307 preserves the method and body, so the client replays the
+		// exact write against the shard's new owner.
+		w.Header().Set("Location", re.location)
+		writeJSON(w, http.StatusTemporaryRedirect, ErrorResponse{Error: err.Error()})
+		return
+	}
 	code := http.StatusInternalServerError
 	var ae *apiError
 	if errors.As(err, &ae) {

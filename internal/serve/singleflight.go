@@ -33,6 +33,10 @@ type flightCall struct {
 type flightGroup struct {
 	mu       sync.Mutex
 	inflight map[flightKey]*flightCall
+	// onWait, when non-nil, runs on each waiter just before it blocks on
+	// an in-flight call — the seam coalescing tests use to know every
+	// follower has reached the select, instead of sleeping and hoping.
+	onWait func()
 }
 
 // do runs fn for key, coalescing with an identical in-flight call if one
@@ -49,6 +53,9 @@ func (g *flightGroup) do(ctx context.Context, key flightKey, fn func() (hitsndif
 	}
 	if c, ok := g.inflight[key]; ok {
 		g.mu.Unlock()
+		if g.onWait != nil {
+			g.onWait()
+		}
 		select {
 		case <-c.done:
 			return c.res, true, c.err

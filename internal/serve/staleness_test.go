@@ -140,8 +140,12 @@ func tenantSnap(t *testing.T, c *testClient, name string) serve.TenantSnapshot {
 	return serve.TenantSnapshot{}
 }
 
-// waitForCond polls cond with a real-time deadline (scheduler rounds run
-// on their own goroutine after a fake-clock advance).
+// waitForCond polls cond with a real-time deadline. The refresh
+// scheduler runs its rounds on its own goroutine after a fake-clock
+// advance and the only observable surface here is /metrics over HTTP —
+// there is no completion channel to select on without threading a
+// test-only hook through serve.Config into the scheduler, so a bounded
+// poll against the metric the test asserts anyway is the honest tool.
 func waitForCond(t *testing.T, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)

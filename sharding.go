@@ -109,6 +109,9 @@ func NewShardedEngine(m *ResponseMatrix, opts ...EngineOption) (*ShardedEngine, 
 		}
 	}
 	users := shardMapFor(m.Users(), s.shards)
+	if s.ringReplicas > 0 {
+		users = ringMapFor(m.Users(), s.shards, s.ringReplicas)
+	}
 	n := users.Shards()
 	options := make([]int, m.Items())
 	for i := range options {
@@ -178,6 +181,34 @@ func shardMapFor(userCount, requested int) *shard.Map {
 		}
 	}
 	return shard.NewMap(userCount, 1)
+}
+
+// ringMapFor is shardMapFor's consistent-hash twin (WithRingPartition):
+// it builds the ring partition for a requested shard count, lowering the
+// count until no shard is empty. Like shardMapFor the result is a pure
+// function of its inputs, so every process reproduces the same partition.
+func ringMapFor(userCount, requested, replicas int) *shard.Map {
+	n := requested
+	if n > userCount {
+		n = userCount
+	}
+	if n < 1 {
+		n = 1
+	}
+	for ; n > 1; n-- {
+		m := shard.NewRingMap(userCount, n, replicas)
+		empty := false
+		for sh := 0; sh < n; sh++ {
+			if m.Size(sh) == 0 {
+				empty = true
+				break
+			}
+		}
+		if !empty {
+			return m
+		}
+	}
+	return shard.NewRingMap(userCount, 1, replicas)
 }
 
 // Shards returns the number of independent engine shards behind the router.
@@ -284,6 +315,59 @@ func (s *ShardedEngine) RestoreShard(sh int, m *ResponseMatrix) error {
 		return fmt.Errorf("hitsndiffs: RestoreShard shard %d out of range [0,%d)", sh, len(s.engines))
 	}
 	return s.engines[sh].Restore(m)
+}
+
+// FenceShard fences (true) or unfences (false) one shard's write path —
+// see Engine.SetFenced. While fenced, any Observe/ObserveBatch routing an
+// observation to the shard fails with ErrFenced before anything is
+// applied anywhere; reads keep serving the shard's frozen state.
+func (s *ShardedEngine) FenceShard(sh int, on bool) error {
+	if sh < 0 || sh >= len(s.engines) {
+		return fmt.Errorf("hitsndiffs: FenceShard shard %d out of range [0,%d)", sh, len(s.engines))
+	}
+	s.engines[sh].SetFenced(on)
+	return nil
+}
+
+// ShardFenced reports whether a shard currently rejects writes with
+// ErrFenced. Out-of-range shards report false.
+func (s *ShardedEngine) ShardFenced(sh int) bool {
+	if sh < 0 || sh >= len(s.engines) {
+		return false
+	}
+	return s.engines[sh].Fenced()
+}
+
+// ShardView returns one shard's matrix as an O(1) copy-on-write view with
+// the shard's version — the single-shard form of View, used by the shard
+// handoff exporter to snapshot only the moving shard.
+func (s *ShardedEngine) ShardView(sh int) (*ResponseMatrix, uint64, error) {
+	if sh < 0 || sh >= len(s.engines) {
+		return nil, 0, fmt.Errorf("hitsndiffs: ShardView shard %d out of range [0,%d)", sh, len(s.engines))
+	}
+	m, v := s.engines[sh].View()
+	return m, v, nil
+}
+
+// ShardGeneration returns one shard's write-generation counter (the
+// per-shard analogue of Generation's cluster sum) — the frontier a shard
+// handoff must prove the transferred WAL tail reaches.
+func (s *ShardedEngine) ShardGeneration(sh int) (uint64, error) {
+	if sh < 0 || sh >= len(s.engines) {
+		return 0, fmt.Errorf("hitsndiffs: ShardGeneration shard %d out of range [0,%d)", sh, len(s.engines))
+	}
+	return s.engines[sh].Generation(), nil
+}
+
+// AdoptShard replaces one shard engine's matrix with state imported from
+// another process — see Engine.Adopt. Unlike RestoreShard it is legal on
+// a shard that already absorbed writes: the shard's version bumps, so the
+// router's merged cache and sparse memo invalidate on the next read.
+func (s *ShardedEngine) AdoptShard(sh int, m *ResponseMatrix) error {
+	if sh < 0 || sh >= len(s.engines) {
+		return fmt.Errorf("hitsndiffs: AdoptShard shard %d out of range [0,%d)", sh, len(s.engines))
+	}
+	return s.engines[sh].Adopt(m)
 }
 
 // validate rejects an observation no shard could apply, using the router's
