@@ -469,6 +469,15 @@ func (e *Engine) ObserveBatch(obs []Observation) error {
 	if e.fenced.Load() {
 		return ErrFenced
 	}
+	return e.observeBatchLocked(obs)
+}
+
+// observeBatchLocked is ObserveBatch past the lock acquisition and fence
+// check. It exists for the sharded router's multi-shard dispatch, which
+// locks every touched shard and verifies no fence is up before letting
+// any sub-batch apply — the caller must hold e.mu and have checked
+// e.fenced itself.
+func (e *Engine) observeBatchLocked(obs []Observation) error {
 	for _, o := range obs {
 		if err := validateObservation(o, e.m.Users(), e.m.Items(), e.m.OptionCount); err != nil {
 			return err

@@ -139,6 +139,41 @@ func ListSnapshotGens(dir string) ([]uint64, error) {
 	return listGens(dir, "snap-", ".hnds")
 }
 
+// DiscardState removes every snapshot and WAL segment in dir and syncs
+// the directory, leaving unrelated files (manifests, intents) untouched —
+// the next Open recovers the empty geometry. It is the import-crash
+// eraser of shard handoff: a target that spliced adopted state durably
+// but crashed before the owner record published must return the shard to
+// its pre-import (empty) state, or two processes would both recover as
+// the shard's owner. A missing dir is already discarded.
+func DiscardState(dir string) error {
+	remove := func(prefix, suffix string, name func(uint64) string) error {
+		gens, err := listGens(dir, prefix, suffix)
+		if os.IsNotExist(err) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("durable: discard state: %w", err)
+		}
+		for _, g := range gens {
+			if err := os.Remove(filepath.Join(dir, name(g))); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("durable: discard state: %w", err)
+			}
+		}
+		return nil
+	}
+	if err := remove("snap-", ".hnds", snapshotName); err != nil {
+		return err
+	}
+	if err := remove("wal-", ".hndw", segmentName); err != nil {
+		return err
+	}
+	if _, err := os.Stat(dir); os.IsNotExist(err) {
+		return nil
+	}
+	return syncDir(dir)
+}
+
 // SegmentFileName returns the on-disk name of a WAL segment starting at
 // gen — exported so the handoff bundle can reuse the log's naming and a
 // bundle directory reads like a log directory.

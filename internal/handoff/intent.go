@@ -10,13 +10,23 @@ import (
 )
 
 // Intent is the source-side durable record of an in-flight handoff,
-// written into the source's tenant directory when the fence goes up and
-// before the bundle manifest publishes. On restart the source scans its
-// intents and resolves each against the bundle's owner record: committed
-// means the shard moved (stay fenced, redirect writes to the owner);
-// uncommitted means the handoff died mid-flight (drop the intent and
-// serve normally — the in-memory fence died with the process, and the
-// bundle without an owner record is debris).
+// written into the source's tenant directory after the prepare-phase
+// snapshot and BEFORE the fence goes up — so it is durable strictly
+// before the bundle manifest can publish. The ordering is what makes a
+// crash at any byte safe: an intent with no published bundle is debris
+// (retracted on restart before writes resume), while a published bundle
+// always has an intent vouching for it — there is no window where a
+// crash leaves an importable bundle the source's recovery would not
+// find and retract. On restart the source scans its intents and
+// resolves each against the bundle's owner record: committed means the
+// shard moved (stay fenced, redirect writes to the owner); uncommitted
+// means the handoff died mid-flight (retract the bundle, drop the
+// intent, and serve normally — the in-memory fence died with the
+// process).
+//
+// The import side records the same struct as an import intent (see
+// WriteImportIntent) before splicing adopted state into its durable
+// directories, with Target naming the owner identity it will commit as.
 type Intent struct {
 	// Shard is the moving shard's index within the tenant.
 	Shard int `json:"shard"`
@@ -28,22 +38,18 @@ type Intent struct {
 	Target string `json:"target"`
 }
 
-// intentName returns the intent filename for a shard, zero-padded so a
-// directory listing sorts by shard.
+// intentName returns the export-intent filename for a shard, zero-padded
+// so a directory listing sorts by shard.
 func intentName(shard int) string { return fmt.Sprintf("handoff-%03d.json", shard) }
+
+// importIntentName returns the import-intent filename for a shard.
+func importIntentName(shard int) string { return fmt.Sprintf("import-%03d.json", shard) }
 
 // WriteIntent durably records an in-flight handoff of one shard in dir
 // (the source's tenant directory), with the same atomic-publish
 // discipline as the bundle manifest.
 func WriteIntent(dir string, in Intent) error {
-	data, err := json.MarshalIndent(in, "", "  ")
-	if err != nil {
-		return fmt.Errorf("handoff: marshal intent: %w", err)
-	}
-	if err := writeFileAtomic(dir, intentName(in.Shard), data); err != nil {
-		return fmt.Errorf("handoff: write intent: %w", err)
-	}
-	return nil
+	return writeIntentFile(dir, intentName(in.Shard), in)
 }
 
 // RemoveIntent deletes a shard's intent record — the end of an aborted
@@ -55,10 +61,58 @@ func RemoveIntent(dir string, shard int) error {
 	return syncDir(dir)
 }
 
-// ListIntents returns every intent recorded in dir, ordered by shard. An
-// unparsable intent file is an error: intents are written atomically, so
-// damage means filesystem trouble, not a crash window.
+// ListIntents returns every export intent recorded in dir, ordered by
+// shard. An unparsable intent file is an error: intents are written
+// atomically, so damage means filesystem trouble, not a crash window.
 func ListIntents(dir string) ([]Intent, error) {
+	return listIntentFiles(dir, "handoff-")
+}
+
+// WriteImportIntent durably records that the target is about to splice a
+// bundle's adopted state into its shard directories. It MUST be durable
+// before any adopted byte is: on restart the target resolves the intent
+// against the bundle's owner record and discards adopted state the move
+// never committed — without the record, a crash between the splice and
+// the owner publish would leave durable state two processes both recover
+// as authoritative. Target records the owner identity this process will
+// commit as.
+func WriteImportIntent(dir string, in Intent) error {
+	return writeIntentFile(dir, importIntentName(in.Shard), in)
+}
+
+// RemoveImportIntent deletes a shard's import-intent record — after the
+// commit landed, or after an uncommitted splice was discarded. Removing
+// a missing record is not an error.
+func RemoveImportIntent(dir string, shard int) error {
+	if err := os.Remove(filepath.Join(dir, importIntentName(shard))); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("handoff: remove import intent: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// ListImportIntents returns every import intent recorded in dir, ordered
+// by shard.
+func ListImportIntents(dir string) ([]Intent, error) {
+	return listIntentFiles(dir, "import-")
+}
+
+// writeIntentFile marshals and atomically publishes one intent record.
+func writeIntentFile(dir, name string, in Intent) error {
+	data, err := json.MarshalIndent(in, "", "  ")
+	if err != nil {
+		return fmt.Errorf("handoff: marshal intent: %w", err)
+	}
+	if err := writeFileAtomic(dir, name, data); err != nil {
+		return fmt.Errorf("handoff: write intent: %w", err)
+	}
+	return nil
+}
+
+// listIntentFiles returns every intent record in dir whose filename
+// carries the given prefix, ordered by shard (the zero-padded filenames
+// sort that way). An unparsable record is an error: intents are written
+// atomically, so damage means filesystem trouble, not a crash window.
+func listIntentFiles(dir, prefix string) ([]Intent, error) {
 	entries, err := os.ReadDir(dir)
 	if os.IsNotExist(err) {
 		return nil, nil
@@ -69,10 +123,10 @@ func ListIntents(dir string) ([]Intent, error) {
 	var out []Intent
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasPrefix(name, "handoff-") || !strings.HasSuffix(name, ".json") {
+		if e.IsDir() || !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".json") {
 			continue
 		}
-		if _, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "handoff-"), ".json")); err != nil {
+		if _, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, prefix), ".json")); err != nil {
 			continue // not an intent record (e.g. a temp file)
 		}
 		data, err := os.ReadFile(filepath.Join(dir, name))

@@ -1,0 +1,63 @@
+package handoff_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hitsndiffs/internal/handoff"
+)
+
+// TestIntentRoundTrip pins the two intent namespaces: export intents
+// (handoff-NNN.json, the source's restart record) and import intents
+// (import-NNN.json, the target's splice record) round-trip through
+// write/list/remove without ever leaking into each other's listings —
+// a restart that confused the two would retract bundles it imported or
+// discard state it exported.
+func TestIntentRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	exp := handoff.Intent{Shard: 2, BundleDir: "/b/one", Target: "http://b"}
+	imp := handoff.Intent{Shard: 5, BundleDir: "/b/two", Target: "http://c"}
+	if err := handoff.WriteIntent(dir, exp); err != nil {
+		t.Fatal(err)
+	}
+	if err := handoff.WriteImportIntent(dir, imp); err != nil {
+		t.Fatal(err)
+	}
+	// A stray non-intent file must not trip either listing.
+	if err := os.WriteFile(filepath.Join(dir, "handoff-junk.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	exports, err := handoff.ListIntents(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exports) != 1 || exports[0] != exp {
+		t.Fatalf("ListIntents = %+v, want exactly %+v", exports, exp)
+	}
+	imports, err := handoff.ListImportIntents(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imports) != 1 || imports[0] != imp {
+		t.Fatalf("ListImportIntents = %+v, want exactly %+v", imports, imp)
+	}
+
+	// Removals are namespace-scoped and idempotent.
+	if err := handoff.RemoveIntent(dir, exp.Shard); err != nil {
+		t.Fatal(err)
+	}
+	if err := handoff.RemoveImportIntent(dir, imp.Shard); err != nil {
+		t.Fatal(err)
+	}
+	if err := handoff.RemoveIntent(dir, exp.Shard); err != nil {
+		t.Fatalf("second removal: %v", err)
+	}
+	if out, err := handoff.ListIntents(dir); err != nil || len(out) != 0 {
+		t.Fatalf("export intents after removal: %v, %v", out, err)
+	}
+	if out, err := handoff.ListImportIntents(dir); err != nil || len(out) != 0 {
+		t.Fatalf("import intents after removal: %v, %v", out, err)
+	}
+}

@@ -248,6 +248,12 @@ func (s *Server) recoverTenants() error {
 		if err != nil {
 			return fmt.Errorf("serve: recover tenant %q: %w", man.Name, err)
 		}
+		// Resolve import intents BEFORE the logs open: adopted state whose
+		// move never committed must be discarded while it is still only
+		// bytes on disk, not recovered, serving state.
+		if err := s.resolveImportIntents(t); err != nil {
+			return err
+		}
 		if err := s.attachDurability(t, man); err != nil {
 			return err
 		}

@@ -14,15 +14,20 @@ import (
 
 // Shard handoff at the serving tier: POST /v1/admin/handoff drives the
 // internal/handoff protocol across two servers sharing the bundle
-// directory. The source exports (snapshot + fence + publish) and records
-// a durable intent in its tenant directory; the target imports (validate
-// + adopt + commit). Until the move commits, writes hitting the fenced
-// shard get 429 + Retry-After; once the owner record is published they
-// get 307 redirects to the new owner. A source restart replays its
-// intents: committed moves stay fenced and redirecting, uncommitted ones
-// are retracted and the shard serves normally — the same
-// exactly-one-authoritative-owner rule the handoff package's crash
-// matrix proves at the file level.
+// directory. The source records a durable intent in its tenant
+// directory after the prepare snapshot and BEFORE fencing — so the
+// bundle manifest can only publish with an intent already vouching for
+// it — then exports (fence + final tail + publish). The target records
+// a durable import intent BEFORE splicing adopted state into its data
+// dir, commits the owner record, and only then unfences and drops the
+// intent. Until the move commits, writes hitting the fenced shard get
+// 429 + Retry-After; once the owner record is published they get 307
+// redirects to the new owner. A restart replays both kinds of intent:
+// on the source, committed moves stay fenced and redirecting while
+// uncommitted exports are retracted before writes resume; on the
+// target, adopted state whose move never committed is discarded before
+// the shard's log opens — the same exactly-one-authoritative-owner rule
+// the handoff package's crash matrix proves at the file level.
 
 // ownership is one tenant's shard-migration state. The zero value means
 // no shard is moving; maps are allocated lazily under mu.
@@ -35,6 +40,9 @@ type ownership struct {
 	intents map[int]handoff.Intent
 	// moved records shards whose move has committed: shard → new owner.
 	moved map[int]string
+	// resolving marks shards with an owner-record resolution in flight,
+	// so the hot write path never stacks disk reads behind mu.
+	resolving map[int]bool
 }
 
 // noteExport records an in-flight export and its durable intent.
@@ -82,18 +90,35 @@ func (o *ownership) export(sh int) (*handoff.Handoff, bool) {
 // movedTo reports the committed new owner of a shard, if the move has
 // been observed. With the shard still pending (fenced, uncommitted) it
 // resolves the bundle's owner record — the commit may have landed from
-// the other process since the last write — and caches a commit it finds.
+// the other process since the last write — and caches a commit it
+// finds. The disk read runs OUTSIDE mu with a single-flight guard:
+// every fenced write consults this on its 429 path, and serializing
+// owner-record reads under the mutex would turn the fence window into a
+// per-request disk stall. Callers racing an in-flight resolution see
+// "not moved" and answer 429; the client retries and finds the cached
+// commit.
 func (o *ownership) movedTo(sh int) (string, bool) {
 	o.mu.Lock()
-	defer o.mu.Unlock()
 	if owner, ok := o.moved[sh]; ok {
+		o.mu.Unlock()
 		return owner, true
 	}
 	in, ok := o.intents[sh]
-	if !ok {
+	if !ok || o.resolving[sh] {
+		o.mu.Unlock()
 		return "", false
 	}
+	if o.resolving == nil {
+		o.resolving = make(map[int]bool)
+	}
+	o.resolving[sh] = true
+	o.mu.Unlock()
+
 	owner, committed, err := handoff.Resolve(in.BundleDir)
+
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	delete(o.resolving, sh)
 	if err != nil || !committed {
 		return "", false
 	}
@@ -116,21 +141,66 @@ func (e *redirectError) Error() string {
 }
 
 // fencedError maps an ErrFenced write rejection to its client-facing
-// form: 307 to the new owner once the move has committed, 429 +
-// Retry-After while the fence is still pending (the client retries here
-// until the commit or abort settles it).
+// form. Nothing from the batch has been applied (the router verifies
+// every touched shard's fence before dispatching any sub-batch), so the
+// whole batch gets one verdict: 429 + Retry-After while any touched
+// fence is still pending (the client retries here until the commit or
+// abort settles it); 307 to the new owner once EVERY touched shard has
+// moved to that one owner; and 409 for a batch straddling a moved shard
+// and shards served elsewhere — redirecting it whole would land the
+// non-moved observations on shards the new owner does not own (forking
+// them), and applying it here would lose the moved half, so the client
+// must split the batch by owner.
 func (s *Server) fencedError(t *tenant, path string, obs []hitsndiffs.Observation) error {
-	for sh := range t.shards {
-		if !t.shardFenced(sh) || !s.obsTouch(t, sh, obs) {
+	owners := make(map[string]bool)
+	local := 0   // touched shards this server still serves
+	pending := 0 // touched shards fenced with the move not yet committed
+	for _, sh := range t.shardsTouched(obs) {
+		if !t.shardFenced(sh) {
+			local++
 			continue
 		}
 		if owner, ok := t.own.movedTo(sh); ok {
+			owners[owner] = true
+			continue
+		}
+		pending++
+	}
+	if pending > 0 || len(owners) == 0 {
+		// Still migrating (or the fence settled between the reject and
+		// this classification): retrying here resolves either way.
+		s.ctr.fencedWrites.Add(1)
+		return &apiError{http.StatusTooManyRequests, "shard is fenced for migration; retry shortly"}
+	}
+	if local == 0 && len(owners) == 1 {
+		for owner := range owners {
 			s.ctr.redirectedWrites.Add(1)
 			return &redirectError{location: owner + path}
 		}
 	}
-	s.ctr.fencedWrites.Add(1)
-	return &apiError{http.StatusTooManyRequests, "shard is fenced for migration; retry shortly"}
+	return &apiError{http.StatusConflict,
+		"batch spans shards owned by different servers; split it by shard owner and retry each part"}
+}
+
+// shardsTouched returns the shards the batch's observations route to,
+// in ascending shard order.
+func (t *tenant) shardsTouched(obs []hitsndiffs.Observation) []int {
+	if t.sharded == nil {
+		return []int{0}
+	}
+	shards := make(map[int]bool)
+	for _, o := range obs {
+		if o.User >= 0 && o.User < t.backend.Users() {
+			shards[t.sharded.ShardFor(o.User)] = true
+		}
+	}
+	out := make([]int, 0, len(shards))
+	for sh := 0; sh < t.shards; sh++ {
+		if shards[sh] {
+			out = append(out, sh)
+		}
+	}
+	return out
 }
 
 // shardFenced reports whether one shard of the tenant is fenced.
@@ -139,19 +209,6 @@ func (t *tenant) shardFenced(sh int) bool {
 		return t.sharded.ShardFenced(sh)
 	}
 	return t.engine.Fenced()
-}
-
-// obsTouch reports whether any observation in the batch routes to shard sh.
-func (s *Server) obsTouch(t *tenant, sh int, obs []hitsndiffs.Observation) bool {
-	if t.sharded == nil {
-		return true // one shard owns everything
-	}
-	for _, o := range obs {
-		if o.User >= 0 && o.User < t.backend.Users() && t.sharded.ShardFor(o.User) == sh {
-			return true
-		}
-	}
-	return false
 }
 
 // shardGeneration returns one shard's write frontier.
@@ -221,14 +278,29 @@ func (s *Server) handleAdminHandoff(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handoffExport runs the source side: prepare (snapshot off a COW view),
-// fence (final WAL tail + manifest publish), and the durable intent
-// record. On success the shard stays fenced — its writes 429 until the
-// target commits (redirects begin) or an abort resumes them.
+// handoffExport runs the source side: prepare (snapshot off a COW
+// view), then the durable intent record, then fence (final WAL tail +
+// manifest publish). The intent lands BEFORE the fence — and therefore
+// strictly before the manifest can publish — so a crash at any byte
+// leaves either an intent with no published bundle (retracted debris on
+// restart) or a published bundle with an intent vouching for it; there
+// is no window where an importable bundle exists that a restarted
+// source would not find, so the source can never resume writes while a
+// stale bundle remains committable. On success the shard stays fenced —
+// its writes 429 until the target commits (redirects begin) or an abort
+// resumes them.
 func (s *Server) handoffExport(req HandoffRequest) (HandoffResponse, error) {
 	t, err := s.adminHandoffTenant(req)
 	if err != nil {
 		return HandoffResponse{}, err
+	}
+	if owner, ok := t.own.movedTo(req.Shard); ok {
+		// Covers the restart case too (committed move, no exports entry):
+		// re-exporting a shard owned elsewhere would overwrite the
+		// committed move's intent and, after the next restart, unfence a
+		// shard another server serves — split brain.
+		return HandoffResponse{}, &apiError{http.StatusConflict,
+			fmt.Sprintf("shard %d has already moved to %s", req.Shard, owner)}
 	}
 	if _, busy := t.own.export(req.Shard); busy {
 		return HandoffResponse{}, &apiError{http.StatusConflict,
@@ -238,18 +310,28 @@ func (s *Server) handoffExport(req HandoffRequest) (HandoffResponse, error) {
 	if err := h.Prepare(); err != nil {
 		return HandoffResponse{}, &apiError{http.StatusInternalServerError, err.Error()}
 	}
-	if err := h.Fence(); err != nil {
-		return HandoffResponse{}, &apiError{http.StatusInternalServerError, err.Error()}
-	}
 	in := handoff.Intent{Shard: req.Shard, BundleDir: req.BundleDir, Target: req.Target}
 	if err := handoff.WriteIntent(filepath.Join(s.cfg.DataDir, t.name), in); err != nil {
-		// Without the durable intent a restart would forget the fence and
-		// fork history once the target commits; undo the export instead.
+		// No fence is up and no manifest published; the prepared snapshot
+		// is debris Abort clears.
 		if aerr := h.Abort(); aerr != nil {
 			return HandoffResponse{}, &apiError{http.StatusInternalServerError,
-				fmt.Sprintf("%v (and abort failed: %v)", err, aerr)}
+				fmt.Sprintf("%v (and cleanup failed: %v)", err, aerr)}
 		}
 		return HandoffResponse{}, &apiError{http.StatusInternalServerError, err.Error()}
+	}
+	if err := h.Fence(); err != nil {
+		// Fence unfenced the shard and left the manifest unpublished; drop
+		// the prepared artifacts and the now-pointless intent so a restart
+		// has nothing to retract.
+		msg := err.Error()
+		if aerr := h.Abort(); aerr != nil {
+			msg = fmt.Sprintf("%s (and cleanup failed: %v)", msg, aerr)
+		}
+		if rerr := handoff.RemoveIntent(filepath.Join(s.cfg.DataDir, t.name), req.Shard); rerr != nil {
+			msg = fmt.Sprintf("%s (and intent removal failed: %v)", msg, rerr)
+		}
+		return HandoffResponse{}, &apiError{http.StatusInternalServerError, msg}
 	}
 	t.own.noteExport(req.Shard, h, in)
 	man := h.Manifest()
@@ -301,14 +383,41 @@ func (s *Server) handoffImport(req HandoffRequest) (HandoffResponse, error) {
 		return HandoffResponse{}, &apiError{http.StatusConflict,
 			fmt.Sprintf("target shard has local history at generation %d; adopting would fork", g)}
 	}
-	// Swap under a fence so no write interleaves with the log exchange.
-	t.setShardFenced(req.Shard, true)
-	if err := s.spliceShard(t, req.Shard, m, man); err != nil {
-		t.setShardFenced(req.Shard, false)
+	// Durable import intent BEFORE any adopted byte lands in this
+	// server's data dir: a crash between the splice and the owner-record
+	// publish would otherwise leave durable, uncommitted adopted state
+	// this server recovers as authoritative while the source retracts
+	// the bundle and resumes writes — two owners. With the intent down,
+	// restart recovery resolves it against the owner record and discards
+	// adopted state the move never committed (see resolveImportIntents).
+	dir := filepath.Join(s.cfg.DataDir, t.name)
+	in := handoff.Intent{Shard: req.Shard, BundleDir: req.BundleDir, Target: req.Owner}
+	if err := handoff.WriteImportIntent(dir, in); err != nil {
 		return HandoffResponse{}, &apiError{http.StatusInternalServerError, err.Error()}
 	}
-	t.setShardFenced(req.Shard, false)
+	// Swap under a fence so no write interleaves with the log exchange.
+	// The fence stays up until the owner record publishes: before that
+	// instant this server does not own the shard, and a write accepted
+	// here would be lost if the commit never lands.
+	t.setShardFenced(req.Shard, true)
+	if err := s.spliceShard(t, req.Shard, m, man); err != nil {
+		// The splice may have left adopted bytes behind; keep the shard
+		// fenced and the intent durable so a restart resolves the state
+		// (no owner record → discard) instead of serving it.
+		return HandoffResponse{}, &apiError{http.StatusInternalServerError,
+			fmt.Sprintf("splice failed; shard %d stays fenced until a restart resolves its import intent: %v", req.Shard, err)}
+	}
 	if err := handoff.Commit(req.BundleDir, req.Owner, man.FencedGeneration); err != nil {
+		// Adopted state is durable but unowned — exactly the crash window
+		// the intent exists for; stay fenced and let a restart resolve it.
+		return HandoffResponse{}, &apiError{http.StatusInternalServerError,
+			fmt.Sprintf("commit failed; shard %d stays fenced until a restart resolves its import intent: %v", req.Shard, err)}
+	}
+	t.setShardFenced(req.Shard, false)
+	if err := handoff.RemoveImportIntent(dir, req.Shard); err != nil {
+		// The move is committed and served; a leftover intent only costs
+		// the next restart a benign resolve (committed → keep). Still loud:
+		// failing to remove a durable record means filesystem trouble.
 		return HandoffResponse{}, &apiError{http.StatusInternalServerError, err.Error()}
 	}
 	return HandoffResponse{
@@ -445,6 +554,43 @@ func (s *Server) handleAdminPartition(w http.ResponseWriter, r *http.Request) {
 		resp.Partition = append(resp.Partition, row)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// resolveImportIntents resolves a tenant's durable import intents at
+// startup. It MUST run before the tenant's logs open: an import intent
+// marks adopted state whose move may never have committed, and once
+// durable.Open has recovered that state the process is already serving
+// it. Committed to the identity this server recorded → the adopted
+// state is authoritative, drop the intent; uncommitted, or committed to
+// a different owner (another import won the bundle) → discard the
+// shard's durable state, returning it to the empty pre-import shape the
+// import's generation-0 precondition guaranteed, then drop the intent.
+// The discard is idempotent, so a crash between it and the intent
+// removal just re-discards next time.
+func (s *Server) resolveImportIntents(t *tenant) error {
+	dir := filepath.Join(s.cfg.DataDir, t.name)
+	intents, err := handoff.ListImportIntents(dir)
+	if err != nil {
+		return fmt.Errorf("serve: tenant %q: %w", t.name, err)
+	}
+	for _, in := range intents {
+		if in.Shard < 0 || in.Shard >= t.shards {
+			return fmt.Errorf("serve: tenant %q: import intent names shard %d of %d", t.name, in.Shard, t.shards)
+		}
+		owner, committed, err := handoff.Resolve(in.BundleDir)
+		if err != nil {
+			return fmt.Errorf("serve: tenant %q shard %d: %w", t.name, in.Shard, err)
+		}
+		if !committed || owner != in.Target {
+			if err := durable.DiscardState(shardLogDir(dir, t.shards, in.Shard)); err != nil {
+				return fmt.Errorf("serve: tenant %q shard %d: %w", t.name, in.Shard, err)
+			}
+		}
+		if err := handoff.RemoveImportIntent(dir, in.Shard); err != nil {
+			return fmt.Errorf("serve: tenant %q shard %d: %w", t.name, in.Shard, err)
+		}
+	}
+	return nil
 }
 
 // recoverHandoffState replays a tenant's durable handoff intents at

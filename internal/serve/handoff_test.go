@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"path/filepath"
 	"testing"
 
+	"hitsndiffs/internal/durable"
 	"hitsndiffs/internal/handoff"
 	"hitsndiffs/internal/serve"
 )
@@ -48,6 +50,43 @@ func rawObserve(t *testing.T, base, tenant string, user int) (int, string) {
 	}
 	defer resp.Body.Close()
 	return resp.StatusCode, resp.Header.Get("Location")
+}
+
+// rawObserveBatch posts one batch (item 0, option 1 per user) without
+// following redirects — the raw 429/307/409 the serving tier answers a
+// multi-shard batch with.
+func rawObserveBatch(t *testing.T, base, tenant string, users []int) (int, string) {
+	t.Helper()
+	obs := make([]serve.Observation, len(users))
+	for i, u := range users {
+		obs[i] = serve.Observation{User: u, Item: 0, Option: 1}
+	}
+	buf, err := json.Marshal(serve.ObserveBatchRequest{Tenant: tenant, Observations: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := client.Post(base+"/v1/observebatch", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, resp.Header.Get("Location")
+}
+
+// requireGenerationsUnchanged asserts no shard of the tenant advanced
+// between two partition snapshots — the "nothing applied" half of a
+// rejected batch's contract.
+func requireGenerationsUnchanged(t *testing.T, before, after serve.PartitionResponse) {
+	t.Helper()
+	for sh := range after.Partition {
+		if after.Partition[sh].Generation != before.Partition[sh].Generation {
+			t.Fatalf("shard %d advanced from generation %d to %d under a rejected batch",
+				sh, before.Partition[sh].Generation, after.Partition[sh].Generation)
+		}
+	}
 }
 
 // TestServeShardHandoff is the serving-tier half of the handoff proof:
@@ -91,6 +130,11 @@ func TestServeShardHandoff(t *testing.T) {
 	}); code != http.StatusConflict {
 		t.Fatalf("second export of a fenced shard: HTTP %d, want 409", code)
 	}
+	// The durable intent is down before the bundle is importable, so a
+	// crash from here on can never orphan a published bundle.
+	if intents, err := handoff.ListIntents(filepath.Join(dirA, tenant)); err != nil || len(intents) != 1 || intents[0].Shard != victim {
+		t.Fatalf("export intents on disk: %+v, %v", intents, err)
+	}
 
 	// While fenced, exactly the victim shard's writes bounce with 429 +
 	// Retry-After; every other user's write lands. The probe also learns
@@ -114,6 +158,23 @@ func TestServeShardHandoff(t *testing.T) {
 	if len(fencedUsers) != part.Partition[victim].Users {
 		t.Fatalf("%d users fenced, victim shard owns %d", len(fencedUsers), part.Partition[victim].Users)
 	}
+
+	// A batch straddling the fenced shard and a free one bounces whole
+	// with 429 and applies nowhere — otherwise the client's retry would
+	// double-apply the free half.
+	var aFenced, aFree int
+	for user := 0; user < 20; user++ {
+		if fencedUsers[user] {
+			aFenced = user
+		} else {
+			aFree = user
+		}
+	}
+	genBefore := partitionOf(t, ca, tenant)
+	if code, _ := rawObserveBatch(t, ca.base, tenant, []int{aFenced, aFree}); code != http.StatusTooManyRequests {
+		t.Fatalf("mixed batch during fence: HTTP %d, want 429", code)
+	}
+	requireGenerationsUnchanged(t, genBefore, partitionOf(t, ca, tenant))
 
 	// Import on the target: validate, adopt, commit.
 	imp, code, body := postHandoff(t, cb, serve.HandoffRequest{
@@ -157,6 +218,19 @@ func TestServeShardHandoff(t *testing.T) {
 	if part.Partition[victim].MovedTo != cb.base {
 		t.Fatalf("source partition after commit: %+v", part.Partition[victim])
 	}
+
+	// Batches after the commit: entirely on the moved shard → redirected
+	// whole; straddling the moved shard and a local one → 409 (applying
+	// it here would lose the moved half, redirecting it whole would fork
+	// the local half on a server that does not own it), nothing applied.
+	if code, loc := rawObserveBatch(t, ca.base, tenant, []int{movedUser, movedUser}); code != http.StatusTemporaryRedirect || loc != cb.base+"/v1/observebatch" {
+		t.Fatalf("all-moved batch: HTTP %d Location %q, want 307 to %s/v1/observebatch", code, loc, cb.base)
+	}
+	genBefore = partitionOf(t, ca, tenant)
+	if code, _ := rawObserveBatch(t, ca.base, tenant, []int{movedUser, aFree}); code != http.StatusConflict {
+		t.Fatalf("mixed moved/local batch: HTTP %d, want 409", code)
+	}
+	requireGenerationsUnchanged(t, genBefore, partitionOf(t, ca, tenant))
 
 	// Status resolves the committed owner; abort after commit refuses.
 	st, code, _ := postHandoff(t, ca, serve.HandoffRequest{
@@ -208,6 +282,98 @@ func TestServeShardHandoff(t *testing.T) {
 		if code, _ := rawObserve(t, ca2.base, tenant, user); code != http.StatusOK {
 			t.Fatalf("unmoved user %d after restart: HTTP %d", user, code)
 		}
+	}
+
+	// A shard that moved away can never be exported again: the new
+	// export would overwrite the committed move's intent and the next
+	// restart would unfence a shard another server owns.
+	if _, code, _ := postHandoff(t, ca2, serve.HandoffRequest{
+		Tenant: tenant, Shard: victim, Action: "export",
+		BundleDir: filepath.Join(t.TempDir(), "again"), Target: cb.base,
+	}); code != http.StatusConflict {
+		t.Fatalf("re-export of a moved shard: HTTP %d, want 409", code)
+	}
+}
+
+// TestServeHandoffImportCrashRecovery proves the target side of the
+// crash contract. A target can crash after the adopted state became
+// durable (the splice) but before the owner record published — the
+// uncommitted window the import intent exists for. On restart that
+// state must be discarded BEFORE the logs open, or the target would
+// recover it as authoritative while the source retracts the bundle and
+// resumes writes: two owners. The committed flavor — owner record down,
+// intent left behind — must instead keep the adopted state.
+func TestServeHandoffImportCrashRecovery(t *testing.T) {
+	const tenant = "crash"
+	const victim = 1
+	dirA, dirB := t.TempDir(), t.TempDir()
+	bundle := filepath.Join(t.TempDir(), "bundle")
+	cfgA := durableConfig(dirA)
+	cfgA.Shards = 4
+	cfgB := durableConfig(dirB)
+	cfgB.Shards = 4
+	_, ca := newTestServer(t, cfgA)
+	srvB, cb := newTestServer(t, cfgB)
+	ca.mustCreate(tenant, 20, 6, 3)
+	cb.mustCreate(tenant, 20, 6, 3)
+	for round := 0; round < 10; round++ {
+		ca.mustObserve(tenant, durabilityBatch(round))
+	}
+	exp, code, body := postHandoff(t, ca, serve.HandoffRequest{
+		Tenant: tenant, Shard: victim, Action: "export", BundleDir: bundle, Target: cb.base,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("export: HTTP %d: %s", code, body)
+	}
+
+	// Reconstruct what handoffImport leaves on disk when the process
+	// dies between the splice and the commit: import intent and adopted
+	// snapshot durable, owner record absent.
+	srvB.Close()
+	m, man, err := handoff.Import(bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenantDirB := filepath.Join(dirB, tenant)
+	shardDir := filepath.Join(tenantDirB, fmt.Sprintf("shard-%03d", victim))
+	in := handoff.Intent{Shard: victim, BundleDir: bundle, Target: cb.base}
+	if err := handoff.WriteImportIntent(tenantDirB, in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := durable.WriteSnapshotInto(shardDir, m); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: the move never committed, so the adopted state must not
+	// recover — the shard is empty again and the intent is resolved away.
+	srvB2, cb2 := newTestServer(t, cfgB)
+	if got := partitionOf(t, cb2, tenant).Partition[victim].Generation; got != 0 {
+		t.Fatalf("uncommitted adopted state recovered at generation %d, want 0", got)
+	}
+	if left, err := handoff.ListImportIntents(tenantDirB); err != nil || len(left) != 0 {
+		t.Fatalf("import intents after uncommitted restart: %+v, %v", left, err)
+	}
+
+	// Same crash with the owner record published: the move committed, so
+	// the adopted state IS the shard and must survive the restart even
+	// though the intent was never tidied.
+	srvB2.Close()
+	if err := handoff.WriteImportIntent(tenantDirB, in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := durable.WriteSnapshotInto(shardDir, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := handoff.Commit(bundle, cb.base, man.FencedGeneration); err != nil {
+		t.Fatal(err)
+	}
+	_, cb3 := newTestServer(t, cfgB)
+	row := partitionOf(t, cb3, tenant).Partition[victim]
+	if row.Generation != exp.FencedGeneration || row.Fenced {
+		t.Fatalf("committed adopted state after restart: %+v, want generation %d unfenced", row, exp.FencedGeneration)
+	}
+	if left, err := handoff.ListImportIntents(tenantDirB); err != nil || len(left) != 0 {
+		t.Fatalf("import intents after committed restart: %+v, %v", left, err)
 	}
 }
 

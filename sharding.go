@@ -394,7 +394,12 @@ func (s *ShardedEngine) Observe(user, item, option int) error {
 // per-shard sub-batches concurrently, each under its shard's single lock
 // acquisition and version bump. The whole batch is validated up front
 // against the router's geometry, so an out-of-range observation leaves
-// every shard untouched.
+// every shard untouched; a fence on ANY touched shard likewise fails the
+// batch with ErrFenced before any sub-batch applies — every touched
+// shard's write lock is held across the fence check and the applies, so
+// a fence raised concurrently can never split the batch into an applied
+// half and a rejected half (which a client 429-retry would then
+// double-apply).
 func (s *ShardedEngine) ObserveBatch(obs []Observation) error {
 	if len(obs) == 0 {
 		return nil
@@ -409,28 +414,42 @@ func (s *ShardedEngine) ObserveBatch(obs []Observation) error {
 		sh, local := s.users.Locate(o.User)
 		perShard[sh] = append(perShard[sh], Observation{User: local, Item: o.Item, Option: o.Option})
 	}
-	touched := 0
-	last := -1
+	var touched []int
 	for sh, batch := range perShard {
 		if len(batch) > 0 {
-			touched++
-			last = sh
+			touched = append(touched, sh)
 		}
 	}
-	if touched == 1 {
-		return s.engines[last].ObserveBatch(perShard[last])
+	if len(touched) == 1 {
+		return s.engines[touched[0]].ObserveBatch(perShard[touched[0]])
 	}
+	// Lock every touched shard in index order (every multi-shard batch
+	// locks in the same order, so two concurrent batches cannot deadlock)
+	// and check the fences under the locks: SetFenced also takes the write
+	// lock, so no fence can slip between the check and the applies.
+	for _, sh := range touched {
+		s.engines[sh].mu.Lock()
+	}
+	for _, sh := range touched {
+		if s.engines[sh].fenced.Load() {
+			for _, u := range touched {
+				s.engines[u].mu.Unlock()
+			}
+			return ErrFenced
+		}
+	}
+	// Apply concurrently with the locks held; each goroutine releases its
+	// shard's lock when its sub-batch lands (a sync.Mutex may be unlocked
+	// by a different goroutine than locked it).
 	errs := make([]error, len(s.engines))
 	var wg sync.WaitGroup
-	for sh, batch := range perShard {
-		if len(batch) == 0 {
-			continue
-		}
+	for _, sh := range touched {
 		wg.Add(1)
-		go func(sh int, batch []Observation) {
+		go func(sh int) {
 			defer wg.Done()
-			errs[sh] = s.engines[sh].ObserveBatch(batch)
-		}(sh, batch)
+			defer s.engines[sh].mu.Unlock()
+			errs[sh] = s.engines[sh].observeBatchLocked(perShard[sh])
+		}(sh)
 	}
 	wg.Wait()
 	for _, err := range errs {

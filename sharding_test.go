@@ -2,6 +2,7 @@ package hitsndiffs
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
@@ -241,6 +242,61 @@ func TestShardedObserveBatchAtomic(t *testing.T) {
 	}
 	if err := eng.ObserveBatch(nil); err != nil {
 		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+// TestShardedObserveBatchFenceAtomic pins FenceShard's contract for
+// batches that span shards: one fenced shard fails the whole batch with
+// ErrFenced before ANYTHING is applied ANYWHERE. Without that, a client
+// retrying the 429 would double-apply the unfenced half of the batch,
+// and a redirect replay would fork the non-moved shards on the target.
+func TestShardedObserveBatchFenceAtomic(t *testing.T) {
+	m := shardTestMatrix(t, 40, 10)
+	eng, err := NewShardedEngine(m, WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fencedShard = 1
+	// One observation per shard, so the batch straddles the fence.
+	batch := make([]Observation, 0, eng.Shards())
+	seen := make(map[int]bool)
+	for u := 0; u < eng.Users() && len(batch) < eng.Shards(); u++ {
+		if sh := eng.ShardFor(u); !seen[sh] {
+			seen[sh] = true
+			batch = append(batch, Observation{User: u, Item: 0, Option: 1})
+		}
+	}
+	if len(batch) < 2 || !seen[fencedShard] {
+		t.Fatalf("test matrix yielded touched shards %v, need ≥ 2 including shard %d", seen, fencedShard)
+	}
+	if err := eng.FenceShard(fencedShard, true); err != nil {
+		t.Fatal(err)
+	}
+	before := eng.Version()
+	gens := make([]uint64, eng.Shards())
+	for sh := range gens {
+		gens[sh], _ = eng.ShardGeneration(sh)
+	}
+	if err := eng.ObserveBatch(batch); !errors.Is(err, ErrFenced) {
+		t.Fatalf("mixed batch over a fenced shard: %v, want ErrFenced", err)
+	}
+	if got := eng.Version(); got != before {
+		t.Fatalf("version moved from %d to %d: batch partially applied", before, got)
+	}
+	for sh := range gens {
+		if g, _ := eng.ShardGeneration(sh); g != gens[sh] {
+			t.Fatalf("shard %d advanced from generation %d to %d under a rejected batch", sh, gens[sh], g)
+		}
+	}
+	// Unfenced, the identical batch lands whole.
+	if err := eng.FenceShard(fencedShard, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.ObserveBatch(batch); err != nil {
+		t.Fatalf("batch after unfence: %v", err)
+	}
+	if got := eng.Version(); got != before+uint64(len(seen)) {
+		t.Fatalf("version %d after unfenced batch, want %d (one bump per touched shard)", got, before+uint64(len(seen)))
 	}
 }
 
