@@ -1,5 +1,5 @@
 # Development entry points. CI runs `make check`; `make bench` regenerates
-# the performance-trajectory baseline committed as BENCH_pr8.json.
+# the performance-trajectory baseline committed as BENCH_pr10.json.
 
 # pipefail so a failing benchmark run fails the bench target instead of
 # being masked by tee's exit status.
@@ -16,11 +16,14 @@ GO ?= go
 # the generation-keyed Update cache (vs. its WithUpdateCache(false)
 # escape-hatch baseline), the durable WAL append path per fsync
 # policy (always / interval / off) — the write-path overhead record —
-# and the staleness-bounded read path under steady writes (StaleRank:
-# bound=0 inline baseline vs bounded stale serving).
-BENCH_PATTERN ?= Fig5aScaleUsers|Fig5bScaleQuestions|HNDPowerInnerLoop|EngineSnapshot|EngineWarmVsCold|NewCSRAssembly|MulVecParallel|ParallelDoPooled|ShardedObserve|ShardedRank|BatchedRank|BlockDiag|WarmRerankAllocs|WALAppend|StaleRank
+# the staleness-bounded read path under steady writes (StaleRank:
+# bound=0 inline baseline vs bounded stale serving), and the certified
+# warm-update path (CertifiedWarmRerank: certified hit vs full warm
+# solve vs mixed answer-changing traffic with hit/fallback ratios, plus
+# the pooled zero-alloc CertifyKernel attempt itself).
+BENCH_PATTERN ?= Fig5aScaleUsers|Fig5bScaleQuestions|HNDPowerInnerLoop|EngineSnapshot|EngineWarmVsCold|NewCSRAssembly|MulVecParallel|ParallelDoPooled|ShardedObserve|ShardedRank|BatchedRank|BlockDiag|WarmRerankAllocs|WALAppend|StaleRank|CertifiedWarmRerank|CertifyKernel
 BENCH_TIME ?= 1x
-BENCH_OUT ?= BENCH_pr8.json
+BENCH_OUT ?= BENCH_pr10.json
 
 # Serving-tier benchmark: scripts/serve_bench.sh starts hndserver, drives
 # it with the hndload closed-loop generator (zipfian tenants, mixed

@@ -47,6 +47,25 @@ type Engine struct {
 	updateBacked bool
 	workers      int    // kernel fan-out from the base options, applied to cached Updates
 	maxStale     uint64 // WithMaxStaleness bound in write generations; 0 = always exact
+	// certified enables the certified warm-update fast path: a cache miss
+	// with a warm start first tries core.HNDPower.CertifyWarm, serving the
+	// previous scores without the iterative solver when one or two power
+	// steps prove them converged at the solve tolerance
+	// (WithCertifiedUpdates; requires the update cache).
+	certified bool
+
+	// certHits / certFallbacks count certification attempts that served a
+	// result vs fell back to the full warm solve. Certified hits are a
+	// subset of CacheMisses: the request missed the version-keyed cache and
+	// the certificate replaced the solve it would have run.
+	certHits      atomic.Uint64
+	certFallbacks atomic.Uint64
+
+	// scratchPool recycles core.SolveScratch buffers across solves and
+	// certification attempts, so the steady-state certified hit allocates
+	// only its returned score slice. Scores are copied out of the scratch
+	// before it is pooled again (core.Options.Scratch contract).
+	scratchPool sync.Pool
 
 	// batchMu serializes RankBatch calls and guards the per-tenant result
 	// cache behind them.
@@ -132,15 +151,16 @@ type engineSettings struct {
 	poolSize     int
 	batchSize    int
 	updateCache  bool
+	certified    bool
 	maxStale     uint64
 	ringReplicas int
 }
 
 // defaultEngineSettings seeds the option-merge state NewEngine and
 // NewShardedEngine share: HnD-power with the generation-keyed Update cache
-// enabled.
+// and the certified warm-update fast path enabled.
 func defaultEngineSettings() engineSettings {
-	return engineSettings{method: "HnD-power", updateCache: true}
+	return engineSettings{method: "HnD-power", updateCache: true, certified: true}
 }
 
 // WithMethod selects the registered ranking method the engine serves
@@ -223,6 +243,7 @@ func NewEngine(m *ResponseMatrix, opts ...EngineOption) (*Engine, error) {
 		warm:         !s.cold,
 		batchSize:    s.batchSize,
 		updCache:     s.updateCache,
+		certified:    s.certified,
 		updateBacked: info.UpdateBacked,
 		workers:      newSettings(s.base).workers,
 		maxStale:     s.maxStale,
@@ -577,6 +598,14 @@ func (e *Engine) rank(ctx context.Context, needSnapshot, exact bool) (Result, ui
 	}
 	e.mu.RUnlock()
 
+	// Certified fast path: try to prove the warm scores already converged
+	// for the written matrix before paying the iterative solve. A hit is
+	// bitwise the solve it replaces; a rejection falls through to exactly
+	// one full warm solve.
+	if res, ok := e.certifiedSolve(ctx, snapshot, version, warmScores); ok {
+		return res, version, snapshot, nil
+	}
+
 	var extra []Option
 	if warmScores != nil {
 		extra = append(extra, WithWarmStart(warmScores))
@@ -588,15 +617,31 @@ func (e *Engine) rank(ctx context.Context, needSnapshot, exact bool) (Result, ui
 			extra = append(extra, withScratchUpdate())
 		}
 	}
+	var sc *core.SolveScratch
+	if e.method == batchableMethod {
+		sc = e.scratchGet()
+		extra = append(extra, withSolveScratch(sc))
+	}
 	opts := e.base
 	if len(extra) > 0 {
 		opts = append(append([]Option(nil), e.base...), extra...)
 	}
 	r, err := New(e.method, opts...)
 	if err != nil {
+		if sc != nil {
+			e.scratchPut(sc)
+		}
 		return Result{}, 0, nil, err
 	}
 	res, err := r.Rank(ctx, snapshot)
+	if sc != nil {
+		// The solved scores may alias scratch memory — detach before the
+		// scratch serves another solve.
+		if err == nil {
+			res.Scores = append(mat.Vector(nil), res.Scores...)
+		}
+		e.scratchPut(sc)
+	}
 	if err != nil {
 		return Result{}, 0, nil, err
 	}
@@ -836,6 +881,12 @@ func RefreshEngines(ctx context.Context, engines []*Engine, batchSize int) ([]Re
 			continue
 		}
 		m, version, warm := e.solveInput()
+		// Certified fast path per stale engine: a write whose warm scores
+		// certify at the tolerance never reaches the packed batch solve.
+		if res, ok := e.certifiedSolve(ctx, m, version, warm); ok {
+			results[i] = res
+			continue
+		}
 		items = append(items, core.BatchItem{M: m, WarmStart: warm})
 		stale = append(stale, i)
 		versions = append(versions, version)
@@ -966,6 +1017,59 @@ func (e *Engine) storeSolved(version uint64, res Result) {
 	casMax(&e.servedGen, res.Generation)
 }
 
+// scratchGet borrows pooled solve buffers; scratchPut returns them. The
+// buffers grow to the engine's matrix once and are reused by every
+// subsequent solve and certification attempt on this engine.
+func (e *Engine) scratchGet() *core.SolveScratch {
+	if sc, ok := e.scratchPool.Get().(*core.SolveScratch); ok {
+		return sc
+	}
+	return &core.SolveScratch{}
+}
+
+func (e *Engine) scratchPut(sc *core.SolveScratch) { e.scratchPool.Put(sc) }
+
+// certifiedSolve attempts the certified warm-update fast path for one cache
+// miss: given the snapshot to rank, the version it corresponds to and the
+// warm-start scores, it runs core.HNDPower.CertifyWarm and, on a certified
+// hit, installs and returns the solver-equivalent result without entering
+// the iterative solver. The returned Result owns its scores. ok=false means
+// the caller must run the full solve — either the path is not eligible
+// (flag off, no update cache, not HnD-power, cold start) or the certificate
+// was rejected, in which case the fallback solve from the same warm start
+// reproduces the uncertified path bit for bit (only rejections after an
+// eligible attempt count as CertifiedFallbacks).
+func (e *Engine) certifiedSolve(ctx context.Context, m *ResponseMatrix, version uint64, warm []float64) (Result, bool) {
+	if !e.certified || !e.updCache || !e.updateBacked || e.method != batchableMethod || len(warm) == 0 {
+		return Result{}, false
+	}
+	opts := newSettings(e.base).coreOptions()
+	opts.WarmStart = warm
+	opts.Update = e.preparedUpdate(m)
+	sc := e.scratchGet()
+	opts.Scratch = sc
+	cert, err := core.HNDPower{Opts: opts}.CertifyWarm(ctx, m)
+	if err != nil || !cert.Certified {
+		e.scratchPut(sc)
+		e.certFallbacks.Add(1)
+		// Errors (context cancellation, invalid input) are not swallowed:
+		// the fallback solve hits the identical condition and surfaces it.
+		return Result{}, false
+	}
+	res := cert.Result
+	// The certified scores may alias scratch memory — detach before the
+	// scratch can serve another solve.
+	res.Scores = append(mat.Vector(nil), cert.Result.Scores...)
+	e.scratchPut(sc)
+	res.Generation = m.Generation()
+	res.Staleness = 0
+	// storeSolved copies the scores into the warm-start and cache state, so
+	// the detached slice is exclusively the caller's.
+	e.storeSolved(version, res)
+	e.certHits.Add(1)
+	return res, true
+}
+
 // InferLabels serves the truth-discovery direction: it ranks (or reuses
 // the cached ranking) and estimates each item's correct option by
 // score-weighted voting over the same matrix snapshot the scores came
@@ -1013,19 +1117,21 @@ func (e *Engine) Metrics() EngineMetrics {
 	cf, cd := e.m.CSRRebuilds()
 	nf, nd := e.m.NormRebuilds()
 	return EngineMetrics{
-		Version:           e.version,
-		Generation:        e.m.Generation(),
-		ServedGeneration:  e.servedGen.Load(),
-		StaleServes:       e.staleServes.Load(),
-		MaxStaleness:      e.maxStale,
-		Users:             e.m.Users(),
-		Items:             e.m.Items(),
-		CacheHits:         e.cacheHits.Load(),
-		CacheMisses:       e.cacheMisses.Load(),
-		BatchSolves:       batchSolves,
-		CSRFullRebuilds:   cf,
-		CSRDeltaRebuilds:  cd,
-		NormFullRebuilds:  nf,
-		NormDeltaRebuilds: nd,
+		Version:            e.version,
+		Generation:         e.m.Generation(),
+		ServedGeneration:   e.servedGen.Load(),
+		StaleServes:        e.staleServes.Load(),
+		MaxStaleness:       e.maxStale,
+		Users:              e.m.Users(),
+		Items:              e.m.Items(),
+		CacheHits:          e.cacheHits.Load(),
+		CacheMisses:        e.cacheMisses.Load(),
+		BatchSolves:        batchSolves,
+		CertifiedHits:      e.certHits.Load(),
+		CertifiedFallbacks: e.certFallbacks.Load(),
+		CSRFullRebuilds:    cf,
+		CSRDeltaRebuilds:   cd,
+		NormFullRebuilds:   nf,
+		NormDeltaRebuilds:  nd,
 	}
 }

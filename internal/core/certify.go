@@ -1,0 +1,216 @@
+package core
+
+import (
+	"context"
+	"math"
+
+	"hitsndiffs/internal/mat"
+	"hitsndiffs/internal/response"
+)
+
+// certSteps is the power-step budget of a certification attempt. A warm
+// iterate that the solver would accept within this many iterations is served
+// directly; anything slower falls back to the full solve. Two steps cover
+// the single-write warm re-rank (the residual of the previous converged
+// vector is barely perturbed) without letting a cold iterate burn time here.
+const certSteps = 2
+
+// certSlack scales the acceptance threshold: a step certifies when its
+// convergence gap is below Tol·certSlack. It ships at 1 — multiplying by 1
+// is bitwise exact, so the acceptance test is precisely the solver's own
+// convergence test and a certified hit is bit-for-bit the solve that would
+// have replaced it. The variable exists as a test hook: the adversarial
+// suite loosens it to prove that a weaker bound admits out-of-tolerance
+// vectors (and that the soundness oracle catches them).
+var certSlack = 1.0
+
+// certScreenMargin scales the early-reject screen: when the support-
+// restricted lower bound on the first step's gap exceeds
+// Tol·certSlack·certScreenMargin, certification aborts before completing
+// the apply, on the heuristic that one more contraction step will not close
+// a gap that large. The screen only ever rejects (triggering the default-
+// safe fallback solve), so the margin trades certification attempts for
+// work saved — it cannot affect correctness.
+var certScreenMargin = 8.0
+
+// Certificate is the outcome of a certification attempt (HNDPower.
+// CertifyWarm): whether the warm iterate was certified within the solve
+// tolerance, and if so the Result the solver would have produced, bit for
+// bit.
+type Certificate struct {
+	// Result is the solver-equivalent outcome; meaningful only when
+	// Certified is true.
+	Result Result
+	// Certified reports whether the warm iterate passed the residual test
+	// within the step budget.
+	Certified bool
+	// Steps counts the power steps spent (0 when the attempt was rejected
+	// before iterating — no usable warm start, a two-user input).
+	Steps int
+	// Gap is the last convergence gap observed: on a certified hit the
+	// accepted gap (< Tol·certSlack, the exact relative eigenpair residual
+	// of the penultimate iterate), on a plain rejection the still-too-large
+	// final gap, and on a screen rejection the support-restricted lower
+	// bound that triggered it.
+	Gap float64
+	// ScreenRejected reports that the support-restricted screen aborted the
+	// attempt before the first full apply completed.
+	ScreenRejected bool
+}
+
+// CertifyWarm attempts to certify the warm-start scores as already converged
+// for m, spending at most certSteps power iterations. On success the
+// returned Certificate carries, bit for bit, the Result that
+// HNDPower.Rank with the same Options would have produced — same scores,
+// iteration count, convergence and orientation flags — because the attempt
+// replays the solver's exact floating-point sequence and acceptance test.
+// On failure (no usable warm start, residual too large, screen rejection)
+// the caller runs the full solve from the same warm start, which then
+// reproduces the uncertified path exactly; certification is therefore
+// behavior-transparent and only short-circuits work.
+//
+// When the Update machinery carries a known write delta (Update.Delta), the
+// first step runs a support-restricted residual screen after the transpose
+// half-apply: for any index subset S, the gap is bounded below by
+// ‖b_S‖² − (a_S·b_S)²/‖a_S‖² over the restricted image a and iterate b, so
+// a handful of dirty rows is enough to prove a hopeless gap and abort
+// without paying the dense half of the apply. Restriction only weakens the
+// bound, so an incomplete or stale support can cost a wasted attempt but
+// never a wrong acceptance.
+func (h HNDPower) CertifyWarm(ctx context.Context, m *response.Matrix) (Certificate, error) {
+	if err := validateInput(m); err != nil {
+		return Certificate{}, err
+	}
+	opts := h.Opts
+	opts.defaults()
+	u := opts.newUpdate(m)
+	users := u.Users()
+	if users == 2 || len(opts.WarmStart) != users {
+		// The two-user short-circuit and the cold start have no warm iterate
+		// to certify; the fallback solve handles both.
+		return Certificate{}, nil
+	}
+	sc := opts.Scratch
+	var sdiff, s, us, next mat.Vector
+	var ws *Workspace
+	if sc != nil {
+		sc.bind(u)
+		sdiff, s, us, next, ws = sc.sdiff, sc.s, sc.us, sc.next, &sc.ws
+	} else {
+		sdiff = mat.NewVector(users - 1)
+		s = mat.NewVector(users)
+		us = mat.NewVector(users)
+		next = mat.NewVector(users - 1)
+		ws = u.NewWorkspace()
+	}
+	mat.Diff(sdiff, opts.WarmStart)
+	if sdiff.Normalize() == 0 {
+		// Flat warm scores: the solver would restart from a seeded random
+		// vector, which no short certification run can hope to converge.
+		return Certificate{}, nil
+	}
+	cert := Certificate{}
+	res := Result{}
+	for it := 1; it <= certSteps; it++ {
+		if err := ctx.Err(); err != nil {
+			return Certificate{}, err
+		}
+		mat.CumSumShift(s, sdiff) // s ← T·s_diff
+		// ApplyU split into its two halves so the screen can inspect the
+		// option weights before paying the row sweep; the completed product
+		// is bitwise identical to Workspace.ApplyU.
+		u.Ccol.MulVecTPar(ws.opt, s, u.workers, &ws.ts)
+		if it == 1 {
+			if lower, ok := screenGapLowerBound(u, sc, ws.opt, sdiff, us); ok &&
+				lower > opts.Tol*certSlack*certScreenMargin {
+				cert.Steps = it
+				cert.Gap = lower
+				cert.ScreenRejected = true
+				return cert, nil
+			}
+		}
+		u.Crow.MulVecPar(us, ws.opt, u.workers)
+		mat.Diff(next, us) // s_diff ← S·s
+		if next.Normalize() == 0 {
+			// No ranking signal remains; the solver returns the zero-score
+			// orientation immediately, so certify that outcome.
+			res.Iterations = it
+			res.Converged = true
+			cert.Certified = true
+			cert.Steps = it
+			cert.Result = orient(mat.NewVector(users), m, opts, res)
+			return cert, nil
+		}
+		gap := convergenceGap(next, sdiff)
+		copy(sdiff, next)
+		res.Iterations = it
+		cert.Steps = it
+		cert.Gap = gap
+		if gap < opts.Tol*certSlack {
+			res.Converged = true
+			mat.CumSumShift(s, sdiff)
+			cert.Certified = true
+			cert.Result = orient(s, m, opts, res)
+			return cert, nil
+		}
+	}
+	return cert, nil
+}
+
+// screenGapLowerBound lower-bounds the first step's convergence gap using
+// only the rows of the write delta. With b the current unit iterate and
+// a = U_diff·b, the gap is min over t of ‖t·a − b‖ ≥ min over t of
+// ‖(t·a − b)_S‖ = sqrt(‖b_S‖² − (a_S·b_S)²/‖a_S‖²) for any subset S — the
+// one-dimensional least squares residual on the restricted coordinates. The
+// restricted image entries a_r = (U·s)[r+1] − (U·s)[r] come from
+// mat.CSR.MulVecRows over the dirty rows' neighborhoods, bitwise identical
+// to the full product's entries. opt must hold the transpose half-apply
+// (C_colᵀ·s); us is used as row scratch and is fully overwritten by the
+// completed apply afterwards. Returns ok=false when no useful support is
+// known or the support is too large for the screen to save work.
+func screenGapLowerBound(u *Update, sc *SolveScratch, opt, sdiff, us mat.Vector) (float64, bool) {
+	d := u.Delta
+	users := u.Users()
+	if !d.Known || len(d.Rows) == 0 || 3*len(d.Rows) >= users {
+		return 0, false
+	}
+	var diffIdx, userIdx []int
+	if sc != nil {
+		diffIdx, userIdx = sc.supDiff[:0], sc.supUsers[:0]
+	}
+	// Row r of the response matrix perturbs difference coordinates r−1 and
+	// r, whose image entries read user rows r−1..r+1. Rows are sorted, so
+	// candidates arrive non-decreasing and a last-value check deduplicates.
+	for _, r := range d.Rows {
+		for c := max(r-1, 0); c <= min(r, users-2); c++ {
+			if len(diffIdx) == 0 || diffIdx[len(diffIdx)-1] < c {
+				diffIdx = append(diffIdx, c)
+			}
+		}
+		for c := max(r-1, 0); c <= min(r+1, users-1); c++ {
+			if len(userIdx) == 0 || userIdx[len(userIdx)-1] < c {
+				userIdx = append(userIdx, c)
+			}
+		}
+	}
+	if sc != nil {
+		sc.supDiff, sc.supUsers = diffIdx, userIdx
+	}
+	u.Crow.MulVecRows(us, opt, userIdx)
+	var aa, ab, bb float64
+	for _, c := range diffIdx {
+		a := us[c+1] - us[c]
+		b := sdiff[c]
+		aa += a * a
+		ab += a * b
+		bb += b * b
+	}
+	lower := bb
+	if aa > 0 {
+		lower = bb - ab*ab/aa
+	}
+	if lower < 0 {
+		lower = 0
+	}
+	return math.Sqrt(lower), true
+}

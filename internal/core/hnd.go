@@ -15,8 +15,14 @@ import (
 // is supplied and usable, otherwise a seeded random vector. The salt keeps
 // different methods from sharing a random start under the same seed.
 func initialDiff(users int, opts Options, salt int64) mat.Vector {
-	sdiff := mat.NewVector(users - 1)
-	if len(opts.WarmStart) == users {
+	return initialDiffInto(mat.NewVector(users-1), opts, salt)
+}
+
+// initialDiffInto is initialDiff writing into a caller-owned buffer of
+// length users−1 — the scratch-pooled variant. The produced vector is
+// bitwise identical to initialDiff's.
+func initialDiffInto(sdiff mat.Vector, opts Options, salt int64) mat.Vector {
+	if len(opts.WarmStart) == len(sdiff)+1 {
 		mat.Diff(sdiff, opts.WarmStart)
 		if sdiff.Normalize() > 0 {
 			return sdiff
@@ -57,14 +63,22 @@ func (h HNDPower) Rank(ctx context.Context, m *response.Matrix) (Result, error) 
 		return orient(mat.Vector{0, 1}, m, opts, Result{Iterations: 0, Converged: true}), nil
 	}
 
-	sdiff := initialDiff(users, opts, 101)
-
-	// All loop buffers are preallocated and the workspace is owned by this
-	// goroutine: the iteration body performs zero heap allocations.
-	ws := u.NewWorkspace()
-	s := mat.NewVector(users)
-	us := mat.NewVector(users)
-	next := mat.NewVector(users - 1)
+	// All loop buffers are preallocated (or bound from the caller's pooled
+	// scratch) and the workspace is owned by this goroutine: the iteration
+	// body performs zero heap allocations.
+	var sdiff, s, us, next mat.Vector
+	var ws *Workspace
+	if sc := opts.Scratch; sc != nil {
+		sc.bind(u)
+		sdiff, s, us, next, ws = sc.sdiff, sc.s, sc.us, sc.next, &sc.ws
+	} else {
+		sdiff = mat.NewVector(users - 1)
+		s = mat.NewVector(users)
+		us = mat.NewVector(users)
+		next = mat.NewVector(users - 1)
+		ws = u.NewWorkspace()
+	}
+	initialDiffInto(sdiff, opts, 101)
 	res := Result{}
 	for it := 1; it <= opts.MaxIter; it++ {
 		if err := ctx.Err(); err != nil {
@@ -99,7 +113,7 @@ func orient(scores mat.Vector, m *response.Matrix, opts Options, res Result) Res
 		res.Scores = scores
 		return res
 	}
-	oriented, flipped := OrientByDecileEntropy(scores, m)
+	oriented, flipped := orientByDecileEntropy(scores, m, opts.Scratch)
 	res.Scores = oriented
 	res.Flipped = flipped
 	return res

@@ -88,6 +88,14 @@ type Options struct {
 	// WithUpdateCache(false) escape hatch and the reference path the
 	// equivalence tests compare against. Ignored when Update is set.
 	ScratchUpdate bool
+	// Scratch, when non-nil, supplies pooled solve buffers (iteration
+	// vectors, apply workspace, orientation indices) that HnD-power and its
+	// certification path bind instead of allocating — the engine-level
+	// scratch pool sets it. A scratch must not be shared by concurrent
+	// solves, and Result.Scores may alias scratch memory: copy the scores
+	// out before reusing the scratch. Binding changes no floating-point
+	// operation; other methods ignore the field.
+	Scratch *SolveScratch
 }
 
 // newUpdate builds (or adopts) the AVGHITS update machinery for m with the
@@ -103,7 +111,7 @@ func (o Options) newUpdate(m *response.Matrix) *Update {
 		}
 		// Same matrices, different kernel fan-out: rewrap the immutable CSRs
 		// instead of mutating the shared Update behind concurrent appliers.
-		return &Update{C: u.C, Crow: u.Crow, Ccol: u.Ccol, workers: w}
+		return &Update{C: u.C, Crow: u.Crow, Ccol: u.Ccol, Delta: u.Delta, workers: w}
 	}
 	var u *Update
 	if o.ScratchUpdate {
@@ -148,14 +156,48 @@ func validateInput(m *response.Matrix) error {
 // scores are negated. It returns the oriented scores and whether a flip
 // occurred.
 func OrientByDecileEntropy(scores mat.Vector, m *response.Matrix) (mat.Vector, bool) {
-	order := rank.OrderFromScores(scores) // best-first under current sign
+	return orientByDecileEntropy(scores, m, nil)
+}
+
+// orientByDecileEntropy is OrientByDecileEntropy with optional pooled
+// buffers: a non-nil scratch supplies the sort indices and entropy counts,
+// and flips in place (exact negation) instead of cloning — the orientation
+// pass of a scratch-backed solve performs zero steady-state allocations.
+// The ordering and decisions are identical either way.
+func orientByDecileEntropy(scores mat.Vector, m *response.Matrix, sc *SolveScratch) (mat.Vector, bool) {
+	var order []int
+	if sc != nil && len(sc.order) >= len(scores) {
+		// Ascending stable argsort then in-place reversal — the exact
+		// permutation rank.OrderFromScores produces.
+		order = scores.ArgSortInto(sc.order[:len(scores)], sc.sortBuf[:len(scores)])
+		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+	} else {
+		order = rank.OrderFromScores(scores) // best-first under current sign
+	}
 	d := len(order) / 10
 	if d < 1 {
 		d = 1
 	}
 	top := order[:d]
 	bottom := order[len(order)-d:]
-	te, be := groupEntropy(m, top), groupEntropy(m, bottom)
+	var buf []int
+	if sc != nil {
+		if cap(sc.counts) < m.MaxOptions() {
+			sc.counts = make([]int, m.MaxOptions())
+		}
+		buf = sc.counts[:m.MaxOptions()]
+	} else {
+		buf = make([]int, m.MaxOptions())
+	}
+	te, be := groupEntropy(m, top, buf), groupEntropy(m, bottom, buf)
+	flip := func() (mat.Vector, bool) {
+		if sc != nil {
+			return scores.Scale(-1), true
+		}
+		return scores.Clone().Scale(-1), true
+	}
 	if math.Abs(te-be) < 1e-12 {
 		// Entropy cannot discriminate (e.g. single-user deciles on
 		// noise-free data). Fall back to agreement with the per-item
@@ -164,12 +206,12 @@ func OrientByDecileEntropy(scores mat.Vector, m *response.Matrix) (mat.Vector, b
 		if ta >= ba {
 			return scores, false
 		}
-		return scores.Clone().Scale(-1), true
+		return flip()
 	}
 	if te < be {
 		return scores, false
 	}
-	return scores.Clone().Scale(-1), true
+	return flip()
 }
 
 // majorityAgreement returns the fraction of the group's answers that match
@@ -200,13 +242,12 @@ func majorityAgreement(m *response.Matrix, users []int) float64 {
 }
 
 // groupEntropy returns the average Shannon entropy over items of the option
-// distribution chosen by the given users. One counts buffer (sized to the
-// widest item) serves every item, keeping the per-rank orientation pass at
-// O(1) allocations.
-func groupEntropy(m *response.Matrix, users []int) float64 {
+// distribution chosen by the given users. One caller-supplied counts buffer
+// (sized at least to the widest item) serves every item, keeping the
+// per-rank orientation pass allocation-free.
+func groupEntropy(m *response.Matrix, users []int, buf []int) float64 {
 	var total float64
 	items := m.Items()
-	buf := make([]int, m.MaxOptions())
 	for i := 0; i < items; i++ {
 		counts := buf[:m.OptionCount(i)]
 		for h := range counts {

@@ -1,0 +1,51 @@
+package core
+
+import "hitsndiffs/internal/mat"
+
+// SolveScratch owns every buffer an HnD-power solve or certification attempt
+// needs: the four iteration vectors, an apply workspace, the orientation
+// index buffers and the certification screen's support lists. Binding one
+// via Options.Scratch makes a warm re-rank — and in particular a certified
+// hit — allocation-free in steady state; the engines keep a pool of these.
+//
+// A SolveScratch must not be shared by concurrent solves. When Options.
+// Scratch is set, Result.Scores may alias scratch memory: the caller must
+// copy the scores out before reusing or pooling the scratch. Binding changes
+// no floating-point operation — scratch-backed solves are bitwise identical
+// to allocating ones.
+type SolveScratch struct {
+	sdiff, s, us, next mat.Vector
+	ws                 Workspace
+	order, sortBuf     []int
+	counts             []int
+	supDiff, supUsers  []int
+}
+
+// bind sizes every buffer for u and points the workspace at it. Buffers keep
+// their capacity across matrices of shrinking size; every entry is fully
+// overwritten before its first read, so stale contents are harmless.
+func (sc *SolveScratch) bind(u *Update) {
+	users := u.Users()
+	sc.sdiff = resizeVec(sc.sdiff, users-1)
+	sc.s = resizeVec(sc.s, users)
+	sc.us = resizeVec(sc.us, users)
+	sc.next = resizeVec(sc.next, users-1)
+	sc.ws.u = u
+	sc.ws.opt = resizeVec(sc.ws.opt, u.C.Cols())
+	sc.order = resizeInts(sc.order, users)
+	sc.sortBuf = resizeInts(sc.sortBuf, users)
+}
+
+func resizeVec(v mat.Vector, n int) mat.Vector {
+	if cap(v) < n {
+		return mat.NewVector(n)
+	}
+	return v[:n]
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,38 @@
+package eigen
+
+import "hitsndiffs/internal/mat"
+
+// ResidualStep applies one operator step to the unit vector v, writing the
+// normalized image into next, and returns the observed Rayleigh estimate
+// lambda = ‖A·v‖ together with the flip-invariant gap between next and v.
+// For unit v the true eigenpair residual is ‖A·v − (±λ)·v‖ = λ·gap, so a
+// small gap certifies (λ, v) directly without forming the residual vector.
+// A zero image (no signal) returns (0, 0) with next zeroed by Apply's
+// contract left intact. next and v must not alias.
+//
+// This is deliberately the exact floating-point sequence of the power-method
+// inner loop (Apply, Normalize, FlipInvariantDist), so certification built on
+// it observes the same gap the iterative solver would have on its next step —
+// bit for bit, not merely to rounding.
+func ResidualStep(a Op, next, v mat.Vector) (lambda, gap float64) {
+	a.Apply(next, v)
+	lambda = next.Normalize()
+	if lambda == 0 {
+		return 0, 0
+	}
+	return lambda, mat.FlipInvariantDist(next, v)
+}
+
+// ResidualNorm returns the Rayleigh estimate λ = ‖A·v‖ and the absolute
+// eigenpair residual ‖A·v − (±λ)·v‖ for the unit vector v, using a vector
+// borrowed from the pooled workspace (pass nil for a throwaway). It is the
+// reference form of the certificate — ResidualStep's λ·gap equals this
+// residual — and is what the adversarial suite's oracle measures against.
+func ResidualNorm(a Op, v mat.Vector, work *Workspace) (lambda, resid float64) {
+	ws, release := borrow(work)
+	defer release()
+	next := ws.get(a.Dim())
+	defer ws.put(next)
+	lambda, gap := ResidualStep(a, next, v)
+	return lambda, lambda * gap
+}

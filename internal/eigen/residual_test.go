@@ -1,0 +1,90 @@
+package eigen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hitsndiffs/internal/mat"
+)
+
+// TestResidualStepMatchesDirect checks λ·gap against the residual formed
+// explicitly as ‖A·v − σλ·v‖ with the better of the two signs, on random
+// symmetric and asymmetric operators.
+func TestResidualStepMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(10)
+		d := mat.NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				d.Set(i, j, rng.NormFloat64())
+			}
+		}
+		v := mat.NewVector(n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		v.Normalize()
+
+		op := DenseOp{M: d}
+		next := mat.NewVector(n)
+		lambda, gap := ResidualStep(op, next, v)
+
+		av := mat.NewVector(n)
+		d.MulVec(av, v)
+		if want := av.Norm2(); math.Abs(lambda-want) > 1e-12*math.Max(1, want) {
+			t.Fatalf("trial %d: lambda %v, want ‖Av‖ %v", trial, lambda, want)
+		}
+		minus, plus := av.Clone(), av.Clone()
+		minus.AddScaled(-lambda, v)
+		plus.AddScaled(lambda, v)
+		want := math.Min(minus.Norm2(), plus.Norm2())
+		if got := lambda * gap; math.Abs(got-want) > 1e-10*math.Max(1, want) {
+			t.Fatalf("trial %d: λ·gap %v, direct residual %v", trial, got, want)
+		}
+
+		lam2, resid := ResidualNorm(op, v, nil)
+		if lam2 != lambda || math.Abs(resid-lambda*gap) > 1e-15 {
+			t.Fatalf("trial %d: ResidualNorm (%v, %v) disagrees with ResidualStep (%v, %v)",
+				trial, lam2, resid, lambda, lambda*gap)
+		}
+	}
+}
+
+// TestResidualStepEigenvector asserts a true eigenvector certifies with a
+// tiny residual and that the flip-invariant gap ignores the sign of λ.
+func TestResidualStepEigenvector(t *testing.T) {
+	d := mat.NewDense(3, 3)
+	for i, row := range [][]float64{{4, 1, 0}, {1, 3, 1}, {0, 1, 2}} {
+		for j, x := range row {
+			d.Set(i, j, x)
+		}
+	}
+	v := mat.Vector{1, 1, 1}
+	next := mat.NewVector(3)
+	// Power-iterate to convergence to get the dominant eigenvector.
+	for it := 0; it < 200; it++ {
+		d.MulVec(next, v)
+		next.Normalize()
+		copy(v, next)
+	}
+	_, gap := ResidualStep(DenseOp{M: d}, next, v)
+	if gap > 1e-12 {
+		t.Fatalf("converged eigenvector gap %v, want ~0", gap)
+	}
+	v.Scale(-1) // flipped sign must certify identically
+	if _, g := ResidualStep(DenseOp{M: d}, next, v); g > 1e-12 {
+		t.Fatalf("flipped eigenvector gap %v, want ~0", g)
+	}
+}
+
+// TestResidualStepZeroSignal pins the no-signal contract: a vector in the
+// null space returns (0, 0).
+func TestResidualStepZeroSignal(t *testing.T) {
+	d := mat.NewDense(2, 2) // zero matrix
+	lambda, gap := ResidualStep(DenseOp{M: d}, mat.NewVector(2), mat.Vector{1, 0})
+	if lambda != 0 || gap != 0 {
+		t.Fatalf("zero operator: got (%v, %v), want (0, 0)", lambda, gap)
+	}
+}

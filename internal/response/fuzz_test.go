@@ -2,8 +2,12 @@ package response
 
 import (
 	"bytes"
+	"math"
+	"sort"
 	"strings"
 	"testing"
+
+	"hitsndiffs/internal/mat"
 )
 
 // FuzzMemoInvariants drives an arbitrary byte-coded sequence of writes,
@@ -11,8 +15,10 @@ import (
 // invariants of the generation-keyed caches: the generation counter bumps
 // exactly once per SetAnswer, the memoized one-hot encoding and its
 // normalized forms are never stale after SetAnswer or Clone (always bitwise
-// identical to from-scratch derivation), and a clone's writes never move its
-// parent's generation or memo.
+// identical to from-scratch derivation), a clone's writes never move its
+// parent's generation or memo, and the NormDelta handed to certification is
+// exactly the memo's dirty support: the rows written since the previous
+// normalization and the columns whose sums changed bitwise.
 func FuzzMemoInvariants(f *testing.F) {
 	f.Add([]byte{0x00, 0x41, 0x13, 0x7f, 0x20})
 	f.Add([]byte("write-clone-write"))
@@ -25,18 +31,58 @@ func FuzzMemoInvariants(f *testing.F) {
 			ops = ops[:64]
 		}
 		gen := m.Generation()
+		written := make(map[int]bool) // rows written since the last normalization
+		normed := false               // whether m.Normalized has ever run
+		var prevSums mat.Vector
+		checkDelta := func(pc int) {
+			c, _, _, d := m.NormalizedDelta()
+			sums := c.ColSums()
+			switch {
+			case !normed:
+				if !d.Full {
+					t.Fatalf("op %d: first normalization must report Full", pc)
+				}
+			case d.Full:
+				t.Fatalf("op %d: unexpected full normalization rebuild", pc)
+			default:
+				wantRows := make([]int, 0, len(written))
+				for r := range written {
+					wantRows = append(wantRows, r)
+				}
+				sort.Ints(wantRows)
+				if !intsEqual(d.Rows, wantRows) {
+					t.Fatalf("op %d: delta rows %v, want written rows %v", pc, d.Rows, wantRows)
+				}
+				var wantCols []int
+				for j := range sums {
+					if math.Float64bits(sums[j]) != math.Float64bits(prevSums[j]) {
+						wantCols = append(wantCols, j)
+					}
+				}
+				if !intsEqual(d.Cols, wantCols) {
+					t.Fatalf("op %d: delta cols %v, want changed-sum cols %v", pc, d.Cols, wantCols)
+				}
+			}
+			normed = true
+			prevSums = sums
+			for r := range written {
+				delete(written, r)
+			}
+		}
 		for pc, op := range ops {
 			u, i := int(op>>4)%users, int(op>>2)%items
 			switch op % 4 {
 			case 0: // answer
 				m.SetAnswer(u, i, int(op)%k)
 				gen++
+				written[u] = true
 			case 1: // retract
 				m.SetAnswer(u, i, Unanswered)
 				gen++
+				written[u] = true
 			case 2: // materialize the memos mid-sequence
 				m.Binary()
-				m.Normalized()
+				checkDelta(pc)
 			case 3: // copy-on-write fork: clone writes must not leak back
 				clone := m.Clone()
 				if clone.Generation() != gen {
@@ -57,6 +103,7 @@ func FuzzMemoInvariants(f *testing.F) {
 		if got, want := m.Binary(), scratchBinary(m); !csrBitwiseEqual(got, want) {
 			t.Fatal("memoized encoding stale at end of sequence")
 		}
+		checkDelta(len(ops))
 		_, crow, ccol := m.Normalized()
 		wantRow, wantCol := scratchNormalized(m)
 		if !csrBitwiseEqual(crow, wantRow) || !csrBitwiseEqual(ccol, wantCol) {
@@ -66,6 +113,20 @@ func FuzzMemoInvariants(f *testing.F) {
 			t.Fatal("unchanged matrix must serve the identical memo pointers")
 		}
 	})
+}
+
+// intsEqual reports whether two index lists hold the same values, treating
+// nil and empty as equal.
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // FuzzReadCSV asserts that arbitrary input never panics the parser and that

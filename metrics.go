@@ -54,6 +54,18 @@ type EngineMetrics struct {
 	// BatchSolves counts tenants solved (not served cached) through
 	// Engine.RankBatch's block-diagonal batching path.
 	BatchSolves uint64 `json:"batch_solves"`
+	// CertifiedHits counts cache misses served through the certified
+	// warm-update fast path (WithCertifiedUpdates): one or two power steps
+	// proved the previous scores converged at the solve tolerance, so the
+	// iterative solver never ran. Always a subset of CacheMisses.
+	CertifiedHits uint64 `json:"certified_hits"`
+	// CertifiedFallbacks counts eligible certification attempts that were
+	// rejected (residual too large, screen abort, no usable warm iterate)
+	// and fell back to the full warm solve. CertifiedHits +
+	// CertifiedFallbacks is the total attempt count; requests that never
+	// attempt (flag off, cold start, non-HnD-power method) count in
+	// neither.
+	CertifiedFallbacks uint64 `json:"certified_fallbacks"`
 	// CSRFullRebuilds / CSRDeltaRebuilds mirror ResponseMatrix.CSRRebuilds
 	// for the engine's current matrix: from-scratch one-hot encodings vs
 	// touched-row splices. Under sparse write traffic full must stop
@@ -82,6 +94,8 @@ func (m *EngineMetrics) add(o EngineMetrics) {
 	m.CacheHits += o.CacheHits
 	m.CacheMisses += o.CacheMisses
 	m.BatchSolves += o.BatchSolves
+	m.CertifiedHits += o.CertifiedHits
+	m.CertifiedFallbacks += o.CertifiedFallbacks
 	m.CSRFullRebuilds += o.CSRFullRebuilds
 	m.CSRDeltaRebuilds += o.CSRDeltaRebuilds
 	m.NormFullRebuilds += o.NormFullRebuilds

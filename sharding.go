@@ -598,6 +598,13 @@ func (s *ShardedEngine) RankAll(ctx context.Context) ([]Result, error) {
 			continue
 		}
 		m, version, warm := eng.solveInput()
+		// Certified fast path per shard: a written shard whose warm scores
+		// certify at the tolerance is served without joining the packed
+		// batch solve (see Engine.certifiedSolve).
+		if res, ok := eng.certifiedSolve(ctx, m, version, warm); ok {
+			results[i] = res
+			continue
+		}
 		items = append(items, core.BatchItem{M: m, WarmStart: warm})
 		stale = append(stale, i)
 		versions = append(versions, version)
